@@ -1,0 +1,634 @@
+(* Benchmark harness: one experiment per theorem of the paper (see
+   EXPERIMENTS.md and DESIGN.md section 5), plus Bechamel micro-benchmarks
+   (one Test.make per experiment id).
+
+   Usage:
+     dune exec bench/main.exe            # run everything
+     dune exec bench/main.exe -- e3 e6   # selected experiments
+     dune exec bench/main.exe -- micro   # Bechamel micro-benchmarks only *)
+
+module Point = Maxrs_geom.Point
+module Rng = Maxrs_geom.Rng
+module Interval1d = Maxrs_sweep.Interval1d
+module Rect2d = Maxrs_sweep.Rect2d
+module Disk2d = Maxrs_sweep.Disk2d
+module Colored_disk2d = Maxrs_sweep.Colored_disk2d
+module Convolution = Maxrs_conv.Convolution
+module Reductions = Maxrs_conv.Reductions
+module Bsei = Maxrs_conv.Bsei
+module Boxd = Maxrs_sweep.Boxd
+module Batched2d = Maxrs_sweep.Batched2d
+module Colored_rect2d = Maxrs_sweep.Colored_rect2d
+module Approx_colored_rect = Maxrs.Approx_colored_rect
+module Grid_baseline = Maxrs.Grid_baseline
+module Config = Maxrs.Config
+module Dynamic = Maxrs.Dynamic
+module Static = Maxrs.Static
+module Colored = Maxrs.Colored
+module Output_sensitive = Maxrs.Output_sensitive
+module Approx_colored = Maxrs.Approx_colored
+module Workload = Maxrs.Workload
+
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let header title = Printf.printf "\n=== %s ===\n" title
+let row fmt = Printf.printf fmt
+
+(* Benchmarks use a capped-shift practical config (see DESIGN.md): the
+   faithful Lemma 2.1 collection multiplies constants by (2/eps)^d. *)
+let bench_cfg ?(epsilon = 0.3) ?(shifts = 8) ~seed () =
+  Config.make ~epsilon ~sample_constant:0.25 ~max_grid_shifts:(Some shifts)
+    ~seed ()
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Theorem 1.1: dynamic MaxRS, update time O_eps(log n) and
+   approximation quality. *)
+
+let e1 () =
+  header "E1 / Theorem 1.1 — dynamic MaxRS (d-ball, d=2)";
+  row "paper: amortized update O(eps^-2d-2 log n); ratio >= 1/2 - eps whp\n";
+  row "%8s %12s %14s %10s\n" "n" "us/update" "per-log-n" "epochs";
+  List.iter
+    (fun n ->
+      let rng = Rng.create (1000 + n) in
+      let d = Dynamic.create ~cfg:(bench_cfg ~seed:n ()) ~dim:2 () in
+      let pts =
+        Workload.gaussian_clusters rng ~dim:2 ~n ~k:8 ~extent:20. ~spread:1.5
+      in
+      let handles = Array.map (fun p -> Dynamic.insert d p) pts in
+      let updates = 2000 in
+      let (), dt =
+        time (fun () ->
+            for _ = 0 to (updates / 2) - 1 do
+              let i = Rng.int rng n in
+              Dynamic.delete d handles.(i);
+              handles.(i) <-
+                Dynamic.insert d
+                  [| Rng.uniform rng 0. 20.; Rng.uniform rng 0. 20. |]
+            done)
+      in
+      let us = dt *. 1e6 /. float_of_int updates in
+      row "%8d %12.2f %14.3f %10d\n" n us
+        (us /. log (float_of_int n))
+        (Dynamic.epochs d))
+    [ 1000; 2000; 4000; 8000 ];
+  row "\n%8s %8s %10s %8s\n" "n" "opt" "found" "ratio";
+  List.iter
+    (fun (n, opt) ->
+      let rng = Rng.create (7 * n) in
+      let pts, _, optv = Workload.planted rng ~dim:2 ~n ~opt in
+      let d = Dynamic.create ~cfg:(bench_cfg ~seed:n ()) ~dim:2 () in
+      Array.iter (fun (p, w) -> ignore (Dynamic.insert d ~weight:w p)) pts;
+      let found = match Dynamic.best d with Some (_, v) -> v | None -> 0. in
+      row "%8d %8d %10.1f %8.3f\n" n opt found (found /. optv))
+    [ (500, 50); (2000, 100); (8000, 200) ]
+
+(* ------------------------------------------------------------------ *)
+(* E2 — Theorem 1.2: static MaxRS for d-balls, runtime n log n without a
+   log^d blowup, across dimensions. *)
+
+let e2 () =
+  header "E2 / Theorem 1.2 — static MaxRS (d-ball), d in {2,3,4}";
+  row "paper: O(eps^-2d-2 n log n); the d-dependence sits in constants,\n";
+  row "not in the log power -> time/(n ln n) flat in n for each fixed d\n";
+  row "%4s %8s %12s %16s\n" "d" "n" "time(s)" "t/(n ln n) us";
+  List.iter
+    (fun (d, eps, ns) ->
+      List.iter
+        (fun n ->
+          let rng = Rng.create ((d * 100000) + n) in
+          let pts =
+            Array.map
+              (fun p -> (p, 1.))
+              (Workload.gaussian_clusters rng ~dim:d ~n ~k:6 ~extent:15.
+                 ~spread:1.)
+          in
+          let cfg = bench_cfg ~epsilon:eps ~shifts:4 ~seed:n () in
+          let _, dt = time (fun () -> Static.solve_or_point ~cfg ~dim:d pts) in
+          row "%4d %8d %12.3f %16.3f\n" d n dt
+            (dt *. 1e6 /. (float_of_int n *. log (float_of_int n))))
+        ns)
+    [
+      (2, 0.3, [ 2000; 4000; 8000; 16000 ]);
+      (3, 0.4, [ 1000; 2000; 4000 ]);
+      (4, 0.45, [ 500; 1000; 2000 ]);
+    ];
+  row "\n%8s %10s %10s %8s %14s\n" "n" "exact" "approx" "ratio"
+    "grid(1+eps)r";
+  List.iter
+    (fun n ->
+      let rng = Rng.create (31 * n) in
+      let pts =
+        Array.map
+          (fun p -> (p, 1.))
+          (Workload.gaussian_clusters rng ~dim:2 ~n ~k:4 ~extent:8. ~spread:0.8)
+      in
+      let exact =
+        Disk2d.max_weight ~radius:1.
+          (Array.map (fun (p, w) -> (p.(0), p.(1), w)) pts)
+      in
+      let cfg = Config.make ~epsilon:0.25 ~seed:n () in
+      let r = Static.solve_or_point ~cfg ~dim:2 pts in
+      let gb = Grid_baseline.solve ~epsilon:0.25 ~dim:2 pts in
+      row "%8d %10.1f %10.1f %8.3f %14.1f\n" n exact.Disk2d.value
+        r.Static.value
+        (r.Static.value /. exact.Disk2d.value)
+        gb.Grid_baseline.value)
+    [ 200; 500; 1000 ]
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Theorem 1.3: batched MaxRS in R^1. *)
+
+let e3 () =
+  header "E3 / Theorem 1.3 — batched MaxRS in R^1";
+  row "upper bound O(n log n + mn); conditional lower bound Omega(mn)\n";
+  row "%8s %8s %12s %14s\n" "n" "m" "time(s)" "ns/(m*n)";
+  List.iter
+    (fun (n, m) ->
+      let rng = Rng.create (n + m) in
+      let pts =
+        Array.init n (fun _ ->
+            (Rng.uniform rng 0. 1000., Rng.uniform rng 0. 5.))
+      in
+      let lens = Array.init m (fun _ -> Rng.uniform rng 1. 100.) in
+      let _, dt = time (fun () -> Interval1d.batched ~lens pts) in
+      row "%8d %8d %12.3f %14.2f\n" n m dt
+        (dt *. 1e9 /. (float_of_int m *. float_of_int n)))
+    [ (20000, 50); (20000, 100); (20000, 200); (40000, 100); (80000, 100) ];
+  row "\n(min,+)-convolution through the batched-MaxRS oracle (Section 5):\n";
+  row "%8s %14s %14s %10s\n" "n" "via MaxRS (s)" "naive (s)" "agree";
+  List.iter
+    (fun n ->
+      let rng = Rng.create (3 * n) in
+      let a = Array.init n (fun _ -> Rng.int rng 1000 - 500) in
+      let b = Array.init n (fun _ -> Rng.int rng 1000 - 500) in
+      let via, t1 =
+        time (fun () ->
+            Reductions.min_plus_via_batched_maxrs
+              ~oracle:Reductions.default_batched_maxrs_oracle a b)
+      in
+      let naive, t2 = time (fun () -> Convolution.min_plus a b) in
+      row "%8d %14.3f %14.3f %10b\n" n t1 t2 (via = naive))
+    [ 128; 256; 512; 1024 ]
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Theorem 1.4: batched smallest k-enclosing interval. *)
+
+let e4 () =
+  header "E4 / Theorem 1.4 — batched smallest k-enclosing interval";
+  row "upper bound O(n^2); conditional lower bound Omega(n^2)\n";
+  row "%8s %12s %14s\n" "n" "time(s)" "ns/n^2";
+  List.iter
+    (fun n ->
+      let rng = Rng.create n in
+      let pts = Array.init n (fun _ -> Rng.uniform rng 0. 1e6) in
+      let _, dt = time (fun () -> Bsei.batched pts) in
+      row "%8d %12.3f %14.2f\n" n dt
+        (dt *. 1e9 /. (float_of_int n *. float_of_int n)))
+    [ 2000; 4000; 8000; 16000 ];
+  row "\n(min,+)-convolution through the BSEI oracle (Section 6):\n";
+  row "%8s %14s %14s %10s\n" "n" "via BSEI (s)" "naive (s)" "agree";
+  List.iter
+    (fun n ->
+      let rng = Rng.create (5 * n) in
+      let a = Array.init n (fun _ -> Rng.int rng 200 - 100) in
+      let b = Array.init n (fun _ -> Rng.int rng 200 - 100) in
+      let via, t1 = time (fun () -> Bsei.min_plus_via_bsei a b) in
+      let naive, t2 = time (fun () -> Convolution.min_plus a b) in
+      row "%8d %14.3f %14.3f %10b\n" n t1 t2 (via = naive))
+    [ 256; 512; 1024; 2048 ]
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Theorem 1.5: colored MaxRS for d-balls. *)
+
+let e5 () =
+  header "E5 / Theorem 1.5 — colored MaxRS (d-ball)";
+  row "paper: (1/2 - eps)-approx in O(eps^-2d-2 n log n)\n";
+  row "%8s %12s %16s\n" "n" "time(s)" "t/(n ln n) us";
+  List.iter
+    (fun n ->
+      let rng = Rng.create (11 * n) in
+      let pts, colors =
+        Workload.trajectories rng ~m:(n / 50) ~steps:50 ~extent:25. ~step:0.6
+      in
+      let points = Array.map (fun (x, y) -> [| x; y |]) pts in
+      let cfg = bench_cfg ~seed:n () in
+      let _, dt =
+        time (fun () -> Colored.solve_or_point ~cfg ~dim:2 points ~colors)
+      in
+      row "%8d %12.3f %16.3f\n" n dt
+        (dt *. 1e6 /. (float_of_int n *. log (float_of_int n))))
+    [ 2000; 4000; 8000; 16000 ];
+  row "\nquality vs exact colored sweep:\n";
+  row "%8s %8s %10s %8s\n" "n" "exact" "approx" "ratio";
+  List.iter
+    (fun n ->
+      let rng = Rng.create (13 * n) in
+      let pts, colors =
+        Workload.trajectories rng ~m:(Int.max 2 (n / 40)) ~steps:40 ~extent:8.
+          ~step:0.5
+      in
+      let exact = Colored_disk2d.max_colored ~radius:1. pts ~colors in
+      let points = Array.map (fun (x, y) -> [| x; y |]) pts in
+      let cfg = Config.make ~epsilon:0.25 ~seed:n () in
+      let r = Colored.solve_or_point ~cfg ~dim:2 points ~colors in
+      row "%8d %8d %10d %8.3f\n" n exact.Colored_disk2d.value r.Colored.value
+        (float_of_int r.Colored.value
+        /. float_of_int exact.Colored_disk2d.value))
+    [ 200; 400; 800 ]
+
+(* ------------------------------------------------------------------ *)
+(* E6 — Theorem 4.6: output sensitivity. *)
+
+let e6 () =
+  header "E6 / Theorem 4.6 — output-sensitive exact colored disk MaxRS";
+  row "paper: O(n log n + n * opt) expected\n";
+  row "(a) fixed n = 3000, density dials opt: time/events track opt, not n^2\n";
+  row "%8s %6s %12s %14s %16s\n" "extent" "opt" "time(s)" "events"
+    "events/(n*opt)";
+  let n = 3000 in
+  List.iter
+    (fun extent ->
+      let rng = Rng.create (int_of_float extent) in
+      let m = 150 in
+      let pts =
+        Array.init n (fun _ ->
+            (Rng.uniform rng 0. extent, Rng.uniform rng 0. extent))
+      in
+      let colors = Array.init n (fun i -> i mod m) in
+      let r, dt =
+        time (fun () -> Output_sensitive.solve ~max_shifts:6 pts ~colors)
+      in
+      let ev = r.Output_sensitive.stats.Output_sensitive.sweep_events in
+      row "%8.0f %6d %12.3f %14d %16.4f\n" extent r.Output_sensitive.depth dt
+        ev
+        (float_of_int ev
+        /. (float_of_int n *. float_of_int r.Output_sensitive.depth)))
+    [ 80.; 40.; 20.; 14. ];
+  row "\n(b) fixed density, growing n: output-sensitive ~n log n vs naive\n";
+  row "    ~n^2 log n exact sweep — the crossover favors output-sensitivity\n";
+  row "%8s %6s %14s %12s %8s\n" "n" "opt" "outp-sens(s)" "naive(s)" "agree";
+  List.iter
+    (fun n ->
+      let rng = Rng.create (23 * n) in
+      let extent = 1.5 *. sqrt (float_of_int n) in
+      let pts =
+        Array.init n (fun _ ->
+            (Rng.uniform rng 0. extent, Rng.uniform rng 0. extent))
+      in
+      let colors = Array.init n (fun i -> i mod 500) in
+      let ros, tos =
+        time (fun () -> Output_sensitive.solve ~max_shifts:6 pts ~colors)
+      in
+      let rn, tn =
+        time (fun () -> Colored_disk2d.max_colored ~radius:1. pts ~colors)
+      in
+      row "%8d %6d %14.3f %12.3f %8b\n" n ros.Output_sensitive.depth tos tn
+        (ros.Output_sensitive.depth = rn.Colored_disk2d.value))
+    [ 4000; 8000; 16000; 32000 ]
+
+(* ------------------------------------------------------------------ *)
+(* E7 — Theorem 1.6: (1-eps) colored disk MaxRS, crossover vs exact. *)
+
+let e7 () =
+  header "E7 / Theorem 1.6 — (1-eps)-approx colored disk MaxRS (eps=0.25)";
+  row
+    "paper: expected O(eps^-2 n log n) vs exact O(n^2 log n): approx wins at scale\n";
+  row "(large-opt instances: opt ~ n/8 distinct colors in one hotspot,\n";
+  row " uniform distinctly-colored background)\n";
+  row "%8s %12s %12s %8s %8s %8s %10s\n" "n" "approx(s)" "exact(s)" "appx"
+    "exct" "ratio" "sampled";
+  List.iter
+    (fun n ->
+      let rng = Rng.create (17 * n) in
+      let opt = n / 8 in
+      let extent = 30. in
+      let pts =
+        Array.init n (fun i ->
+            if i < opt then
+              (* hotspot: distinct colors packed in a 0.2-ball *)
+              ( (extent /. 2.) +. Rng.uniform rng (-0.2) 0.2,
+                (extent /. 2.) +. Rng.uniform rng (-0.2) 0.2 )
+            else (Rng.uniform rng 0. extent, Rng.uniform rng 0. extent))
+      in
+      let colors = Array.init n Fun.id in
+      let ra, ta =
+        time (fun () -> Approx_colored.solve ~max_shifts:6 pts ~colors)
+      in
+      let re, te =
+        time (fun () -> Colored_disk2d.max_colored ~radius:1. pts ~colors)
+      in
+      let sampled =
+        match ra.Approx_colored.strategy with
+        | Approx_colored.Sampled { disks_sampled; _ } -> disks_sampled
+        | Approx_colored.Exact_small -> n
+      in
+      row "%8d %12.3f %12.3f %8d %8d %8.3f %10d\n" n ta te
+        ra.Approx_colored.depth re.Colored_disk2d.value
+        (float_of_int ra.Approx_colored.depth
+        /. float_of_int re.Colored_disk2d.value)
+        sampled)
+    [ 2000; 4000; 8000; 16000 ]
+
+(* ------------------------------------------------------------------ *)
+(* E8 — baselines: the exact algorithms' scaling shapes. *)
+
+let e8 () =
+  header "E8 — exact baselines ([IA83,NB95] sweep, [CL86]-style disk sweep)";
+  row "%16s %8s %12s %14s\n" "algorithm" "n" "time(s)" "normalized";
+  List.iter
+    (fun n ->
+      let rng = Rng.create n in
+      let pts =
+        Array.init n (fun _ ->
+            (Rng.uniform rng 0. 1000., Rng.uniform rng 0. 5.))
+      in
+      let _, dt = time (fun () -> Interval1d.max_sum ~len:10. pts) in
+      row "%16s %8d %12.4f %14.2f (ns / n ln n)\n" "interval-1d" n dt
+        (dt *. 1e9 /. (float_of_int n *. log (float_of_int n))))
+    [ 50000; 100000; 200000 ];
+  List.iter
+    (fun n ->
+      let rng = Rng.create (2 * n) in
+      let pts =
+        Array.init n (fun _ ->
+            ( Rng.uniform rng 0. 100.,
+              Rng.uniform rng 0. 100.,
+              Rng.uniform rng 0. 5. ))
+      in
+      let _, dt = time (fun () -> Rect2d.max_sum ~width:5. ~height:5. pts) in
+      row "%16s %8d %12.4f %14.2f (ns / n ln n)\n" "rect-2d" n dt
+        (dt *. 1e9 /. (float_of_int n *. log (float_of_int n))))
+    [ 50000; 100000; 200000 ];
+  List.iter
+    (fun n ->
+      let rng = Rng.create (3 * n) in
+      let pts =
+        Array.init n (fun _ ->
+            (Rng.uniform rng 0. 20., Rng.uniform rng 0. 20., 1.))
+      in
+      let _, dt = time (fun () -> Disk2d.max_weight ~radius:1. pts) in
+      row "%16s %8d %12.4f %14.2f (ns / n^2)\n" "disk-2d" n dt
+        (dt *. 1e9 /. (float_of_int n *. float_of_int n)))
+    [ 500; 1000; 2000 ]
+
+(* ------------------------------------------------------------------ *)
+(* E9 — extensions: exact d-box MaxRS, colored rectangle MaxRS and the
+   open-problem color-sampling pipeline for rectangles, batched 2-D
+   upper bounds (Section 7). *)
+
+let e9 () =
+  header "E9 — extensions (Section 7 upper bounds and open problem #1)";
+  row "exact d-box MaxRS (O(n^d log n) candidate recursion):\n";
+  row "%4s %8s %12s\n" "d" "n" "time(s)";
+  List.iter
+    (fun (d, ns) ->
+      List.iter
+        (fun n ->
+          let rng = Rng.create ((d * 77) + n) in
+          let pts =
+            Array.map
+              (fun p -> (p, 1.))
+              (Workload.gaussian_clusters rng ~dim:d ~n ~k:5 ~extent:10.
+                 ~spread:1.)
+          in
+          let widths = Array.make d 1.5 in
+          let _, dt = time (fun () -> Boxd.max_sum ~widths pts) in
+          row "%4d %8d %12.3f\n" d n dt)
+        ns)
+    [ (2, [ 1000; 2000; 4000 ]); (3, [ 200; 400; 800 ]) ];
+  row "\nbatched rectangles, O(mn log n) (Theorem 1.3 says o(mn) unlikely):\n";
+  row "%8s %6s %12s %14s\n" "n" "m" "time(s)" "ns/(m n ln n)";
+  List.iter
+    (fun (n, m) ->
+      let rng = Rng.create (n * m) in
+      let pts =
+        Array.init n (fun _ ->
+            ( Rng.uniform rng 0. 50.,
+              Rng.uniform rng 0. 50.,
+              Rng.uniform rng 0. 3. ))
+      in
+      let sizes =
+        Array.init m (fun _ ->
+            (Rng.uniform rng 0.5 5., Rng.uniform rng 0.5 5.))
+      in
+      let _, dt = time (fun () -> Batched2d.rects ~sizes pts) in
+      row "%8d %6d %12.3f %14.2f\n" n m dt
+        (dt *. 1e9
+        /. (float_of_int m *. float_of_int n *. log (float_of_int n))))
+    [ (20000, 8); (20000, 16); (40000, 8) ];
+  row "\ncolored rectangle MaxRS: exact O(n^2 log n) vs color sampling\n";
+  row "(open problem #1 pipeline), hotspot instances with opt = n/8:\n";
+  row "%8s %12s %12s %8s %8s %8s\n" "n" "approx(s)" "exact(s)" "appx" "exct"
+    "ratio";
+  List.iter
+    (fun n ->
+      let rng = Rng.create (13 * n) in
+      let opt = n / 8 in
+      let extent = 30. in
+      let pts =
+        Array.init n (fun i ->
+            if i < opt then
+              ( (extent /. 2.) +. Rng.uniform rng (-0.2) 0.2,
+                (extent /. 2.) +. Rng.uniform rng (-0.2) 0.2 )
+            else (Rng.uniform rng 0. extent, Rng.uniform rng 0. extent))
+      in
+      let colors = Array.init n Fun.id in
+      let ra, ta =
+        time (fun () -> Approx_colored_rect.solve ~epsilon:0.25 pts ~colors)
+      in
+      let re, te =
+        time (fun () ->
+            Colored_rect2d.max_colored ~width:1. ~height:1. pts ~colors)
+      in
+      row "%8d %12.3f %12.3f %8d %8d %8.3f\n" n ta te
+        ra.Approx_colored_rect.depth re.Colored_rect2d.value
+        (float_of_int ra.Approx_colored_rect.depth
+        /. float_of_int re.Colored_rect2d.value))
+    [ 2000; 4000; 8000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations — the design choices DESIGN.md calls out: how much quality
+   do the practical-mode caps actually cost? *)
+
+let ablation () =
+  header "Ablation A1 — grid-shift cap vs quality (static, d=2, eps=0.25)";
+  row "the faithful Lemma 2.1 collection has 64 shifts at eps = 0.25\n";
+  row "%10s %12s %10s\n" "shifts" "ratio" "time(s)";
+  let rng = Rng.create 4242 in
+  let n = 600 in
+  let pts =
+    Array.map
+      (fun p -> (p, 1.))
+      (Workload.gaussian_clusters rng ~dim:2 ~n ~k:4 ~extent:8. ~spread:0.8)
+  in
+  let exact =
+    Disk2d.max_weight ~radius:1.
+      (Array.map (fun (p, w) -> (p.(0), p.(1), w)) pts)
+  in
+  List.iter
+    (fun shifts ->
+      let cfg =
+        match shifts with
+        | None -> Config.make ~epsilon:0.25 ~seed:1 ()
+        | Some c ->
+            Config.make ~epsilon:0.25 ~max_grid_shifts:(Some c) ~seed:1 ()
+      in
+      let r, dt = time (fun () -> Static.solve_or_point ~cfg ~dim:2 pts) in
+      row "%10s %12.3f %10.3f\n"
+        (match shifts with None -> "faithful" | Some c -> string_of_int c)
+        (r.Static.value /. exact.Disk2d.value)
+        dt)
+    [ Some 1; Some 2; Some 4; Some 8; Some 16; None ];
+  header "Ablation A2 — per-cell sample count vs quality (static, d=2)";
+  row "t = max(min_samples, c * eps^-2 ln n); varying c at eps = 0.25\n";
+  row "%10s %12s %10s\n" "c" "ratio" "time(s)";
+  List.iter
+    (fun c ->
+      let cfg =
+        Config.make ~epsilon:0.25 ~sample_constant:c ~min_samples:1
+          ~max_grid_shifts:(Some 8) ~seed:2 ()
+      in
+      let r, dt = time (fun () -> Static.solve_or_point ~cfg ~dim:2 pts) in
+      row "%10.3f %12.3f %10.3f\n" c
+        (r.Static.value /. exact.Disk2d.value)
+        dt)
+    [ 0.02; 0.05; 0.1; 0.25; 0.5; 1. ];
+  header "Ablation A3 — epsilon vs quality/time (static, d=2, 8 shifts)";
+  row "%10s %12s %10s\n" "epsilon" "ratio" "time(s)";
+  List.iter
+    (fun eps ->
+      let cfg =
+        Config.make ~epsilon:eps ~max_grid_shifts:(Some 8) ~seed:3 ()
+      in
+      let r, dt = time (fun () -> Static.solve_or_point ~cfg ~dim:2 pts) in
+      row "%10.2f %12.3f %10.3f\n" eps
+        (r.Static.value /. exact.Disk2d.value)
+        dt)
+    [ 0.45; 0.4; 0.3; 0.2; 0.1 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment id. *)
+
+let micro () =
+  header "Bechamel micro-benchmarks (one kernel per experiment)";
+  let open Bechamel in
+  let rng = Rng.create 99 in
+  let dyn = Dynamic.create ~cfg:(bench_cfg ~seed:1 ()) ~dim:2 () in
+  let handles =
+    Array.init 2000 (fun _ ->
+        Dynamic.insert dyn [| Rng.uniform rng 0. 20.; Rng.uniform rng 0. 20. |])
+  in
+  let hi = ref 0 in
+  let e1_kernel () =
+    let i = !hi in
+    hi := (i + 1) mod 2000;
+    Dynamic.delete dyn handles.(i);
+    handles.(i) <-
+      Dynamic.insert dyn [| Rng.uniform rng 0. 20.; Rng.uniform rng 0. 20. |]
+  in
+  let static_pts =
+    Array.init 500 (fun _ ->
+        ([| Rng.uniform rng 0. 10.; Rng.uniform rng 0. 10. |], 1.))
+  in
+  let e2_kernel () =
+    ignore (Static.solve_or_point ~cfg:(bench_cfg ~seed:2 ()) ~dim:2 static_pts)
+  in
+  let pts1d =
+    Array.init 5000 (fun _ -> (Rng.uniform rng 0. 1000., Rng.uniform rng 0. 5.))
+  in
+  let lens = Array.init 16 (fun i -> 1. +. float_of_int i) in
+  let e3_kernel () = ignore (Interval1d.batched ~lens pts1d) in
+  let pts_bsei = Array.init 2000 (fun _ -> Rng.uniform rng 0. 1e6) in
+  let e4_kernel () = ignore (Bsei.batched pts_bsei) in
+  let tr_pts, tr_colors =
+    Workload.trajectories rng ~m:10 ~steps:50 ~extent:10. ~step:0.5
+  in
+  let tr_points = Array.map (fun (x, y) -> [| x; y |]) tr_pts in
+  let e5_kernel () =
+    ignore
+      (Colored.solve_or_point ~cfg:(bench_cfg ~seed:5 ()) ~dim:2 tr_points
+         ~colors:tr_colors)
+  in
+  let e6_kernel () =
+    ignore (Output_sensitive.solve ~max_shifts:4 tr_pts ~colors:tr_colors)
+  in
+  let e7_kernel () =
+    ignore (Approx_colored.solve ~max_shifts:4 tr_pts ~colors:tr_colors)
+  in
+  let disk_pts =
+    Array.init 300 (fun _ ->
+        (Rng.uniform rng 0. 15., Rng.uniform rng 0. 15., 1.))
+  in
+  let e8_kernel () = ignore (Disk2d.max_weight ~radius:1. disk_pts) in
+  let tests =
+    [
+      Test.make ~name:"e1-dynamic-update" (Staged.stage e1_kernel);
+      Test.make ~name:"e2-static-500" (Staged.stage e2_kernel);
+      Test.make ~name:"e3-batched-1d" (Staged.stage e3_kernel);
+      Test.make ~name:"e4-batched-bsei" (Staged.stage e4_kernel);
+      Test.make ~name:"e5-colored-500" (Staged.stage e5_kernel);
+      Test.make ~name:"e6-output-sensitive" (Staged.stage e6_kernel);
+      Test.make ~name:"e7-approx-colored" (Staged.stage e7_kernel);
+      Test.make ~name:"e8-disk-sweep-300" (Staged.stage e8_kernel);
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) ()
+  in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"experiments" tests)
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  List.iter
+    (fun (name, est) -> row "%-40s %14.1f ns/run\n" name est)
+    (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("e1", e1);
+    ("e2", e2);
+    ("e3", e3);
+    ("e4", e4);
+    ("e5", e5);
+    ("e6", e6);
+    ("e7", e7);
+    ("e8", e8);
+    ("e9", e9);
+    ("ablation", ablation);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let selected =
+    match args with
+    | [] -> experiments
+    | names ->
+        List.map
+          (fun n ->
+            match List.assoc_opt n experiments with
+            | Some f -> (n, f)
+            | None ->
+                Printf.eprintf "unknown experiment %S\n" n;
+                exit 1)
+          names
+  in
+  List.iter (fun (_, f) -> f ()) selected;
+  print_newline ()

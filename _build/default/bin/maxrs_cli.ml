@@ -1,0 +1,600 @@
+(* maxrs — command-line interface to the MaxRS library.
+
+   Point files are plain CSV, one point per line:
+     weighted points:  x,y[,z...],weight   (use `--unweighted` for weight 1)
+     colored points:   x,y,color           (color is a non-negative int)
+     1-D points:       x,weight
+
+   Try:
+     maxrs generate --kind clusters --n 1000 --out pts.csv
+     maxrs static --input pts.csv --radius 2
+     maxrs exact-disk --input pts.csv --radius 2 *)
+
+open Cmdliner
+
+module Point = Maxrs_geom.Point
+module Rng = Maxrs_geom.Rng
+module Config = Maxrs.Config
+module Static = Maxrs.Static
+module Colored = Maxrs.Colored
+module Dynamic = Maxrs.Dynamic
+module Output_sensitive = Maxrs.Output_sensitive
+module Approx_colored = Maxrs.Approx_colored
+module Workload = Maxrs.Workload
+module Interval1d = Maxrs_sweep.Interval1d
+module Disk2d = Maxrs_sweep.Disk2d
+module Colored_disk2d = Maxrs_sweep.Colored_disk2d
+module Bsei = Maxrs_conv.Bsei
+module Convolution = Maxrs_conv.Convolution
+module Reductions = Maxrs_conv.Reductions
+
+module Points_io = Maxrs.Points_io
+module Trace = Maxrs.Trace
+module Verify = Maxrs.Verify
+module Boxd = Maxrs_sweep.Boxd
+module Rect2d = Maxrs_sweep.Rect2d
+module Colored_rect2d = Maxrs_sweep.Colored_rect2d
+module Approx_colored_rect = Maxrs.Approx_colored_rect
+module Batched2d = Maxrs_sweep.Batched2d
+
+(* ------------------------------------------------------------------ *)
+(* IO helpers *)
+
+let load_weighted path ~unweighted = Points_io.load_weighted ~unweighted path
+let load_1d = Points_io.load_1d
+
+let with_out path f =
+  match path with
+  | None -> f stdout
+  | Some p ->
+      let oc = open_out p in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+(* ------------------------------------------------------------------ *)
+(* Common options *)
+
+let input_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Input CSV file.")
+
+let radius_arg =
+  Arg.(value & opt float 1. & info [ "r"; "radius" ] ~docv:"R" ~doc:"Query ball radius.")
+
+let epsilon_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "e"; "epsilon" ] ~docv:"EPS" ~doc:"Approximation parameter.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let shifts_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shifts" ]
+        ~docv:"K"
+        ~doc:
+          "Cap the Lemma 2.1 grid-shift collection at $(docv) random \
+           shifts (practical mode); default is the faithful collection.")
+
+let unweighted_arg =
+  Arg.(
+    value & flag
+    & info [ "unweighted" ] ~doc:"Treat every input row as weight 1.")
+
+(* ------------------------------------------------------------------ *)
+(* generate *)
+
+let generate kind n dim extent colors_count opt seed out =
+  let rng = Rng.create seed in
+  with_out out (fun oc ->
+      let emit_weighted pts =
+        Array.iter
+          (fun (p, w) ->
+            Array.iter (fun c -> Printf.fprintf oc "%g," c) p;
+            Printf.fprintf oc "%g\n" w)
+          pts
+      in
+      match kind with
+      | "uniform" ->
+          emit_weighted
+            (Workload.uniform_weighted rng ~dim ~n ~extent ~max_weight:1.)
+      | "clusters" ->
+          emit_weighted
+            (Array.map
+               (fun p -> (p, 1.))
+               (Workload.gaussian_clusters rng ~dim ~n ~k:8 ~extent
+                  ~spread:(extent /. 20.)))
+      | "planted" ->
+          let pts, center, optv = Workload.planted rng ~dim ~n ~opt in
+          Printf.fprintf oc "# planted optimum %g at %s\n" optv
+            (Point.to_string center);
+          emit_weighted pts
+      | "trajectories" ->
+          let pts, cols =
+            Workload.trajectories rng ~m:colors_count
+              ~steps:(Int.max 1 (n / Int.max 1 colors_count))
+              ~extent ~step:(extent /. 30.)
+          in
+          Array.iteri
+            (fun i (x, y) -> Printf.fprintf oc "%g,%g,%d\n" x y cols.(i))
+            pts
+      | k -> failwith (Printf.sprintf "unknown kind %S" k));
+  0
+
+let generate_cmd =
+  let kind =
+    Arg.(
+      value & opt string "uniform"
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"uniform | clusters | planted | trajectories.")
+  in
+  let n = Arg.(value & opt int 1000 & info [ "n" ] ~docv:"N" ~doc:"Point count.") in
+  let dim = Arg.(value & opt int 2 & info [ "dim" ] ~docv:"D" ~doc:"Dimension.") in
+  let extent =
+    Arg.(value & opt float 20. & info [ "extent" ] ~docv:"E" ~doc:"Box side.")
+  in
+  let colors =
+    Arg.(
+      value & opt int 20
+      & info [ "colors" ] ~docv:"M" ~doc:"Trajectory / color count.")
+  in
+  let opt =
+    Arg.(
+      value & opt int 50
+      & info [ "opt" ] ~docv:"OPT" ~doc:"Planted optimum size.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate workload point sets.")
+    Term.(const generate $ kind $ n $ dim $ extent $ colors $ opt $ seed_arg $ out)
+
+(* ------------------------------------------------------------------ *)
+(* static *)
+
+let static input radius epsilon shifts seed unweighted =
+  let pts = load_weighted input ~unweighted in
+  if Array.length pts = 0 then begin
+    prerr_endline "empty input";
+    1
+  end
+  else begin
+    let dim = Point.dim (fst pts.(0)) in
+    let cfg = Config.make ~epsilon ~max_grid_shifts:shifts ~seed () in
+    let r = Static.solve_or_point ~cfg ~radius ~dim pts in
+    Printf.printf "center: %s\nweight: %g\n" (Point.to_string r.Static.center)
+      r.Static.value;
+    0
+  end
+
+let static_cmd =
+  Cmd.v
+    (Cmd.info "static"
+       ~doc:"(1/2-eps)-approximate MaxRS for a d-ball (Theorem 1.2).")
+    Term.(
+      const static $ input_arg $ radius_arg $ epsilon_arg $ shifts_arg
+      $ seed_arg $ unweighted_arg)
+
+(* ------------------------------------------------------------------ *)
+(* colored *)
+
+let colored input radius epsilon shifts seed =
+  let pts, colors = Points_io.load_colored input in
+  let points = Array.map (fun (x, y) -> [| x; y |]) pts in
+  let cfg = Config.make ~epsilon ~max_grid_shifts:shifts ~seed () in
+  let r = Colored.solve_or_point ~cfg ~radius ~dim:2 points ~colors in
+  Printf.printf "center: %s\ndistinct colors: %d\n"
+    (Point.to_string r.Colored.center)
+    r.Colored.value;
+  0
+
+let colored_cmd =
+  Cmd.v
+    (Cmd.info "colored"
+       ~doc:"(1/2-eps)-approximate colored MaxRS (Theorem 1.5).")
+    Term.(
+      const colored $ input_arg $ radius_arg $ epsilon_arg $ shifts_arg
+      $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* exact-disk *)
+
+let exact_disk input radius unweighted =
+  let pts = load_weighted input ~unweighted in
+  let pts3 = Array.map (fun (p, w) -> (p.(0), p.(1), w)) pts in
+  let r = Disk2d.max_weight ~radius pts3 in
+  Printf.printf "center: (%g, %g)\nweight: %g\n" r.Disk2d.x r.Disk2d.y
+    r.Disk2d.value;
+  0
+
+let exact_disk_cmd =
+  Cmd.v
+    (Cmd.info "exact-disk"
+       ~doc:"Exact disk MaxRS by angular sweep ([CL86]-style, O(n^2 log n)).")
+    Term.(const exact_disk $ input_arg $ radius_arg $ unweighted_arg)
+
+(* ------------------------------------------------------------------ *)
+(* exact-colored / output-sensitive / approx-colored *)
+
+let output_sensitive input radius shifts seed =
+  let pts, colors = Points_io.load_colored input in
+  let r = Output_sensitive.solve ~radius ?max_shifts:shifts ~seed pts ~colors in
+  Printf.printf "center: (%g, %g)\ndistinct colors: %d\n" r.Output_sensitive.x
+    r.Output_sensitive.y r.Output_sensitive.depth;
+  Printf.printf "stats: %d shifts, %d cells, %d sweep events\n"
+    r.Output_sensitive.stats.Output_sensitive.shifts
+    r.Output_sensitive.stats.Output_sensitive.cells_processed
+    r.Output_sensitive.stats.Output_sensitive.sweep_events;
+  0
+
+let output_sensitive_cmd =
+  Cmd.v
+    (Cmd.info "output-sensitive"
+       ~doc:"Exact colored disk MaxRS, output-sensitive (Theorem 4.6).")
+    Term.(const output_sensitive $ input_arg $ radius_arg $ shifts_arg $ seed_arg)
+
+let approx_colored input radius epsilon shifts seed =
+  let pts, colors = Points_io.load_colored input in
+  let r =
+    Approx_colored.solve ~radius ~epsilon ?max_shifts:shifts ~seed pts ~colors
+  in
+  Printf.printf "center: (%g, %g)\ndistinct colors: %d (estimate was %d)\n"
+    r.Approx_colored.x r.Approx_colored.y r.Approx_colored.depth
+    r.Approx_colored.estimate;
+  (match r.Approx_colored.strategy with
+  | Approx_colored.Exact_small -> print_endline "strategy: exact (small opt)"
+  | Approx_colored.Sampled { lambda; colors_sampled; disks_sampled } ->
+      Printf.printf "strategy: sampled colors (lambda=%.3f, %d colors, %d disks)\n"
+        lambda colors_sampled disks_sampled);
+  0
+
+let approx_colored_cmd =
+  Cmd.v
+    (Cmd.info "approx-colored"
+       ~doc:"(1-eps)-approximate colored disk MaxRS (Theorem 1.6).")
+    Term.(
+      const approx_colored $ input_arg $ radius_arg $ epsilon_arg $ shifts_arg
+      $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* batched (1-D) and bsei *)
+
+let batched input lens =
+  let pts = load_1d input in
+  let lens = Array.of_list lens in
+  let results = Interval1d.batched ~lens pts in
+  Array.iteri
+    (fun i p ->
+      Printf.printf "L=%g: weight %g at [%g, %g]\n" lens.(i)
+        p.Interval1d.value p.Interval1d.lo
+        (p.Interval1d.lo +. lens.(i)))
+    results;
+  0
+
+let batched_cmd =
+  let lens =
+    Arg.(
+      non_empty
+      & opt (list float) []
+      & info [ "lens" ] ~docv:"L1,L2,..." ~doc:"Interval lengths.")
+  in
+  Cmd.v
+    (Cmd.info "batched"
+       ~doc:"Batched 1-D MaxRS (the O(n log n + mn) upper bound of Thm 1.3).")
+    Term.(const batched $ input_arg $ lens)
+
+let bsei input ks =
+  let pts = Array.map fst (load_1d input) in
+  (match ks with
+  | [] ->
+      let g = Bsei.batched pts in
+      Array.iteri (fun i len -> Printf.printf "k=%d: length %g\n" (i + 1) len) g
+  | ks ->
+      List.iter
+        (fun k ->
+          let iv = Bsei.smallest pts ~k in
+          Printf.printf "k=%d: [%g, %g] length %g\n" k iv.Bsei.lo iv.Bsei.hi
+            (Bsei.length iv))
+        ks);
+  0
+
+let bsei_cmd =
+  let ks =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "k" ] ~docv:"K1,K2,..."
+          ~doc:"Specific k values (default: all, the batched problem).")
+  in
+  Cmd.v
+    (Cmd.info "bsei" ~doc:"Smallest k-enclosing interval (Theorem 1.4 setting).")
+    Term.(const bsei $ input_arg $ ks)
+
+(* ------------------------------------------------------------------ *)
+(* rect / box / colored-rect / batched-disks / dynamic *)
+
+let rect input width height unweighted =
+  let pts = load_weighted input ~unweighted in
+  let pts3 = Array.map (fun (p, w) -> (p.(0), p.(1), w)) pts in
+  let r = Rect2d.max_sum ~width ~height pts3 in
+  Printf.printf "center: (%g, %g)\nweight: %g\n" r.Rect2d.x r.Rect2d.y
+    r.Rect2d.value;
+  0
+
+let width_arg =
+  Arg.(value & opt float 1. & info [ "width" ] ~docv:"W" ~doc:"Rectangle width.")
+
+let height_arg =
+  Arg.(
+    value & opt float 1. & info [ "height" ] ~docv:"H" ~doc:"Rectangle height.")
+
+let rect_cmd =
+  Cmd.v
+    (Cmd.info "rect"
+       ~doc:"Exact rectangle MaxRS ([IA83, NB95] sweep, O(n log n)).")
+    Term.(const rect $ input_arg $ width_arg $ height_arg $ unweighted_arg)
+
+let box input widths unweighted =
+  let pts = load_weighted input ~unweighted in
+  let widths = Array.of_list widths in
+  let r = Boxd.max_sum ~widths pts in
+  Printf.printf "center: %s\nweight: %g\n" (Point.to_string r.Boxd.point)
+    r.Boxd.value;
+  0
+
+let box_cmd =
+  let widths =
+    Arg.(
+      non_empty
+      & opt (list float) []
+      & info [ "widths" ] ~docv:"W1,W2,..." ~doc:"Box side lengths (one per dimension).")
+  in
+  Cmd.v
+    (Cmd.info "box" ~doc:"Exact d-box MaxRS (candidate recursion).")
+    Term.(const box $ input_arg $ widths $ unweighted_arg)
+
+let colored_rect input width height epsilon exact seed =
+  let pts, colors = Points_io.load_colored input in
+  if exact then begin
+    let r = Colored_rect2d.max_colored ~width ~height pts ~colors in
+    Printf.printf "center: (%g, %g)\ndistinct colors: %d\n" r.Colored_rect2d.x
+      r.Colored_rect2d.y r.Colored_rect2d.value
+  end
+  else begin
+    let r =
+      Approx_colored_rect.solve ~width ~height ~epsilon ~seed pts ~colors
+    in
+    Printf.printf "center: (%g, %g)\ndistinct colors: %d (estimate %d)\n"
+      r.Approx_colored_rect.x r.Approx_colored_rect.y
+      r.Approx_colored_rect.depth r.Approx_colored_rect.estimate;
+    match r.Approx_colored_rect.strategy with
+    | Approx_colored_rect.Exact_small ->
+        print_endline "strategy: exact (small opt)"
+    | Approx_colored_rect.Sampled { lambda; colors_sampled; disks_sampled } ->
+        Printf.printf
+          "strategy: sampled colors (lambda=%.3f, %d colors, %d points)\n"
+          lambda colors_sampled disks_sampled
+  end;
+  0
+
+let colored_rect_cmd =
+  let exact =
+    Arg.(
+      value & flag
+      & info [ "exact" ] ~doc:"Run the exact O(n^2 log n) solver instead of \
+                               the color-sampling pipeline.")
+  in
+  Cmd.v
+    (Cmd.info "colored-rect"
+       ~doc:
+         "Colored rectangle MaxRS ([ZGH+22] problem): exact solver or the \
+          open-problem color-sampling pipeline.")
+    Term.(
+      const colored_rect $ input_arg $ width_arg $ height_arg $ epsilon_arg
+      $ exact $ seed_arg)
+
+let batched_disks input radii unweighted =
+  let pts = load_weighted input ~unweighted in
+  let pts3 = Array.map (fun (p, w) -> (p.(0), p.(1), w)) pts in
+  let radii = Array.of_list radii in
+  let results = Batched2d.disks ~radii pts3 in
+  Array.iteri
+    (fun i r ->
+      Printf.printf "r=%g: weight %g at (%g, %g)\n" radii.(i) r.Disk2d.value
+        r.Disk2d.x r.Disk2d.y)
+    results;
+  0
+
+let batched_disks_cmd =
+  let radii =
+    Arg.(
+      non_empty
+      & opt (list float) []
+      & info [ "radii" ] ~docv:"R1,R2,..." ~doc:"Disk radii.")
+  in
+  Cmd.v
+    (Cmd.info "batched-disks"
+       ~doc:"Batched disk MaxRS, O(mn^2) (Section 7 upper bound).")
+    Term.(const batched_disks $ input_arg $ radii $ unweighted_arg)
+
+let dynamic input radius epsilon shifts seed dim verify =
+  let ops = Trace.load input in
+  let cfg = Config.make ~epsilon ~max_grid_shifts:shifts ~seed () in
+  if verify then begin
+    let steps = Trace.replay_with_check ~cfg ~radius ~dim ops in
+    List.iter
+      (fun ((s : Trace.step), verified) ->
+        match s.Trace.best with
+        | Some (p, v) ->
+            Printf.printf "op %d: live=%d best=%g at %s (verified depth %g)\n"
+              s.Trace.op_index s.Trace.live v (Point.to_string p) verified
+        | None ->
+            Printf.printf "op %d: live=%d best=-\n" s.Trace.op_index
+              s.Trace.live)
+      steps
+  end
+  else begin
+    let dyn = Dynamic.create ~cfg ~radius ~dim () in
+    let steps = Trace.replay dyn ops in
+    List.iter
+      (fun (s : Trace.step) ->
+        match s.Trace.best with
+        | Some (p, v) ->
+            Printf.printf "op %d: live=%d best=%g at %s\n" s.Trace.op_index
+              s.Trace.live v (Point.to_string p)
+        | None ->
+            Printf.printf "op %d: live=%d best=-\n" s.Trace.op_index
+              s.Trace.live)
+      steps
+  end;
+  0
+
+let dynamic_cmd =
+  let dim =
+    Arg.(value & opt int 2 & info [ "dim" ] ~docv:"D" ~doc:"Dimension.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Recompute the true depth of every reported placement.")
+  in
+  Cmd.v
+    (Cmd.info "dynamic"
+       ~doc:
+         "Replay a dynamic trace file (+/w/-/? lines) through the Theorem \
+          1.1 structure.")
+    Term.(
+      const dynamic $ input_arg $ radius_arg $ epsilon_arg $ shifts_arg
+      $ seed_arg $ dim $ verify)
+
+(* ------------------------------------------------------------------ *)
+(* depth-map: rasterize the (weighted or colored) depth function *)
+
+let depth_map input radius cells colored out =
+  let emit oc pts eval =
+    let xs = Array.map fst pts and ys = Array.map snd pts in
+    let min_a a = Array.fold_left Float.min a.(0) a in
+    let max_a a = Array.fold_left Float.max a.(0) a in
+    let x0 = min_a xs -. radius and x1 = max_a xs +. radius in
+    let y0 = min_a ys -. radius and y1 = max_a ys +. radius in
+    let fx = (x1 -. x0) /. float_of_int cells in
+    let fy = (y1 -. y0) /. float_of_int cells in
+    Printf.fprintf oc "# x,y,depth (grid %dx%d over [%g,%g]x[%g,%g])\n" cells
+      cells x0 x1 y0 y1;
+    for i = 0 to cells - 1 do
+      for j = 0 to cells - 1 do
+        let x = x0 +. ((float_of_int i +. 0.5) *. fx) in
+        let y = y0 +. ((float_of_int j +. 0.5) *. fy) in
+        Printf.fprintf oc "%g,%g,%g\n" x y (eval x y)
+      done
+    done
+  in
+  with_out out (fun oc ->
+      if colored then begin
+        let pts, colors = Points_io.load_colored input in
+        emit oc pts (fun x y ->
+            float_of_int
+              (Colored_disk2d.colored_depth_at ~radius pts ~colors x y))
+      end
+      else begin
+        let wpts = load_weighted input ~unweighted:false in
+        let pts = Array.map (fun (p, _) -> (p.(0), p.(1))) wpts in
+        let pts3 = Array.map (fun (p, w) -> (p.(0), p.(1), w)) wpts in
+        emit oc pts (fun x y -> Disk2d.depth_at ~radius pts3 x y)
+      end);
+  0
+
+let depth_map_cmd =
+  let cells =
+    Arg.(
+      value & opt int 64
+      & info [ "cells" ] ~docv:"K" ~doc:"Raster resolution (K x K).")
+  in
+  let colored_flag =
+    Arg.(
+      value & flag
+      & info [ "colored" ] ~doc:"Input is colored (x,y,color); plot \
+                                 distinct-color depth.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output CSV (default stdout).")
+  in
+  Cmd.v
+    (Cmd.info "depth-map"
+       ~doc:
+         "Rasterize the depth function of the dual disks over the data's \
+          bounding box — a hotspot heat map as x,y,depth CSV.")
+    Term.(
+      const depth_map $ input_arg $ radius_arg $ cells $ colored_flag $ out)
+
+(* ------------------------------------------------------------------ *)
+(* convolution demo *)
+
+let convolution n seed via =
+  let rng = Rng.create seed in
+  let a = Array.init n (fun _ -> Rng.int rng 200 - 100) in
+  let b = Array.init n (fun _ -> Rng.int rng 200 - 100) in
+  let reference = Convolution.min_plus a b in
+  let result =
+    match via with
+    | "naive" -> reference
+    | "maxrs" ->
+        Reductions.min_plus_via_batched_maxrs
+          ~oracle:Reductions.default_batched_maxrs_oracle a b
+    | "bsei" -> Bsei.min_plus_via_bsei a b
+    | v -> failwith (Printf.sprintf "unknown oracle %S (naive|maxrs|bsei)" v)
+  in
+  Printf.printf "n=%d via %s: %s\n" n via
+    (if result = reference then "matches naive (min,+)-convolution"
+     else "MISMATCH");
+  if result = reference then 0 else 1
+
+let convolution_cmd =
+  let n = Arg.(value & opt int 256 & info [ "n" ] ~docv:"N" ~doc:"Length.") in
+  let via =
+    Arg.(
+      value & opt string "maxrs"
+      & info [ "via" ] ~docv:"ORACLE" ~doc:"naive | maxrs | bsei.")
+  in
+  Cmd.v
+    (Cmd.info "convolution"
+       ~doc:"Run (min,+)-convolution through a hardness-reduction chain.")
+    Term.(const convolution $ n $ seed_arg $ via)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "maximum range sum algorithms (PODS 2025 reproduction)" in
+  let info = Cmd.info "maxrs" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            generate_cmd;
+            static_cmd;
+            colored_cmd;
+            exact_disk_cmd;
+            output_sensitive_cmd;
+            approx_colored_cmd;
+            batched_cmd;
+            bsei_cmd;
+            convolution_cmd;
+            rect_cmd;
+            box_cmd;
+            colored_rect_cmd;
+            batched_disks_cmd;
+            dynamic_cmd;
+            depth_map_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/hardness_demo.ml: Array Fun Maxrs_conv Maxrs_geom Printf Sys

@@ -1,0 +1,1 @@
+examples/hotspot_monitor.ml: Float Maxrs Maxrs_geom Printf Queue

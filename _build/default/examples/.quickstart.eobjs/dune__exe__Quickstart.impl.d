@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Maxrs Maxrs_geom Maxrs_sweep Printf

@@ -1,0 +1,1 @@
+examples/retail_placement.ml: Array Float Maxrs Maxrs_geom Maxrs_sweep Printf Sys

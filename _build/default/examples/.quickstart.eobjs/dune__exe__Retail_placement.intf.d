@@ -1,0 +1,1 @@
+examples/retail_placement.mli:

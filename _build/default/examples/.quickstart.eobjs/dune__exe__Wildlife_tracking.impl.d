@@ -1,0 +1,1 @@
+examples/wildlife_tracking.ml: Array Maxrs Maxrs_geom Maxrs_sweep Printf Sys

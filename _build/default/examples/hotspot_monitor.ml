@@ -1,0 +1,70 @@
+(* Hotspot monitor — the paper's COVID motivation for dynamic MaxRS
+   (Section 1.1): infection locations stream in, recoveries stream out,
+   and authorities need the current hotspot (the disk of fixed radius
+   covering the most active cases) in real time.
+
+   Simulation: cases appear around a slowly wandering outbreak center
+   (plus background noise) and recover after a fixed number of rounds;
+   the monitor reports the hotspot every few rounds and we check it
+   tracks the outbreak.
+
+   Run with: dune exec examples/hotspot_monitor.exe *)
+
+module Point = Maxrs_geom.Point
+module Rng = Maxrs_geom.Rng
+module Config = Maxrs.Config
+module Dynamic = Maxrs.Dynamic
+
+let () =
+  let rng = Rng.create 2020 in
+  let cfg = Config.make ~epsilon:0.3 ~max_grid_shifts:(Some 12) () in
+  let monitor = Dynamic.create ~cfg ~radius:1.5 ~dim:2 () in
+  (* Outbreak center performs a random walk across the city. *)
+  let ox = ref 10. and oy = ref 10. in
+  let active = Queue.create () in
+  let infection_duration = 120 in
+  let rounds = 1200 in
+  Printf.printf "%6s %8s %22s %20s\n" "round" "active" "hotspot center"
+    "cases in hotspot";
+  for round = 1 to rounds do
+    ox := Float.max 2. (Float.min 28. (!ox +. (0.08 *. Rng.gaussian rng)));
+    oy := Float.max 2. (Float.min 28. (!oy +. (0.08 *. Rng.gaussian rng)));
+    (* Three new cases near the outbreak, one background case. *)
+    for _ = 1 to 3 do
+      let p = [| !ox +. Rng.gaussian rng; !oy +. Rng.gaussian rng |] in
+      Queue.add (round, Dynamic.insert monitor p) active
+    done;
+    let bg = [| Rng.uniform rng 0. 30.; Rng.uniform rng 0. 30. |] in
+    Queue.add (round, Dynamic.insert monitor bg) active;
+    (* Recoveries. *)
+    let rec recover () =
+      match Queue.peek_opt active with
+      | Some (r0, h) when round - r0 >= infection_duration ->
+          ignore (Queue.pop active);
+          Dynamic.delete monitor h;
+          recover ()
+      | _ -> ()
+    in
+    recover ();
+    if round mod 150 = 0 then begin
+      match Dynamic.best monitor with
+      | Some (p, v) ->
+          Printf.printf "%6d %8d %22s %20.0f  (outbreak at %.1f,%.1f)\n" round
+            (Dynamic.size monitor) (Point.to_string p) v !ox !oy
+      | None -> Printf.printf "%6d %8d %22s\n" round (Dynamic.size monitor) "-"
+    end
+  done;
+  (* Final check: the reported hotspot should sit near the outbreak. *)
+  match Dynamic.best monitor with
+  | Some (p, v) ->
+      let dist = Point.dist p [| !ox; !oy |] in
+      Printf.printf
+        "\nfinal hotspot covers %.0f cases, %.2f away from the outbreak center\n"
+        v dist;
+      if dist > 6. then begin
+        print_endline "ERROR: hotspot lost the outbreak";
+        exit 1
+      end
+  | None ->
+      print_endline "ERROR: no hotspot";
+      exit 1

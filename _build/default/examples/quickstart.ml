@@ -1,0 +1,62 @@
+(* Quickstart: the 60-second tour of the public API.
+   Run with: dune exec examples/quickstart.exe *)
+
+module Point = Maxrs_geom.Point
+module Rng = Maxrs_geom.Rng
+module Config = Maxrs.Config
+module Static = Maxrs.Static
+module Dynamic = Maxrs.Dynamic
+module Colored = Maxrs.Colored
+module Approx_colored = Maxrs.Approx_colored
+module Disk2d = Maxrs_sweep.Disk2d
+
+let () =
+  print_endline "== MaxRS quickstart ==";
+
+  (* 1. Static MaxRS (Theorem 1.2): place a unit disk to cover maximum
+     weight. *)
+  let rng = Rng.create 42 in
+  let pts =
+    Array.init 200 (fun _ ->
+        ([| Rng.uniform rng 0. 10.; Rng.uniform rng 0. 10. |], Rng.uniform rng 0.5 2.))
+  in
+  let cfg = Config.make ~epsilon:0.25 () in
+  let r = Static.solve_or_point ~cfg ~dim:2 pts in
+  Printf.printf "static (1/2-eps)-approx: weight %.2f at %s\n" r.Static.value
+    (Point.to_string r.Static.center);
+
+  (* Compare with the exact O(n^2 log n) disk sweep. *)
+  let exact =
+    Disk2d.max_weight ~radius:1.
+      (Array.map (fun (p, w) -> (p.(0), p.(1), w)) pts)
+  in
+  Printf.printf "exact optimum:           weight %.2f (ratio %.3f)\n"
+    exact.Disk2d.value
+    (r.Static.value /. exact.Disk2d.value);
+
+  (* 2. Dynamic MaxRS (Theorem 1.1): maintain the best placement under
+     updates. *)
+  let d = Dynamic.create ~cfg ~dim:2 () in
+  let handles =
+    Array.map (fun (p, w) -> Dynamic.insert d ~weight:w p) pts
+  in
+  (match Dynamic.best d with
+  | Some (p, v) ->
+      Printf.printf "dynamic after %d inserts: weight %.2f at %s\n"
+        (Array.length pts) v (Point.to_string p)
+  | None -> print_endline "dynamic: no placement");
+  Array.iteri (fun i h -> if i mod 2 = 0 then Dynamic.delete d h) handles;
+  (match Dynamic.best d with
+  | Some (_, v) ->
+      Printf.printf "dynamic after deleting half: weight %.2f\n" v
+  | None -> print_endline "dynamic: empty");
+
+  (* 3. Colored MaxRS (Theorems 1.5 / 1.6): maximize distinct colors. *)
+  let centers = Array.init 120 (fun _ -> (Rng.uniform rng 0. 8., Rng.uniform rng 0. 8.)) in
+  let colors = Array.init 120 (fun i -> i mod 15) in
+  let points = Array.map (fun (x, y) -> [| x; y |]) centers in
+  let rc = Colored.solve_or_point ~cfg ~dim:2 points ~colors in
+  Printf.printf "colored (1/2-eps)-approx: %d distinct colors\n" rc.Colored.value;
+  let ra = Approx_colored.solve centers ~colors in
+  Printf.printf "colored (1-eps)-approx:   %d distinct colors at (%.2f, %.2f)\n"
+    ra.Approx_colored.depth ra.Approx_colored.x ra.Approx_colored.y

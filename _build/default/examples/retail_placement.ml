@@ -1,0 +1,65 @@
+(* Retail placement — the paper's Walmart motivation (Section 1): given
+   the geographic locations of customers weighted by their spending,
+   place a new outlet whose service range covers the maximum total
+   spend. We compare a circular service range (disk MaxRS, exact [CL86]
+   sweep vs the Theorem 1.2 approximation) with a rectangular one (the
+   [IA83, NB95] O(n log n) sweep) on a synthetic city with gaussian
+   population clusters.
+
+   Run with: dune exec examples/retail_placement.exe *)
+
+module Rng = Maxrs_geom.Rng
+module Config = Maxrs.Config
+module Workload = Maxrs.Workload
+module Static = Maxrs.Static
+module Disk2d = Maxrs_sweep.Disk2d
+module Rect2d = Maxrs_sweep.Rect2d
+
+let () =
+  let rng = Rng.create 314 in
+  let n = 1500 in
+  (* Customers cluster around 5 neighborhoods; spend is uniform. *)
+  let locs =
+    Workload.gaussian_clusters rng ~dim:2 ~n ~k:5 ~extent:20. ~spread:1.2
+  in
+  let spend = Array.init n (fun _ -> Rng.uniform rng 10. 200.) in
+  let pts3 = Array.mapi (fun i p -> (p.(0), p.(1), spend.(i))) locs in
+  let total = Array.fold_left (fun a (_, _, w) -> a +. w) 0. pts3 in
+  Printf.printf "%d customers, total spend %.0f\n\n" n total;
+
+  (* Circular service range, radius 2 km. *)
+  let radius = 2.0 in
+  let t0 = Sys.time () in
+  let exact = Disk2d.max_weight ~radius pts3 in
+  let t_exact = Sys.time () -. t0 in
+  Printf.printf
+    "disk   r=%.1f  exact:   spend %8.0f at (%5.2f, %5.2f)   [%.3f s]\n" radius
+    exact.Disk2d.value exact.Disk2d.x exact.Disk2d.y t_exact;
+
+  let wpts = Array.mapi (fun i p -> (p, spend.(i))) locs in
+  let cfg = Config.make ~epsilon:0.25 () in
+  let t0 = Sys.time () in
+  let approx = Static.solve_or_point ~cfg ~radius ~dim:2 wpts in
+  let t_approx = Sys.time () -. t0 in
+  Printf.printf
+    "disk   r=%.1f  approx:  spend %8.0f (ratio %.3f)          [%.3f s]\n"
+    radius approx.Static.value
+    (approx.Static.value /. exact.Disk2d.value)
+    t_approx;
+
+  (* Rectangular service range (delivery zone), 4 x 2 km. *)
+  let t0 = Sys.time () in
+  let rect = Rect2d.max_sum ~width:4. ~height:2. pts3 in
+  let t_rect = Sys.time () -. t0 in
+  Printf.printf
+    "rect 4x2      exact:   spend %8.0f at (%5.2f, %5.2f)   [%.3f s]\n"
+    rect.Rect2d.value rect.Rect2d.x rect.Rect2d.y t_rect;
+
+  (* Sanity: a 4x2 rectangle contains a radius-2 disk's inscribed square?
+     No — but both should find a dense neighborhood, covering far more
+     than the average density. *)
+  let avg_in_disk = total *. Float.pi *. radius *. radius /. (20. *. 20.) in
+  Printf.printf
+    "\n(baseline: a random placement would cover ~%.0f; the optimum covers %.1fx that)\n"
+    avg_in_disk
+    (exact.Disk2d.value /. avg_in_disk)

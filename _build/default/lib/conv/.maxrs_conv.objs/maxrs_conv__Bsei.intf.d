@@ -1,0 +1,1 @@
+lib/conv/bsei.mli:

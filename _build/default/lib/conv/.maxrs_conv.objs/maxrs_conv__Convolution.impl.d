@@ -1,0 +1,1 @@
+lib/conv/convolution.ml: Array Int Option

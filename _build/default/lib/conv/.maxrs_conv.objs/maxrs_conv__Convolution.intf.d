@@ -1,0 +1,1 @@
+lib/conv/convolution.mli:

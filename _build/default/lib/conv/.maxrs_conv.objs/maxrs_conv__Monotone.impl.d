@@ -1,0 +1,1 @@
+lib/conv/monotone.ml: Array Convolution Int

@@ -1,0 +1,1 @@
+lib/conv/reductions.ml: Array Float Int Maxrs_sweep

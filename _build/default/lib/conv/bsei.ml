@@ -1,0 +1,55 @@
+type interval = { lo : float; hi : float }
+
+let length i = i.hi -. i.lo
+
+let sorted_copy pts =
+  let s = Array.copy pts in
+  Array.sort Float.compare s;
+  s
+
+let smallest pts ~k =
+  let n = Array.length pts in
+  assert (1 <= k && k <= n);
+  let s = sorted_copy pts in
+  let best = ref { lo = s.(0); hi = s.(k - 1) } in
+  for i = 1 to n - k do
+    let len = s.(i + k - 1) -. s.(i) in
+    if len < length !best then best := { lo = s.(i); hi = s.(i + k - 1) }
+  done;
+  !best
+
+let batched pts =
+  let n = Array.length pts in
+  assert (n > 0);
+  let s = sorted_copy pts in
+  Array.init n (fun km1 ->
+      let k = km1 + 1 in
+      let best = ref (s.(k - 1) -. s.(0)) in
+      for i = 1 to n - k do
+        let len = s.(i + k - 1) -. s.(i) in
+        if len < !best then best := len
+      done;
+      !best)
+
+let monotone_min_plus_via_bsei d e =
+  let n = Array.length d in
+  assert (Array.length e = n && n > 0);
+  assert (Convolution.is_strictly_decreasing d);
+  assert (Convolution.is_strictly_decreasing e);
+  let dn1 = float_of_int d.(n - 1) and en1 = float_of_int e.(n - 1) in
+  (* P_i = -D_i + (D_{n-1} - 1) < 0;  P_{n+i} = E_{n-1-i} + (1 - E_{n-1}) > 0. *)
+  let pts =
+    Array.init (2 * n) (fun idx ->
+        if idx < n then -.float_of_int d.(idx) +. (dn1 -. 1.)
+        else float_of_int e.(n - 1 - (idx - n)) +. (1. -. en1))
+  in
+  let g = batched pts in
+  (* F_k = G_{2n-k} + D_{n-1} + E_{n-1} - 2; G is 1-indexed in the paper,
+     g.(j-1) here. The points are integers shifted by integer offsets, so
+     rounding restores exactness. *)
+  Array.init n (fun k ->
+      let gk = g.((2 * n) - k - 1) in
+      int_of_float (Float.round (gk +. dn1 +. en1 -. 2.)))
+
+let min_plus_via_bsei a b =
+  Monotone.min_plus_via_monotone ~oracle:monotone_min_plus_via_bsei a b

@@ -1,0 +1,29 @@
+(** Smallest k-enclosing interval (SEI) and its batched version (Section
+    6), plus the Section 6.2 reduction from monotone (min,+)-convolution
+    to batched SEI.
+
+    SEI: given n points on the line and k in [1, n], find the shortest
+    closed interval containing at least k points. After sorting, the
+    answer for one k is a linear window scan; the batched version (all k
+    simultaneously) is the trivial O(n^2) algorithm whose conditional
+    optimality is Theorem 1.4. *)
+
+type interval = { lo : float; hi : float }
+
+val length : interval -> float
+
+val smallest : float array -> k:int -> interval
+(** O(n log n) (sort + scan). Requires [1 <= k <= n]. *)
+
+val batched : float array -> float array
+(** [batched pts] returns [g] with [g.(k-1)] the length of the smallest
+    interval enclosing [k] points, for every k in [1, n]. O(n^2). *)
+
+val monotone_min_plus_via_bsei : int array -> int array -> int array
+(** Section 6.2: monotone (min,+)-convolution of two strictly decreasing
+    sequences, computed through a batched-SEI oracle on the 2n constructed
+    points, with recovery [F_k = G_{2n-k} + D_{n-1} + E_{n-1} - 2]. *)
+
+val min_plus_via_bsei : int array -> int array -> int array
+(** Full Section 6 chain: general (min,+)-convolution via monotonization
+    and batched SEI. *)

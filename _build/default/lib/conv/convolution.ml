@@ -1,0 +1,38 @@
+let check_same_length a b =
+  assert (Array.length a = Array.length b);
+  assert (Array.length a > 0)
+
+let conv_at ~combine a b k =
+  let n = Array.length a in
+  assert (0 <= k && k < n);
+  let best = ref None in
+  for i = Int.max 0 (k - n + 1) to Int.min k (n - 1) do
+    let v = a.(i) + b.(k - i) in
+    match !best with
+    | None -> best := Some v
+    | Some b0 -> best := Some (combine b0 v)
+  done;
+  Option.get !best
+
+let min_plus a b =
+  check_same_length a b;
+  Array.init (Array.length a) (conv_at ~combine:Int.min a b)
+
+let max_plus a b =
+  check_same_length a b;
+  Array.init (Array.length a) (conv_at ~combine:Int.max a b)
+
+let min_plus_indexed a b m =
+  check_same_length a b;
+  Array.map (conv_at ~combine:Int.min a b) m
+
+let max_plus_indexed a b m =
+  check_same_length a b;
+  Array.map (conv_at ~combine:Int.max a b) m
+
+let is_strictly_decreasing a =
+  let ok = ref true in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) >= a.(i - 1) then ok := false
+  done;
+  !ok

@@ -1,0 +1,21 @@
+(** (min,+)- and (max,+)-convolutions and their index-restricted variants
+    (Section 5 of the paper).
+
+    All sequences are int arrays of equal length n; results are defined
+    for output indices k in [0, n-1] with the convention
+    [C_k = min/max_{i+j=k, 0<=i,j<=n-1} (A_i + B_j)].
+
+    These are the conjectured-optimal quadratic algorithms — the paper's
+    hardness source. The indexed variants compute only the entries listed
+    in [m] (the set M), in O(|M| n) time. *)
+
+val min_plus : int array -> int array -> int array
+val max_plus : int array -> int array -> int array
+
+val min_plus_indexed : int array -> int array -> int array -> int array
+(** [min_plus_indexed a b m] returns [F] with [F.(s) = min_{i+j=m.(s)}
+    (a_i + b_j)]. Every index in [m] must lie in [0, n-1]. *)
+
+val max_plus_indexed : int array -> int array -> int array -> int array
+
+val is_strictly_decreasing : int array -> bool

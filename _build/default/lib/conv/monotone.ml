@@ -1,0 +1,20 @@
+let to_monotone a b =
+  let n = Array.length a in
+  assert (Array.length b = n && n > 0);
+  let max_rise = ref 0 in
+  for i = 1 to n - 1 do
+    max_rise := Int.max !max_rise (a.(i) - a.(i - 1));
+    max_rise := Int.max !max_rise (b.(i) - b.(i - 1))
+  done;
+  let delta = 1 + !max_rise in
+  let d = Array.mapi (fun i x -> x - (i * delta)) a in
+  let e = Array.mapi (fun i x -> x - (i * delta)) b in
+  assert (Convolution.is_strictly_decreasing d);
+  assert (Convolution.is_strictly_decreasing e);
+  (d, e, delta)
+
+let recover ~delta f = Array.mapi (fun k x -> x + (k * delta)) f
+
+let min_plus_via_monotone ~oracle a b =
+  let d, e, delta = to_monotone a b in
+  recover ~delta (oracle d e)

@@ -1,0 +1,15 @@
+(** Section 6.1: reduction from (min,+)-convolution to monotone
+    (min,+)-convolution (both input sequences strictly decreasing). *)
+
+val to_monotone : int array -> int array -> int array * int array * int
+(** [to_monotone a b = (d, e, delta)] with [d_i = a_i - i*delta],
+    [e_i = b_i - i*delta] and [delta = 1 + max adjacent increase] — both
+    outputs strictly decreasing. *)
+
+val recover : delta:int -> int array -> int array
+(** [recover ~delta f] maps [f_k] back to [c_k = f_k + k*delta]. *)
+
+val min_plus_via_monotone :
+  oracle:(int array -> int array -> int array) -> int array -> int array -> int array
+(** Solve general (min,+)-convolution with an oracle that only accepts
+    strictly decreasing sequences. Linear-time wrapper. *)

@@ -1,0 +1,58 @@
+(** The Section 5 reduction chain, executable end to end:
+
+    (min,+)-convolution
+      -> (min,+,M)-convolution           (Section 5.1: batching indices)
+      -> (max,+,M)-convolution           (Section 5.2: negation)
+      -> positive (max,+,M)-convolution  (Section 5.3: shifting by Delta)
+      -> batched MaxRS in R^1            (Section 5.4: guarded points)
+
+    Each step is a linear-time transformation around an oracle for the
+    next problem; composing them solves (min,+)-convolution with a batched
+    1-D MaxRS solver, which is how Theorem 1.3's lower bound transfers.
+    Running the chain against the naive convolution is the repository's
+    executable proof of the construction. *)
+
+type indexed_oracle = int array -> int array -> int array -> int array
+(** [oracle a b m] returns the convolution restricted to indices [m]. *)
+
+type batched_maxrs_oracle = lens:float array -> (float * float) array -> float array
+(** [oracle ~lens pts] returns, for each interval length, the maximum
+    total weight of points covered by a closed interval of that length. *)
+
+val min_plus_via_indexed : oracle:indexed_oracle -> m:int -> int array -> int array -> int array
+(** Section 5.1: solve full (min,+) with ceil(n/m) oracle calls on index
+    batches of size at most [m]. *)
+
+val indexed_min_via_max : oracle:indexed_oracle -> indexed_oracle
+(** Section 5.2: (min,+,M) via a (max,+,M) oracle by negating inputs and
+    output. *)
+
+val indexed_max_via_positive : oracle:indexed_oracle -> indexed_oracle
+(** Section 5.3: (max,+,M) via a positive (max,+,M) oracle by shifting
+    both sequences up by the global minimum. *)
+
+val build_batched_maxrs_instance :
+  int array -> int array -> int array -> (float * float) array * float array
+(** Section 5.4: the guarded-point construction. Returns the 4n weighted
+    points (A-points at i with guards at i-0.5, B-points at 2n-1-j with
+    guards at 2n-1-j+0.5) and the m interval lengths L_s = 2n-1-k_s.
+    Requires non-negative sequences.
+
+    Deviation from the paper (bug repair): every value is boosted by
+    W = 1 + max entry before embedding. Lemma 5.1's case 3 overlooks
+    placements that pair every A-point with its guard yet leave one
+    B-point b > k_s unpaired, which can beat C_{k_s}; with the boost such
+    single-capture placements earn < 2W while every canonical placement
+    earns >= 2W, restoring exactness. See DESIGN.md. *)
+
+val positive_max_via_batched_maxrs : oracle:batched_maxrs_oracle -> indexed_oracle
+(** Section 5.4: positive (max,+,M) via a batched-MaxRS oracle; Lemma 5.1
+    guarantees the recovered values are exact. *)
+
+val min_plus_via_batched_maxrs :
+  ?batch:int -> oracle:batched_maxrs_oracle -> int array -> int array -> int array
+(** The full chain. [batch] is the M-batch size m (default n, i.e. one
+    oracle call). *)
+
+val default_batched_maxrs_oracle : batched_maxrs_oracle
+(** The repository's own exact solver ({!Maxrs_sweep.Interval1d.batched}). *)

@@ -1,0 +1,1 @@
+lib/core/approx_colored.ml: Array Colored Config Float Hashtbl Int List Logs Maxrs_geom Maxrs_sweep Output_sensitive

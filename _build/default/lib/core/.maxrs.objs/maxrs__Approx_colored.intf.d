@@ -1,0 +1,1 @@
+lib/core/approx_colored.mli: Config

@@ -1,0 +1,1 @@
+lib/core/approx_colored_rect.ml: Array Float Hashtbl Int List Maxrs_geom Maxrs_sweep

@@ -1,0 +1,1 @@
+lib/core/colored.ml: Array Config Fun Maxrs_geom Sample_space

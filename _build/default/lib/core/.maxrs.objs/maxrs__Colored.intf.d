@@ -1,0 +1,1 @@
+lib/core/colored.mli: Config Maxrs_geom

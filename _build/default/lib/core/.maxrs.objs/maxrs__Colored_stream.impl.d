@@ -1,0 +1,1 @@
+lib/core/colored_stream.ml: Config Hashtbl Int List Maxrs_geom Sample_space

@@ -1,0 +1,1 @@
+lib/core/colored_stream.mli: Config Maxrs_geom

@@ -1,0 +1,1 @@
+lib/core/dynamic.ml: Config Float Hashtbl Heap Int Logs Maxrs_geom Sample_space

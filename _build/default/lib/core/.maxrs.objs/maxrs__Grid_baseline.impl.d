@@ -1,0 +1,1 @@
+lib/core/grid_baseline.ml: Array Hashtbl Maxrs_geom

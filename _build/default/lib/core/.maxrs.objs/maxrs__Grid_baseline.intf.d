@@ -1,0 +1,1 @@
+lib/core/grid_baseline.mli: Maxrs_geom

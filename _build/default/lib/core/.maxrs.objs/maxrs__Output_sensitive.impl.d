@@ -1,0 +1,1 @@
+lib/core/output_sensitive.ml: Array Int List Maxrs_geom Maxrs_sweep Maxrs_union

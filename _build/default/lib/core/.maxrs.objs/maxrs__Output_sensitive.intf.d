@@ -1,0 +1,1 @@
+lib/core/output_sensitive.mli:

@@ -1,0 +1,1 @@
+lib/core/points_io.ml: Array Buffer Float Fun In_channel List Printf String

@@ -1,0 +1,1 @@
+lib/core/points_io.mli: Buffer Maxrs_geom

@@ -1,0 +1,1 @@
+lib/core/sample_space.ml: Array Config Float List Maxrs_geom

@@ -1,0 +1,1 @@
+lib/core/sample_space.mli: Config Maxrs_geom

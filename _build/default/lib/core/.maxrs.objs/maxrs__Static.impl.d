@@ -1,0 +1,1 @@
+lib/core/static.ml: Array Config Maxrs_geom Sample_space

@@ -1,0 +1,1 @@
+lib/core/static.mli: Config Maxrs_geom

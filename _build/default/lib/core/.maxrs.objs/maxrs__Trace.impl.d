@@ -1,0 +1,1 @@
+lib/core/trace.ml: Array Dynamic Fun Hashtbl In_channel List Maxrs_geom Printf String Verify

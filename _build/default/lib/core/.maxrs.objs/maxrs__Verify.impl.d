@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Hashtbl Maxrs_geom

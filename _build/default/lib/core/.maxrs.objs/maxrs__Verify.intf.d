@@ -1,0 +1,1 @@
+lib/core/verify.mli: Maxrs_geom

@@ -1,0 +1,1 @@
+lib/core/workload.ml: Array Float List Maxrs_geom

@@ -1,0 +1,1 @@
+lib/core/workload.mli: Maxrs_geom

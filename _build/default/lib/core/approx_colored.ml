@@ -1,0 +1,107 @@
+module Rng = Maxrs_geom.Rng
+module Colored_disk2d = Maxrs_sweep.Colored_disk2d
+
+let src = Logs.Src.create "maxrs.approx_colored" ~doc:"Theorem 1.6 pipeline"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type strategy =
+  | Exact_small
+  | Sampled of { lambda : float; colors_sampled : int; disks_sampled : int }
+
+type result = {
+  x : float;
+  y : float;
+  depth : int;
+  estimate : int;
+  strategy : strategy;
+}
+
+let estimate_opt ?(estimate_cfg : Config.t option) ~radius ~seed centers ~colors =
+  let cfg =
+    match estimate_cfg with
+    | Some c -> c
+    | None ->
+        (* Theorem 1.5 at eps = 1/4 with a modest shift cap and a small
+           sample constant: the estimate only needs to be within a
+           constant factor, so we spend as little as possible here. *)
+        Config.make ~epsilon:0.25 ~sample_constant:0.15
+          ~max_grid_shifts:(Some 6) ~seed ()
+  in
+  let pts = Array.map (fun (x, y) -> [| x; y |]) centers in
+  (Colored.solve_or_point ~cfg ~radius ~dim:2 pts ~colors).Colored.value
+
+let solve ?(radius = 1.) ?(epsilon = 0.25) ?(c1 = 1.0) ?(seed = 0x1e6)
+    ?estimate_cfg ?max_shifts centers ~colors =
+  if not (epsilon > 0. && epsilon < 1.) then
+    invalid_arg "Approx_colored.solve: epsilon must lie in (0, 1)";
+  let n = Array.length centers in
+  if n = 0 then invalid_arg "Approx_colored.solve: empty input";
+  if Array.length colors <> n then
+    invalid_arg "Approx_colored.solve: colors length mismatch";
+  let opt' = estimate_opt ?estimate_cfg ~radius ~seed centers ~colors in
+  let threshold = c1 /. (epsilon ** 2.) *. log (float_of_int (Int.max n 2)) in
+  let exact pts cols =
+    Output_sensitive.solve ~radius ?max_shifts ~seed pts ~colors:cols
+  in
+  let finish ~strategy (r : Output_sensitive.result) =
+    (* The sampled run reports depth w.r.t. the sample; re-evaluate the
+       returned point against the full input. *)
+    let scaled = Array.map (fun (x, y) -> (x /. radius, y /. radius)) centers in
+    let depth =
+      Colored_disk2d.colored_depth_at ~radius:1. scaled ~colors
+        (r.Output_sensitive.x /. radius)
+        (r.Output_sensitive.y /. radius)
+    in
+    { x = r.Output_sensitive.x; y = r.Output_sensitive.y; depth;
+      estimate = opt'; strategy }
+  in
+  if float_of_int opt' <= threshold then begin
+    Log.debug (fun m ->
+        m "opt' = %d <= threshold %.1f: running exact on all %d disks" opt'
+          threshold n);
+    finish ~strategy:Exact_small (exact centers colors)
+  end
+  else begin
+    let lambda =
+      Float.min 1. (c1 *. log (float_of_int n) /. (epsilon ** 2. *. float_of_int opt'))
+    in
+    let rng = Rng.create seed in
+    let distinct = List.sort_uniq compare (Array.to_list colors) in
+    (* Resample until non-empty (empty samples are vanishingly rare at the
+       analysis' lambda but possible for tiny inputs). *)
+    let rec draw tries =
+      let chosen = Hashtbl.create 64 in
+      List.iter
+        (fun c -> if Rng.bernoulli rng lambda then Hashtbl.replace chosen c ())
+        distinct;
+      if Hashtbl.length chosen > 0 || tries > 20 then chosen
+      else draw (tries + 1)
+    in
+    let chosen = draw 0 in
+    Log.debug (fun m ->
+        m "opt' = %d: sampling colors with lambda = %.4f -> %d colors" opt'
+          lambda (Hashtbl.length chosen));
+    if Hashtbl.length chosen = 0 then
+      finish ~strategy:Exact_small (exact centers colors)
+    else begin
+      let keep = Array.init n (fun i -> Hashtbl.mem chosen colors.(i)) in
+      let idx = ref [] in
+      for i = n - 1 downto 0 do
+        if keep.(i) then idx := i :: !idx
+      done;
+      let idx = Array.of_list !idx in
+      let sub_centers = Array.map (fun i -> centers.(i)) idx in
+      let sub_colors = Array.map (fun i -> colors.(i)) idx in
+      let r = exact sub_centers sub_colors in
+      finish
+        ~strategy:
+          (Sampled
+             {
+               lambda;
+               colors_sampled = Hashtbl.length chosen;
+               disks_sampled = Array.length idx;
+             })
+        r
+    end
+  end

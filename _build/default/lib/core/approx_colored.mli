@@ -1,0 +1,41 @@
+(** (1 - eps)-approximate colored disk MaxRS in R^2 — Theorem 1.6,
+    expected time O(eps^-2 n log n), via color sampling (Section 4.4).
+
+    Pipeline: estimate opt with Theorem 1.5 at eps = 1/4 (giving
+    opt' in [opt/4, opt] w.h.p.); if opt' is below the c1 eps^-2 log n
+    threshold run the exact output-sensitive algorithm on everything
+    (its n * opt term is then ~ eps^-2 n log n); otherwise sample each
+    color independently with probability lambda = c1 log n / (eps^2 opt')
+    and run the exact algorithm on the sampled disks. Lemma 4.8 shows the
+    deepest sampled point is (1 - eps)-optimal w.h.p. *)
+
+type strategy =
+  | Exact_small  (** opt' below threshold: exact algorithm on all disks *)
+  | Sampled of {
+      lambda : float;  (** per-color sampling probability *)
+      colors_sampled : int;
+      disks_sampled : int;
+    }
+
+type result = {
+  x : float;
+  y : float;
+  depth : int;  (** true colored depth of (x, y) w.r.t. the full input *)
+  estimate : int;  (** the Theorem-1.5 estimate opt' used *)
+  strategy : strategy;
+}
+
+val solve :
+  ?radius:float ->
+  ?epsilon:float ->
+  ?c1:float ->
+  ?seed:int ->
+  ?estimate_cfg:Config.t ->
+  ?max_shifts:int ->
+  (float * float) array ->
+  colors:int array ->
+  result
+(** [epsilon] in (0, 1), default 0.25; [c1] default 1.0 (the paper's
+    "sufficiently large constant" — larger sharpens the probability at
+    the cost of a bigger sample). [max_shifts] is forwarded to the exact
+    algorithm's grid collection. Requires a non-empty input. *)

@@ -1,0 +1,106 @@
+module Rng = Maxrs_geom.Rng
+module Colored_rect2d = Maxrs_sweep.Colored_rect2d
+
+type strategy =
+  | Exact_small
+  | Sampled of { lambda : float; colors_sampled : int; disks_sampled : int }
+
+type result = {
+  x : float;
+  y : float;
+  depth : int;
+  estimate : int;
+  strategy : strategy;
+}
+
+let estimate_opt ~width ~height centers ~colors =
+  (* Distinct colors per aligned width x height grid cell. Any placed
+     rectangle meets at most 4 cells (its corners land in at most 4), so
+     the densest cell carries at least opt/4 distinct colors; and a cell
+     is itself a legal placement, so the estimate never exceeds opt. *)
+  let cells : (int * int, (int, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Array.iteri
+    (fun i (x, y) ->
+      let key =
+        ( int_of_float (Float.floor (x /. width)),
+          int_of_float (Float.floor (y /. height)) )
+      in
+      let set =
+        match Hashtbl.find_opt cells key with
+        | Some s -> s
+        | None ->
+            let s = Hashtbl.create 8 in
+            Hashtbl.add cells key s;
+            s
+      in
+      Hashtbl.replace set colors.(i) ())
+    centers;
+  Hashtbl.fold (fun _ set acc -> Int.max acc (Hashtbl.length set)) cells 0
+
+let solve ?(width = 1.) ?(height = 1.) ?(epsilon = 0.25) ?(c1 = 1.0)
+    ?(seed = 0x7ec7) centers ~colors =
+  if width <= 0. || height <= 0. then
+    invalid_arg "Approx_colored_rect.solve: sides must be positive";
+  if not (epsilon > 0. && epsilon < 1.) then
+    invalid_arg "Approx_colored_rect.solve: epsilon must lie in (0, 1)";
+  let n = Array.length centers in
+  if n = 0 then invalid_arg "Approx_colored_rect.solve: empty input";
+  if Array.length colors <> n then
+    invalid_arg "Approx_colored_rect.solve: colors length mismatch";
+  let opt' = estimate_opt ~width ~height centers ~colors in
+  let threshold = c1 /. (epsilon ** 2.) *. log (float_of_int (Int.max n 2)) in
+  let finish ~strategy (r : Colored_rect2d.result) =
+    let depth =
+      Colored_rect2d.colored_depth_at ~width ~height centers ~colors
+        r.Colored_rect2d.x r.Colored_rect2d.y
+    in
+    { x = r.Colored_rect2d.x; y = r.Colored_rect2d.y; depth;
+      estimate = opt'; strategy }
+  in
+  if float_of_int opt' <= threshold then
+    finish ~strategy:Exact_small
+      (Colored_rect2d.max_colored ~width ~height centers ~colors)
+  else begin
+    let lambda =
+      Float.min 1.
+        (c1 *. log (float_of_int n) /. (epsilon ** 2. *. float_of_int opt'))
+    in
+    let rng = Rng.create seed in
+    let distinct = List.sort_uniq compare (Array.to_list colors) in
+    let rec draw tries =
+      let chosen = Hashtbl.create 64 in
+      List.iter
+        (fun c -> if Rng.bernoulli rng lambda then Hashtbl.replace chosen c ())
+        distinct;
+      if Hashtbl.length chosen > 0 || tries > 20 then chosen
+      else draw (tries + 1)
+    in
+    let chosen = draw 0 in
+    if Hashtbl.length chosen = 0 then
+      finish ~strategy:Exact_small
+        (Colored_rect2d.max_colored ~width ~height centers ~colors)
+    else begin
+      let idx = ref [] in
+      for i = n - 1 downto 0 do
+        if Hashtbl.mem chosen colors.(i) then idx := i :: !idx
+      done;
+      let idx = Array.of_list !idx in
+      let sub_centers = Array.map (fun i -> centers.(i)) idx in
+      let sub_colors = Array.map (fun i -> colors.(i)) idx in
+      let r =
+        Colored_rect2d.max_colored ~width ~height sub_centers
+          ~colors:sub_colors
+      in
+      finish
+        ~strategy:
+          (Sampled
+             {
+               lambda;
+               colors_sampled = Hashtbl.length chosen;
+               disks_sampled = Array.length idx;
+             })
+        r
+    end
+  end

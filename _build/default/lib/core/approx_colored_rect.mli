@@ -1,0 +1,55 @@
+(** (1 - eps)-approximate colored rectangle MaxRS — the paper's first
+    open problem (Section 7): extend the Technique-2 color-sampling
+    machinery beyond disks.
+
+    Pipeline (mirroring Section 4.4):
+    {ol
+    {- estimate opt with a grid argument specific to boxes: in the
+       aligned grid of [width x height] cells, any placed rectangle meets
+       at most 4 cells, and each cell is itself a valid placement, so the
+       densest cell's distinct-color count is a (1/4)-approximation of
+       opt — computable exactly in O(n) with hashing (no shifted
+       collection needed);}
+    {- if the estimate is below the c1 eps^-2 log n threshold, run the
+       exact O(n^2 log n) solver ({!Maxrs_sweep.Colored_rect2d});}
+    {- otherwise sample each color with probability
+       lambda = c1 log n / (eps^2 opt') and run the exact solver on the
+       sample (Lemma 4.8's concentration argument is range-agnostic: it
+       only uses per-color independence, so the (1 - eps) guarantee
+       carries over).}}
+
+    The missing piece relative to Theorem 1.6 is an output-sensitive
+    exact algorithm for rectangles (that is what the open problem asks
+    for); with the plain quadratic solver the sampled phase costs
+    O((n log n / (eps^2 opt))^2 log) expected — far below n^2 log n
+    whenever opt is large. See DESIGN.md. *)
+
+type strategy =
+  | Exact_small
+  | Sampled of { lambda : float; colors_sampled : int; disks_sampled : int }
+
+type result = {
+  x : float;
+  y : float;
+  depth : int;  (** true colored depth of (x, y) w.r.t. the full input *)
+  estimate : int;  (** the grid-density estimate opt' *)
+  strategy : strategy;
+}
+
+val estimate_opt :
+  width:float -> height:float -> (float * float) array -> colors:int array -> int
+(** The (1/4)-approximate grid estimate (step 1 above): opt' is the
+    maximum distinct-color count of one aligned grid cell, so
+    opt/4 <= opt' <= opt. O(n). *)
+
+val solve :
+  ?width:float ->
+  ?height:float ->
+  ?epsilon:float ->
+  ?c1:float ->
+  ?seed:int ->
+  (float * float) array ->
+  colors:int array ->
+  result
+(** Defaults: 1 x 1 rectangle, epsilon = 0.25, c1 = 1.0. Requires a
+    non-empty input. *)

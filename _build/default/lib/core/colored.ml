@@ -1,0 +1,40 @@
+module Point = Maxrs_geom.Point
+
+type result = { center : Point.t; value : int }
+
+let solve ?(cfg = Config.default) ?(radius = 1.) ~dim pts ~colors =
+  Config.validate cfg;
+  if radius <= 0. then invalid_arg "Colored.solve: radius must be positive";
+  let n = Array.length pts in
+  if Array.length colors <> n then
+    invalid_arg "Colored.solve: colors length mismatch";
+  Array.iter
+    (fun c -> if c < 0 then invalid_arg "Colored.solve: colors must be >= 0")
+    colors;
+  if n = 0 then None
+  else begin
+    let space = Sample_space.create ~dim ~cfg ~expected_n:n in
+    (* Process balls grouped by color (Section 3.2's sort step). *)
+    let order = Array.init n Fun.id in
+    Array.sort (fun i j -> compare colors.(i) colors.(j)) order;
+    Array.iter
+      (fun i ->
+        Sample_space.touch_colored space
+          ~center:(Point.scale (1. /. radius) pts.(i))
+          ~color:colors.(i))
+      order;
+    match Sample_space.best space with
+    | Some s when s.Sample_space.depth > 0. ->
+        Some
+          {
+            center = Point.scale radius s.Sample_space.pos;
+            value = int_of_float s.Sample_space.depth;
+          }
+    | _ -> None
+  end
+
+let solve_or_point ?cfg ?radius ~dim pts ~colors =
+  assert (Array.length pts > 0);
+  match solve ?cfg ?radius ~dim pts ~colors with
+  | Some r -> r
+  | None -> { center = pts.(0); value = 1 }

@@ -1,0 +1,31 @@
+(** Colored MaxRS for d-balls — Theorem 1.5: a randomized (1/2 - eps)-
+    approximation of the maximum number of distinctly colored points
+    coverable by a d-ball, in O(eps^{-2d-2} n log n) time.
+
+    Section 3.2's algorithm: same circumsphere samples as Theorem 1.2,
+    but balls are processed grouped by color and each sample carries a
+    "last color seen" flag so its depth counts distinct colors. *)
+
+type result = {
+  center : Maxrs_geom.Point.t;
+  value : int;  (** witnessed colored depth *)
+}
+
+val solve :
+  ?cfg:Config.t ->
+  ?radius:float ->
+  dim:int ->
+  Maxrs_geom.Point.t array ->
+  colors:int array ->
+  result option
+(** Colors must be non-negative ints. [None] when no sample witnesses any
+    ball. *)
+
+val solve_or_point :
+  ?cfg:Config.t ->
+  ?radius:float ->
+  dim:int ->
+  Maxrs_geom.Point.t array ->
+  colors:int array ->
+  result
+(** Falls back to any single input point (colored depth >= 1). *)

@@ -1,0 +1,76 @@
+module Point = Maxrs_geom.Point
+
+type t = {
+  dim : int;
+  cfg : Config.t;
+  radius : float;
+  mutable space : Sample_space.t;
+  mutable points : (Point.t * int) list;  (** scaled, newest first *)
+  mutable n : int;
+  seen_colors : (int, unit) Hashtbl.t;
+  mutable incidences : (int * int, unit) Hashtbl.t;  (** (sample id, color) *)
+  mutable n0 : int;
+  mutable epochs : int;
+}
+
+let create ?(cfg = Config.default) ?(radius = 1.) ~dim () =
+  Config.validate cfg;
+  if radius <= 0. then
+    invalid_arg "Colored_stream.create: radius must be positive";
+  {
+    dim;
+    cfg;
+    radius;
+    space = Sample_space.create ~dim ~cfg ~expected_n:16;
+    points = [];
+    n = 0;
+    seen_colors = Hashtbl.create 64;
+    incidences = Hashtbl.create 1024;
+    n0 = 4;
+    epochs = 0;
+  }
+
+let size t = t.n
+let distinct_colors t = Hashtbl.length t.seen_colors
+let epochs t = t.epochs
+
+(* Count color [c] at every sample in the ball that has not seen it. *)
+let feed t center color =
+  Sample_space.insert_with t.space ~center ~f:(fun s ->
+      let key = (s.Sample_space.id, color) in
+      if Hashtbl.mem t.incidences key then 0.
+      else begin
+        Hashtbl.add t.incidences key ();
+        1.
+      end)
+
+let rebuild t =
+  t.epochs <- t.epochs + 1;
+  t.n0 <- Int.max 4 t.n;
+  t.space <- Sample_space.create ~dim:t.dim ~cfg:t.cfg ~expected_n:t.n0;
+  t.incidences <- Hashtbl.create (Int.max 1024 (4 * t.n));
+  (* Re-feed grouped by color: with fresh incidence sets the order does
+     not matter for correctness, but grouping keeps the incidence table
+     access pattern cache-friendly. *)
+  let sorted =
+    List.sort (fun (_, c1) (_, c2) -> compare c1 c2) t.points
+  in
+  List.iter (fun (center, color) -> feed t center color) sorted
+
+let insert t ~color p =
+  if color < 0 then invalid_arg "Colored_stream.insert: colors must be >= 0";
+  assert (Point.dim p = t.dim);
+  let center = Point.scale (1. /. t.radius) p in
+  t.points <- (center, color) :: t.points;
+  t.n <- t.n + 1;
+  Hashtbl.replace t.seen_colors color ();
+  feed t center color;
+  if t.n > 2 * t.n0 then rebuild t
+
+let best t =
+  match Sample_space.best t.space with
+  | Some s when s.Sample_space.depth > 0. ->
+      Some
+        ( Point.scale t.radius s.Sample_space.pos,
+          int_of_float s.Sample_space.depth )
+  | _ -> None

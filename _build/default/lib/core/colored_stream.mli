@@ -1,0 +1,37 @@
+(** Streaming (insert-only) colored MaxRS monitor.
+
+    The spatial-data-stream setting the paper's related work motivates
+    ([AH16, AH17]): colored points arrive one at a time in arbitrary
+    color order and the current best placement — the d-ball covering the
+    most distinct colors — must be available at any moment.
+
+    The flag trick of Section 3.2 needs the input grouped by color, so a
+    stream cannot use it directly (a color returning after another color
+    touched the same sample would be counted twice). Instead each sample
+    keeps an incidence set "colors already counted here" (one global hash
+    of (sample id, color) pairs): a sample's depth increments only on the
+    first ball of a given color containing it. Memory is bounded by the
+    number of (sample, color) incidences, which is at most the total
+    update work — the same O_eps(log n) per insertion as Theorem 1.1.
+
+    The (1/2 - eps) guarantee of Theorem 1.5 holds at every prefix of
+    the stream (w.h.p. per query, faithful-shift mode), since the
+    maintained colored depth of each sample equals what the static
+    algorithm would compute on the current point set. Epochs double as
+    in the dynamic structure, re-feeding the stream grouped by color at
+    rebuild time. *)
+
+type t
+
+val create : ?cfg:Config.t -> ?radius:float -> dim:int -> unit -> t
+
+val insert : t -> color:int -> Maxrs_geom.Point.t -> unit
+(** Colors are non-negative ints; arbitrary arrival order. *)
+
+val size : t -> int
+val distinct_colors : t -> int
+
+val best : t -> (Maxrs_geom.Point.t * int) option
+(** Current best placement and its witnessed distinct-color count. *)
+
+val epochs : t -> int

@@ -1,0 +1,42 @@
+type t = {
+  epsilon : float;
+  sample_constant : float;
+  min_samples : int;
+  max_grid_shifts : int option;
+  seed : int;
+}
+
+let default =
+  {
+    epsilon = 0.4;
+    sample_constant = 0.5;
+    min_samples = 8;
+    max_grid_shifts = None;
+    seed = 0x6d617872;
+  }
+
+let make ?(epsilon = default.epsilon)
+    ?(sample_constant = default.sample_constant)
+    ?(min_samples = default.min_samples)
+    ?(max_grid_shifts = default.max_grid_shifts) ?(seed = default.seed) () =
+  { epsilon; sample_constant; min_samples; max_grid_shifts; seed }
+
+let validate t =
+  if not (t.epsilon > 0. && t.epsilon < 0.5) then
+    invalid_arg "Config: epsilon must lie in (0, 1/2)";
+  if t.sample_constant <= 0. then
+    invalid_arg "Config: sample_constant must be positive";
+  if t.min_samples < 1 then invalid_arg "Config: min_samples must be >= 1";
+  match t.max_grid_shifts with
+  | Some c when c < 1 -> invalid_arg "Config: max_grid_shifts must be >= 1"
+  | _ -> ()
+
+let samples_per_cell t ~n =
+  let n = Int.max n 2 in
+  let by_formula =
+    t.sample_constant /. (t.epsilon ** 2.) *. log (float_of_int n)
+  in
+  Int.max t.min_samples (int_of_float (Float.ceil by_formula))
+
+let grid_side t ~dim = 2. *. t.epsilon /. sqrt (float_of_int dim)
+let grid_delta t = t.epsilon ** 2.

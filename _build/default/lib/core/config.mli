@@ -1,0 +1,45 @@
+(** Tuning knobs for the Technique-1 algorithms (Theorems 1.1, 1.2, 1.5).
+
+    The theorems' constants are astronomically conservative; the defaults
+    here keep the guarantees' structure (grid geometry, sample counts
+    scaling as eps^-2 log n) while being runnable. Faithful mode
+    ([max_grid_shifts = None]) instantiates the full Lemma 2.1 shift
+    collection of (2/eps)^d grids; a cap replaces it by random shifts
+    ("practical mode", see DESIGN.md) and the (1/2 - eps) guarantee then
+    holds with probability over the shift choice. *)
+
+type t = {
+  epsilon : float;  (** approximation parameter, 0 < epsilon < 1/2 *)
+  sample_constant : float;
+      (** c in the per-cell sample count t = c * eps^-2 * ln n *)
+  min_samples : int;  (** floor for the per-cell sample count *)
+  max_grid_shifts : int option;
+      (** None = faithful Lemma 2.1 collection; Some c = c random shifts *)
+  seed : int;  (** seed for all internal randomness *)
+}
+
+val default : t
+(** epsilon = 0.4, sample_constant = 0.5, min_samples = 8, faithful
+    shifts, seed 0x6d617872 ("maxr"). *)
+
+val make :
+  ?epsilon:float ->
+  ?sample_constant:float ->
+  ?min_samples:int ->
+  ?max_grid_shifts:int option ->
+  ?seed:int ->
+  unit ->
+  t
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on out-of-range parameters. *)
+
+val samples_per_cell : t -> n:int -> int
+(** t = max(min_samples, c * eps^-2 * ln n) — the Theta(eps^-2 log n) of
+    the sampling step in Section 3.1. *)
+
+val grid_side : t -> dim:int -> float
+(** s = 2*eps / sqrt d, so a cell's circumsphere has radius eps. *)
+
+val grid_delta : t -> float
+(** Delta = eps^2 (Lemma 2.1 is applied with these two parameters). *)

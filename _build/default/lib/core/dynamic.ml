@@ -1,0 +1,147 @@
+module Point = Maxrs_geom.Point
+
+let src = Logs.Src.create "maxrs.dynamic" ~doc:"Dynamic MaxRS (Theorem 1.1)"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type handle = int
+
+type entry = { depth : float; version : int; cell : Sample_space.cell }
+
+type t = {
+  dim : int;
+  cfg : Config.t;
+  radius : float;
+  balls : (handle, Point.t * float) Hashtbl.t;  (** scaled centers *)
+  mutable space : Sample_space.t;
+  mutable heap : entry Heap.t;
+  mutable n0 : int;  (** live count at epoch start *)
+  mutable next_handle : int;
+  mutable epochs : int;
+  mutable pushes : int;  (** heap entries since the last compaction *)
+}
+
+let entry_cmp a b = Float.compare a.depth b.depth
+
+(* The heap is lazy: every cell-max change pushes a fresh entry and stale
+   ones are discarded at query time. Unchecked, that grows without bound,
+   so once the entry count exceeds a multiple of the live-cell count we
+   rebuild the heap from scratch — O(cells) work amortized over at least
+   as many pushes. *)
+let compact t =
+  Log.debug (fun m ->
+      m "compacting lazy heap: %d entries over %d cells" (Heap.length t.heap)
+        (Sample_space.cell_count t.space));
+  t.heap <- Heap.create ~cmp:entry_cmp;
+  t.pushes <- 0;
+  Sample_space.iter_live_cells t.space (fun c ->
+      if Sample_space.cell_max c > 0. then
+        Heap.push t.heap
+          {
+            depth = Sample_space.cell_max c;
+            version = Sample_space.cell_version c;
+            cell = c;
+          })
+
+let attach_hook t =
+  Sample_space.on_cell_change t.space (fun c ->
+      if Sample_space.cell_max c > 0. then begin
+        Heap.push t.heap
+          {
+            depth = Sample_space.cell_max c;
+            version = Sample_space.cell_version c;
+            cell = c;
+          };
+        t.pushes <- t.pushes + 1
+      end)
+
+let maybe_compact t =
+  let budget = Int.max 50_000 (4 * Sample_space.cell_count t.space) in
+  if t.pushes > budget then compact t
+
+let create ?(cfg = Config.default) ?(radius = 1.) ~dim () =
+  Config.validate cfg;
+  if radius <= 0. then invalid_arg "Dynamic.create: radius must be positive";
+  let t =
+    {
+      dim;
+      cfg;
+      radius;
+      balls = Hashtbl.create 256;
+      space = Sample_space.create ~dim ~cfg ~expected_n:16;
+      heap = Heap.create ~cmp:entry_cmp;
+      n0 = 4;
+      next_handle = 0;
+      epochs = 0;
+      pushes = 0;
+    }
+  in
+  attach_hook t;
+  t
+
+let size t = Hashtbl.length t.balls
+let epochs t = t.epochs
+let sample_count t = Sample_space.sample_count t.space
+
+let rebuild t =
+  t.epochs <- t.epochs + 1;
+  Log.debug (fun m ->
+      m "epoch %d: rebuilding sample space at n=%d (%d cells, %d samples)"
+        t.epochs (size t)
+        (Sample_space.cell_count t.space)
+        (Sample_space.sample_count t.space));
+  t.n0 <- Int.max 4 (size t);
+  t.space <- Sample_space.create ~dim:t.dim ~cfg:t.cfg ~expected_n:t.n0;
+  t.heap <- Heap.create ~cmp:entry_cmp;
+  t.pushes <- 0;
+  attach_hook t;
+  Hashtbl.iter
+    (fun _ (center, weight) -> Sample_space.insert t.space ~center ~weight)
+    t.balls
+
+let maybe_rebuild t =
+  let n = size t in
+  if n > 2 * t.n0 || (n < t.n0 / 2 && t.n0 > 4) then rebuild t
+
+let scale t p = Point.scale (1. /. t.radius) p
+let unscale t p = Point.scale t.radius p
+
+let insert t ?(weight = 1.) p =
+  assert (Point.dim p = t.dim);
+  if weight < 0. then invalid_arg "Dynamic.insert: weight must be >= 0";
+  let center = scale t p in
+  let h = t.next_handle in
+  t.next_handle <- h + 1;
+  Hashtbl.replace t.balls h (center, weight);
+  Sample_space.insert t.space ~center ~weight;
+  maybe_rebuild t;
+  maybe_compact t;
+  h
+
+let delete t h =
+  match Hashtbl.find_opt t.balls h with
+  | None -> raise Not_found
+  | Some (center, weight) ->
+      Hashtbl.remove t.balls h;
+      Sample_space.delete t.space ~center ~weight;
+      maybe_rebuild t;
+      maybe_compact t
+
+let best t =
+  (* Lazy-deletion pop: discard entries whose cell has changed since the
+     entry was pushed. *)
+  let rec go () =
+    match Heap.peek t.heap with
+    | None -> None
+    | Some e ->
+        if
+          e.version = Sample_space.cell_version e.cell
+          && Sample_space.cell_max e.cell > 0.
+        then
+          Some (unscale t (Sample_space.cell_best e.cell).Sample_space.pos, e.depth)
+        else begin
+          ignore (Heap.pop t.heap);
+          go ()
+        end
+  in
+  go ()

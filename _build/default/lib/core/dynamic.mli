@@ -1,0 +1,41 @@
+(** Dynamic MaxRS for d-balls — Theorem 1.1.
+
+    Maintains, under insertions and deletions of weighted points, a
+    placement of a d-ball of fixed radius whose covered weight is a
+    (1/2 - eps)-approximation of the optimum (with high probability, in
+    faithful-shift mode). Amortized update time O(eps^{-2d-2} log n).
+
+    Works in the dual: each point becomes a unit ball (after scaling by
+    the query radius) and the structure tracks the deepest of the
+    Technique-1 circumsphere samples via a lazy max-heap. Epochs double
+    or halve: when the live count leaves [n0/2, 2 n0] the sample space is
+    rebuilt from scratch with a per-cell sample count tuned to the new n,
+    and the rebuild cost amortizes over the epoch's updates (Lemma
+    3.4). *)
+
+type t
+type handle
+
+val create : ?cfg:Config.t -> ?radius:float -> dim:int -> unit -> t
+(** [create ~dim ()] with a unit query radius by default. *)
+
+val insert : t -> ?weight:float -> Maxrs_geom.Point.t -> handle
+(** Insert a point (default weight 1). O_eps(log n) amortized. *)
+
+val delete : t -> handle -> unit
+(** Delete a previously inserted point. Raises [Not_found] on an unknown
+    or already-deleted handle. *)
+
+val size : t -> int
+(** Number of live points. *)
+
+val best : t -> (Maxrs_geom.Point.t * float) option
+(** Current best placement: a center for the query ball and the
+    (maintained) covered weight, [None] when no sample witnesses any
+    ball (e.g. the structure is empty). The value is always achievable;
+    w.h.p. it is at least (1/2 - eps) times the optimum. *)
+
+val epochs : t -> int
+(** Number of epoch rebuilds so far (for the amortization experiment). *)
+
+val sample_count : t -> int

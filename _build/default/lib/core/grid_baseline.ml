@@ -1,0 +1,65 @@
+module Point = Maxrs_geom.Point
+module Ball = Maxrs_geom.Ball
+module Kdtree = Maxrs_geom.Kdtree
+module Grid = Maxrs_geom.Grid
+
+type result = { center : Point.t; value : float; candidates : int }
+
+(* Candidate centers: all grid vertices of spacing eps*r/sqrt(d) within
+   distance r of some input point (only those can cover anything). We
+   enumerate them as the grid cells intersecting each point's r-ball,
+   deduplicated through the cell hash table. *)
+let candidate_keys ~dim ~spacing ~radius pts =
+  let grid = Grid.make ~side:spacing ~origin:(Point.zero dim) in
+  let seen : unit Grid.Tbl.t = Grid.Tbl.create 1024 in
+  Array.iter
+    (fun p ->
+      Grid.iter_keys_intersecting_ball grid (Ball.make p radius) (fun key ->
+          if not (Grid.Tbl.mem seen key) then
+            Grid.Tbl.add seen (Array.copy key) ()))
+    pts;
+  (grid, seen)
+
+let solve ?(radius = 1.) ?(epsilon = 0.25) ~dim pts =
+  if radius <= 0. then invalid_arg "Grid_baseline.solve: radius <= 0";
+  if not (epsilon > 0. && epsilon < 1.) then
+    invalid_arg "Grid_baseline.solve: epsilon must lie in (0, 1)";
+  assert (Array.length pts > 0);
+  Array.iter (fun (_, w) -> assert (w >= 0.)) pts;
+  let spacing = epsilon *. radius /. sqrt (float_of_int dim) in
+  let grid, keys = candidate_keys ~dim ~spacing ~radius (Array.map fst pts) in
+  let tree = Kdtree.build (Array.map fst pts) in
+  let weights = Array.map snd pts in
+  let expanded = (1. +. epsilon) *. radius in
+  let best = ref { center = fst pts.(0); value = -1.; candidates = 0 } in
+  let n_cand = ref 0 in
+  Grid.Tbl.iter
+    (fun key () ->
+      incr n_cand;
+      let c = Grid.cell_center grid key in
+      let v = ref 0. in
+      Kdtree.iter_in_ball tree (Ball.make c expanded) (fun i _ ->
+          v := !v +. weights.(i));
+      if !v > !best.value then best := { center = c; value = !v; candidates = 0 })
+    keys;
+  { !best with candidates = !n_cand }
+
+let solve_colored ?(radius = 1.) ?(epsilon = 0.25) ~dim pts ~colors =
+  assert (Array.length pts > 0 && Array.length colors = Array.length pts);
+  let spacing = epsilon *. radius /. sqrt (float_of_int dim) in
+  let grid, keys = candidate_keys ~dim ~spacing ~radius pts in
+  let tree = Kdtree.build pts in
+  let expanded = (1. +. epsilon) *. radius in
+  let best_c = ref pts.(0) and best_v = ref (-1) in
+  Grid.Tbl.iter
+    (fun key () ->
+      let c = Grid.cell_center grid key in
+      let seen = Hashtbl.create 16 in
+      Kdtree.iter_in_ball tree (Ball.make c expanded) (fun i _ ->
+          Hashtbl.replace seen colors.(i) ());
+      if Hashtbl.length seen > !best_v then begin
+        best_v := Hashtbl.length seen;
+        best_c := c
+      end)
+    keys;
+  (!best_c, !best_v)

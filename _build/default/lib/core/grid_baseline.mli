@@ -1,0 +1,33 @@
+(** Grid-snapping bicriteria baseline for static MaxRS with balls.
+
+    The classical deterministic comparator (cf. the eps-approximation
+    literature the paper cites [dBCH09, JLW+18]): place candidate centers
+    on a grid of spacing eps*r/sqrt(d) around the input points and return
+    the best candidate using a ball of radius (1+eps)*r. Snapping the true
+    optimum's center to the nearest candidate moves it by at most eps*r,
+    so the expanded ball covers everything the optimal r-ball covers:
+
+    value >= opt(r)   while using radius (1+eps)*r   (bicriteria).
+
+    This trades the paper's pure (1/2 - eps) guarantee at radius r for a
+    full-value guarantee at slightly larger radius, runs in
+    O(n * (1/eps)^d) candidate evaluations (kd-tree accelerated), and is
+    the third comparator in experiment E2. *)
+
+type result = {
+  center : Maxrs_geom.Point.t;
+  value : float;  (** weight covered by the ball of radius (1+eps)*r *)
+  candidates : int;  (** number of grid candidates evaluated *)
+}
+
+val solve :
+  ?radius:float -> ?epsilon:float -> dim:int ->
+  (Maxrs_geom.Point.t * float) array -> result
+(** Defaults: radius 1, epsilon 0.25. Requires a non-empty input with
+    non-negative weights. *)
+
+val solve_colored :
+  ?radius:float -> ?epsilon:float -> dim:int ->
+  Maxrs_geom.Point.t array -> colors:int array -> Maxrs_geom.Point.t * int
+(** Colored variant: the expanded ball at the returned center covers at
+    least opt(r) distinct colors. *)

@@ -1,0 +1,15 @@
+(** Resizable binary max-heap, used by the dynamic structure's
+    lazy-deletion best-sample index. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Max-heap w.r.t. [cmp] (the element with the greatest [cmp]-order is
+    popped first). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+val clear : 'a t -> unit

@@ -1,0 +1,103 @@
+module Point = Maxrs_geom.Point
+module Ball = Maxrs_geom.Ball
+module Box = Maxrs_geom.Box
+module Grid = Maxrs_geom.Grid
+module Shifted_grids = Maxrs_geom.Shifted_grids
+module Rng = Maxrs_geom.Rng
+module Colored_depth = Maxrs_union.Colored_depth
+module Colored_disk2d = Maxrs_sweep.Colored_disk2d
+
+type stats = {
+  shifts : int;
+  cells_processed : int;
+  disks_after_trim : int;
+  sweep_events : int;
+}
+
+type result = { x : float; y : float; depth : int; stats : stats }
+
+let solve ?(radius = 1.) ?max_shifts ?(seed = 0x4f53) centers ~colors =
+  if radius <= 0. then invalid_arg "Output_sensitive.solve: radius <= 0";
+  let n = Array.length centers in
+  if n = 0 then invalid_arg "Output_sensitive.solve: empty input";
+  if Array.length colors <> n then
+    invalid_arg "Output_sensitive.solve: colors length mismatch";
+  (* Work with unit disks. *)
+  let pts =
+    Array.map (fun (x, y) -> (x /. radius, y /. radius)) centers
+  in
+  let grids =
+    match max_shifts with
+    | None -> Shifted_grids.make ~dim:2 ~side:1. ~delta:0.25 ()
+    | Some cap ->
+        Shifted_grids.make ~cap ~rng:(Rng.create seed) ~dim:2 ~side:1.
+          ~delta:0.25 ()
+  in
+  let best_x = ref (fst pts.(0))
+  and best_y = ref (snd pts.(0))
+  and best_depth = ref 0 in
+  let cells_processed = ref 0
+  and disks_after_trim = ref 0
+  and sweep_events = ref 0 in
+  Array.iter
+    (fun grid ->
+      (* Bucket disks by the grid cells they intersect. *)
+      let buckets : int list ref Grid.Tbl.t = Grid.Tbl.create (4 * n) in
+      Array.iteri
+        (fun i (x, y) ->
+          let ball = Ball.unit [| x; y |] in
+          Grid.iter_keys_intersecting_ball grid ball (fun key ->
+              match Grid.Tbl.find_opt buckets key with
+              | Some l -> l := i :: !l
+              | None -> Grid.Tbl.add buckets (Array.copy key) (ref [ i ])))
+        pts;
+      Grid.Tbl.iter
+        (fun key idxs ->
+          let corners = Box.corners (Grid.cell_box grid key) in
+          (* Lemma 4.3: drop disks containing no corner of the cell. *)
+          let trimmed =
+            List.filter
+              (fun i ->
+                let x, y = pts.(i) in
+                List.exists
+                  (fun c ->
+                    (((c.(0) -. x) ** 2.) +. ((c.(1) -. y) ** 2.)) <= 1. +. 1e-12)
+                  corners)
+              !idxs
+          in
+          match trimmed with
+          | [] -> ()
+          | _ :: _ ->
+              incr cells_processed;
+              let sub = Array.of_list trimmed in
+              let sub_centers = Array.map (fun i -> pts.(i)) sub in
+              let sub_colors = Array.map (fun i -> colors.(i)) sub in
+              disks_after_trim := !disks_after_trim + Array.length sub;
+              let r =
+                Colored_depth.max_colored_depth ~radius:1. sub_centers
+                  ~colors:sub_colors
+              in
+              sweep_events :=
+                !sweep_events + r.Colored_depth.stats.Colored_depth.events;
+              if r.Colored_depth.depth > !best_depth then begin
+                best_depth := r.Colored_depth.depth;
+                best_x := r.Colored_depth.x;
+                best_y := r.Colored_depth.y
+              end)
+        buckets)
+    grids.Shifted_grids.grids;
+  (* Re-evaluate against the full input: the per-cell depth is computed on
+     a subset, so this can only confirm or improve it. *)
+  let depth = Colored_disk2d.colored_depth_at ~radius:1. pts ~colors !best_x !best_y in
+  {
+    x = !best_x *. radius;
+    y = !best_y *. radius;
+    depth = Int.max depth !best_depth;
+    stats =
+      {
+        shifts = Shifted_grids.count grids;
+        cells_processed = !cells_processed;
+        disks_after_trim = !disks_after_trim;
+        sweep_events = !sweep_events;
+      };
+  }

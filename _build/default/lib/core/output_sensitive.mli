@@ -1,0 +1,33 @@
+(** Exact colored disk MaxRS via output-sensitivity — Theorem 4.6:
+    expected time ~O(n log n + n * opt) (see DESIGN.md for the
+    trapezoidal-map substitution).
+
+    The second algorithm of Section 4.3: place shifted unit grids (Lemma
+    2.1 with s = 1, Delta = 0.25), and in every non-empty cell keep only
+    the disks containing at least one cell corner (Lemma 4.3 — a disk
+    missing all corners cannot contain an optimum that is 0.25-near in
+    this shift, and at most 4*opt distinct colors survive). Run the
+    first algorithm (Lemma 4.2, {!Maxrs_union.Colored_depth}) on each
+    trimmed cell and return the best point over all shifts. *)
+
+type stats = {
+  shifts : int;
+  cells_processed : int;  (** non-empty (shift, cell) pairs *)
+  disks_after_trim : int;  (** total trimmed-multiset size over cells *)
+  sweep_events : int;  (** total angular events — the n*opt term *)
+}
+
+type result = { x : float; y : float; depth : int; stats : stats }
+
+val solve :
+  ?radius:float ->
+  ?max_shifts:int ->
+  ?seed:int ->
+  (float * float) array ->
+  colors:int array ->
+  result
+(** Exact maximum colored depth (in faithful-shift mode; with
+    [max_shifts] the 36-shift collection is subsampled and exactness
+    holds only with probability over shifts). The reported depth is
+    re-evaluated against the full input, so it is always achievable at
+    (x, y). Requires a non-empty input. *)

@@ -1,0 +1,95 @@
+exception Parse_error of string
+
+let fail line msg = raise (Parse_error (Printf.sprintf "%s: %S" msg line))
+
+let fields line =
+  String.split_on_char ',' line
+  |> List.map (fun f ->
+         let f = String.trim f in
+         match float_of_string_opt f with
+         | Some v -> v
+         | None -> fail line "not a number")
+
+let parse_weighted_line ?(unweighted = false) line =
+  match fields line with
+  | [] -> fail line "empty record"
+  | fs when unweighted -> (Array.of_list fs, 1.)
+  | [ _ ] -> fail line "weighted record needs at least x,weight"
+  | fs -> (
+      match List.rev fs with
+      | w :: coords -> (Array.of_list (List.rev coords), w)
+      | [] -> assert false)
+
+let parse_colored_line line =
+  match fields line with
+  | [ x; y; c ] ->
+      if Float.is_integer c && c >= 0. then ((x, y), int_of_float c)
+      else fail line "color must be a non-negative integer"
+  | _ -> fail line "colored record must be x,y,color"
+
+let parse_1d_line line =
+  match fields line with
+  | [ x; w ] -> (x, w)
+  | [ x ] -> (x, 1.)
+  | _ -> fail line "1-D record must be x[,weight]"
+
+let read_data_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match In_channel.input_line ic with
+        | Some l ->
+            let l = String.trim l in
+            if l = "" || l.[0] = '#' then go acc else go (l :: acc)
+        | None -> List.rev acc
+      in
+      go [])
+
+let load_weighted ?unweighted path =
+  Array.of_list (List.map (parse_weighted_line ?unweighted) (read_data_lines path))
+
+let load_colored path =
+  let rows = List.map parse_colored_line (read_data_lines path) in
+  (Array.of_list (List.map fst rows), Array.of_list (List.map snd rows))
+
+let load_1d path =
+  Array.of_list (List.map parse_1d_line (read_data_lines path))
+
+let format_weighted buf pts =
+  Array.iter
+    (fun (p, w) ->
+      Array.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%.17g," c)) p;
+      Buffer.add_string buf (Printf.sprintf "%.17g\n" w))
+    pts
+
+let format_colored buf pts colors =
+  Array.iteri
+    (fun i (x, y) ->
+      Buffer.add_string buf (Printf.sprintf "%.17g,%.17g,%d\n" x y colors.(i)))
+    pts
+
+let write_file path buf =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+let save_weighted path pts =
+  let buf = Buffer.create 4096 in
+  format_weighted buf pts;
+  write_file path buf
+
+let save_colored path pts colors =
+  assert (Array.length pts = Array.length colors);
+  let buf = Buffer.create 4096 in
+  format_colored buf pts colors;
+  write_file path buf
+
+let save_1d path pts =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun (x, w) -> Buffer.add_string buf (Printf.sprintf "%.17g,%.17g\n" x w))
+    pts;
+  write_file path buf

@@ -1,0 +1,29 @@
+(** CSV point-file parsing and formatting shared by the CLI, examples and
+    tests.
+
+    Formats (one record per line, [#]-comments and blank lines ignored):
+    - weighted d-dimensional points: [x1,...,xd,weight]
+    - colored planar points: [x,y,color] (color a non-negative int)
+    - 1-D weighted points: [x,weight] (or bare [x], weight 1) *)
+
+exception Parse_error of string
+(** Raised with a message naming the offending line. *)
+
+val parse_weighted_line : ?unweighted:bool -> string -> Maxrs_geom.Point.t * float
+val parse_colored_line : string -> (float * float) * int
+val parse_1d_line : string -> float * float
+
+val load_weighted :
+  ?unweighted:bool -> string -> (Maxrs_geom.Point.t * float) array
+(** [load_weighted path]: with [~unweighted:true] every field is a
+    coordinate and the weight is 1. *)
+
+val load_colored : string -> (float * float) array * int array
+val load_1d : string -> (float * float) array
+
+val save_weighted : string -> (Maxrs_geom.Point.t * float) array -> unit
+val save_colored : string -> (float * float) array -> int array -> unit
+val save_1d : string -> (float * float) array -> unit
+
+val format_weighted : Buffer.t -> (Maxrs_geom.Point.t * float) array -> unit
+val format_colored : Buffer.t -> (float * float) array -> int array -> unit

@@ -1,0 +1,243 @@
+module Point = Maxrs_geom.Point
+module Ball = Maxrs_geom.Ball
+module Grid = Maxrs_geom.Grid
+module Shifted_grids = Maxrs_geom.Shifted_grids
+module Sphere = Maxrs_geom.Sphere
+module Rng = Maxrs_geom.Rng
+
+type sample = {
+  id : int;
+  pos : Point.t;
+  mutable depth : float;
+  mutable flag : int;
+  mutable version : int;
+}
+
+type cell = {
+  samples : sample array;
+  mutable nballs : int;
+  mutable max_depth : float;  (** cached max over [samples] *)
+  mutable best : sample;  (** a sample attaining [max_depth] *)
+  mutable cversion : int;  (** bumped whenever [max_depth]/[best] change *)
+}
+
+type t = {
+  dim : int;
+  cfg : Config.t;
+  grids : Shifted_grids.t;
+  tables : cell Grid.Tbl.t array;
+  rng : Rng.t;
+  t_samples : int;
+  mutable next_id : int;
+  mutable n_cells : int;
+  mutable hook : cell -> unit;
+}
+
+let create ~dim ~cfg ~expected_n =
+  Config.validate cfg;
+  let side = Config.grid_side cfg ~dim in
+  let delta = Config.grid_delta cfg in
+  let rng = Rng.create cfg.Config.seed in
+  let grids =
+    match cfg.Config.max_grid_shifts with
+    | None -> Shifted_grids.make ~dim ~side ~delta ()
+    | Some cap ->
+        Shifted_grids.make ~cap ~rng:(Rng.split rng) ~dim ~side ~delta ()
+  in
+  {
+    dim;
+    cfg;
+    grids;
+    tables =
+      Array.init (Shifted_grids.count grids) (fun _ -> Grid.Tbl.create 256);
+    rng;
+    t_samples = Config.samples_per_cell cfg ~n:expected_n;
+    next_id = 0;
+    n_cells = 0;
+    hook = ignore;
+  }
+
+let dim t = t.dim
+let samples_per_cell t = t.t_samples
+let grid_count t = Shifted_grids.count t.grids
+let cell_count t = t.n_cells
+let sample_count t = t.n_cells * t.t_samples
+let on_cell_change t f = t.hook <- f
+
+let cell_max c = c.max_depth
+let cell_best c = c.best
+let cell_version c = c.cversion
+
+let new_cell t grid key =
+  let center = Grid.cell_center grid key in
+  let radius = Grid.cell_circumradius grid in
+  let samples =
+    Array.init t.t_samples (fun _ ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        {
+          id;
+          pos = Sphere.sample_on t.rng ~center ~radius;
+          depth = 0.;
+          flag = -1;
+          version = 0;
+        })
+  in
+  t.n_cells <- t.n_cells + 1;
+  { samples; nballs = 0; max_depth = 0.; best = samples.(0); cversion = 0 }
+
+(* Visit every cell intersected by the unit ball at [center], in every
+   grid, materializing absent cells. *)
+let iter_cells t ~center f =
+  let ball = Ball.unit center in
+  Array.iteri
+    (fun gi table ->
+      let grid = t.grids.Shifted_grids.grids.(gi) in
+      Grid.iter_keys_intersecting_ball grid ball (fun key ->
+          let cell =
+            match Grid.Tbl.find_opt table key with
+            | Some c -> c
+            | None ->
+                let c = new_cell t grid key in
+                Grid.Tbl.add table (Array.copy key) c;
+                c
+          in
+          f table key cell))
+    t.tables
+
+(* Apply [update] to every sample of [cell] inside the unit ball at
+   [center], then refresh the cell's cached max/argmax in the same pass
+   and fire the hook if it moved. *)
+let update_cell t cell ~center update =
+  let changed = ref false in
+  let mx = ref Float.neg_infinity and arg = ref cell.samples.(0) in
+  Array.iter
+    (fun s ->
+      if Point.dist2 s.pos center <= 1. +. 1e-12 && update s then begin
+        s.version <- s.version + 1;
+        changed := true
+      end;
+      if s.depth > !mx then begin
+        mx := s.depth;
+        arg := s
+      end)
+    cell.samples;
+  if !changed && (!mx <> cell.max_depth || !arg != cell.best) then begin
+    cell.max_depth <- !mx;
+    cell.best <- !arg;
+    cell.cversion <- cell.cversion + 1;
+    t.hook cell
+  end
+
+let insert t ~center ~weight =
+  assert (Point.dim center = t.dim);
+  iter_cells t ~center (fun _table _key cell ->
+      cell.nballs <- cell.nballs + 1;
+      update_cell t cell ~center (fun s ->
+          s.depth <- s.depth +. weight;
+          true))
+
+let delete t ~center ~weight =
+  assert (Point.dim center = t.dim);
+  iter_cells t ~center (fun table key cell ->
+      cell.nballs <- cell.nballs - 1;
+      assert (cell.nballs >= 0);
+      update_cell t cell ~center (fun s ->
+          s.depth <- s.depth -. weight;
+          true);
+      if cell.nballs = 0 then begin
+        (* Invalidate so stale heap entries are detectable. *)
+        cell.max_depth <- Float.neg_infinity;
+        cell.cversion <- cell.cversion + 1;
+        Array.iter
+          (fun s ->
+            s.version <- s.version + 1;
+            s.depth <- Float.neg_infinity)
+          cell.samples;
+        t.hook cell;
+        Grid.Tbl.remove table key;
+        t.n_cells <- t.n_cells - 1
+      end)
+
+(* Generic insertion: [f] returns the depth delta for each sample of an
+   intersected cell lying inside the ball (0 = unchanged). Counts as a
+   ball insertion for cell reference counting. *)
+let insert_with t ~center ~f =
+  assert (Point.dim center = t.dim);
+  iter_cells t ~center (fun _table _key cell ->
+      cell.nballs <- cell.nballs + 1;
+      update_cell t cell ~center (fun s ->
+          let delta = f s in
+          if delta <> 0. then begin
+            s.depth <- s.depth +. delta;
+            true
+          end
+          else false))
+
+let touch_colored t ~center ~color =
+  assert (Point.dim center = t.dim);
+  assert (color >= 0);
+  iter_cells t ~center (fun _table _key cell ->
+      cell.nballs <- cell.nballs + 1;
+      update_cell t cell ~center (fun s ->
+          if s.flag <> color then begin
+            s.flag <- color;
+            s.depth <- s.depth +. 1.;
+            true
+          end
+          else false))
+
+let iter_samples t f =
+  Array.iter
+    (fun table -> Grid.Tbl.iter (fun _ cell -> Array.iter f cell.samples) table)
+    t.tables
+
+let iter_live_cells t f =
+  Array.iter (fun table -> Grid.Tbl.iter (fun _ cell -> f cell) table) t.tables
+
+(* Test support: check the structural invariants against the caller's
+   record of live balls — every materialized cell is intersected by
+   exactly [nballs] live balls, every cell intersected by some live ball
+   is materialized, and every cached cell max matches its samples. *)
+let validate t ~live =
+  let ok = ref true in
+  let expected : int Grid.Tbl.t array =
+    Array.map (fun _ -> Grid.Tbl.create 64) t.tables
+  in
+  List.iter
+    (fun center ->
+      let ball = Ball.unit center in
+      Array.iteri
+        (fun gi tbl ->
+          let grid = t.grids.Shifted_grids.grids.(gi) in
+          Grid.iter_keys_intersecting_ball grid ball (fun key ->
+              (* [key] is a scratch buffer: always store a copy. *)
+              match Grid.Tbl.find_opt tbl key with
+              | Some r -> Grid.Tbl.replace tbl (Array.copy key) (r + 1)
+              | None -> Grid.Tbl.add tbl (Array.copy key) 1))
+        expected)
+    live;
+  Array.iteri
+    (fun gi tbl ->
+      let exp = expected.(gi) in
+      if Grid.Tbl.length tbl <> Grid.Tbl.length exp then ok := false;
+      Grid.Tbl.iter
+        (fun key cell ->
+          (match Grid.Tbl.find_opt exp key with
+          | Some count when count = cell.nballs -> ()
+          | _ -> ok := false);
+          let mx = Array.fold_left (fun a s -> Float.max a s.depth) Float.neg_infinity cell.samples in
+          if Float.abs (mx -. cell.max_depth) > 1e-9 then ok := false)
+        tbl)
+    t.tables;
+  !ok
+
+let best t =
+  let best = ref None in
+  iter_live_cells t (fun c ->
+      match !best with
+      | Some b when cell_max b >= c.max_depth -> ()
+      | _ -> best := Some c);
+  match !best with
+  | Some c when c.max_depth > Float.neg_infinity -> Some c.best
+  | _ -> None

@@ -1,0 +1,91 @@
+(** The Technique-1 machinery of Section 3: a collection of shifted grids
+    (Lemma 2.1 with s = 2eps/sqrt(d), Delta = eps^2) where every non-empty
+    cell carries Theta(eps^-2 log n) points sampled uniformly from the
+    cell's circumsphere (radius eps). The structure maintains, for every
+    sample point, a depth value under ball insertions and deletions.
+
+    Invariant: a cell is materialized iff at least one live ball
+    intersects it (a reference count tracks this), so the cell created at
+    a ball's insertion has seen every live ball that intersects it — the
+    maintained depth of a sample counts exactly the live balls that both
+    (a) intersect the sample's cell and (b) contain the sample point.
+    This may undercount the true depth at the sample (a ball can contain
+    a circumsphere point without touching the cell box), which is safe:
+    maintained depth is always an achievable depth, and the analysis
+    (Lemmas 3.1-3.3) only needs the balls covering the optimum, all of
+    which intersect the optimum's cell.
+
+    Each cell caches its max-depth sample (refreshed for free during the
+    per-update sample scan); the dynamic structure indexes cells, not
+    samples, in its lazy heap. *)
+
+type sample = {
+  id : int;
+  pos : Maxrs_geom.Point.t;
+  mutable depth : float;
+  mutable flag : int;  (** colored MaxRS: last color counted; -1 initially *)
+  mutable version : int;  (** bumped on every depth change / cell removal *)
+}
+
+type cell
+
+type t
+
+val create : dim:int -> cfg:Config.t -> expected_n:int -> t
+(** Build the (empty) grid collection; [expected_n] sets the per-cell
+    sample count for this epoch. *)
+
+val dim : t -> int
+val samples_per_cell : t -> int
+val grid_count : t -> int
+val cell_count : t -> int
+val sample_count : t -> int
+
+val cell_max : cell -> float
+(** Cached maximum sample depth of the cell ([neg_infinity] once the cell
+    has been dropped). *)
+
+val cell_best : cell -> sample
+(** A sample attaining {!cell_max}. *)
+
+val cell_version : cell -> int
+(** Bumped whenever the cell's max/argmax changes or the cell is
+    dropped — lazy-heap staleness check. *)
+
+val on_cell_change : t -> (cell -> unit) -> unit
+(** Register a hook invoked whenever a cell's cached max changes (or the
+    cell is dropped). *)
+
+val insert : t -> center:Maxrs_geom.Point.t -> weight:float -> unit
+(** Insert a unit ball: materialize missing cells (sampling their
+    circumspheres), bump cell refcounts, add [weight] to the depth of
+    every sample of an intersected cell that lies inside the ball. *)
+
+val delete : t -> center:Maxrs_geom.Point.t -> weight:float -> unit
+(** Reverse of {!insert}; drops cells whose refcount reaches zero. *)
+
+val insert_with : t -> center:Maxrs_geom.Point.t -> f:(sample -> float) -> unit
+(** Generic insertion: bump refcounts of the cells intersected by the
+    unit ball at [center] and add [f sample] to the depth of every
+    sample of those cells lying inside the ball (a return of 0 leaves
+    the sample untouched). Lets callers maintain custom depth notions
+    (e.g. the streaming colored monitor's incidence sets). *)
+
+val touch_colored : t -> center:Maxrs_geom.Point.t -> color:int -> unit
+(** Colored variant of {!insert} (Section 3.2): for every sample of an
+    intersected cell lying inside the ball, if [flag <> color] set the
+    flag and increment the depth by 1. Balls must be fed grouped by
+    color. Also maintains refcounts/materialization like {!insert}. *)
+
+val best : t -> sample option
+(** Linear scan over cells for a sample of maximum depth (static
+    algorithms). *)
+
+val iter_samples : t -> (sample -> unit) -> unit
+val iter_live_cells : t -> (cell -> unit) -> unit
+
+val validate : t -> live:Maxrs_geom.Point.t list -> bool
+(** Test support: given the centers of the currently live balls, check
+    the structural invariants — the materialized cells are exactly the
+    cells intersected by a live ball, each with the correct reference
+    count, and every cached cell max matches its samples. *)

@@ -1,0 +1,34 @@
+module Point = Maxrs_geom.Point
+
+type result = { center : Point.t; value : float }
+
+let solve ?(cfg = Config.default) ?(radius = 1.) ~dim pts =
+  Config.validate cfg;
+  if radius <= 0. then invalid_arg "Static.solve: radius must be positive";
+  Array.iter
+    (fun (_, w) ->
+      if w < 0. then invalid_arg "Static.solve: weights must be >= 0")
+    pts;
+  let n = Array.length pts in
+  if n = 0 then None
+  else begin
+    let space = Sample_space.create ~dim ~cfg ~expected_n:n in
+    Array.iter
+      (fun (p, weight) ->
+        Sample_space.insert space ~center:(Point.scale (1. /. radius) p) ~weight)
+      pts;
+    match Sample_space.best space with
+    | Some s when s.Sample_space.depth > 0. ->
+        Some { center = Point.scale radius s.Sample_space.pos; value = s.Sample_space.depth }
+    | _ -> None
+  end
+
+let solve_or_point ?cfg ?radius ~dim pts =
+  assert (Array.length pts > 0);
+  match solve ?cfg ?radius ~dim pts with
+  | Some r -> r
+  | None ->
+      let best = ref pts.(0) in
+      Array.iter (fun (p, w) -> if w > snd !best then best := (p, w)) pts;
+      let p, w = !best in
+      { center = p; value = w }

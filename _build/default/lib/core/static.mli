@@ -1,0 +1,29 @@
+(** Static MaxRS for d-balls — Theorem 1.2: a randomized (1/2 - eps)-
+    approximation in O(eps^{-2d-2} n log n) time, avoiding the
+    log^{Theta(d)} n blowup of sampling-based (1 - eps) schemes. *)
+
+type result = {
+  center : Maxrs_geom.Point.t;  (** placement for the query ball *)
+  value : float;  (** witnessed covered weight (achievable; w.h.p. at
+                      least (1/2 - eps) * opt) *)
+}
+
+val solve :
+  ?cfg:Config.t ->
+  ?radius:float ->
+  dim:int ->
+  (Maxrs_geom.Point.t * float) array ->
+  result option
+(** [solve ~dim pts] with [pts] an array of (point, weight >= 0) pairs.
+    [None] only when no circumsphere sample lands in any ball (tiny
+    inputs); callers may fall back to placing the ball on any input
+    point, which covers at least that point. *)
+
+val solve_or_point :
+  ?cfg:Config.t ->
+  ?radius:float ->
+  dim:int ->
+  (Maxrs_geom.Point.t * float) array ->
+  result
+(** Like {!solve} but falls back to the heaviest input point (covering at
+    least itself). Requires a non-empty input. *)

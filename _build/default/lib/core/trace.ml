@@ -1,0 +1,180 @@
+module Point = Maxrs_geom.Point
+module Rng = Maxrs_geom.Rng
+
+type op = Insert of Point.t * float | Delete of int | Query
+type t = op array
+
+exception Parse_error of string
+
+let fail line msg = raise (Parse_error (Printf.sprintf "%s: %S" msg line))
+
+let parse_line line =
+  let line = String.trim line in
+  if line = "" then fail line "empty op";
+  match line.[0] with
+  | '?' -> Query
+  | '-' -> (
+      let rest = String.trim (String.sub line 1 (String.length line - 1)) in
+      match int_of_string_opt rest with
+      | Some i when i >= 0 -> Delete i
+      | _ -> fail line "delete needs a non-negative op index")
+  | '+' -> (
+      let rest = String.trim (String.sub line 1 (String.length line - 1)) in
+      let fs =
+        String.split_on_char ',' rest
+        |> List.map (fun f ->
+               match float_of_string_opt (String.trim f) with
+               | Some v -> v
+               | None -> fail line "bad coordinate")
+      in
+      (* '+' lines are unweighted: every field is a coordinate. Weighted
+         inserts use the 'w' prefix so the format needs no dimension
+         heuristics. *)
+      match fs with
+      | [] -> fail line "insert needs coordinates"
+      | fs -> Insert (Array.of_list fs, 1.))
+  | 'w' -> (
+      (* w x1,...,xd,weight *)
+      let rest = String.trim (String.sub line 1 (String.length line - 1)) in
+      let fs =
+        String.split_on_char ',' rest
+        |> List.map (fun f ->
+               match float_of_string_opt (String.trim f) with
+               | Some v -> v
+               | None -> fail line "bad number")
+      in
+      match List.rev fs with
+      | w :: (_ :: _ as coords) -> Insert (Array.of_list (List.rev coords), w)
+      | _ -> fail line "weighted insert needs x...,weight")
+  | _ -> fail line "unknown op (expected +, w, -, ?)"
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match In_channel.input_line ic with
+        | Some l ->
+            let l = String.trim l in
+            if l = "" || l.[0] = '#' then go acc
+            else go (parse_line l :: acc)
+        | None -> List.rev acc
+      in
+      Array.of_list (go []))
+
+let save path ops =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Array.iter
+        (fun op ->
+          match op with
+          | Query -> output_string oc "?\n"
+          | Delete i -> Printf.fprintf oc "- %d\n" i
+          | Insert (p, w) ->
+              if w = 1. then begin
+                output_string oc "+ ";
+                Array.iteri
+                  (fun i c ->
+                    if i > 0 then output_char oc ',';
+                    Printf.fprintf oc "%.17g" c)
+                  p;
+                output_char oc '\n'
+              end
+              else begin
+                output_string oc "w ";
+                Array.iter (fun c -> Printf.fprintf oc "%.17g," c) p;
+                Printf.fprintf oc "%.17g\n" w
+              end)
+        ops)
+
+let random rng ~dim ~ops ~extent ?(churn = 0.3) () =
+  let live = ref [] and n_live = ref 0 in
+  let out = ref [] in
+  for i = 0 to ops - 1 do
+    if i mod 10 = 9 then out := Query :: !out
+    else if !n_live > 0 && Rng.bernoulli rng churn then begin
+      let k = Rng.int rng !n_live in
+      let idx = List.nth !live k in
+      live := List.filter (fun j -> j <> idx) !live;
+      decr n_live;
+      out := Delete idx :: !out
+    end
+    else begin
+      let p = Array.init dim (fun _ -> Rng.float rng extent) in
+      live := i :: !live;
+      incr n_live;
+      out := Insert (p, 1.) :: !out
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+type step = {
+  op_index : int;
+  live : int;
+  best : (Point.t * float) option;
+}
+
+let replay dyn ops =
+  let handles : (int, Dynamic.handle) Hashtbl.t = Hashtbl.create 256 in
+  let steps = ref [] in
+  Array.iteri
+    (fun i op ->
+      match op with
+      | Insert (p, w) ->
+          Hashtbl.replace handles i (Dynamic.insert dyn ~weight:w p)
+      | Delete j -> (
+          match Hashtbl.find_opt handles j with
+          | Some h ->
+              Hashtbl.remove handles j;
+              Dynamic.delete dyn h
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Trace.replay: op %d deletes non-live op %d" i j))
+      | Query ->
+          steps :=
+            { op_index = i; live = Dynamic.size dyn; best = Dynamic.best dyn }
+            :: !steps)
+    ops;
+  List.rev !steps
+
+let replay_with_check ~cfg ?(radius = 1.) ~dim ops =
+  let dyn = Dynamic.create ~cfg ~radius ~dim () in
+  let handles : (int, Dynamic.handle) Hashtbl.t = Hashtbl.create 256 in
+  let live : (int, Point.t * float) Hashtbl.t = Hashtbl.create 256 in
+  let steps = ref [] in
+  Array.iteri
+    (fun i op ->
+      match op with
+      | Insert (p, w) ->
+          Hashtbl.replace handles i (Dynamic.insert dyn ~weight:w p);
+          Hashtbl.replace live i (p, w)
+      | Delete j -> (
+          match Hashtbl.find_opt handles j with
+          | Some h ->
+              Hashtbl.remove handles j;
+              Hashtbl.remove live j;
+              Dynamic.delete dyn h
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "Trace.replay_with_check: op %d deletes non-live op %d" i j))
+      | Query ->
+          let best = Dynamic.best dyn in
+          let verified =
+            match best with
+            | None -> 0.
+            | Some (center, _) ->
+                let pts =
+                  Array.of_seq (Hashtbl.to_seq_values live)
+                in
+                Verify.weighted_depth ~radius pts center
+          in
+          steps :=
+            ( { op_index = i; live = Dynamic.size dyn; best },
+              verified )
+            :: !steps)
+    ops;
+  List.rev !steps

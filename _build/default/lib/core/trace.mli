@@ -1,0 +1,52 @@
+(** Record/replay of dynamic MaxRS workloads.
+
+    A trace is a sequence of operations on the dynamic structure —
+    insertions, deletions (by insertion index) and best-placement queries.
+    Traces drive the CLI's [dynamic] subcommand, the hotspot example and
+    the dynamic stress tests, and have a line-based text format so
+    workloads are reproducible artifacts:
+
+    {v
+    + 1.5,2.5      # insert unweighted point
+    + 1.5,2.5,3.0  # insert with weight
+    - 4            # delete the point inserted by op #4 (0-based)
+    ?              # query the current best placement
+    v} *)
+
+type op =
+  | Insert of Maxrs_geom.Point.t * float
+  | Delete of int  (** index of the inserting op *)
+  | Query
+
+type t = op array
+
+exception Parse_error of string
+
+val parse_line : string -> op
+val load : string -> t
+val save : string -> t -> unit
+
+val random :
+  Maxrs_geom.Rng.t -> dim:int -> ops:int -> extent:float -> ?churn:float ->
+  unit -> t
+(** A random workload: each step inserts a fresh point or (with
+    probability [churn], default 0.3) deletes a random live one; a query
+    every 10 ops. *)
+
+type step = {
+  op_index : int;
+  live : int;  (** structure size after the op *)
+  best : (Maxrs_geom.Point.t * float) option;  (** populated on [Query] *)
+}
+
+val replay : Dynamic.t -> t -> step list
+(** Apply the trace to a dynamic structure, returning one step per
+    [Query]. Raises [Invalid_argument] on a [Delete] of an op that is
+    not a live insertion. *)
+
+val replay_with_check :
+  cfg:Config.t -> ?radius:float -> dim:int -> t -> (step * float) list
+(** Like {!replay} on a fresh structure, but each query also recomputes
+    the true depth at the reported placement ({!Verify}); the pair is
+    (step, verified depth). Used by tests to assert soundness: the
+    reported value never exceeds the verified depth. *)

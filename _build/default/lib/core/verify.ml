@@ -1,0 +1,45 @@
+module Point = Maxrs_geom.Point
+module Ball = Maxrs_geom.Ball
+module Kdtree = Maxrs_geom.Kdtree
+
+type weighted = (Point.t * float) array
+
+let weighted_depth ?(radius = 1.) pts q =
+  let ball = Ball.make q radius in
+  Array.fold_left
+    (fun acc (p, w) -> if Ball.contains ball p then acc +. w else acc)
+    0. pts
+
+let colored_depth ?(radius = 1.) pts ~colors q =
+  let ball = Ball.make q radius in
+  let seen = Hashtbl.create 16 in
+  Array.iteri
+    (fun i p -> if Ball.contains ball p then Hashtbl.replace seen colors.(i) ())
+    pts;
+  Hashtbl.length seen
+
+type evaluator = {
+  tree : Kdtree.t;
+  weights : float array;
+  radius : float;
+}
+
+let evaluator ?(radius = 1.) pts =
+  assert (Array.length pts > 0);
+  {
+    tree = Kdtree.build (Array.map fst pts);
+    weights = Array.map snd pts;
+    radius;
+  }
+
+let eval e q =
+  let acc = ref 0. in
+  Kdtree.iter_in_ball e.tree (Ball.make q e.radius) (fun i _ ->
+      acc := !acc +. e.weights.(i));
+  !acc
+
+let check_achieved ?(radius = 1.) ?(slack = 1e-9) pts center value =
+  weighted_depth ~radius pts center >= value -. slack
+
+let check_colored_achieved ?(radius = 1.) pts ~colors center value =
+  colored_depth ~radius pts ~colors center >= value

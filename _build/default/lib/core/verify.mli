@@ -1,0 +1,36 @@
+(** Ground-truth depth evaluation and result checking.
+
+    Every solver in this library reports a placement and a value; these
+    helpers recompute the true value of the placement against the full
+    input (kd-tree accelerated), which is how the tests, the CLI's
+    [--verify] paths and the experiments validate results. *)
+
+type weighted = (Maxrs_geom.Point.t * float) array
+
+val weighted_depth : ?radius:float -> weighted -> Maxrs_geom.Point.t -> float
+(** Total weight of points within [radius] (default 1) of the query —
+    the weight a ball placed at the query covers. O(n) build-free scan
+    for one-shot use; see {!evaluator} for repeated queries. *)
+
+val colored_depth :
+  ?radius:float -> Maxrs_geom.Point.t array -> colors:int array ->
+  Maxrs_geom.Point.t -> int
+(** Number of distinct colors within [radius] of the query. *)
+
+type evaluator
+
+val evaluator : ?radius:float -> weighted -> evaluator
+(** Build a kd-tree once; subsequent {!eval} calls cost the range-query
+    time instead of O(n). *)
+
+val eval : evaluator -> Maxrs_geom.Point.t -> float
+
+val check_achieved :
+  ?radius:float -> ?slack:float -> weighted -> Maxrs_geom.Point.t -> float -> bool
+(** [check_achieved pts center value]: does the ball at [center] really
+    cover at least [value] (within [slack], default 1e-9)? The universal
+    soundness check for any weighted MaxRS answer. *)
+
+val check_colored_achieved :
+  ?radius:float -> Maxrs_geom.Point.t array -> colors:int array ->
+  Maxrs_geom.Point.t -> int -> bool

@@ -1,0 +1,99 @@
+module Point = Maxrs_geom.Point
+module Rng = Maxrs_geom.Rng
+module Sphere = Maxrs_geom.Sphere
+
+let uniform rng ~dim ~n ~extent =
+  Array.init n (fun _ -> Array.init dim (fun _ -> Rng.float rng extent))
+
+let uniform_weighted rng ~dim ~n ~extent ~max_weight =
+  Array.init n (fun _ ->
+      ( Array.init dim (fun _ -> Rng.float rng extent),
+        max_weight -. Rng.float rng max_weight ))
+
+let gaussian_clusters rng ~dim ~n ~k ~extent ~spread =
+  assert (k >= 1);
+  let centers =
+    Array.init k (fun _ -> Array.init dim (fun _ -> Rng.float rng extent))
+  in
+  Array.init n (fun _ ->
+      let c = centers.(Rng.int rng k) in
+      Array.init dim (fun i -> c.(i) +. (spread *. Rng.gaussian rng)))
+
+let trajectories rng ~m ~steps ~extent ~step =
+  assert (m >= 1 && steps >= 1);
+  let pts = Array.make (m * steps) (0., 0.) in
+  let colors = Array.make (m * steps) 0 in
+  for t = 0 to m - 1 do
+    let x = ref (Rng.float rng extent) and y = ref (Rng.float rng extent) in
+    for s = 0 to steps - 1 do
+      let clamp v = Float.max 0. (Float.min extent v) in
+      x := clamp (!x +. (step *. Rng.gaussian rng));
+      y := clamp (!y +. (step *. Rng.gaussian rng));
+      pts.((t * steps) + s) <- (!x, !y);
+      colors.((t * steps) + s) <- t
+    done
+  done;
+  (pts, colors)
+
+(* Background points that no unit ball can cover two of: lay them on a
+   coarse lattice with spacing 3, far away from the planted center. *)
+let background_lattice ~dim ~count ~offset =
+  let per_axis =
+    int_of_float (Float.ceil (float_of_int count ** (1. /. float_of_int dim)))
+  in
+  List.init count (fun idx ->
+      let p = Array.make dim offset in
+      let rem = ref idx in
+      for i = 0 to dim - 1 do
+        p.(i) <- offset +. (3. *. float_of_int (!rem mod per_axis));
+        rem := !rem / per_axis
+      done;
+      p)
+
+let planted rng ~dim ~n ~opt =
+  assert (1 <= opt && opt <= n);
+  let center = Array.make dim (-50.) in
+  let cluster =
+    Array.init opt (fun _ ->
+        (Sphere.sample_in rng ~center ~radius:0.2, 1.))
+  in
+  let background =
+    List.map (fun p -> (p, 1.)) (background_lattice ~dim ~count:(n - opt) ~offset:50.)
+  in
+  (Array.append cluster (Array.of_list background), center, float_of_int opt)
+
+let planted_colored rng ~n ~opt =
+  assert (1 <= opt && opt <= n);
+  let cx = -50. and cy = -50. in
+  let cluster =
+    Array.init opt (fun i ->
+        let p = Sphere.sample_in rng ~center:[| cx; cy |] ~radius:0.2 in
+        ((p.(0), p.(1)), i))
+  in
+  let background =
+    List.mapi
+      (fun i p -> ((p.(0), p.(1)), opt + i))
+      (background_lattice ~dim:2 ~count:(n - opt) ~offset:50.)
+  in
+  let all = Array.append cluster (Array.of_list background) in
+  ( Array.map fst all,
+    Array.map snd all,
+    (cx, cy),
+    opt )
+
+let with_duplicate_colors rng pts colors ~copies ~jitter =
+  assert (copies >= 1);
+  let n = Array.length pts in
+  let out_pts = Array.make (n * copies) (0., 0.) in
+  let out_colors = Array.make (n * copies) 0 in
+  for i = 0 to n - 1 do
+    let x, y = pts.(i) in
+    for c = 0 to copies - 1 do
+      let j = (i * copies) + c in
+      out_pts.(j) <-
+        ( x +. Rng.uniform rng (-.jitter) jitter,
+          y +. Rng.uniform rng (-.jitter) jitter );
+      out_colors.(j) <- colors.(i)
+    done
+  done;
+  (out_pts, out_colors)

@@ -1,0 +1,51 @@
+(** Instance generators for examples, tests and benchmarks: the workloads
+    the paper's introduction motivates (hotspots, trajectories, weighted
+    customers) plus planted instances with a known optimum, which let the
+    experiments measure approximation ratios exactly. *)
+
+module Point = Maxrs_geom.Point
+module Rng = Maxrs_geom.Rng
+
+val uniform : Rng.t -> dim:int -> n:int -> extent:float -> Point.t array
+(** n points uniform in [0, extent]^dim. *)
+
+val uniform_weighted :
+  Rng.t -> dim:int -> n:int -> extent:float -> max_weight:float ->
+  (Point.t * float) array
+(** Uniform points with uniform weights in (0, max_weight]. *)
+
+val gaussian_clusters :
+  Rng.t -> dim:int -> n:int -> k:int -> extent:float -> spread:float ->
+  Point.t array
+(** k cluster centers uniform in the extent; each point is a gaussian
+    perturbation (std dev [spread]) of a random center — the "hotspot"
+    workload. *)
+
+val trajectories :
+  Rng.t -> m:int -> steps:int -> extent:float -> step:float ->
+  (float * float) array * int array
+(** m random-walk trajectories of [steps] samples each in [0, extent]^2;
+    every sample carries its trajectory id as color (the [ZGH+22]
+    wildlife workload). Returns (points, colors). *)
+
+val planted :
+  Rng.t -> dim:int -> n:int -> opt:int -> (Point.t * float) array * Point.t * float
+(** A weighted instance whose optimum is known by construction: [opt]
+    unit-weight points packed within a 0.2-ball around a planted center
+    and [n - opt] isolated background points mutually farther than 2 (so
+    any unit ball covers at most one of them). Returns (points, planted
+    center, opt value). Requires [1 <= opt <= n]. *)
+
+val planted_colored :
+  Rng.t -> n:int -> opt:int -> ((float * float) array * int array * (float * float) * int)
+(** Planar colored instance with known colored optimum: [opt] distinctly
+    colored points packed near a planted center, the rest isolated (each
+    with its own color, depth 1 anywhere else). Returns (points, colors,
+    center, opt). *)
+
+val with_duplicate_colors :
+  Rng.t -> (float * float) array -> int array -> copies:int -> jitter:float ->
+  (float * float) array * int array
+(** Replicate every point [copies] times with coordinate jitter but the
+    same color — inflates n without changing the colored optimum much;
+    used to drive the output-sensitivity experiment. *)

@@ -1,0 +1,1 @@
+lib/geom/ball.ml: Box Format Point

@@ -1,0 +1,1 @@
+lib/geom/ball.mli: Box Format Point

@@ -1,0 +1,1 @@
+lib/geom/box.ml: Array Format Point

@@ -1,0 +1,1 @@
+lib/geom/circle.ml: Angle Float List

@@ -1,0 +1,1 @@
+lib/geom/grid.ml: Array Ball Box Float Hashtbl Point

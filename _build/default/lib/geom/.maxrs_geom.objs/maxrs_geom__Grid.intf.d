@@ -1,0 +1,1 @@
+lib/geom/grid.mli: Ball Box Hashtbl Point

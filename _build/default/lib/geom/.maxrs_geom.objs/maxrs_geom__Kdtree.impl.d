@@ -1,0 +1,1 @@
+lib/geom/kdtree.ml: Array Ball Box Float Fun Point

@@ -1,0 +1,1 @@
+lib/geom/kdtree.mli: Ball Box Point

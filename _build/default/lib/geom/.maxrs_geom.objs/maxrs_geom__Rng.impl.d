@@ -1,0 +1,1 @@
+lib/geom/rng.ml: Array Float Int64

@@ -1,0 +1,1 @@
+lib/geom/shifted_grids.ml: Array Float Grid List Option Point Rng

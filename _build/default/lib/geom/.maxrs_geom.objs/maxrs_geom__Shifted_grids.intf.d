@@ -1,0 +1,1 @@
+lib/geom/shifted_grids.mli: Grid Point Rng

@@ -1,0 +1,1 @@
+lib/geom/sphere.ml: Array Float Point Rng

@@ -1,0 +1,1 @@
+lib/geom/sphere.mli: Point Rng

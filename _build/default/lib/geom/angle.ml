@@ -1,0 +1,80 @@
+let two_pi = 2. *. Float.pi
+
+let norm a =
+  let r = Float.rem a two_pi in
+  if r < 0. then r +. two_pi else r
+
+type ivl = { start : float; len : float }
+
+let ivl a b =
+  let a = norm a in
+  { start = a; len = norm (b -. a) }
+
+let full = { start = 0.; len = two_pi }
+let is_full i = i.len >= two_pi -. 1e-12
+
+let mem i theta =
+  let t = norm theta in
+  let off = norm (t -. i.start) in
+  off <= i.len +. 1e-12
+
+let midpoint i = norm (i.start +. (i.len /. 2.))
+let endpoints i = (i.start, norm (i.start +. i.len))
+
+(* Cut every (possibly wrapping) span into non-wrapping [a, b] pieces with
+   0 <= a <= b <= 2pi, then sort and merge. *)
+let to_flat ivls =
+  List.concat_map
+    (fun i ->
+      if i.len <= 0. then []
+      else
+        let a = i.start and b = i.start +. i.len in
+        if b <= two_pi then [ (a, b) ] else [ (a, two_pi); (0., b -. two_pi) ])
+    ivls
+
+let merge_flat pieces =
+  let sorted = List.sort (fun (a, _) (b, _) -> Float.compare a b) pieces in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (a, b) :: rest -> (
+        match acc with
+        | (a0, b0) :: acc' when a <= b0 +. 1e-12 ->
+            go ((a0, Float.max b0 b) :: acc') rest
+        | _ -> go ((a, b) :: acc) rest)
+  in
+  go [] sorted
+
+let total_length ivls =
+  if List.exists is_full ivls then two_pi
+  else
+    merge_flat (to_flat ivls)
+    |> List.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0.
+
+let complement ivls =
+  if List.exists is_full ivls then []
+  else
+    let merged = merge_flat (to_flat ivls) in
+    match merged with
+    | [] -> [ full ]
+    | (first_a, _) :: _ ->
+        (* Gaps between consecutive covered pieces, plus the wrap-around gap
+           from the last piece's end back to the first piece's start. *)
+        let rec gaps acc = function
+          | [ (_, b_last) ] ->
+              let wrap = { start = norm b_last; len = norm (first_a -. b_last) } in
+              let acc = if norm (first_a -. b_last) > 1e-12 || (b_last >= two_pi -. 1e-12 && first_a <= 1e-12) then
+                  (if wrap.len > 1e-12 then wrap :: acc else acc)
+                else acc
+              in
+              List.rev acc
+          | (_, b) :: ((a', _) :: _ as rest) ->
+              let acc =
+                if a' -. b > 1e-12 then { start = b; len = a' -. b } :: acc
+                else acc
+              in
+              gaps acc rest
+          | [] -> List.rev acc
+        in
+        gaps [] merged
+
+let covers_circle ivls = total_length ivls >= two_pi -. 1e-9

@@ -1,0 +1,29 @@
+(** Closed euclidean d-balls. *)
+
+type t = { center : Point.t; radius : float }
+
+val make : Point.t -> float -> t
+(** [make c r] is the closed ball of center [c] and radius [r >= 0]. *)
+
+val unit : Point.t -> t
+(** Unit-radius ball (the dual objects of Sections 3–4 of the paper). *)
+
+val dim : t -> int
+
+val contains : t -> Point.t -> bool
+(** Closed containment: [dist p center <= radius] (with a tiny tolerance so
+    that points constructed to lie exactly on the boundary count as
+    inside, matching the paper's closed ranges). *)
+
+val contains_strict : t -> Point.t -> bool
+(** Open containment, no tolerance. *)
+
+val intersects_ball : t -> t -> bool
+
+val intersects_box : t -> Box.t -> bool
+(** Whether the closed ball meets the closed box. *)
+
+val boundary_tolerance : float
+(** The absolute tolerance used by [contains]. *)
+
+val pp : Format.formatter -> t -> unit

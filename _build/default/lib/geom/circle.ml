@@ -1,0 +1,47 @@
+type t = { cx : float; cy : float; r : float }
+
+let make ~cx ~cy ~r =
+  assert (r > 0.);
+  { cx; cy; r }
+
+let point_at c theta = (c.cx +. (c.r *. cos theta), c.cy +. (c.r *. sin theta))
+let angle_of c x y = Angle.norm (atan2 (y -. c.cy) (x -. c.cx))
+
+type coverage = Disjoint | Covered | Arc of Angle.ivl
+
+let coverage_by_disk c ~cx ~cy ~r =
+  let dx = cx -. c.cx and dy = cy -. c.cy in
+  let dd = sqrt ((dx *. dx) +. (dy *. dy)) in
+  if dd +. c.r <= r then Covered
+  else if dd >= r +. c.r || dd +. r <= c.r then Disjoint
+  else if dd < 1e-15 then (* concentric, neither contained: numeric guard *)
+    Disjoint
+  else
+    (* Law of cosines in the triangle (circle center, disk center, boundary
+       crossing): the covered span is centered on the direction towards the
+       disk center with half-angle phi. *)
+    let cos_phi = ((dd *. dd) +. (c.r *. c.r) -. (r *. r)) /. (2. *. dd *. c.r) in
+    let cos_phi = Float.max (-1.) (Float.min 1. cos_phi) in
+    let phi = acos cos_phi in
+    let theta = atan2 dy dx in
+    Arc (Angle.ivl (theta -. phi) (theta +. phi))
+
+let intersections c1 c2 =
+  let dx = c2.cx -. c1.cx and dy = c2.cy -. c1.cy in
+  let d2 = (dx *. dx) +. (dy *. dy) in
+  let d = sqrt d2 in
+  if d < 1e-15 then []
+  else if d > c1.r +. c2.r || d < Float.abs (c1.r -. c2.r) then []
+  else
+    (* Standard two-circle intersection: a = distance from c1 along the
+       center line to the radical line, h = half chord length. *)
+    let a = (d2 +. (c1.r *. c1.r) -. (c2.r *. c2.r)) /. (2. *. d) in
+    let h2 = (c1.r *. c1.r) -. (a *. a) in
+    let h = if h2 <= 0. then 0. else sqrt h2 in
+    let mx = c1.cx +. (a *. dx /. d) and my = c1.cy +. (a *. dy /. d) in
+    let ox = -.dy *. h /. d and oy = dx *. h /. d in
+    if h = 0. then [ (mx, my) ]
+    else [ (mx +. ox, my +. oy); (mx -. ox, my -. oy) ]
+
+let intersection_angles c1 c2 =
+  List.map (fun (x, y) -> angle_of c1 x y) (intersections c1 c2)

@@ -1,0 +1,31 @@
+(** Circles in the plane and their interaction with disks — the geometric
+    kernel of the angular sweeps (exact disk MaxRS [CL86]-style, union
+    boundaries of Section 4). *)
+
+type t = { cx : float; cy : float; r : float }
+
+val make : cx:float -> cy:float -> r:float -> t
+
+val point_at : t -> float -> float * float
+(** The point at the given angle (ccw from the positive x-axis). *)
+
+val angle_of : t -> float -> float -> float
+(** The (normalized) angle of the given point as seen from the center. *)
+
+(** How a closed disk covers this circle. *)
+type coverage =
+  | Disjoint  (** no point of the circle lies in the disk *)
+  | Covered  (** the whole circle lies in the disk *)
+  | Arc of Angle.ivl  (** exactly this angular span lies in the disk *)
+
+val coverage_by_disk : t -> cx:float -> cy:float -> r:float -> coverage
+(** [coverage_by_disk c ~cx ~cy ~r] describes the set
+    [{theta | point_at c theta inside the closed disk (cx,cy,r)}]. *)
+
+val intersections : t -> t -> (float * float) list
+(** The 0, 1 or 2 intersection points of the two circles. Concentric or
+    (near-)identical circles yield []. *)
+
+val intersection_angles : t -> t -> float list
+(** Angles on the first circle of its intersection points with the
+    second. *)

@@ -1,0 +1,74 @@
+type t = { dim : int; side : float; origin : Point.t }
+type key = int array
+
+let make ~side ~origin =
+  assert (side > 0.);
+  { dim = Point.dim origin; side; origin }
+
+let key_of_point g p =
+  assert (Point.dim p = g.dim);
+  Array.init g.dim (fun i ->
+      int_of_float (Float.floor ((p.(i) -. g.origin.(i)) /. g.side)))
+
+let cell_box g k =
+  let lo = Array.init g.dim (fun i -> g.origin.(i) +. (float_of_int k.(i) *. g.side)) in
+  let hi = Array.map (fun x -> x +. g.side) lo in
+  Box.make lo hi
+
+let cell_center g k =
+  Array.init g.dim (fun i ->
+      g.origin.(i) +. ((float_of_int k.(i) +. 0.5) *. g.side))
+
+let cell_circumradius g = g.side *. sqrt (float_of_int g.dim) /. 2.
+
+let iter_keys_intersecting_ball g b f =
+  let d = g.dim in
+  let c = b.Ball.center and r = b.Ball.radius in
+  let lo =
+    Array.init d (fun i ->
+        int_of_float (Float.floor ((c.(i) -. r -. g.origin.(i)) /. g.side)))
+  and hi =
+    Array.init d (fun i ->
+        int_of_float (Float.floor ((c.(i) +. r -. g.origin.(i)) /. g.side)))
+  in
+  let key = Array.copy lo in
+  let r2 = r *. r in
+  (* Odometer over the integer bounding box, accumulating the squared
+     distance from the ball center to the partial cell box per axis —
+     prunes whole subtrees and allocates nothing per cell. The key passed
+     to [f] is a scratch buffer: copy it before retaining. *)
+  let rec go i acc =
+    if acc <= r2 then
+      if i = d then f key
+      else
+        for v = lo.(i) to hi.(i) do
+          key.(i) <- v;
+          let cell_lo = g.origin.(i) +. (float_of_int v *. g.side) in
+          let cell_hi = cell_lo +. g.side in
+          let dx =
+            if c.(i) < cell_lo then cell_lo -. c.(i)
+            else if c.(i) > cell_hi then c.(i) -. cell_hi
+            else 0.
+          in
+          go (i + 1) (acc +. (dx *. dx))
+        done
+  in
+  go 0 0.
+
+let keys_intersecting_ball g b =
+  let acc = ref [] in
+  iter_keys_intersecting_ball g b (fun k -> acc := Array.copy k :: !acc);
+  !acc
+
+module Tbl = Hashtbl.Make (struct
+  type t = key
+
+  let equal a b = a = b
+
+  let hash k =
+    (* FNV-style mix over coordinates; the polymorphic hash would also
+       work but this is faster and collision behaviour is predictable. *)
+    let h = ref 0x811c9dc5 in
+    Array.iter (fun v -> h := (!h lxor v) * 0x01000193) k;
+    !h land max_int
+end)

@@ -1,0 +1,34 @@
+(** The uniform grid [G_s(c)] of Section 2: cell side length [s], cell
+    boundaries on the hyperplanes [x_i = c_i + k*s]. Cells are addressed by
+    integer keys (the vector [k]). *)
+
+type t = private { dim : int; side : float; origin : Point.t }
+
+type key = int array
+
+val make : side:float -> origin:Point.t -> t
+(** Requires [side > 0]. *)
+
+val key_of_point : t -> Point.t -> key
+(** The cell containing the point (cells are half-open [ [ks, (k+1)s) ]
+    per axis, so every point belongs to exactly one cell). *)
+
+val cell_box : t -> key -> Box.t
+
+val cell_center : t -> key -> Point.t
+
+val cell_circumradius : t -> float
+(** [side * sqrt dim / 2] — the radius of the circumsphere C(X) of a cell,
+    on which Technique 1 samples its points. *)
+
+val iter_keys_intersecting_ball : t -> Ball.t -> (key -> unit) -> unit
+(** Enumerate the keys of all cells whose closed box meets the closed
+    ball. Cost is proportional to the bounding-box cell count,
+    [(2r/s + 2)^d], with per-axis distance pruning. The key passed to the
+    callback is a scratch buffer reused across calls — copy it before
+    retaining it. *)
+
+val keys_intersecting_ball : t -> Ball.t -> key list
+
+module Tbl : Hashtbl.S with type key = key
+(** Hash tables over cell keys. *)

@@ -1,0 +1,123 @@
+type node =
+  | Leaf of { idxs : int array }
+  | Node of {
+      axis : int;
+      split : float;
+      left : node;
+      right : node;
+      bbox : Box.t;
+    }
+
+type t = { root : node; pts : Point.t array; dims : int }
+
+let leaf_capacity = 12
+
+let bbox_of pts idxs =
+  let d = Point.dim pts.(idxs.(0)) in
+  let lo = Array.copy pts.(idxs.(0)) and hi = Array.copy pts.(idxs.(0)) in
+  Array.iter
+    (fun i ->
+      let p = pts.(i) in
+      for k = 0 to d - 1 do
+        if p.(k) < lo.(k) then lo.(k) <- p.(k);
+        if p.(k) > hi.(k) then hi.(k) <- p.(k)
+      done)
+    idxs;
+  Box.make lo hi
+
+let build pts =
+  let n = Array.length pts in
+  assert (n > 0);
+  let dims = Point.dim pts.(0) in
+  Array.iter (fun p -> assert (Point.dim p = dims)) pts;
+  let rec go idxs depth =
+    if Array.length idxs <= leaf_capacity then Leaf { idxs }
+    else begin
+      let axis = depth mod dims in
+      let sorted = Array.copy idxs in
+      Array.sort
+        (fun a b -> Float.compare pts.(a).(axis) pts.(b).(axis))
+        sorted;
+      let mid = Array.length sorted / 2 in
+      let split = pts.(sorted.(mid)).(axis) in
+      let left = Array.sub sorted 0 mid in
+      let right = Array.sub sorted mid (Array.length sorted - mid) in
+      (* Degenerate: all coordinates equal along this axis — fall back to
+         a leaf rather than recursing forever. *)
+      if Array.length left = 0 || Array.length right = 0 then Leaf { idxs }
+      else
+        Node
+          {
+            axis;
+            split;
+            left = go left (depth + 1);
+            right = go right (depth + 1);
+            bbox = bbox_of pts idxs;
+          }
+    end
+  in
+  { root = go (Array.init n Fun.id) 0; pts; dims }
+
+let size t = Array.length t.pts
+let dim t = t.dims
+
+let iter_in_ball t ball f =
+  let r2 = (ball.Ball.radius +. Ball.boundary_tolerance) ** 2. in
+  let rec go = function
+    | Leaf { idxs } ->
+        Array.iter
+          (fun i ->
+            if Point.dist2 t.pts.(i) ball.Ball.center <= r2 then
+              f i t.pts.(i))
+          idxs
+    | Node { left; right; bbox; _ } ->
+        if Box.dist2_to_point bbox ball.Ball.center <= r2 then begin
+          go left;
+          go right
+        end
+  in
+  go t.root
+
+let count_in_ball t ball =
+  let c = ref 0 in
+  iter_in_ball t ball (fun _ _ -> incr c);
+  !c
+
+let count_in_box t box =
+  let c = ref 0 in
+  let rec go = function
+    | Leaf { idxs } ->
+        Array.iter (fun i -> if Box.contains box t.pts.(i) then incr c) idxs
+    | Node { left; right; bbox; _ } ->
+        if Box.intersects_box bbox box then begin
+          go left;
+          go right
+        end
+  in
+  go t.root;
+  !c
+
+let nearest t q =
+  let best_i = ref (-1) and best_d2 = ref infinity in
+  let rec go = function
+    | Leaf { idxs } ->
+        Array.iter
+          (fun i ->
+            let d2 = Point.dist2 t.pts.(i) q in
+            if d2 < !best_d2 then begin
+              best_d2 := d2;
+              best_i := i
+            end)
+          idxs
+    | Node { axis; split; left; right; bbox; _ } ->
+        if Box.dist2_to_point bbox q < !best_d2 then begin
+          (* Descend the nearer side first for tighter pruning. *)
+          let first, second =
+            if q.(axis) < split then (left, right) else (right, left)
+          in
+          go first;
+          go second
+        end
+  in
+  go t.root;
+  (!best_i, t.pts.(!best_i), sqrt !best_d2)

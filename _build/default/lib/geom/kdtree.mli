@@ -1,0 +1,26 @@
+(** Static kd-tree over points in [R^d].
+
+    Substrate for fast depth verification (counting the input balls that
+    contain a query point is, in the dual, counting input points inside a
+    query ball) and for workload statistics. Built once in O(n log n) by
+    median splits; range queries prune by bounding box. *)
+
+type t
+
+val build : Point.t array -> t
+(** Requires a non-empty array of equal-dimension points. The array is
+    not retained; indices into it identify points in query callbacks. *)
+
+val size : t -> int
+val dim : t -> int
+
+val iter_in_ball : t -> Ball.t -> (int -> Point.t -> unit) -> unit
+(** Visit every indexed point lying in the closed ball. *)
+
+val count_in_ball : t -> Ball.t -> int
+
+val count_in_box : t -> Box.t -> int
+
+val nearest : t -> Point.t -> int * Point.t * float
+(** Index, coordinates and distance of a nearest neighbor of the query
+    (the query itself if it is in the set). *)

@@ -1,0 +1,68 @@
+type t = float array
+
+let dim p = Array.length p
+
+let create d v =
+  assert (d > 0);
+  Array.make d v
+
+let zero d = create d 0.
+
+let of_list cs =
+  assert (cs <> []);
+  Array.of_list cs
+
+let copy = Array.copy
+
+let equal ?(eps = 0.) p q =
+  dim p = dim q
+  &&
+  let rec go i =
+    i >= dim p || (Float.abs (p.(i) -. q.(i)) <= eps && go (i + 1))
+  in
+  go 0
+
+let add p q =
+  assert (dim p = dim q);
+  Array.init (dim p) (fun i -> p.(i) +. q.(i))
+
+let sub p q =
+  assert (dim p = dim q);
+  Array.init (dim p) (fun i -> p.(i) -. q.(i))
+
+let scale c p = Array.map (fun x -> c *. x) p
+
+let dot p q =
+  assert (dim p = dim q);
+  let acc = ref 0. in
+  for i = 0 to dim p - 1 do
+    acc := !acc +. (p.(i) *. q.(i))
+  done;
+  !acc
+
+let norm2 p = dot p p
+let norm p = sqrt (norm2 p)
+
+let dist2 p q =
+  assert (dim p = dim q);
+  let acc = ref 0. in
+  for i = 0 to dim p - 1 do
+    let d = p.(i) -. q.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let dist p q = sqrt (dist2 p q)
+
+let midpoint p q = Array.init (dim p) (fun i -> 0.5 *. (p.(i) +. q.(i)))
+
+let lerp a b t = Array.init (dim a) (fun i -> a.(i) +. (t *. (b.(i) -. a.(i))))
+
+let pp ppf p =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    p
+
+let to_string p = Format.asprintf "%a" pp p

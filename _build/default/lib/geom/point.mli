@@ -1,0 +1,49 @@
+(** Points in [R^d], represented as float arrays of length [d].
+
+    All functions assume their arguments have the same dimension; this is
+    enforced with assertions rather than a phantom type, keeping the
+    representation transparent for hot loops. *)
+
+type t = float array
+
+val dim : t -> int
+(** [dim p] is the dimension of the ambient space of [p]. *)
+
+val create : int -> float -> t
+(** [create d v] is the point of dimension [d] with every coordinate [v]. *)
+
+val zero : int -> t
+(** [zero d] is the origin of [R^d]. *)
+
+val of_list : float list -> t
+(** [of_list cs] is the point with coordinates [cs]. *)
+
+val copy : t -> t
+
+val equal : ?eps:float -> t -> t -> bool
+(** Coordinate-wise equality up to absolute tolerance [eps] (default [0.]). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+val dot : t -> t -> float
+
+val norm2 : t -> float
+(** Squared euclidean norm. *)
+
+val norm : t -> float
+
+val dist2 : t -> t -> float
+(** Squared euclidean distance. *)
+
+val dist : t -> t -> float
+
+val midpoint : t -> t -> t
+
+val lerp : t -> t -> float -> t
+(** [lerp a b t] is [a + t*(b - a)]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,46 @@
+type t = { mutable state : int64 }
+
+(* splitmix64: fast, passes BigCrush, trivially seedable. *)
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+let int t bound =
+  assert (bound > 0);
+  let mask = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+(* 53 random mantissa bits mapped to [0, 1). *)
+let unit_float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.
+
+let float t bound = unit_float t *. bound
+let uniform t lo hi = lo +. (unit_float t *. (hi -. lo))
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let bernoulli t p = unit_float t < p
+
+let gaussian t =
+  (* Box–Muller; guard against log 0. *)
+  let u1 = Float.max (unit_float t) 1e-300 in
+  let u2 = unit_float t in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

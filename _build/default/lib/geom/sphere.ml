@@ -1,0 +1,32 @@
+let direction rng d =
+  (* Retry on the (measure-zero) all-zeros draw rather than divide by 0. *)
+  let rec draw () =
+    let v = Array.init d (fun _ -> Rng.gaussian rng) in
+    let n = Point.norm v in
+    if n < 1e-12 then draw () else Point.scale (1. /. n) v
+  in
+  draw ()
+
+let sample_on rng ~center ~radius =
+  assert (radius >= 0.);
+  (* Low dimensions get direct parametrizations (this is the hot path of
+     the Technique-1 sampling step); Muller's method covers the rest. *)
+  match Point.dim center with
+  | 1 ->
+      let s = if Rng.bool rng then radius else -.radius in
+      [| center.(0) +. s |]
+  | 2 ->
+      let theta = Rng.float rng (2. *. Float.pi) in
+      [| center.(0) +. (radius *. cos theta); center.(1) +. (radius *. sin theta) |]
+  | d ->
+      let u = direction rng d in
+      Point.add center (Point.scale radius u)
+
+let sample_on_many rng ~center ~radius t =
+  Array.init t (fun _ -> sample_on rng ~center ~radius)
+
+let sample_in rng ~center ~radius =
+  let d = Point.dim center in
+  let u = direction rng d in
+  let r = radius *. (Rng.float rng 1. ** (1. /. float_of_int d)) in
+  Point.add center (Point.scale r u)

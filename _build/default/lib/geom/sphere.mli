@@ -1,0 +1,13 @@
+(** Uniform sampling on spheres — Muller's method [Mul59], the primitive
+    behind the "sampling step" of Technique 1 (Section 3 of the paper). *)
+
+val sample_on : Rng.t -> center:Point.t -> radius:float -> Point.t
+(** A point distributed uniformly on the (d-1)-sphere of the given center
+    and radius: sample d independent gaussians, normalize, scale. *)
+
+val sample_on_many : Rng.t -> center:Point.t -> radius:float -> int -> Point.t array
+(** [sample_on_many rng ~center ~radius t] draws [t] independent samples. *)
+
+val sample_in : Rng.t -> center:Point.t -> radius:float -> Point.t
+(** A point distributed uniformly in the closed ball (direction by Muller,
+    radius by the [u^{1/d}] inverse-CDF trick). *)

@@ -1,0 +1,1 @@
+lib/sweep/batched2d.ml: Array Disk2d Rect2d

@@ -1,0 +1,1 @@
+lib/sweep/batched2d.mli: Disk2d Rect2d

@@ -1,0 +1,1 @@
+lib/sweep/boxd.ml: Array Float Hashtbl Interval1d Maxrs_geom Seq

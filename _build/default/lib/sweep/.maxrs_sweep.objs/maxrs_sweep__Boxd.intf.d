@@ -1,0 +1,1 @@
+lib/sweep/boxd.mli: Maxrs_geom

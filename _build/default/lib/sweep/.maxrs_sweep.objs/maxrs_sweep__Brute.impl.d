@@ -1,0 +1,1 @@
+lib/sweep/brute.ml: Array Colored_disk2d Disk2d Float List Maxrs_geom

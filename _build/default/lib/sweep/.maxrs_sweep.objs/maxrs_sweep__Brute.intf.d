@@ -1,0 +1,1 @@
+lib/sweep/brute.mli:

@@ -1,0 +1,1 @@
+lib/sweep/colored_disk2d.ml: Array Bool Float Hashtbl Maxrs_geom Option

@@ -1,0 +1,1 @@
+lib/sweep/colored_disk2d.mli:

@@ -1,0 +1,1 @@
+lib/sweep/colored_interval1d.mli:

@@ -1,0 +1,1 @@
+lib/sweep/colored_rect2d.mli:

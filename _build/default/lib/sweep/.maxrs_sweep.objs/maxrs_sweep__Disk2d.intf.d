@@ -1,0 +1,1 @@
+lib/sweep/disk2d.mli:

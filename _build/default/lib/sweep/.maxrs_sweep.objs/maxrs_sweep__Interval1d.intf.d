@@ -1,0 +1,1 @@
+lib/sweep/interval1d.mli:

@@ -1,0 +1,1 @@
+lib/sweep/rect2d.ml: Array Bool Float List Segment_tree

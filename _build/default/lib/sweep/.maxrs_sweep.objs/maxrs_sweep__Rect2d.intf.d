@@ -1,0 +1,1 @@
+lib/sweep/rect2d.mli:

@@ -1,0 +1,1 @@
+lib/sweep/segment_tree.mli:

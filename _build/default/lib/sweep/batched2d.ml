@@ -1,0 +1,5 @@
+let rects ~sizes pts =
+  Array.map (fun (width, height) -> Rect2d.max_sum ~width ~height pts) sizes
+
+let disks ~radii pts =
+  Array.map (fun radius -> Disk2d.max_weight ~radius pts) radii

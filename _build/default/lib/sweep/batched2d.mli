@@ -1,0 +1,17 @@
+(** Batched MaxRS drivers in the plane — the trivial upper bounds the
+    paper's Section 7 records as the state of the art:
+
+    - rectangles: m sizes, O(mn log n) by running the [IA83, NB95] sweep
+      per size (Theorem 1.3 makes o(mn) unlikely even in R^1);
+    - disks: m radii, O(mn^2) by running the [CL86]-style sweep per
+      radius (a matching lower bound is the paper's open problem). *)
+
+val rects :
+  sizes:(float * float) array ->
+  (float * float * float) array ->
+  Rect2d.placement array
+(** One exact rectangle MaxRS per (width, height). *)
+
+val disks :
+  radii:float array -> (float * float * float) array -> Disk2d.result array
+(** One exact disk MaxRS per radius. *)

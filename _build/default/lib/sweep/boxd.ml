@@ -1,0 +1,70 @@
+module Point = Maxrs_geom.Point
+
+type result = { point : Point.t; value : float }
+
+let depth_at ~widths pts q =
+  let d = Array.length widths in
+  Array.fold_left
+    (fun acc (p, w) ->
+      let covered = ref true in
+      for k = 0 to d - 1 do
+        if Float.abs (p.(k) -. q.(k)) > (widths.(k) /. 2.) +. 1e-12 then
+          covered := false
+      done;
+      if !covered then acc +. w else acc)
+    0. pts
+
+let max_sum ~widths pts =
+  let d = Array.length widths in
+  assert (d >= 1);
+  Array.iter (fun w -> assert (w > 0.)) widths;
+  assert (Array.length pts > 0);
+  Array.iter
+    (fun (p, w) ->
+      assert (Point.dim p = d);
+      assert (w >= 0.))
+    pts;
+  (* Recurse over dimensions: fix the placement's k-th center so the dual
+     box lower edge of some active point touches it; the last dimension
+     is a 1-D interval sweep. [active] holds (point, weight) pairs still
+     compatible with the choices made so far. *)
+  let center = Array.make d 0. in
+  let best = ref { point = Array.make d 0.; value = -1. } in
+  let rec go k active =
+    if Array.length active = 0 then ()
+    else if k = d - 1 then begin
+      let placement =
+        Interval1d.max_sum ~len:widths.(k)
+          (Array.map (fun (p, w) -> (p.(k), w)) active)
+      in
+      if placement.Interval1d.value > !best.value then begin
+        center.(k) <- placement.Interval1d.lo +. (widths.(k) /. 2.);
+        best := { point = Array.copy center; value = placement.Interval1d.value }
+      end
+    end
+    else begin
+      (* A maximum-depth placement can be slid down along axis k until
+         its lower face touches a covered point p (p_k = c - w/2), so the
+         candidate centers are c = p_k + w/2 over active points p. *)
+      let half = widths.(k) /. 2. in
+      let seen = Hashtbl.create 64 in
+      Array.iter
+        (fun (p, _) ->
+          let c = p.(k) +. half in
+          if not (Hashtbl.mem seen c) then begin
+            Hashtbl.add seen c ();
+            center.(k) <- c;
+            let filtered =
+              Array.of_seq
+                (Seq.filter
+                   (fun (q, _) -> Float.abs (q.(k) -. c) <= half +. 1e-12)
+                   (Array.to_seq active))
+            in
+            go (k + 1) filtered
+          end)
+        active
+    end
+  in
+  go 0 pts;
+  assert (!best.value >= 0.);
+  !best

@@ -1,0 +1,35 @@
+module Circle = Maxrs_geom.Circle
+
+let candidates ~radius centers =
+  let n = Array.length centers in
+  let acc = ref (Array.to_list centers) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let xi, yi = centers.(i) and xj, yj = centers.(j) in
+      let ci = Circle.make ~cx:xi ~cy:yi ~r:radius in
+      let cj = Circle.make ~cx:xj ~cy:yj ~r:radius in
+      acc := Circle.intersections ci cj @ !acc
+    done
+  done;
+  !acc
+
+let max_weighted ~radius pts =
+  assert (Array.length pts > 0);
+  let centers = Array.map (fun (x, y, _) -> (x, y)) pts in
+  let best = ref ((0., 0.), Float.neg_infinity) in
+  List.iter
+    (fun (qx, qy) ->
+      let v = Disk2d.depth_at ~radius pts qx qy in
+      if v > snd !best then best := ((qx, qy), v))
+    (candidates ~radius centers);
+  !best
+
+let max_colored ~radius centers ~colors =
+  assert (Array.length centers > 0);
+  let best = ref ((0., 0.), min_int) in
+  List.iter
+    (fun (qx, qy) ->
+      let v = Colored_disk2d.colored_depth_at ~radius centers ~colors qx qy in
+      if v > snd !best then best := ((qx, qy), v))
+    (candidates ~radius centers);
+  !best

@@ -1,0 +1,18 @@
+(** Brute-force ground truth for disk MaxRS in the plane.
+
+    For closed disks of equal radius with non-negative weights, some
+    optimal point is either a disk center or an intersection point of two
+    boundary circles; evaluating the depth at every candidate is O(n^3)
+    and serves as the reference implementation in tests and experiment
+    sanity checks. *)
+
+val candidates : radius:float -> (float * float) array -> (float * float) list
+(** All centers plus all pairwise circle-intersection points. *)
+
+val max_weighted :
+  radius:float -> (float * float * float) array -> (float * float) * float
+(** Exact weighted disk MaxRS by candidate enumeration. *)
+
+val max_colored :
+  radius:float -> (float * float) array -> colors:int array -> (float * float) * int
+(** Exact colored disk MaxRS by candidate enumeration. *)

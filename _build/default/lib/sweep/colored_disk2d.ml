@@ -1,0 +1,87 @@
+module Circle = Maxrs_geom.Circle
+module Angle = Maxrs_geom.Angle
+
+type result = { x : float; y : float; value : int }
+
+let colored_depth_at ~radius centers ~colors qx qy =
+  let r2 = (radius +. 1e-9) ** 2. in
+  let seen = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (x, y) ->
+      let d2 = ((x -. qx) ** 2.) +. ((y -. qy) ** 2.) in
+      if d2 <= r2 then Hashtbl.replace seen colors.(i) ())
+    centers;
+  Hashtbl.length seen
+
+(* Multiset of active colors with a distinct-color counter. *)
+module Color_counter = struct
+  type t = { counts : (int, int) Hashtbl.t; mutable distinct : int }
+
+  let create () = { counts = Hashtbl.create 32; distinct = 0 }
+
+  let add t c =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt t.counts c) in
+    Hashtbl.replace t.counts c (cur + 1);
+    if cur = 0 then t.distinct <- t.distinct + 1
+
+  let remove t c =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt t.counts c) in
+    assert (cur > 0);
+    Hashtbl.replace t.counts c (cur - 1);
+    if cur = 1 then t.distinct <- t.distinct - 1
+end
+
+let sweep_circle ~radius centers ~colors i =
+  let xi, yi = centers.(i) in
+  let c = Circle.make ~cx:xi ~cy:yi ~r:radius in
+  let counter = Color_counter.create () in
+  Color_counter.add counter colors.(i);
+  let events = ref [] in
+  Array.iteri
+    (fun j (xj, yj) ->
+      if j <> i then
+        match Circle.coverage_by_disk c ~cx:xj ~cy:yj ~r:radius with
+        | Circle.Covered -> Color_counter.add counter colors.(j)
+        | Circle.Disjoint -> ()
+        | Circle.Arc ivl ->
+            let s, e = Angle.endpoints ivl in
+            events := (s, true, colors.(j)) :: (e, false, colors.(j)) :: !events;
+            if Angle.mem ivl 0. && ivl.Angle.len < Angle.two_pi -. 1e-12 then
+              Color_counter.add counter colors.(j))
+    centers;
+  let evts = Array.of_list !events in
+  Array.sort
+    (fun (a1, add1, _) (a2, add2, _) ->
+      match Float.compare a1 a2 with
+      | 0 -> Bool.compare add2 add1 (* additions first *)
+      | c -> c)
+    evts;
+  let best = ref counter.Color_counter.distinct and best_angle = ref 0. in
+  Array.iter
+    (fun (a, add, col) ->
+      if add then begin
+        Color_counter.add counter col;
+        if counter.Color_counter.distinct > !best then begin
+          best := counter.Color_counter.distinct;
+          best_angle := a
+        end
+      end
+      else Color_counter.remove counter col)
+    evts;
+  (!best_angle, !best)
+
+let max_colored ~radius centers ~colors =
+  assert (radius > 0.);
+  let n = Array.length centers in
+  assert (n > 0 && Array.length colors = n);
+  let best = ref { x = 0.; y = 0.; value = min_int } in
+  for i = 0 to n - 1 do
+    let angle, v = sweep_circle ~radius centers ~colors i in
+    if v > !best.value then begin
+      let xi, yi = centers.(i) in
+      let c = Circle.make ~cx:xi ~cy:yi ~r:radius in
+      let x, y = Circle.point_at c angle in
+      best := { x; y; value = v }
+    end
+  done;
+  !best

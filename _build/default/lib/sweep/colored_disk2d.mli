@@ -1,0 +1,23 @@
+(** Exact colored disk MaxRS in the plane — the "straightforward
+    O(n^2 log n)" baseline of Section 1.5 of the paper.
+
+    Dual view: n unit (or radius-[r]) disks, each carrying a color; find a
+    point covered by the maximum number of {e distinct} colors. Same
+    circle-by-circle angular sweep as {!Disk2d}, but the sweep state is a
+    per-color multiset so the objective is the number of colors with a
+    positive count. *)
+
+type result = {
+  x : float;
+  y : float;
+  value : int;  (** maximum colored depth *)
+}
+
+val max_colored :
+  radius:float -> (float * float) array -> colors:int array -> result
+(** [max_colored ~radius centers ~colors] (arrays of equal nonzero
+    length). Colors are arbitrary ints. *)
+
+val colored_depth_at :
+  radius:float -> (float * float) array -> colors:int array -> float -> float -> int
+(** Number of distinct colors among disks containing the query point. *)

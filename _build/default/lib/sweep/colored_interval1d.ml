@@ -1,0 +1,48 @@
+let color_unions ivls =
+  let by_color = Hashtbl.create 16 in
+  Array.iter
+    (fun ((lo, hi), c) ->
+      assert (lo <= hi);
+      match Hashtbl.find_opt by_color c with
+      | Some l -> l := (lo, hi) :: !l
+      | None -> Hashtbl.add by_color c (ref [ (lo, hi) ]))
+    ivls;
+  Hashtbl.fold
+    (fun _c segs acc ->
+      let sorted = List.sort (fun (a, _) (b, _) -> Float.compare a b) !segs in
+      (* Merge overlapping/touching intervals of one color. *)
+      let rec merge acc = function
+        | [] -> acc
+        | (lo, hi) :: rest -> (
+            match acc with
+            | (lo0, hi0) :: acc' when lo <= hi0 ->
+                merge ((lo0, Float.max hi0 hi) :: acc') rest
+            | _ -> merge ((lo, hi) :: acc) rest)
+      in
+      merge [] sorted @ acc)
+    by_color []
+
+let max_stab ivls =
+  assert (Array.length ivls > 0);
+  let segments = color_unions ivls in
+  (* Max overlap of the (per-color disjoint) union segments: closed
+     endpoints, so starts sort before ends at equal coordinates. *)
+  let events =
+    List.concat_map (fun (lo, hi) -> [ (lo, 1); (hi, -1) ]) segments
+  in
+  let sorted =
+    List.sort
+      (fun (a, ka) (b, kb) ->
+        match Float.compare a b with 0 -> compare kb ka | c -> c)
+      events
+  in
+  let active = ref 0 and best = ref 0 and best_at = ref 0. in
+  List.iter
+    (fun (x, k) ->
+      active := !active + k;
+      if !active > !best then begin
+        best := !active;
+        best_at := x
+      end)
+    sorted;
+  (!best_at, !best)

@@ -1,0 +1,19 @@
+(** Colored 1-D stabbing: given colored closed intervals on the line,
+    find a point covered by the maximum number of distinct colors.
+
+    The reduction to the uncolored problem is the 1-D analogue of
+    Section 4.2's union trick: within one color, overlapping intervals
+    merge into disjoint union segments, so the colored depth of a point
+    equals its plain depth w.r.t. the union segments. O(n log n).
+
+    Substrate for the colored rectangle MaxRS solver
+    ({!Colored_rect2d}). *)
+
+val max_stab : ((float * float) * int) array -> float * int
+(** [max_stab ivls] with [ivls] an array of ((lo, hi), color); returns a
+    point and the maximum number of distinct colors covering it.
+    Requires a non-empty array and [lo <= hi] for each interval. *)
+
+val color_unions : ((float * float) * int) array -> (float * float) list
+(** The per-color union segments (each segment belongs to one color;
+    segments of the same color are disjoint). Exposed for testing. *)

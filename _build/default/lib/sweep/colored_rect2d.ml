@@ -1,0 +1,40 @@
+type result = { x : float; y : float; value : int }
+
+let colored_depth_at ~width ~height centers ~colors qx qy =
+  let hw = (width /. 2.) +. 1e-12 and hh = (height /. 2.) +. 1e-12 in
+  let seen = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (x, y) ->
+      if Float.abs (x -. qx) <= hw && Float.abs (y -. qy) <= hh then
+        Hashtbl.replace seen colors.(i) ())
+    centers;
+  Hashtbl.length seen
+
+let max_colored ~width ~height centers ~colors =
+  assert (width > 0. && height > 0.);
+  let n = Array.length centers in
+  assert (n > 0 && Array.length colors = n);
+  let hw = width /. 2. and hh = height /. 2. in
+  let best = ref { x = 0.; y = 0.; value = 0 } in
+  (* Candidate x-centers: a maximum placement slides left until a covered
+     point binds at x = cx - width/2. *)
+  let seen_cx = Hashtbl.create n in
+  Array.iter
+    (fun (px, _) ->
+      let cx = px +. hw in
+      if not (Hashtbl.mem seen_cx cx) then begin
+        Hashtbl.add seen_cx cx ();
+        let ivls = ref [] in
+        Array.iteri
+          (fun i (x, y) ->
+            if Float.abs (x -. cx) <= hw +. 1e-12 then
+              ivls := ((y -. hh, y +. hh), colors.(i)) :: !ivls)
+          centers;
+        match !ivls with
+        | [] -> ()
+        | _ :: _ ->
+            let y, depth = Colored_interval1d.max_stab (Array.of_list !ivls) in
+            if depth > !best.value then best := { x = cx; y; value = depth }
+      end)
+    centers;
+  !best

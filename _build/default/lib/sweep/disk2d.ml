@@ -1,0 +1,69 @@
+module Circle = Maxrs_geom.Circle
+module Angle = Maxrs_geom.Angle
+
+type result = { x : float; y : float; value : float }
+
+let depth_at ~radius pts qx qy =
+  let r2 = (radius +. 1e-9) ** 2. in
+  Array.fold_left
+    (fun acc (x, y, w) ->
+      let d2 = ((x -. qx) ** 2.) +. ((y -. qy) ** 2.) in
+      if d2 <= r2 then acc +. w else acc)
+    0. pts
+
+(* Sweep the boundary circle of disk [i]. Events are (angle, +/-w) pairs;
+   ties are resolved by processing additions first so that closed-arc
+   endpoints count as covered. Returns (best angle, best depth). *)
+let sweep_circle ~radius pts i =
+  let xi, yi, wi = pts.(i) in
+  let c = Circle.make ~cx:xi ~cy:yi ~r:radius in
+  let base = ref wi in
+  let events = ref [] in
+  Array.iteri
+    (fun j (xj, yj, wj) ->
+      if j <> i then
+        match Circle.coverage_by_disk c ~cx:xj ~cy:yj ~r:radius with
+        | Circle.Covered -> base := !base +. wj
+        | Circle.Disjoint -> ()
+        | Circle.Arc ivl ->
+            let s, e = Angle.endpoints ivl in
+            events := (s, wj) :: (e, -.wj) :: !events;
+            (* Arcs containing angle 0 are active from the start. *)
+            if Angle.mem ivl 0. && ivl.Angle.len < Angle.two_pi -. 1e-12 then
+              base := !base +. wj)
+    pts;
+  let evts = Array.of_list !events in
+  Array.sort
+    (fun (a1, w1) (a2, w2) ->
+      match Float.compare a1 a2 with
+      | 0 -> Float.compare w2 w1 (* additions first *)
+      | c -> c)
+    evts;
+  let active = ref !base in
+  let best = ref !base and best_angle = ref 0. in
+  Array.iter
+    (fun (a, w) ->
+      active := !active +. w;
+      if !active > !best then begin
+        best := !active;
+        best_angle := a
+      end)
+    evts;
+  (!best_angle, !best)
+
+let max_weight ~radius pts =
+  assert (radius > 0.);
+  let n = Array.length pts in
+  assert (n > 0);
+  Array.iter (fun (_, _, w) -> assert (w >= 0.)) pts;
+  let best = ref { x = 0.; y = 0.; value = Float.neg_infinity } in
+  for i = 0 to n - 1 do
+    let angle, v = sweep_circle ~radius pts i in
+    if v > !best.value then begin
+      let xi, yi, _ = pts.(i) in
+      let c = Circle.make ~cx:xi ~cy:yi ~r:radius in
+      let x, y = Circle.point_at c angle in
+      best := { x; y; value = v }
+    end
+  done;
+  !best

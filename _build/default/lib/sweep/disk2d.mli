@@ -1,0 +1,31 @@
+(** Exact weighted disk MaxRS in the plane — angular-sweep variant of the
+    Chazelle–Lee algorithm [CL86].
+
+    Dual view: each weighted point becomes a disk of the query radius; we
+    search for a point of maximum weighted depth. For every input circle
+    we sweep its boundary: each other disk covers a single angular arc
+    (or the whole circle, or nothing), so a rotating sweep with O(n)
+    events per circle finds the deepest boundary point. The deepest cell
+    of the arrangement is bounded by input circles, hence the overall
+    maximum over all n sweeps is exact. Total O(n^2 log n) — we accept a
+    log factor over [CL86]'s O(n^2).
+
+    Weights must be non-negative (the classical MaxRS setting). Inputs
+    are assumed in general position (the paper's standing assumption):
+    exact tangencies between circles are measure-zero events whose
+    single-point intersections the sweep may classify as disjoint. *)
+
+type result = {
+  x : float;
+  y : float;
+  value : float;  (** maximum weighted depth *)
+}
+
+val max_weight : radius:float -> (float * float * float) array -> result
+(** [max_weight ~radius pts] with [pts] of (x, y, weight >= 0), non-empty.
+    Returns a point of the plane of maximum weighted depth w.r.t. the
+    disks of the given radius centered at the points — equivalently an
+    optimal center placement for the primal MaxRS query. *)
+
+val depth_at : radius:float -> (float * float * float) array -> float -> float -> float
+(** Weighted depth of a query point: total weight of disks containing it. *)

@@ -1,0 +1,111 @@
+type placement = { lo : float; value : float }
+
+(* A point at coordinate [x] with weight [w] is covered by the closed
+   interval [a, a + len] iff a lies in [x - len, x]. So 1-D MaxRS is the
+   max weighted overlap of the n "left-endpoint intervals" [x - len, x].
+   Sweep their endpoints left to right; at equal coordinates process
+   starts before ends (both endpoints are inclusive). *)
+
+type batched = { points_sorted : (float * float) array; prefix : float array }
+
+let preprocess pts =
+  let sorted = Array.copy pts in
+  Array.sort (fun (a, _) (b, _) -> Float.compare a b) sorted;
+  let n = Array.length sorted in
+  let prefix = Array.make (n + 1) 0. in
+  for i = 0 to n - 1 do
+    prefix.(i + 1) <- prefix.(i) +. snd sorted.(i)
+  done;
+  { points_sorted = sorted; prefix }
+
+let query b ~len =
+  assert (len >= 0.);
+  let pts = b.points_sorted in
+  let n = Array.length pts in
+  if n = 0 then { lo = 0.; value = 0. }
+  else begin
+    (* Two implicitly sorted event streams over the left endpoint [a]:
+       starts: point i enters the window at a = x_i - len;
+       ends:   point i leaves the window just after a = x_i.
+       Ties go to starts (closed interval). Because weights may be
+       negative (the Section 5 guard points), the max can be attained
+       both right after a start group and right after an end group, so we
+       evaluate after each group. After an end at coordinate c the
+       witness placement is any a in the open gap (c, next event), hence
+       the midpoint (or c + 1 past the last event). *)
+    let si = ref 0 and ei = ref 0 in
+    let active = ref 0. in
+    let best = ref 0. and best_lo = ref (fst pts.(0) -. len -. 1.) in
+    let peek () =
+      let s = if !si < n then Some (fst pts.(!si) -. len) else None in
+      let e = if !ei < n then Some (fst pts.(!ei)) else None in
+      match (s, e) with
+      | None, None -> None
+      | Some v, None | None, Some v -> Some v
+      | Some a, Some b -> Some (Float.min a b)
+    in
+    while !si < n || !ei < n do
+      let c = Option.get (peek ()) in
+      (* all starts at coordinate c *)
+      while !si < n && fst pts.(!si) -. len <= c do
+        active := !active +. snd pts.(!si);
+        incr si
+      done;
+      if !active > !best then begin
+        best := !active;
+        best_lo := c
+      end;
+      (* all ends at coordinate c *)
+      let had_end = !ei < n && fst pts.(!ei) <= c in
+      while !ei < n && fst pts.(!ei) <= c do
+        active := !active -. snd pts.(!ei);
+        incr ei
+      done;
+      if had_end && !active > !best then begin
+        best := !active;
+        best_lo :=
+          (match peek () with Some next -> (c +. next) /. 2. | None -> c +. 1.)
+      end
+    done;
+    { lo = !best_lo; value = !best }
+  end
+
+let max_sum ~len pts = query (preprocess pts) ~len
+
+let max_sum_brute ~len pts =
+  assert (len >= 0.);
+  let n = Array.length pts in
+  if n = 0 then { lo = 0.; value = 0. }
+  else begin
+    (* The objective is piecewise constant in the left endpoint, changing
+       at a = x_j - len and just after a = x_j; with negative weights the
+       optimum may lie strictly between events, so candidates include all
+       event coordinates, the midpoints of consecutive events, and a
+       point past the last event. *)
+    let events =
+      List.sort_uniq Float.compare
+        (Array.to_list (Array.map (fun (x, _) -> x -. len) pts)
+        @ Array.to_list (Array.map fst pts))
+    in
+    let rec mids = function
+      | a :: (b :: _ as rest) -> ((a +. b) /. 2.) :: mids rest
+      | [ last ] -> [ last +. 1. ]
+      | [] -> []
+    in
+    let candidates = events @ mids events in
+    let eval a =
+      Array.fold_left
+        (fun acc (x, w) -> if a <= x && x <= a +. len then acc +. w else acc)
+        0. pts
+    in
+    List.fold_left
+      (fun best a ->
+        let v = eval a in
+        if v > best.value then { lo = a; value = v } else best)
+      { lo = fst pts.(0) -. len -. 1.; value = 0. }
+      candidates
+  end
+
+let batched ~lens pts =
+  let b = preprocess pts in
+  Array.map (fun len -> query b ~len) lens

@@ -1,0 +1,41 @@
+(** Exact 1-D MaxRS: place an interval of fixed length on the real line to
+    maximize the total weight of covered points.
+
+    This is the oracle at the receiving end of the Section 5 reduction
+    chain, so — unlike classical MaxRS — it must handle {e negative}
+    weights (the reduction's "guard" points). Intervals are closed.
+
+    Single query: O(n log n). Batched queries reuse one sort and cost
+    O(n) per additional length — the paper's trivial O(mn) upper bound,
+    which Theorem 1.3 shows is conditionally optimal. *)
+
+type placement = {
+  lo : float;  (** left endpoint of an optimal interval [lo, lo + len] *)
+  value : float;  (** total covered weight *)
+}
+
+val max_sum : len:float -> (float * float) array -> placement
+(** [max_sum ~len pts] with [pts] an array of (coordinate, weight) pairs.
+    Requires [len >= 0] and a non-empty array. The empty placement (weight
+    0, covering no points) is also considered, so [value >= 0] ... unless
+    every placement covering at least one point is forced; we report
+    max(best covering placement, 0) semantics by allowing an interval far
+    away: value is never negative. *)
+
+val max_sum_brute : len:float -> (float * float) array -> placement
+(** O(n^2) reference implementation (candidate left endpoints are the
+    points and the points shifted by [-len]). *)
+
+type batched = {
+  points_sorted : (float * float) array;
+  prefix : float array;
+}
+
+val preprocess : (float * float) array -> batched
+(** Sort once; O(n log n). *)
+
+val query : batched -> len:float -> placement
+(** O(n) per length, via a merge of the two implicitly-sorted event lists. *)
+
+val batched : lens:float array -> (float * float) array -> placement array
+(** [preprocess] + one [query] per length: O(n log n + mn). *)

@@ -1,0 +1,113 @@
+type placement = { x : float; y : float; value : float }
+
+(* Binary search for the index of [v] in the sorted array [a] (exact match
+   expected — endpoint values are constructed identically everywhere). *)
+let index_of_exn a v =
+  let lo = ref 0 and hi = ref (Array.length a - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  assert (a.(!lo) = v);
+  !lo
+
+let max_sum ~width ~height pts =
+  assert (width > 0. && height > 0.);
+  let n = Array.length pts in
+  if n = 0 then { x = 0.; y = 0.; value = 0. }
+  else begin
+    let hw = width /. 2. and hh = height /. 2. in
+    (* y-coordinate compression over both edge values of every dual
+       rectangle. The max depth is attained at some rectangle edge. *)
+    let ys = Array.make (2 * n) 0. in
+    Array.iteri
+      (fun i (_, y, _) ->
+        ys.(2 * i) <- y -. hh;
+        ys.((2 * i) + 1) <- y +. hh)
+      pts;
+    Array.sort Float.compare ys;
+    let uniq = Array.of_list (List.sort_uniq Float.compare (Array.to_list ys)) in
+    let tree = Segment_tree.create (Array.length uniq) in
+    (* Events: (x, is_add, y_lo_idx, y_hi_idx, w). Closed rectangles: at a
+       given x process all adds, evaluate, then all removes. *)
+    let events =
+      Array.concat
+        (Array.to_list
+           (Array.map
+              (fun (x, y, w) ->
+                let lo = index_of_exn uniq (y -. hh)
+                and hi = index_of_exn uniq (y +. hh) in
+                [| (x -. hw, true, lo, hi, w); (x +. hw, false, lo, hi, w) |])
+              pts))
+    in
+    Array.sort
+      (fun (x1, add1, _, _, _) (x2, add2, _, _, _) ->
+        match Float.compare x1 x2 with
+        | 0 -> Bool.compare add2 add1 (* adds first *)
+        | c -> c)
+      events;
+    let best = ref 0. and best_x = ref 0. and best_y = ref 0. in
+    let m = Array.length events in
+    let i = ref 0 in
+    while !i < m do
+      let x0, _, _, _, _ = events.(!i) in
+      (* all adds at x0 *)
+      while
+        !i < m
+        &&
+        let x, add, _, _, _ = events.(!i) in
+        x = x0 && add
+      do
+        let _, _, lo, hi, w = events.(!i) in
+        Segment_tree.range_add tree lo (hi + 1) w;
+        incr i
+      done;
+      let v = Segment_tree.max_all tree in
+      if v > !best then begin
+        best := v;
+        best_x := x0;
+        best_y := uniq.(Segment_tree.argmax tree)
+      end;
+      (* all removes at x0 *)
+      while
+        !i < m
+        &&
+        let x, add, _, _, _ = events.(!i) in
+        x = x0 && not add
+      do
+        let _, _, lo, hi, w = events.(!i) in
+        Segment_tree.range_add tree lo (hi + 1) (-.w);
+        incr i
+      done
+    done;
+    { x = !best_x; y = !best_y; value = !best }
+  end
+
+let max_sum_brute ~width ~height pts =
+  let n = Array.length pts in
+  if n = 0 then { x = 0.; y = 0.; value = 0. }
+  else begin
+    let hw = width /. 2. and hh = height /. 2. in
+    let best = ref { x = 0.; y = 0.; value = 0. } in
+    (* An optimal rectangle can be slid until its left and bottom edges
+       touch points, so candidate centers pair an x-left with a y-bottom. *)
+    Array.iter
+      (fun (xi, _, _) ->
+        Array.iter
+          (fun (_, yj, _) ->
+            let cx = xi +. hw and cy = yj +. hh in
+            let v =
+              Array.fold_left
+                (fun acc (x, y, w) ->
+                  if
+                    Float.abs (x -. cx) <= hw +. 1e-12
+                    && Float.abs (y -. cy) <= hh +. 1e-12
+                  then acc +. w
+                  else acc)
+                0. pts
+            in
+            if v > !best.value then best := { x = cx; y = cy; value = v })
+          pts)
+      pts;
+    !best
+  end

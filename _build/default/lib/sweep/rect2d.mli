@@ -1,0 +1,25 @@
+(** Exact 2-D rectangle MaxRS — the O(n log n) plane sweep of
+    [IA83, NB95], the baseline the paper's batched lower bound (Theorem
+    1.3) is measured against.
+
+    In the dual, each weighted point becomes a [width x height] rectangle
+    centered at it; the optimum placement center is a point of maximum
+    depth in that set of rectangles. We sweep a vertical line across
+    rectangle edges and keep the depth profile in a segment tree over
+    compressed y-coordinates. Weights may be negative. *)
+
+type placement = {
+  x : float;  (** center of an optimal rectangle *)
+  y : float;
+  value : float;  (** total covered weight *)
+}
+
+val max_sum : width:float -> height:float -> (float * float * float) array -> placement
+(** [max_sum ~width ~height pts] with [pts] an array of (x, y, weight).
+    Rectangles are closed. The empty placement (value 0) is allowed, so
+    [value >= 0]. Requires positive [width] and [height]. *)
+
+val max_sum_brute :
+  width:float -> height:float -> (float * float * float) array -> placement
+(** O(n^3) reference: candidate centers are all (xi + width/2, yj +
+    height/2) corner alignments. *)

@@ -1,0 +1,78 @@
+type t = {
+  n : int;  (** number of leaves requested *)
+  base : int;  (** power-of-two leaf count *)
+  maxv : float array;  (** max over segment, lazies at/below included *)
+  maxi : int array;  (** leaf attaining maxv *)
+  lzy : float array;  (** pending addition applying to the whole segment *)
+}
+
+let create n =
+  assert (n > 0);
+  let base = ref 1 in
+  while !base < n do
+    base := !base * 2
+  done;
+  let base = !base in
+  let maxv = Array.make (2 * base) 0. in
+  let maxi = Array.make (2 * base) 0 in
+  let lzy = Array.make (2 * base) 0. in
+  for i = 0 to base - 1 do
+    maxi.(base + i) <- i;
+    (* Padding leaves must never win the max, even against negatives. *)
+    if i >= n then maxv.(base + i) <- Float.neg_infinity
+  done;
+  for node = base - 1 downto 1 do
+    if maxv.(2 * node) >= maxv.((2 * node) + 1) then begin
+      maxv.(node) <- maxv.(2 * node);
+      maxi.(node) <- maxi.(2 * node)
+    end
+    else begin
+      maxv.(node) <- maxv.((2 * node) + 1);
+      maxi.(node) <- maxi.((2 * node) + 1)
+    end
+  done;
+  { n; base; maxv; maxi; lzy }
+
+let size t = t.n
+
+let range_add t l r v =
+  let l = Int.max 0 l and r = Int.min t.n r in
+  if l < r then begin
+    let rec go node node_lo node_hi =
+      if r <= node_lo || node_hi <= l then ()
+      else if l <= node_lo && node_hi <= r then begin
+        t.maxv.(node) <- t.maxv.(node) +. v;
+        t.lzy.(node) <- t.lzy.(node) +. v
+      end
+      else begin
+        let mid = (node_lo + node_hi) / 2 in
+        go (2 * node) node_lo mid;
+        go ((2 * node) + 1) mid node_hi;
+        let lc = 2 * node and rc = (2 * node) + 1 in
+        if t.maxv.(lc) >= t.maxv.(rc) then begin
+          t.maxv.(node) <- t.maxv.(lc) +. t.lzy.(node);
+          t.maxi.(node) <- t.maxi.(lc)
+        end
+        else begin
+          t.maxv.(node) <- t.maxv.(rc) +. t.lzy.(node);
+          t.maxi.(node) <- t.maxi.(rc)
+        end
+      end
+    in
+    go 1 0 t.base
+  end
+
+let max_all t = t.maxv.(1)
+let argmax t = t.maxi.(1)
+
+let value_at t i =
+  assert (0 <= i && i < t.n);
+  let rec go node node_lo node_hi acc =
+    if node_hi - node_lo = 1 then acc +. t.maxv.(node)
+    else
+      let mid = (node_lo + node_hi) / 2 in
+      let acc = acc +. t.lzy.(node) in
+      if i < mid then go (2 * node) node_lo mid acc
+      else go ((2 * node) + 1) mid node_hi acc
+  in
+  go 1 0 t.base 0.

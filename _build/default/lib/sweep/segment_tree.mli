@@ -1,0 +1,25 @@
+(** Max-augmented segment tree with lazy range addition.
+
+    The classic substrate of the [IA83, NB95] O(n log n) rectangle MaxRS
+    sweep: leaves are (compressed) y-coordinates, interval insertion is a
+    range add, and the optimum is the global max. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a tree over leaves [0 .. n-1], all values 0. *)
+
+val size : t -> int
+
+val range_add : t -> int -> int -> float -> unit
+(** [range_add t l r v] adds [v] to every leaf in the half-open range
+    [\[l, r)]. Out-of-bounds portions are clamped. *)
+
+val max_all : t -> float
+(** Current maximum leaf value. *)
+
+val argmax : t -> int
+(** A leaf index attaining [max_all]. *)
+
+val value_at : t -> int -> float
+(** Current value of one leaf (O(log n)). *)

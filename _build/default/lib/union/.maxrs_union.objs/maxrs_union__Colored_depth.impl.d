@@ -1,0 +1,1 @@
+lib/union/colored_depth.ml: Array Bool Disk_union Float Hashtbl List Maxrs_geom Option

@@ -1,0 +1,1 @@
+lib/union/colored_depth.mli:

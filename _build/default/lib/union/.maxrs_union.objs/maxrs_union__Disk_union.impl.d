@@ -1,0 +1,1 @@
+lib/union/disk_union.ml: Array Hashtbl List Maxrs_geom

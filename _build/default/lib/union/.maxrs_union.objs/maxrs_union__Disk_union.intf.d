@@ -1,0 +1,1 @@
+lib/union/disk_union.mli: Maxrs_geom

@@ -1,0 +1,27 @@
+(** The "first algorithm" of Section 4.2 (Lemma 4.2): exact maximum
+    colored depth of a set of colored equal-radius disks, computed from
+    the per-color union boundaries.
+
+    Implementation (see the substitution note in DESIGN.md): instead of a
+    trapezoidal map [Mul91] over the union arcs we sweep each circle that
+    contributes at least one union arc. A point of maximum colored depth
+    lies on some color's union boundary, and every union arc lives on a
+    swept circle, so the sweep attains the optimum. Candidate disks per
+    circle come from a spatial hash of cell size 2r, so sweep cost scales
+    with local density — this is what makes the enclosing second
+    algorithm (Theorem 4.6) behave output-sensitively.
+
+    The [stats] record exposes the event count (the paper's k of Lemma
+    4.5) for the output-sensitivity experiment E6. *)
+
+type stats = {
+  union_arcs : int;  (** total arcs on all color-union boundaries *)
+  circles_swept : int;
+  events : int;  (** angular enter/exit events processed — the "k" term *)
+}
+
+type result = { x : float; y : float; depth : int; stats : stats }
+
+val max_colored_depth :
+  radius:float -> (float * float) array -> colors:int array -> result
+(** Exact maximum colored depth. Requires a non-empty input. *)

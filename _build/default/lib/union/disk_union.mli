@@ -1,0 +1,25 @@
+(** Boundary of a union of equal-radius disks (one color class of Section
+    4 of the paper).
+
+    The paper computes these boundaries via power diagrams [Aur88] in
+    O(n log n); we clip each circle against the other disks directly in
+    O(n^2 log n) per class — same output, simpler machinery (see the
+    substitution note in DESIGN.md). *)
+
+type arc = {
+  disk : int;  (** index into the input array of the supporting disk *)
+  circle : Maxrs_geom.Circle.t;
+  ivl : Maxrs_geom.Angle.ivl;  (** the angular span on that circle *)
+}
+
+val boundary_arcs : radius:float -> (float * float) array -> arc list
+(** The boundary of the union of the closed disks of the given radius
+    centered at the input points, as circular arcs. Exactly coincident
+    centers are deduplicated (otherwise mutually "covered" circles would
+    erase each other's boundary). *)
+
+val contains : radius:float -> (float * float) array -> float * float -> bool
+(** Membership of a point in the union. *)
+
+val arc_sample : arc -> float * float
+(** The midpoint of an arc — a convenient boundary witness for tests. *)

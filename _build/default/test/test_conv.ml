@@ -1,0 +1,373 @@
+(* Tests for the convolution/hardness-reduction library (lib/conv).
+   Every reduction of Sections 5 and 6 is executed against the naive
+   quadratic convolutions as ground truth. *)
+
+module Convolution = Maxrs_conv.Convolution
+module Reductions = Maxrs_conv.Reductions
+module Monotone = Maxrs_conv.Monotone
+module Bsei = Maxrs_conv.Bsei
+
+let seq_gen =
+  (* Non-empty int sequences with values in [-50, 50]. *)
+  QCheck.(list_of_size (Gen.int_range 1 20) (int_range (-50) 50))
+
+let pair_seq_gen =
+  (* Two sequences forced to the same length. *)
+  QCheck.(pair seq_gen seq_gen)
+
+let equalize (a, b) =
+  let n = Int.min (List.length a) (List.length b) in
+  let take l = Array.of_list (List.filteri (fun i _ -> i < n) l) in
+  (take a, take b)
+
+(* ------------------------------------------------------------------ *)
+(* Naive convolutions *)
+
+let test_min_plus_example () =
+  let a = [| 1; 5; 2 |] and b = [| 3; 0; 4 |] in
+  (* C_0 = 1+3; C_1 = min(1+0, 5+3); C_2 = min(1+4, 5+0, 2+3) *)
+  Alcotest.(check (array int)) "min" [| 4; 1; 5 |] (Convolution.min_plus a b)
+
+let test_max_plus_example () =
+  let a = [| 1; 5; 2 |] and b = [| 3; 0; 4 |] in
+  Alcotest.(check (array int)) "max" [| 4; 8; 5 |] (Convolution.max_plus a b)
+
+let test_conv_singleton () =
+  Alcotest.(check (array int)) "n=1 min" [| 7 |]
+    (Convolution.min_plus [| 3 |] [| 4 |]);
+  Alcotest.(check (array int)) "n=1 max" [| 7 |]
+    (Convolution.max_plus [| 3 |] [| 4 |])
+
+let test_conv_negative () =
+  let a = [| -2; -5 |] and b = [| 1; -1 |] in
+  Alcotest.(check (array int)) "negatives min" [| -1; -4 |]
+    (Convolution.min_plus a b);
+  Alcotest.(check (array int)) "negatives max" [| -1; -3 |]
+    (Convolution.max_plus a b)
+
+let prop_minmax_duality =
+  QCheck.Test.make ~count:200 ~name:"max_plus(a,b) = -min_plus(-a,-b)"
+    pair_seq_gen (fun ab ->
+      let a, b = equalize ab in
+      let neg = Array.map (fun x -> -x) in
+      Convolution.max_plus a b
+      = Array.map (fun x -> -x) (Convolution.min_plus (neg a) (neg b)))
+
+let prop_indexed_matches_full =
+  QCheck.Test.make ~count:200 ~name:"indexed convolution = full restricted"
+    pair_seq_gen (fun ab ->
+      let a, b = equalize ab in
+      let n = Array.length a in
+      let m = Array.init ((n + 1) / 2) (fun i -> (2 * i) mod n) in
+      let full_min = Convolution.min_plus a b in
+      let full_max = Convolution.max_plus a b in
+      Convolution.min_plus_indexed a b m = Array.map (fun k -> full_min.(k)) m
+      && Convolution.max_plus_indexed a b m
+         = Array.map (fun k -> full_max.(k)) m)
+
+(* ------------------------------------------------------------------ *)
+(* Section 5 reductions, step by step *)
+
+let prop_5_1_batching =
+  QCheck.Test.make ~count:200 ~name:"5.1: (min,+) via (min,+,M) batches"
+    QCheck.(pair (int_range 1 7) pair_seq_gen)
+    (fun (m, ab) ->
+      let a, b = equalize ab in
+      Reductions.min_plus_via_indexed ~oracle:Convolution.min_plus_indexed ~m
+        a b
+      = Convolution.min_plus a b)
+
+let prop_5_2_negation =
+  QCheck.Test.make ~count:200 ~name:"5.2: (min,+,M) via (max,+,M)"
+    pair_seq_gen (fun ab ->
+      let a, b = equalize ab in
+      let n = Array.length a in
+      let m = Array.init n Fun.id in
+      Reductions.indexed_min_via_max ~oracle:Convolution.max_plus_indexed a b m
+      = Convolution.min_plus_indexed a b m)
+
+let prop_5_3_shifting =
+  QCheck.Test.make ~count:200 ~name:"5.3: (max,+,M) via positive (max,+,M)"
+    pair_seq_gen (fun ab ->
+      let a, b = equalize ab in
+      let n = Array.length a in
+      let m = Array.init n Fun.id in
+      (* The oracle refuses negative inputs, proving the shift happened. *)
+      let positive_oracle a' b' m' =
+        Array.iter (fun x -> assert (x >= 0)) a';
+        Array.iter (fun x -> assert (x >= 0)) b';
+        Convolution.max_plus_indexed a' b' m'
+      in
+      Reductions.indexed_max_via_positive ~oracle:positive_oracle a b m
+      = Convolution.max_plus_indexed a b m)
+
+let test_5_4_instance_shape () =
+  let a = [| 1; 2; 3 |] and b = [| 4; 5; 6 |] in
+  let m = [| 0; 2 |] in
+  let pts, lens = Reductions.build_batched_maxrs_instance a b m in
+  Alcotest.(check int) "4n points" 12 (Array.length pts);
+  Alcotest.(check int) "m lengths" 2 (Array.length lens);
+  (* L_s = 2n-1-k_s with n = 3. *)
+  Alcotest.(check (float 1e-9)) "L_0" 5. lens.(0);
+  Alcotest.(check (float 1e-9)) "L_1" 3. lens.(1);
+  Array.iter
+    (fun l ->
+      Alcotest.(check bool) "L_s >= n" true (l >= 3.))
+    lens;
+  (* Total weight cancels out: every point has a guard. *)
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0. pts in
+  Alcotest.(check (float 1e-9)) "guards cancel" 0. total
+
+let prop_5_4_positive_via_maxrs =
+  QCheck.Test.make ~count:150 ~name:"5.4: positive (max,+,M) via batched MaxRS"
+    pair_seq_gen (fun ab ->
+      let a, b = equalize ab in
+      let a = Array.map abs a and b = Array.map abs b in
+      let n = Array.length a in
+      let m = Array.init n Fun.id in
+      Reductions.positive_max_via_batched_maxrs
+        ~oracle:Reductions.default_batched_maxrs_oracle a b m
+      = Convolution.max_plus_indexed a b m)
+
+let prop_full_chain_via_maxrs =
+  QCheck.Test.make ~count:100
+    ~name:"Section 5 full chain: (min,+) via batched MaxRS"
+    QCheck.(pair (int_range 1 6) pair_seq_gen)
+    (fun (batch, ab) ->
+      let a, b = equalize ab in
+      Reductions.min_plus_via_batched_maxrs ~batch
+        ~oracle:Reductions.default_batched_maxrs_oracle a b
+      = Convolution.min_plus a b)
+
+let test_full_chain_example () =
+  let a = [| 3; -1; 4; 1; -5 |] and b = [| 9; 2; -6; 5; 3 |] in
+  Alcotest.(check (array int)) "chain = naive" (Convolution.min_plus a b)
+    (Reductions.min_plus_via_batched_maxrs
+       ~oracle:Reductions.default_batched_maxrs_oracle a b)
+
+(* ------------------------------------------------------------------ *)
+(* Section 6.1: monotonization *)
+
+let prop_monotone_outputs_decreasing =
+  QCheck.Test.make ~count:200 ~name:"6.1: transformed sequences decrease"
+    pair_seq_gen (fun ab ->
+      let a, b = equalize ab in
+      let d, e, delta = Monotone.to_monotone a b in
+      delta >= 1
+      && Convolution.is_strictly_decreasing d
+      && Convolution.is_strictly_decreasing e)
+
+let prop_monotone_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"6.1: (min,+) via monotone oracle"
+    pair_seq_gen (fun ab ->
+      let a, b = equalize ab in
+      Monotone.min_plus_via_monotone ~oracle:Convolution.min_plus a b
+      = Convolution.min_plus a b)
+
+(* ------------------------------------------------------------------ *)
+(* BSEI *)
+
+let test_bsei_smallest_examples () =
+  let pts = [| 0.; 1.; 3.; 6.; 10. |] in
+  Alcotest.(check (float 1e-9)) "k=1" 0. (Bsei.length (Bsei.smallest pts ~k:1));
+  Alcotest.(check (float 1e-9)) "k=2" 1. (Bsei.length (Bsei.smallest pts ~k:2));
+  Alcotest.(check (float 1e-9)) "k=3" 3. (Bsei.length (Bsei.smallest pts ~k:3));
+  Alcotest.(check (float 1e-9)) "k=5" 10. (Bsei.length (Bsei.smallest pts ~k:5))
+
+let test_bsei_unsorted_input () =
+  let pts = [| 10.; 0.; 6.; 1.; 3. |] in
+  Alcotest.(check (float 1e-9)) "k=2 on unsorted" 1.
+    (Bsei.length (Bsei.smallest pts ~k:2))
+
+let test_bsei_duplicates () =
+  let pts = [| 2.; 2.; 2.; 7. |] in
+  Alcotest.(check (float 1e-9)) "k=3 all coincident" 0.
+    (Bsei.length (Bsei.smallest pts ~k:3));
+  Alcotest.(check (float 1e-9)) "k=4" 5. (Bsei.length (Bsei.smallest pts ~k:4))
+
+let prop_bsei_batched_matches_single =
+  QCheck.Test.make ~count:200 ~name:"BSEI: batched = per-k smallest"
+    QCheck.(list_of_size (Gen.int_range 1 25) (float_range (-100.) 100.))
+    (fun pts ->
+      let pts = Array.of_list pts in
+      let g = Bsei.batched pts in
+      Array.length g = Array.length pts
+      && Array.for_all Fun.id
+           (Array.mapi
+              (fun km1 len ->
+                Float.abs (len -. Bsei.length (Bsei.smallest pts ~k:(km1 + 1)))
+                < 1e-9)
+              g))
+
+let prop_bsei_monotone_in_k =
+  QCheck.Test.make ~count:200 ~name:"BSEI: lengths nondecreasing in k"
+    QCheck.(list_of_size (Gen.int_range 1 25) (float_range (-100.) 100.))
+    (fun pts ->
+      let g = Bsei.batched (Array.of_list pts) in
+      let ok = ref true in
+      for i = 1 to Array.length g - 1 do
+        if g.(i) < g.(i - 1) -. 1e-9 then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Section 6.2: monotone (min,+) via BSEI *)
+
+let decreasing_pair_gen =
+  (* Strictly decreasing int sequences of equal length. *)
+  QCheck.(
+    map
+      (fun (base, steps) ->
+        let n = 1 + (List.length steps / 2) in
+        let mk drops =
+          let arr = Array.make n base in
+          List.iteri
+            (fun i d -> if i + 1 < n then arr.(i + 1) <- arr.(i) - 1 - abs d)
+            drops;
+          arr
+        in
+        let half l =
+          List.filteri (fun i _ -> i < n - 1) l
+        in
+        (mk (half steps), mk (half (List.rev steps))))
+      (pair (int_range (-20) 20) (list_of_size (Gen.int_range 0 20) (int_range 0 5))))
+
+let prop_6_2_monotone_via_bsei =
+  QCheck.Test.make ~count:200 ~name:"6.2: monotone (min,+) via BSEI"
+    decreasing_pair_gen (fun (d, e) ->
+      Bsei.monotone_min_plus_via_bsei d e = Convolution.min_plus d e)
+
+let prop_full_chain_via_bsei =
+  QCheck.Test.make ~count:200
+    ~name:"Section 6 full chain: (min,+) via BSEI"
+    pair_seq_gen (fun ab ->
+      let a, b = equalize ab in
+      Bsei.min_plus_via_bsei a b = Convolution.min_plus a b)
+
+let test_bsei_chain_example () =
+  let a = [| 5; 0; 7; 7; 2 |] and b = [| 1; 8; 8; 0; 3 |] in
+  Alcotest.(check (array int)) "bsei chain = naive" (Convolution.min_plus a b)
+    (Bsei.min_plus_via_bsei a b)
+
+(* ------------------------------------------------------------------ *)
+(* Edge cases *)
+
+let test_indexed_single_and_oversized_batches () =
+  let a = [| 4; -2; 7 |] and b = [| 0; 5; -1 |] in
+  let full = Convolution.min_plus a b in
+  (* batch size larger than n: one oracle call *)
+  Alcotest.(check (array int)) "m > n"
+    full
+    (Reductions.min_plus_via_indexed ~oracle:Convolution.min_plus_indexed
+       ~m:50 a b);
+  (* batch size 1: n oracle calls *)
+  Alcotest.(check (array int)) "m = 1"
+    full
+    (Reductions.min_plus_via_indexed ~oracle:Convolution.min_plus_indexed
+       ~m:1 a b);
+  (* single-index restricted query *)
+  Alcotest.(check (array int)) "singleton M" [| full.(2) |]
+    (Convolution.min_plus_indexed a b [| 2 |])
+
+let test_chain_n1 () =
+  let a = [| -7 |] and b = [| 11 |] in
+  Alcotest.(check (array int)) "n=1 via maxrs" [| 4 |]
+    (Reductions.min_plus_via_batched_maxrs
+       ~oracle:Reductions.default_batched_maxrs_oracle a b);
+  Alcotest.(check (array int)) "n=1 via bsei" [| 4 |]
+    (Bsei.min_plus_via_bsei a b)
+
+let test_chain_all_zeros () =
+  let z = Array.make 6 0 in
+  Alcotest.(check (array int)) "zeros via maxrs" (Array.make 6 0)
+    (Reductions.min_plus_via_batched_maxrs
+       ~oracle:Reductions.default_batched_maxrs_oracle z z);
+  Alcotest.(check (array int)) "zeros via bsei" (Array.make 6 0)
+    (Bsei.min_plus_via_bsei z z)
+
+let test_chain_constant_sequences () =
+  (* Constant sequences are the degenerate case for the monotonization
+     (all adjacent rises are 0) and for the guard construction (every
+     placement ties). *)
+  let a = Array.make 5 3 and b = Array.make 5 (-2) in
+  let expect = Array.make 5 1 in
+  Alcotest.(check (array int)) "constant via maxrs" expect
+    (Reductions.min_plus_via_batched_maxrs
+       ~oracle:Reductions.default_batched_maxrs_oracle a b);
+  Alcotest.(check (array int)) "constant via bsei" expect
+    (Bsei.min_plus_via_bsei a b)
+
+let test_lemma_5_1_gap_regression () =
+  (* The exact counterexample to the paper's unboosted construction
+     (DESIGN.md): A = [0;0], B = [0;15], k = 0 must give C_0 = 0, not
+     15. *)
+  let a = [| 0; 0 |] and b = [| 0; 15 |] in
+  let got =
+    Reductions.positive_max_via_batched_maxrs
+      ~oracle:Reductions.default_batched_maxrs_oracle a b [| 0 |]
+  in
+  Alcotest.(check (array int)) "boosted construction is exact" [| 0 |] got
+
+let test_bsei_coincident_points () =
+  let pts = Array.make 10 3.14 in
+  let g = Bsei.batched pts in
+  Array.iter (fun len -> Alcotest.(check (float 1e-12)) "zero" 0. len) g
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_minmax_duality;
+      prop_indexed_matches_full;
+      prop_5_1_batching;
+      prop_5_2_negation;
+      prop_5_3_shifting;
+      prop_5_4_positive_via_maxrs;
+      prop_full_chain_via_maxrs;
+      prop_monotone_outputs_decreasing;
+      prop_monotone_roundtrip;
+      prop_bsei_batched_matches_single;
+      prop_bsei_monotone_in_k;
+      prop_6_2_monotone_via_bsei;
+      prop_full_chain_via_bsei;
+    ]
+
+let () =
+  Alcotest.run "conv"
+    [
+      ( "convolution",
+        [
+          Alcotest.test_case "min example" `Quick test_min_plus_example;
+          Alcotest.test_case "max example" `Quick test_max_plus_example;
+          Alcotest.test_case "singleton" `Quick test_conv_singleton;
+          Alcotest.test_case "negative values" `Quick test_conv_negative;
+        ] );
+      ( "section-5",
+        [
+          Alcotest.test_case "instance shape" `Quick test_5_4_instance_shape;
+          Alcotest.test_case "full chain example" `Quick test_full_chain_example;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "indexed batch sizes" `Quick
+            test_indexed_single_and_oversized_batches;
+          Alcotest.test_case "n = 1 chains" `Quick test_chain_n1;
+          Alcotest.test_case "all zeros" `Quick test_chain_all_zeros;
+          Alcotest.test_case "constant sequences" `Quick
+            test_chain_constant_sequences;
+          Alcotest.test_case "Lemma 5.1 gap regression" `Quick
+            test_lemma_5_1_gap_regression;
+          Alcotest.test_case "BSEI coincident points" `Quick
+            test_bsei_coincident_points;
+        ] );
+      ( "bsei",
+        [
+          Alcotest.test_case "smallest examples" `Quick test_bsei_smallest_examples;
+          Alcotest.test_case "unsorted input" `Quick test_bsei_unsorted_input;
+          Alcotest.test_case "duplicates" `Quick test_bsei_duplicates;
+          Alcotest.test_case "section 6 chain example" `Quick
+            test_bsei_chain_example;
+        ] );
+      ("properties", qcheck_cases);
+    ]

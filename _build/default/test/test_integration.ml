@@ -1,0 +1,278 @@
+(* Integration tests: whole pipelines across library boundaries —
+   generate → persist → load → solve → verify, dynamic structural
+   invariants under churn, and cross-solver agreement on shared
+   instances. *)
+
+module Point = Maxrs_geom.Point
+module Rng = Maxrs_geom.Rng
+module Config = Maxrs.Config
+module Sample_space = Maxrs.Sample_space
+module Static = Maxrs.Static
+module Colored = Maxrs.Colored
+module Dynamic = Maxrs.Dynamic
+module Output_sensitive = Maxrs.Output_sensitive
+module Approx_colored = Maxrs.Approx_colored
+module Approx_colored_rect = Maxrs.Approx_colored_rect
+module Grid_baseline = Maxrs.Grid_baseline
+module Workload = Maxrs.Workload
+module Points_io = Maxrs.Points_io
+module Verify = Maxrs.Verify
+module Trace = Maxrs.Trace
+module Disk2d = Maxrs_sweep.Disk2d
+module Colored_disk2d = Maxrs_sweep.Colored_disk2d
+module Colored_rect2d = Maxrs_sweep.Colored_rect2d
+module Rect2d = Maxrs_sweep.Rect2d
+module Boxd = Maxrs_sweep.Boxd
+module Interval1d = Maxrs_sweep.Interval1d
+module Convolution = Maxrs_conv.Convolution
+module Reductions = Maxrs_conv.Reductions
+module Bsei = Maxrs_conv.Bsei
+
+let cfg = Config.make ~epsilon:0.3 ~max_grid_shifts:(Some 8) ~seed:77 ()
+
+(* ------------------------------------------------------------------ *)
+
+let test_generate_save_load_solve_verify () =
+  (* The full user journey of the CLI, through the library API. *)
+  let rng = Rng.create 2024 in
+  let pts =
+    Array.map
+      (fun p -> (p, Rng.uniform rng 0.5 2.))
+      (Workload.gaussian_clusters rng ~dim:2 ~n:300 ~k:3 ~extent:10.
+         ~spread:0.8)
+  in
+  let path = Filename.temp_file "maxrs_pipeline" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Points_io.save_weighted path pts;
+      let loaded = Points_io.load_weighted path in
+      let r = Static.solve_or_point ~cfg ~dim:2 loaded in
+      Alcotest.(check bool) "reported value achievable" true
+        (Verify.check_achieved loaded r.Static.center r.Static.value);
+      let exact =
+        Disk2d.max_weight ~radius:1.
+          (Array.map (fun (p, w) -> (p.(0), p.(1), w)) loaded)
+      in
+      Alcotest.(check bool) "within guarantee of exact" true
+        (r.Static.value >= 0.2 *. exact.Disk2d.value
+        && r.Static.value <= exact.Disk2d.value +. 1e-9))
+
+let test_colored_pipeline_agreement () =
+  (* All four colored-disk solvers on one instance: exact = output-
+     sensitive; the two approximations are sound and within their
+     guarantees. *)
+  let rng = Rng.create 4096 in
+  let pts, colors =
+    Workload.trajectories rng ~m:10 ~steps:20 ~extent:7. ~step:0.4
+  in
+  let exact = Colored_disk2d.max_colored ~radius:1. pts ~colors in
+  let os = Output_sensitive.solve pts ~colors in
+  Alcotest.(check int) "output-sensitive = exact" exact.Colored_disk2d.value
+    os.Output_sensitive.depth;
+  let points = Array.map (fun (x, y) -> [| x; y |]) pts in
+  let t15 = Colored.solve_or_point ~cfg ~dim:2 points ~colors in
+  Alcotest.(check bool) "Thm 1.5 sound and within factor" true
+    (t15.Colored.value <= exact.Colored_disk2d.value
+    && float_of_int t15.Colored.value
+       >= 0.2 *. float_of_int exact.Colored_disk2d.value);
+  let t16 = Approx_colored.solve pts ~colors in
+  Alcotest.(check bool) "Thm 1.6 sound" true
+    (t16.Approx_colored.depth <= exact.Colored_disk2d.value);
+  Alcotest.(check bool) "Thm 1.6 within (1-eps) slack" true
+    (float_of_int t16.Approx_colored.depth
+    >= 0.7 *. float_of_int exact.Colored_disk2d.value);
+  let _, gb = Grid_baseline.solve_colored ~dim:2 points ~colors in
+  Alcotest.(check bool) "bicriteria dominates exact" true
+    (gb >= exact.Colored_disk2d.value)
+
+let test_dynamic_invariants_under_churn () =
+  (* Structural invariant check of the Technique-1 sample space through
+     a random insert/delete workload, via Sample_space.validate. *)
+  let rng = Rng.create 11 in
+  let space = Sample_space.create ~dim:2 ~cfg ~expected_n:50 in
+  let live = ref [] in
+  for step = 1 to 200 do
+    if !live <> [] && Rng.bernoulli rng 0.4 then begin
+      let k = Rng.int rng (List.length !live) in
+      let c = List.nth !live k in
+      live := List.filteri (fun i _ -> i <> k) !live;
+      Sample_space.delete space ~center:c ~weight:1.
+    end
+    else begin
+      let c = [| Rng.uniform rng 0. 4.; Rng.uniform rng 0. 4. |] in
+      live := c :: !live;
+      Sample_space.insert space ~center:c ~weight:1.
+    end;
+    if step mod 40 = 0 then
+      Alcotest.(check bool)
+        (Printf.sprintf "invariants hold at step %d (live=%d)" step
+           (List.length !live))
+        true
+        (Sample_space.validate space ~live:!live)
+  done;
+  (* Drain completely: all cells must disappear. *)
+  List.iter (fun c -> Sample_space.delete space ~center:c ~weight:1.) !live;
+  Alcotest.(check int) "drained" 0 (Sample_space.cell_count space);
+  Alcotest.(check bool) "empty validates" true
+    (Sample_space.validate space ~live:[])
+
+let test_trace_file_to_dynamic () =
+  (* Persist a random trace, reload it, replay with verification. *)
+  let rng = Rng.create 13 in
+  let ops = Trace.random rng ~dim:2 ~ops:150 ~extent:5. () in
+  let path = Filename.temp_file "maxrs_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save path ops;
+      let loaded = Trace.load path in
+      let steps = Trace.replay_with_check ~cfg ~dim:2 loaded in
+      Alcotest.(check bool) "queries executed" true (List.length steps > 5);
+      List.iter
+        (fun ((s : Trace.step), verified) ->
+          match s.Trace.best with
+          | Some (_, v) ->
+              Alcotest.(check bool) "sound" true (v <= verified +. 1e-9)
+          | None -> ())
+        steps)
+
+let test_reduction_chains_agree_with_each_other () =
+  (* Sections 5 and 6 give two completely different routes to the same
+     (min,+)-convolution; they must agree with each other (and with the
+     naive algorithm) on shared instances. *)
+  let rng = Rng.create 17 in
+  for trial = 1 to 10 do
+    let n = 5 + Rng.int rng 60 in
+    let a = Array.init n (fun _ -> Rng.int rng 400 - 200) in
+    let b = Array.init n (fun _ -> Rng.int rng 400 - 200) in
+    let naive = Convolution.min_plus a b in
+    let via_maxrs =
+      Reductions.min_plus_via_batched_maxrs
+        ~oracle:Reductions.default_batched_maxrs_oracle a b
+    in
+    let via_bsei = Bsei.min_plus_via_bsei a b in
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d: all three agree" trial)
+      true
+      (naive = via_maxrs && naive = via_bsei)
+  done
+
+let test_box_vs_ball_containment_sandwich () =
+  (* Geometry sanity across solvers: the inscribed box of a disk covers
+     no more than the disk; the circumscribed box covers no less. *)
+  let rng = Rng.create 23 in
+  for trial = 1 to 5 do
+    let n = 50 in
+    let pts =
+      Array.init n (fun _ ->
+          ([| Rng.uniform rng 0. 6.; Rng.uniform rng 0. 6. |], 1.))
+    in
+    let pts3 = Array.map (fun (p, w) -> (p.(0), p.(1), w)) pts in
+    let disk = Disk2d.max_weight ~radius:1. pts3 in
+    let side_in = 2. /. sqrt 2. in
+    let inscribed = Rect2d.max_sum ~width:side_in ~height:side_in pts3 in
+    let circumscribed = Rect2d.max_sum ~width:2. ~height:2. pts3 in
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d: inscribed <= disk <= circumscribed" trial)
+      true
+      (inscribed.Rect2d.value <= disk.Disk2d.value +. 1e-9
+      && disk.Disk2d.value <= circumscribed.Rect2d.value +. 1e-9)
+  done
+
+let test_boxd_agrees_with_rect_on_shared_instance () =
+  let rng = Rng.create 29 in
+  let pts =
+    Array.init 120 (fun _ ->
+        ( [| Rng.uniform rng 0. 8.; Rng.uniform rng 0. 8. |],
+          Rng.uniform rng 0.5 2. ))
+  in
+  let pts3 = Array.map (fun (p, w) -> (p.(0), p.(1), w)) pts in
+  let a = Boxd.max_sum ~widths:[| 1.7; 0.9 |] pts in
+  let b = Rect2d.max_sum ~width:1.7 ~height:0.9 pts3 in
+  Alcotest.(check (float 1e-9)) "same optimum" b.Rect2d.value a.Boxd.value
+
+let test_colored_rect_pipeline () =
+  (* Exact colored rect vs the sampling pipeline vs Verify on a saved &
+     reloaded colored instance. *)
+  let rng = Rng.create 31 in
+  let pts, colors =
+    Workload.trajectories rng ~m:8 ~steps:15 ~extent:6. ~step:0.4
+  in
+  let path = Filename.temp_file "maxrs_colored" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Points_io.save_colored path pts colors;
+      let pts', colors' = Points_io.load_colored path in
+      let exact =
+        Colored_rect2d.max_colored ~width:1.5 ~height:1.5 pts' ~colors:colors'
+      in
+      let approx =
+        Approx_colored_rect.solve ~width:1.5 ~height:1.5 pts' ~colors:colors'
+      in
+      Alcotest.(check bool) "sound" true
+        (approx.Approx_colored_rect.depth <= exact.Colored_rect2d.value);
+      Alcotest.(check bool) "near-exact on small instance" true
+        (approx.Approx_colored_rect.depth >= exact.Colored_rect2d.value - 1))
+
+let test_batched_interval_consistency_with_generated_lengths () =
+  (* End-to-end 1-D: generated weighted points, batched queries over many
+     lengths, every placement verified against direct evaluation, values
+     monotone in length. *)
+  let rng = Rng.create 37 in
+  let pts =
+    Array.init 200 (fun _ -> (Rng.uniform rng 0. 50., Rng.uniform rng 0.1 2.))
+  in
+  let lens = Array.init 12 (fun i -> 0.5 *. float_of_int (i + 1)) in
+  let results = Interval1d.batched ~lens pts in
+  Array.iteri
+    (fun i p ->
+      let v =
+        Array.fold_left
+          (fun acc (x, w) ->
+            if
+              p.Interval1d.lo -. 1e-9 <= x
+              && x <= p.Interval1d.lo +. lens.(i) +. 1e-9
+            then acc +. w
+            else acc)
+          0. pts
+      in
+      Alcotest.(check (float 1e-6)) "placement achieves value"
+        p.Interval1d.value v;
+      if i > 0 then
+        Alcotest.(check bool) "monotone in length" true
+          (p.Interval1d.value >= results.(i - 1).Interval1d.value -. 1e-9))
+    results
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipelines",
+        [
+          Alcotest.test_case "generate/save/load/solve/verify" `Quick
+            test_generate_save_load_solve_verify;
+          Alcotest.test_case "four colored solvers agree" `Quick
+            test_colored_pipeline_agreement;
+          Alcotest.test_case "trace file to dynamic" `Quick
+            test_trace_file_to_dynamic;
+          Alcotest.test_case "colored rect pipeline" `Quick
+            test_colored_rect_pipeline;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "sample space under churn" `Quick
+            test_dynamic_invariants_under_churn;
+          Alcotest.test_case "box/ball sandwich" `Quick
+            test_box_vs_ball_containment_sandwich;
+          Alcotest.test_case "boxd = rect2d" `Quick
+            test_boxd_agrees_with_rect_on_shared_instance;
+          Alcotest.test_case "batched 1-D consistency" `Quick
+            test_batched_interval_consistency_with_generated_lengths;
+        ] );
+      ( "reductions",
+        [
+          Alcotest.test_case "both chains agree" `Quick
+            test_reduction_chains_agree_with_each_other;
+        ] );
+    ]
