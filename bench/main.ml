@@ -3,9 +3,14 @@
    (one Test.make per experiment id).
 
    Usage:
-     dune exec bench/main.exe            # run everything
-     dune exec bench/main.exe -- e3 e6   # selected experiments
-     dune exec bench/main.exe -- micro   # Bechamel micro-benchmarks only *)
+     dune exec bench/main.exe                 # run everything
+     dune exec bench/main.exe -- e3 e6        # selected experiments
+     dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks only
+     dune exec bench/main.exe -- --domains 4 e2   # size the domain pool
+
+   [--domains N] sets the domain count for every solver/oracle in the
+   selected experiments (equivalent to MAXRS_DOMAINS=N); [e10] ignores it
+   and sweeps 1/2/4/8 domains itself, writing BENCH_parallel.json. *)
 
 module Point = Maxrs_geom.Point
 module Rng = Maxrs_geom.Rng
@@ -34,14 +39,25 @@ let time f =
   let r = f () in
   (r, Sys.time () -. t0)
 
+(* Wall-clock timer: with a domain pool doing the work, CPU time
+   ([Sys.time]) sums over domains and hides the speedup. *)
+let wtime f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
 let header title = Printf.printf "\n=== %s ===\n" title
 let row fmt = Printf.printf fmt
+
+(* Domain count applied to the selected experiments (--domains N);
+   None defers to MAXRS_DOMAINS. *)
+let domains_opt : int option ref = ref None
 
 (* Benchmarks use a capped-shift practical config (see DESIGN.md): the
    faithful Lemma 2.1 collection multiplies constants by (2/eps)^d. *)
 let bench_cfg ?(epsilon = 0.3) ?(shifts = 8) ~seed () =
   Config.make ~epsilon ~sample_constant:0.25 ~max_grid_shifts:(Some shifts)
-    ~seed ()
+    ~seed ~domains:!domains_opt ()
 
 (* ------------------------------------------------------------------ *)
 (* E1 — Theorem 1.1: dynamic MaxRS, update time O_eps(log n) and
@@ -154,7 +170,9 @@ let e3 () =
             (Rng.uniform rng 0. 1000., Rng.uniform rng 0. 5.))
       in
       let lens = Array.init m (fun _ -> Rng.uniform rng 1. 100.) in
-      let _, dt = time (fun () -> Interval1d.batched ~lens pts) in
+      let _, dt =
+        wtime (fun () -> Interval1d.batched ?domains:!domains_opt ~lens pts)
+      in
       row "%8d %8d %12.3f %14.2f\n" n m dt
         (dt *. 1e9 /. (float_of_int m *. float_of_int n)))
     [ (20000, 50); (20000, 100); (20000, 200); (40000, 100); (80000, 100) ];
@@ -185,7 +203,9 @@ let e4 () =
     (fun n ->
       let rng = Rng.create n in
       let pts = Array.init n (fun _ -> Rng.uniform rng 0. 1e6) in
-      let _, dt = time (fun () -> Bsei.batched pts) in
+      let _, dt =
+        wtime (fun () -> Bsei.batched ?domains:!domains_opt pts)
+      in
       row "%8d %12.3f %14.2f\n" n dt
         (dt *. 1e9 /. (float_of_int n *. float_of_int n)))
     [ 2000; 4000; 8000; 16000 ];
@@ -196,7 +216,9 @@ let e4 () =
       let rng = Rng.create (5 * n) in
       let a = Array.init n (fun _ -> Rng.int rng 200 - 100) in
       let b = Array.init n (fun _ -> Rng.int rng 200 - 100) in
-      let via, t1 = time (fun () -> Bsei.min_plus_via_bsei a b) in
+      let via, t1 =
+        time (fun () -> Bsei.min_plus_via_bsei ?domains:!domains_opt a b)
+      in
       let naive, t2 = time (fun () -> Convolution.min_plus a b) in
       row "%8d %14.3f %14.3f %10b\n" n t1 t2 (via = naive))
     [ 256; 512; 1024; 2048 ]
@@ -260,7 +282,9 @@ let e6 () =
       in
       let colors = Array.init n (fun i -> i mod m) in
       let r, dt =
-        time (fun () -> Output_sensitive.solve ~max_shifts:6 pts ~colors)
+        wtime (fun () ->
+            Output_sensitive.solve ~max_shifts:6 ?domains:!domains_opt pts
+              ~colors)
       in
       let ev = r.Output_sensitive.stats.Output_sensitive.sweep_events in
       row "%8.0f %6d %12.3f %14d %16.4f\n" extent r.Output_sensitive.depth dt
@@ -281,10 +305,14 @@ let e6 () =
       in
       let colors = Array.init n (fun i -> i mod 500) in
       let ros, tos =
-        time (fun () -> Output_sensitive.solve ~max_shifts:6 pts ~colors)
+        wtime (fun () ->
+            Output_sensitive.solve ~max_shifts:6 ?domains:!domains_opt pts
+              ~colors)
       in
       let rn, tn =
-        time (fun () -> Colored_disk2d.max_colored ~radius:1. pts ~colors)
+        wtime (fun () ->
+            Colored_disk2d.max_colored ?domains:!domains_opt ~radius:1. pts
+              ~colors)
       in
       row "%8d %6d %14.3f %12.3f %8b\n" n ros.Output_sensitive.depth tos tn
         (ros.Output_sensitive.depth = rn.Colored_disk2d.value))
@@ -316,10 +344,14 @@ let e7 () =
       in
       let colors = Array.init n Fun.id in
       let ra, ta =
-        time (fun () -> Approx_colored.solve ~max_shifts:6 pts ~colors)
+        wtime (fun () ->
+            Approx_colored.solve ~max_shifts:6 ?domains:!domains_opt pts
+              ~colors)
       in
       let re, te =
-        time (fun () -> Colored_disk2d.max_colored ~radius:1. pts ~colors)
+        wtime (fun () ->
+            Colored_disk2d.max_colored ?domains:!domains_opt ~radius:1. pts
+              ~colors)
       in
       let sampled =
         match ra.Approx_colored.strategy with
@@ -370,7 +402,10 @@ let e8 () =
         Array.init n (fun _ ->
             (Rng.uniform rng 0. 20., Rng.uniform rng 0. 20., 1.))
       in
-      let _, dt = time (fun () -> Disk2d.max_weight ~radius:1. pts) in
+      let _, dt =
+        wtime (fun () ->
+            Disk2d.max_weight ?domains:!domains_opt ~radius:1. pts)
+      in
       row "%16s %8d %12.4f %14.2f (ns / n^2)\n" "disk-2d" n dt
         (dt *. 1e9 /. (float_of_int n *. float_of_int n)))
     [ 500; 1000; 2000 ]
@@ -511,6 +546,102 @@ let ablation () =
     [ 0.45; 0.4; 0.3; 0.2; 0.1 ]
 
 (* ------------------------------------------------------------------ *)
+(* E10 — multicore scaling: the domain-pool execution layer on the E2
+   static solver, the E3 batched 1-D oracle and the E6 output-sensitive
+   solver, at 1/2/4/8 domains. Results must be bit-identical across
+   domain counts (the determinism contract of Parallel); wall-clock
+   speedups are recorded in BENCH_parallel.json together with the
+   detected core count, since on a single-core machine the curve is
+   necessarily flat. *)
+
+let e10 () =
+  header "E10 — multicore scaling (domain pool), domains in {1,2,4,8}";
+  let counts = [ 1; 2; 4; 8 ] in
+  let cores = Domain.recommended_domain_count () in
+  row "detected cores (Domain.recommended_domain_count): %d\n" cores;
+  row "%28s %8s %12s %9s %10s\n" "workload" "domains" "time(s)" "speedup"
+    "identical";
+  (* Each workload is generated once; the solvers never mutate their
+     input, so every domain count sees the same arrays. [solve] returns
+     the solver result so cross-domain equality can be checked. *)
+  let run_workload ~name ~solve =
+    let results = List.map (fun d -> let r, dt = solve d in (d, r, dt)) counts in
+    let _, r1, t1 =
+      match results with x :: _ -> x | [] -> assert false
+    in
+    let identical = List.for_all (fun (_, r, _) -> r = r1) results in
+    List.iter
+      (fun (d, _, dt) ->
+        row "%28s %8d %12.3f %9.2f %10b\n" name d dt (t1 /. dt) identical)
+      results;
+    (name, List.map (fun (d, _, dt) -> (d, dt)) results, identical)
+  in
+  let e2_entry =
+    let rng = Rng.create 100016 in
+    let pts =
+      Array.map
+        (fun p -> (p, 1.))
+        (Workload.gaussian_clusters rng ~dim:2 ~n:16000 ~k:6 ~extent:15.
+           ~spread:1.)
+    in
+    run_workload ~name:"e2-static n=16000 d=2" ~solve:(fun d ->
+        let cfg =
+          Config.make ~epsilon:0.3 ~sample_constant:0.25
+            ~max_grid_shifts:(Some 4) ~seed:16000 ~domains:(Some d) ()
+        in
+        wtime (fun () -> Static.solve_or_point ~cfg ~dim:2 pts))
+  in
+  let e3_entry =
+    let rng = Rng.create 20200 in
+    let pts =
+      Array.init 20000 (fun _ ->
+          (Rng.uniform rng 0. 1000., Rng.uniform rng 0. 5.))
+    in
+    let lens = Array.init 200 (fun _ -> Rng.uniform rng 1. 100.) in
+    run_workload ~name:"e3-batched n=20000 m=200" ~solve:(fun d ->
+        wtime (fun () -> Interval1d.batched ~domains:d ~lens pts))
+  in
+  let e6_entry =
+    let n = 8000 in
+    let rng = Rng.create (23 * n) in
+    let extent = 1.5 *. sqrt (float_of_int n) in
+    let pts =
+      Array.init n (fun _ ->
+          (Rng.uniform rng 0. extent, Rng.uniform rng 0. extent))
+    in
+    let colors = Array.init n (fun i -> i mod 500) in
+    run_workload ~name:"e6-output-sensitive n=8000" ~solve:(fun d ->
+        wtime (fun () ->
+            Output_sensitive.solve ~max_shifts:6 ~domains:d pts ~colors))
+  in
+  let entries = [ e2_entry; e3_entry; e6_entry ] in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiment\": \"E10\",\n";
+  Printf.bprintf buf "  \"recommended_domains\": %d,\n" cores;
+  Buffer.add_string buf "  \"workloads\": [\n";
+  List.iteri
+    (fun i (name, runs, identical) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf
+        "    { \"name\": %S,\n      \"identical\": %b,\n      \"runs\": ["
+        name identical;
+      let t1 = match runs with (_, t) :: _ -> t | [] -> assert false in
+      List.iteri
+        (fun j (d, dt) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Printf.bprintf buf
+            "{ \"domains\": %d, \"seconds\": %.6f, \"speedup\": %.3f }" d dt
+            (t1 /. dt))
+        runs;
+      Buffer.add_string buf "] }")
+    entries;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  row "\nwrote BENCH_parallel.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment id. *)
 
 let micro () =
@@ -611,12 +742,28 @@ let experiments =
     ("e7", e7);
     ("e8", e8);
     ("e9", e9);
+    ("e10", e10);
     ("ablation", ablation);
     ("micro", micro);
   ]
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let rec strip_flags acc = function
+    | [] -> List.rev acc
+    | "--domains" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some d when d >= 1 ->
+            domains_opt := Some d;
+            strip_flags acc rest
+        | _ ->
+            Printf.eprintf "--domains expects a positive integer, got %S\n" v;
+            exit 1)
+    | [ "--domains" ] ->
+        Printf.eprintf "--domains expects an argument\n";
+        exit 1
+    | a :: rest -> strip_flags (a :: acc) rest
+  in
+  let args = strip_flags [] (List.tl (Array.to_list Sys.argv)) in
   let selected =
     match args with
     | [] -> experiments

@@ -1,3 +1,5 @@
+module Parallel = Maxrs_parallel.Parallel
+
 type interval = { lo : float; hi : float }
 
 let length i = i.hi -. i.lo
@@ -18,20 +20,29 @@ let smallest pts ~k =
   done;
   !best
 
-let batched pts =
+let batched ?domains pts =
   let n = Array.length pts in
   assert (n > 0);
   let s = sorted_copy pts in
-  Array.init n (fun km1 ->
-      let k = km1 + 1 in
-      let best = ref (s.(k - 1) -. s.(0)) in
-      for i = 1 to n - k do
-        let len = s.(i + k - 1) -. s.(i) in
-        if len < !best then best := len
-      done;
-      !best)
+  let answer km1 =
+    let k = km1 + 1 in
+    let best = ref (s.(k - 1) -. s.(0)) in
+    for i = 1 to n - k do
+      let len = s.(i + k - 1) -. s.(i) in
+      if len < !best then best := len
+    done;
+    !best
+  in
+  (* Total work is ~n^2/2; below n = 256 the scans are cheaper than
+     spawning domains. *)
+  let domains = if n < 256 then 1 else Parallel.resolve domains in
+  if domains = 1 then Array.init n answer
+  else
+    (* The n window scans are independent reads of the sorted array;
+       slot k-1 always holds the k-enclosing answer. *)
+    Parallel.with_pool ~domains (fun pool -> Parallel.map pool ~n answer)
 
-let monotone_min_plus_via_bsei d e =
+let monotone_min_plus_via_bsei ?domains d e =
   let n = Array.length d in
   assert (Array.length e = n && n > 0);
   assert (Convolution.is_strictly_decreasing d);
@@ -43,7 +54,7 @@ let monotone_min_plus_via_bsei d e =
         if idx < n then -.float_of_int d.(idx) +. (dn1 -. 1.)
         else float_of_int e.(n - 1 - (idx - n)) +. (1. -. en1))
   in
-  let g = batched pts in
+  let g = batched ?domains pts in
   (* F_k = G_{2n-k} + D_{n-1} + E_{n-1} - 2; G is 1-indexed in the paper,
      g.(j-1) here. The points are integers shifted by integer offsets, so
      rounding restores exactness. *)
@@ -51,5 +62,7 @@ let monotone_min_plus_via_bsei d e =
       let gk = g.((2 * n) - k - 1) in
       int_of_float (Float.round (gk +. dn1 +. en1 -. 2.)))
 
-let min_plus_via_bsei a b =
-  Monotone.min_plus_via_monotone ~oracle:monotone_min_plus_via_bsei a b
+let min_plus_via_bsei ?domains a b =
+  Monotone.min_plus_via_monotone
+    ~oracle:(fun d e -> monotone_min_plus_via_bsei ?domains d e)
+    a b

@@ -15,15 +15,19 @@ val length : interval -> float
 val smallest : float array -> k:int -> interval
 (** O(n log n) (sort + scan). Requires [1 <= k <= n]. *)
 
-val batched : float array -> float array
+val batched : ?domains:int -> float array -> float array
 (** [batched pts] returns [g] with [g.(k-1)] the length of the smallest
-    interval enclosing [k] points, for every k in [1, n]. O(n^2). *)
+    interval enclosing [k] points, for every k in [1, n]. O(n^2). The n
+    window scans are independent; [domains] (default [MAXRS_DOMAINS],
+    else 1) runs them concurrently with bit-identical output for any
+    domain count. *)
 
-val monotone_min_plus_via_bsei : int array -> int array -> int array
+val monotone_min_plus_via_bsei :
+  ?domains:int -> int array -> int array -> int array
 (** Section 6.2: monotone (min,+)-convolution of two strictly decreasing
     sequences, computed through a batched-SEI oracle on the 2n constructed
     points, with recovery [F_k = G_{2n-k} + D_{n-1} + E_{n-1} - 2]. *)
 
-val min_plus_via_bsei : int array -> int array -> int array
+val min_plus_via_bsei : ?domains:int -> int array -> int array -> int array
 (** Full Section 6 chain: general (min,+)-convolution via monotonization
-    and batched SEI. *)
+    and batched SEI. [domains] is forwarded to the batched-SEI oracle. *)

@@ -82,10 +82,17 @@ let positive_max_via_batched_maxrs ~oracle a b m =
 
 (* --------------------------- Full chain ----------------------------- *)
 
-let default_batched_maxrs_oracle ~lens pts =
+(* [Interval1d.batched] resolves its own domain count from
+   [MAXRS_DOMAINS] when none is given, so the default oracle already
+   parallelizes the m independent queries; [make_batched_maxrs_oracle]
+   pins an explicit count. *)
+let make_batched_maxrs_oracle ?domains () : batched_maxrs_oracle =
+ fun ~lens pts ->
   Array.map
     (fun p -> p.Interval1d.value)
-    (Interval1d.batched ~lens pts)
+    (Interval1d.batched ?domains ~lens pts)
+
+let default_batched_maxrs_oracle = make_batched_maxrs_oracle ()
 
 let min_plus_via_batched_maxrs ?batch ~oracle a b =
   let n = Array.length a in

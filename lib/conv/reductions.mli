@@ -55,4 +55,10 @@ val min_plus_via_batched_maxrs :
     oracle call). *)
 
 val default_batched_maxrs_oracle : batched_maxrs_oracle
-(** The repository's own exact solver ({!Maxrs_sweep.Interval1d.batched}). *)
+(** The repository's own exact solver ({!Maxrs_sweep.Interval1d.batched});
+    parallelizes its m independent queries per the [MAXRS_DOMAINS]
+    environment variable. *)
+
+val make_batched_maxrs_oracle : ?domains:int -> unit -> batched_maxrs_oracle
+(** Same solver with an explicit domain count for the batched queries;
+    the oracle's answers are bit-identical for any domain count. *)

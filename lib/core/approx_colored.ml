@@ -17,7 +17,8 @@ type result = {
   strategy : strategy;
 }
 
-let estimate_opt ?(estimate_cfg : Config.t option) ~radius ~seed centers ~colors =
+let estimate_opt ?(estimate_cfg : Config.t option) ?domains ~radius ~seed
+    centers ~colors =
   let cfg =
     match estimate_cfg with
     | Some c -> c
@@ -26,23 +27,23 @@ let estimate_opt ?(estimate_cfg : Config.t option) ~radius ~seed centers ~colors
            sample constant: the estimate only needs to be within a
            constant factor, so we spend as little as possible here. *)
         Config.make ~epsilon:0.25 ~sample_constant:0.15
-          ~max_grid_shifts:(Some 6) ~seed ()
+          ~max_grid_shifts:(Some 6) ~seed ~domains ()
   in
   let pts = Array.map (fun (x, y) -> [| x; y |]) centers in
   (Colored.solve_or_point ~cfg ~radius ~dim:2 pts ~colors).Colored.value
 
 let solve ?(radius = 1.) ?(epsilon = 0.25) ?(c1 = 1.0) ?(seed = 0x1e6)
-    ?estimate_cfg ?max_shifts centers ~colors =
+    ?estimate_cfg ?max_shifts ?domains centers ~colors =
   if not (epsilon > 0. && epsilon < 1.) then
     invalid_arg "Approx_colored.solve: epsilon must lie in (0, 1)";
   let n = Array.length centers in
   if n = 0 then invalid_arg "Approx_colored.solve: empty input";
   if Array.length colors <> n then
     invalid_arg "Approx_colored.solve: colors length mismatch";
-  let opt' = estimate_opt ?estimate_cfg ~radius ~seed centers ~colors in
+  let opt' = estimate_opt ?estimate_cfg ?domains ~radius ~seed centers ~colors in
   let threshold = c1 /. (epsilon ** 2.) *. log (float_of_int (Int.max n 2)) in
   let exact pts cols =
-    Output_sensitive.solve ~radius ?max_shifts ~seed pts ~colors:cols
+    Output_sensitive.solve ~radius ?max_shifts ~seed ?domains pts ~colors:cols
   in
   let finish ~strategy (r : Output_sensitive.result) =
     (* The sampled run reports depth w.r.t. the sample; re-evaluate the

@@ -32,10 +32,14 @@ val solve :
   ?seed:int ->
   ?estimate_cfg:Config.t ->
   ?max_shifts:int ->
+  ?domains:int ->
   (float * float) array ->
   colors:int array ->
   result
 (** [epsilon] in (0, 1), default 0.25; [c1] default 1.0 (the paper's
     "sufficiently large constant" — larger sharpens the probability at
     the cost of a bigger sample). [max_shifts] is forwarded to the exact
-    algorithm's grid collection. Requires a non-empty input. *)
+    algorithm's grid collection. [domains] sizes the parallel execution
+    layer for both the Theorem-1.5 estimate and the exact runs (default:
+    [MAXRS_DOMAINS], else 1); results are bit-identical for any domain
+    count. Requires a non-empty input. *)

@@ -1,4 +1,5 @@
 module Point = Maxrs_geom.Point
+module Parallel = Maxrs_parallel.Parallel
 
 type result = { center : Point.t; value : int }
 
@@ -17,12 +18,19 @@ let solve ?(cfg = Config.default) ?(radius = 1.) ~dim pts ~colors =
     (* Process balls grouped by color (Section 3.2's sort step). *)
     let order = Array.init n Fun.id in
     Array.sort (fun i j -> compare colors.(i) colors.(j)) order;
-    Array.iter
-      (fun i ->
-        Sample_space.touch_colored space
-          ~center:(Point.scale (1. /. radius) pts.(i))
-          ~color:colors.(i))
-      order;
+    let scaled =
+      Array.map (fun i -> (Point.scale (1. /. radius) pts.(i), colors.(i))) order
+    in
+    (* Shard by shifted-grid index (see Static.solve): every grid sees
+       the same color-grouped sequence, independently of the others. *)
+    Parallel.with_pool ~domains:(Config.domains cfg) (fun pool ->
+        Parallel.parallel_for pool ~n:(Sample_space.grid_count space)
+          (fun gi ->
+            Array.iter
+              (fun (center, color) ->
+                Sample_space.touch_colored_in_grid space ~grid:gi ~center
+                  ~color)
+              scaled));
     match Sample_space.best space with
     | Some s when s.Sample_space.depth > 0. ->
         Some

@@ -4,6 +4,7 @@ type t = {
   min_samples : int;
   max_grid_shifts : int option;
   seed : int;
+  domains : int option;
 }
 
 let default =
@@ -13,13 +14,15 @@ let default =
     min_samples = 8;
     max_grid_shifts = None;
     seed = 0x6d617872;
+    domains = None;
   }
 
 let make ?(epsilon = default.epsilon)
     ?(sample_constant = default.sample_constant)
     ?(min_samples = default.min_samples)
-    ?(max_grid_shifts = default.max_grid_shifts) ?(seed = default.seed) () =
-  { epsilon; sample_constant; min_samples; max_grid_shifts; seed }
+    ?(max_grid_shifts = default.max_grid_shifts) ?(seed = default.seed)
+    ?(domains = default.domains) () =
+  { epsilon; sample_constant; min_samples; max_grid_shifts; seed; domains }
 
 let validate t =
   if not (t.epsilon > 0. && t.epsilon < 0.5) then
@@ -27,9 +30,14 @@ let validate t =
   if t.sample_constant <= 0. then
     invalid_arg "Config: sample_constant must be positive";
   if t.min_samples < 1 then invalid_arg "Config: min_samples must be >= 1";
-  match t.max_grid_shifts with
+  (match t.max_grid_shifts with
   | Some c when c < 1 -> invalid_arg "Config: max_grid_shifts must be >= 1"
+  | _ -> ());
+  match t.domains with
+  | Some d when d < 1 -> invalid_arg "Config: domains must be >= 1"
   | _ -> ()
+
+let domains t = Maxrs_parallel.Parallel.resolve t.domains
 
 let samples_per_cell t ~n =
   let n = Int.max n 2 in

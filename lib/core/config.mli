@@ -16,6 +16,10 @@ type t = {
   max_grid_shifts : int option;
       (** None = faithful Lemma 2.1 collection; Some c = c random shifts *)
   seed : int;  (** seed for all internal randomness *)
+  domains : int option;
+      (** domain count for the parallel execution layer; [None] defers to
+          the [MAXRS_DOMAINS] environment variable (default 1). Results
+          are bit-identical for every domain count. *)
 }
 
 val default : t
@@ -28,11 +32,16 @@ val make :
   ?min_samples:int ->
   ?max_grid_shifts:int option ->
   ?seed:int ->
+  ?domains:int option ->
   unit ->
   t
 
 val validate : t -> unit
 (** Raises [Invalid_argument] on out-of-range parameters. *)
+
+val domains : t -> int
+(** Effective domain count: the [domains] field, or [MAXRS_DOMAINS] /
+    1 when the field is [None]. *)
 
 val samples_per_cell : t -> n:int -> int
 (** t = max(min_samples, c * eps^-2 * ln n) — the Theta(eps^-2 log n) of

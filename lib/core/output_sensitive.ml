@@ -6,6 +6,7 @@ module Shifted_grids = Maxrs_geom.Shifted_grids
 module Rng = Maxrs_geom.Rng
 module Colored_depth = Maxrs_union.Colored_depth
 module Colored_disk2d = Maxrs_sweep.Colored_disk2d
+module Parallel = Maxrs_parallel.Parallel
 
 type stats = {
   shifts : int;
@@ -16,7 +17,89 @@ type stats = {
 
 type result = { x : float; y : float; depth : int; stats : stats }
 
-let solve ?(radius = 1.) ?max_shifts ?(seed = 0x4f53) centers ~colors =
+(* Everything one grid of the shifted collection contributes: its best
+   placement and its share of the statistics. Grids are independent, so
+   these are computed in parallel and merged in grid-index order, which
+   reproduces the sequential scan exactly. *)
+type grid_result = {
+  g_depth : int;
+  g_x : float;
+  g_y : float;
+  g_cells : int;
+  g_disks : int;
+  g_events : int;
+}
+
+let solve_grid pts colors grid =
+  let n = Array.length pts in
+  (* Bucket disks by the grid cells they intersect. *)
+  let buckets : int list ref Grid.Tbl.t = Grid.Tbl.create (4 * n) in
+  Array.iteri
+    (fun i (x, y) ->
+      let ball = Ball.unit [| x; y |] in
+      Grid.iter_keys_intersecting_ball grid ball (fun key ->
+          match Grid.Tbl.find_opt buckets key with
+          | Some l -> l := i :: !l
+          | None -> Grid.Tbl.add buckets (Array.copy key) (ref [ i ])))
+    pts;
+  let acc =
+    ref
+      {
+        g_depth = 0;
+        g_x = fst pts.(0);
+        g_y = snd pts.(0);
+        g_cells = 0;
+        g_disks = 0;
+        g_events = 0;
+      }
+  in
+  Grid.Tbl.iter
+    (fun key idxs ->
+      let corners = Box.corners (Grid.cell_box grid key) in
+      (* Lemma 4.3: drop disks containing no corner of the cell. *)
+      let trimmed =
+        List.filter
+          (fun i ->
+            let x, y = pts.(i) in
+            List.exists
+              (fun c ->
+                (((c.(0) -. x) ** 2.) +. ((c.(1) -. y) ** 2.)) <= 1. +. 1e-12)
+              corners)
+          !idxs
+      in
+      match trimmed with
+      | [] -> ()
+      | _ :: _ ->
+          let sub = Array.of_list trimmed in
+          let sub_centers = Array.map (fun i -> pts.(i)) sub in
+          let sub_colors = Array.map (fun i -> colors.(i)) sub in
+          let r =
+            Colored_depth.max_colored_depth ~radius:1. sub_centers
+              ~colors:sub_colors
+          in
+          let a = !acc in
+          acc :=
+            {
+              g_depth =
+                (if r.Colored_depth.depth > a.g_depth then
+                   r.Colored_depth.depth
+                 else a.g_depth);
+              g_x =
+                (if r.Colored_depth.depth > a.g_depth then r.Colored_depth.x
+                 else a.g_x);
+              g_y =
+                (if r.Colored_depth.depth > a.g_depth then r.Colored_depth.y
+                 else a.g_y);
+              g_cells = a.g_cells + 1;
+              g_disks = a.g_disks + Array.length sub;
+              g_events =
+                a.g_events + r.Colored_depth.stats.Colored_depth.events;
+            })
+    buckets;
+  !acc
+
+let solve ?(radius = 1.) ?max_shifts ?(seed = 0x4f53) ?domains centers ~colors
+    =
   if radius <= 0. then invalid_arg "Output_sensitive.solve: radius <= 0";
   let n = Array.length centers in
   if n = 0 then invalid_arg "Output_sensitive.solve: empty input";
@@ -33,71 +116,44 @@ let solve ?(radius = 1.) ?max_shifts ?(seed = 0x4f53) centers ~colors =
         Shifted_grids.make ~cap ~rng:(Rng.create seed) ~dim:2 ~side:1.
           ~delta:0.25 ()
   in
-  let best_x = ref (fst pts.(0))
-  and best_y = ref (snd pts.(0))
-  and best_depth = ref 0 in
-  let cells_processed = ref 0
-  and disks_after_trim = ref 0
-  and sweep_events = ref 0 in
-  Array.iter
-    (fun grid ->
-      (* Bucket disks by the grid cells they intersect. *)
-      let buckets : int list ref Grid.Tbl.t = Grid.Tbl.create (4 * n) in
-      Array.iteri
-        (fun i (x, y) ->
-          let ball = Ball.unit [| x; y |] in
-          Grid.iter_keys_intersecting_ball grid ball (fun key ->
-              match Grid.Tbl.find_opt buckets key with
-              | Some l -> l := i :: !l
-              | None -> Grid.Tbl.add buckets (Array.copy key) (ref [ i ])))
-        pts;
-      Grid.Tbl.iter
-        (fun key idxs ->
-          let corners = Box.corners (Grid.cell_box grid key) in
-          (* Lemma 4.3: drop disks containing no corner of the cell. *)
-          let trimmed =
-            List.filter
-              (fun i ->
-                let x, y = pts.(i) in
-                List.exists
-                  (fun c ->
-                    (((c.(0) -. x) ** 2.) +. ((c.(1) -. y) ** 2.)) <= 1. +. 1e-12)
-                  corners)
-              !idxs
-          in
-          match trimmed with
-          | [] -> ()
-          | _ :: _ ->
-              incr cells_processed;
-              let sub = Array.of_list trimmed in
-              let sub_centers = Array.map (fun i -> pts.(i)) sub in
-              let sub_colors = Array.map (fun i -> colors.(i)) sub in
-              disks_after_trim := !disks_after_trim + Array.length sub;
-              let r =
-                Colored_depth.max_colored_depth ~radius:1. sub_centers
-                  ~colors:sub_colors
-              in
-              sweep_events :=
-                !sweep_events + r.Colored_depth.stats.Colored_depth.events;
-              if r.Colored_depth.depth > !best_depth then begin
-                best_depth := r.Colored_depth.depth;
-                best_x := r.Colored_depth.x;
-                best_y := r.Colored_depth.y
-              end)
-        buckets)
-    grids.Shifted_grids.grids;
+  let garr = grids.Shifted_grids.grids in
+  let merged =
+    Parallel.with_pool ~domains:(Parallel.resolve domains) (fun pool ->
+        Parallel.map_reduce pool ~n:(Array.length garr)
+          ~map:(fun gi -> solve_grid pts colors garr.(gi))
+          ~reduce:(fun a g ->
+            {
+              g_depth = (if g.g_depth > a.g_depth then g.g_depth else a.g_depth);
+              g_x = (if g.g_depth > a.g_depth then g.g_x else a.g_x);
+              g_y = (if g.g_depth > a.g_depth then g.g_y else a.g_y);
+              g_cells = a.g_cells + g.g_cells;
+              g_disks = a.g_disks + g.g_disks;
+              g_events = a.g_events + g.g_events;
+            })
+          {
+            g_depth = 0;
+            g_x = fst pts.(0);
+            g_y = snd pts.(0);
+            g_cells = 0;
+            g_disks = 0;
+            g_events = 0;
+          })
+  in
   (* Re-evaluate against the full input: the per-cell depth is computed on
      a subset, so this can only confirm or improve it. *)
-  let depth = Colored_disk2d.colored_depth_at ~radius:1. pts ~colors !best_x !best_y in
+  let depth =
+    Colored_disk2d.colored_depth_at ~radius:1. pts ~colors merged.g_x
+      merged.g_y
+  in
   {
-    x = !best_x *. radius;
-    y = !best_y *. radius;
-    depth = Int.max depth !best_depth;
+    x = merged.g_x *. radius;
+    y = merged.g_y *. radius;
+    depth = Int.max depth merged.g_depth;
     stats =
       {
         shifts = Shifted_grids.count grids;
-        cells_processed = !cells_processed;
-        disks_after_trim = !disks_after_trim;
-        sweep_events = !sweep_events;
+        cells_processed = merged.g_cells;
+        disks_after_trim = merged.g_disks;
+        sweep_events = merged.g_events;
       };
   }

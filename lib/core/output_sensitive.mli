@@ -23,6 +23,7 @@ val solve :
   ?radius:float ->
   ?max_shifts:int ->
   ?seed:int ->
+  ?domains:int ->
   (float * float) array ->
   colors:int array ->
   result
@@ -30,4 +31,9 @@ val solve :
     [max_shifts] the 36-shift collection is subsampled and exactness
     holds only with probability over shifts). The reported depth is
     re-evaluated against the full input, so it is always achievable at
-    (x, y). Requires a non-empty input. *)
+    (x, y). Requires a non-empty input.
+
+    [domains] sizes the parallel execution layer (default: the
+    [MAXRS_DOMAINS] environment variable, else 1): the independent grid
+    shifts are processed concurrently and merged in shift order, so the
+    result is bit-identical for any domain count. *)

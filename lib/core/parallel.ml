@@ -1,0 +1,198 @@
+(* A small fixed-size domain pool over stdlib [Domain] + [Mutex] /
+   [Condition]. One pool = (size - 1) worker domains plus the calling
+   domain, which always participates in the work, so [size = 1] runs
+   everything inline on the caller with no domains spawned and no
+   synchronization — the sequential fallback.
+
+   Work distribution: a job splits its index range into chunks; every
+   participant (caller + workers) pulls chunk indices from a shared
+   atomic counter until the job is exhausted. Chunk boundaries are a
+   function of (n, chunks) only, never of which domain runs what, so any
+   per-index output is placed deterministically. *)
+
+type task = unit -> unit
+
+type pool = {
+  size : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  queue : task Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let max_domains = 128
+
+let env_domains =
+  lazy
+    (match Sys.getenv_opt "MAXRS_DOMAINS" with
+    | None -> 1
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some d when d >= 1 -> Int.min d max_domains
+        | _ -> 1))
+
+let default_domains () = Lazy.force env_domains
+
+let resolve = function
+  | Some d when d >= 1 -> Int.min d max_domains
+  | Some _ -> invalid_arg "Parallel.resolve: domains must be >= 1"
+  | None -> default_domains ()
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.stop do
+    Condition.wait pool.work_available pool.mutex
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.mutex (* stopping *)
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    task ();
+    worker_loop pool
+  end
+
+let create size =
+  if size < 1 then invalid_arg "Parallel.create: size must be >= 1";
+  let size = Int.min size max_domains in
+  let pool =
+    {
+      size;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let size pool = pool.size
+
+let with_pool ~domains f =
+  let pool = create (resolve (Some domains)) in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Tracks one job: how many queued helpers have not finished yet, and the
+   first failure raised by any participant (re-raised on the caller once
+   every participant is done, so no task outlives the call). *)
+type job = {
+  job_mutex : Mutex.t;
+  job_done : Condition.t;
+  mutable live_helpers : int;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+}
+
+let run_chunks pool ~chunks exec =
+  if chunks > 0 then
+    if pool.size = 1 || chunks = 1 then
+      for c = 0 to chunks - 1 do
+        exec c
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let job =
+        {
+          job_mutex = Mutex.create ();
+          job_done = Condition.create ();
+          live_helpers = Int.min (pool.size - 1) (chunks - 1);
+          failure = None;
+        }
+      in
+      let rec participate () =
+        let c = Atomic.fetch_and_add next 1 in
+        if c < chunks then begin
+          (* Fail fast: once a failure is recorded, drain the remaining
+             chunks without executing them. *)
+          (match job.failure with
+          | Some _ -> ()
+          | None -> (
+              try exec c
+              with e ->
+                let bt = Printexc.get_raw_backtrace () in
+                Mutex.lock job.job_mutex;
+                if job.failure = None then job.failure <- Some (e, bt);
+                Mutex.unlock job.job_mutex));
+          participate ()
+        end
+      in
+      let helper () =
+        participate ();
+        Mutex.lock job.job_mutex;
+        job.live_helpers <- job.live_helpers - 1;
+        if job.live_helpers = 0 then Condition.broadcast job.job_done;
+        Mutex.unlock job.job_mutex
+      in
+      Mutex.lock pool.mutex;
+      for _ = 1 to job.live_helpers do
+        Queue.add helper pool.queue
+      done;
+      Condition.broadcast pool.work_available;
+      Mutex.unlock pool.mutex;
+      participate ();
+      Mutex.lock job.job_mutex;
+      while job.live_helpers > 0 do
+        Condition.wait job.job_done job.job_mutex
+      done;
+      Mutex.unlock job.job_mutex;
+      match job.failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+
+let default_chunks pool n = Int.min n (pool.size * 4)
+
+let chunk_lo ~n ~chunks c = c * n / chunks
+
+let parallel_for ?chunks pool ~n body =
+  if n > 0 then begin
+    let chunks =
+      match chunks with
+      | Some c -> Int.max 1 (Int.min c n)
+      | None -> default_chunks pool n
+    in
+    run_chunks pool ~chunks (fun c ->
+        let lo = chunk_lo ~n ~chunks c and hi = chunk_lo ~n ~chunks (c + 1) in
+        for i = lo to hi - 1 do
+          body i
+        done)
+  end
+
+let map pool ~n f =
+  if n = 0 then [||]
+  else begin
+    (* Seed the output array with f 0 (run on the caller) to avoid
+       option-boxing every slot. *)
+    let first = f 0 in
+    let out = Array.make n first in
+    parallel_for pool ~n:(n - 1) (fun i -> out.(i + 1) <- f (i + 1));
+    out
+  end
+
+let map_chunks ?chunks pool ~n f =
+  if n = 0 then [||]
+  else begin
+    let chunks =
+      match chunks with
+      | Some c -> Int.max 1 (Int.min c n)
+      | None -> default_chunks pool n
+    in
+    let out = Array.make chunks None in
+    run_chunks pool ~chunks (fun c ->
+        let lo = chunk_lo ~n ~chunks c and hi = chunk_lo ~n ~chunks (c + 1) in
+        out.(c) <- Some (f ~lo ~hi));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map_reduce pool ~n ~map:f ~reduce init =
+  Array.fold_left reduce init (map pool ~n f)

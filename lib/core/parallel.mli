@@ -1,0 +1,67 @@
+(** Shared-memory parallel execution on a small fixed-size pool of
+    stdlib [Domain]s (OCaml 5, no external dependencies).
+
+    A pool of size [d] owns [d - 1] worker domains; the calling domain
+    always participates in every job, so [d = 1] is a true sequential
+    fallback: everything runs inline on the caller, no domains are
+    spawned and no locks are taken on the work path.
+
+    Determinism contract: chunk boundaries depend only on the problem
+    size and the chunk count, and {!map} / {!map_reduce} place or combine
+    per-index results in index order — so for bodies that are independent
+    across indices, output is bit-identical for every pool size. Jobs
+    must not invoke pool operations on the pool running them (no
+    nesting on the same pool). *)
+
+type pool
+
+val default_domains : unit -> int
+(** Domain count from the [MAXRS_DOMAINS] environment variable (clamped
+    to [\[1, 128]]); 1 when unset or unparsable. Read once, then cached. *)
+
+val resolve : int option -> int
+(** [resolve (Some d)] is [d] (clamped); [resolve None] is
+    {!default_domains}[ ()]. The idiom for [?domains] arguments. *)
+
+val create : int -> pool
+(** [create d] spawns [d - 1] worker domains. Pools are cheap but not
+    free (~100us/domain): reuse one across jobs when convenient, or use
+    {!with_pool} per call. Raises [Invalid_argument] if [d < 1]. *)
+
+val shutdown : pool -> unit
+(** Stop and join all workers. The pool must be idle (no job running).
+    Idempotent. *)
+
+val with_pool : domains:int -> (pool -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] with a fresh pool and always shuts
+    it down, even if [f] raises. *)
+
+val size : pool -> int
+(** Total participant count (workers + caller). *)
+
+val parallel_for : ?chunks:int -> pool -> n:int -> (int -> unit) -> unit
+(** [parallel_for pool ~n body] runs [body i] for every [i] in
+    [\[0, n)], split into chunks pulled by the participants. The body
+    must be safe to run concurrently for distinct indices. If any body
+    raises, remaining chunks are skipped and the first exception is
+    re-raised on the caller after all participants finish. *)
+
+val map : pool -> n:int -> (int -> 'a) -> 'a array
+(** [map pool ~n f] is [\[| f 0; ...; f (n-1) |\]], computed in
+    parallel. Slot [i] always holds [f i]: deterministic for pure [f]
+    regardless of pool size. *)
+
+val map_chunks :
+  ?chunks:int -> pool -> n:int -> (lo:int -> hi:int -> 'a) -> 'a array
+(** [map_chunks pool ~n f] splits [\[0, n)] into contiguous chunks and
+    returns per-chunk results in chunk order. Note: the default chunk
+    count depends on the pool size, so only pass results to
+    order-insensitive merges unless [?chunks] is fixed explicitly. *)
+
+val map_reduce :
+  pool -> n:int -> map:(int -> 'a) -> reduce:('b -> 'a -> 'b) -> 'b -> 'b
+(** [map_reduce pool ~n ~map ~reduce init] computes [map i] for every
+    index in parallel, then folds with [reduce] sequentially in index
+    order on the caller — identical to
+    [Array.fold_left reduce init (Array.init n map)] for pure [map],
+    for any pool size. *)

@@ -21,15 +21,23 @@ type cell = {
   mutable cversion : int;  (** bumped whenever [max_depth]/[best] change *)
 }
 
+(* All per-grid state lives in per-grid array slots (table, rng stream,
+   id counter, cell counter): work sharded by grid index touches disjoint
+   state, so grids can be built on different domains with no locking and
+   no cross-grid ordering effects. Each grid's rng stream is derived with
+   [Rng.split_at] keyed by the grid index — not by insertion order — so a
+   grid's sample positions depend only on the operations applied to that
+   grid, never on how work was interleaved across grids. *)
 type t = {
   dim : int;
   cfg : Config.t;
   grids : Shifted_grids.t;
   tables : cell Grid.Tbl.t array;
-  rng : Rng.t;
+  rngs : Rng.t array;
   t_samples : int;
-  mutable next_id : int;
-  mutable n_cells : int;
+  stride : int;  (** grid count; sample ids are [local * stride + grid] *)
+  next_ids : int array;
+  n_cells : int array;
   mutable hook : cell -> unit;
 }
 
@@ -44,66 +52,71 @@ let create ~dim ~cfg ~expected_n =
     | Some cap ->
         Shifted_grids.make ~cap ~rng:(Rng.split rng) ~dim ~side ~delta ()
   in
+  let count = Shifted_grids.count grids in
   {
     dim;
     cfg;
     grids;
-    tables =
-      Array.init (Shifted_grids.count grids) (fun _ -> Grid.Tbl.create 256);
-    rng;
+    tables = Array.init count (fun _ -> Grid.Tbl.create 256);
+    rngs = Array.init count (fun gi -> Rng.split_at rng gi);
     t_samples = Config.samples_per_cell cfg ~n:expected_n;
-    next_id = 0;
-    n_cells = 0;
+    stride = count;
+    next_ids = Array.make count 0;
+    n_cells = Array.make count 0;
     hook = ignore;
   }
 
 let dim t = t.dim
 let samples_per_cell t = t.t_samples
 let grid_count t = Shifted_grids.count t.grids
-let cell_count t = t.n_cells
-let sample_count t = t.n_cells * t.t_samples
+let cell_count t = Array.fold_left ( + ) 0 t.n_cells
+let sample_count t = cell_count t * t.t_samples
 let on_cell_change t f = t.hook <- f
 
 let cell_max c = c.max_depth
 let cell_best c = c.best
 let cell_version c = c.cversion
 
-let new_cell t grid key =
+let new_cell t gi grid key =
   let center = Grid.cell_center grid key in
   let radius = Grid.cell_circumradius grid in
+  let rng = t.rngs.(gi) in
   let samples =
     Array.init t.t_samples (fun _ ->
-        let id = t.next_id in
-        t.next_id <- id + 1;
+        let local = t.next_ids.(gi) in
+        t.next_ids.(gi) <- local + 1;
         {
-          id;
-          pos = Sphere.sample_on t.rng ~center ~radius;
+          id = (local * t.stride) + gi;
+          pos = Sphere.sample_on rng ~center ~radius;
           depth = 0.;
           flag = -1;
           version = 0;
         })
   in
-  t.n_cells <- t.n_cells + 1;
+  t.n_cells.(gi) <- t.n_cells.(gi) + 1;
   { samples; nballs = 0; max_depth = 0.; best = samples.(0); cversion = 0 }
 
-(* Visit every cell intersected by the unit ball at [center], in every
-   grid, materializing absent cells. *)
-let iter_cells t ~center f =
+(* Visit every cell of grid [gi] intersected by the unit ball at
+   [center], materializing absent cells. *)
+let iter_cells_in_grid t gi ~center f =
   let ball = Ball.unit center in
-  Array.iteri
-    (fun gi table ->
-      let grid = t.grids.Shifted_grids.grids.(gi) in
-      Grid.iter_keys_intersecting_ball grid ball (fun key ->
-          let cell =
-            match Grid.Tbl.find_opt table key with
-            | Some c -> c
-            | None ->
-                let c = new_cell t grid key in
-                Grid.Tbl.add table (Array.copy key) c;
-                c
-          in
-          f table key cell))
-    t.tables
+  let table = t.tables.(gi) in
+  let grid = t.grids.Shifted_grids.grids.(gi) in
+  Grid.iter_keys_intersecting_ball grid ball (fun key ->
+      let cell =
+        match Grid.Tbl.find_opt table key with
+        | Some c -> c
+        | None ->
+            let c = new_cell t gi grid key in
+            Grid.Tbl.add table (Array.copy key) c;
+            c
+      in
+      f table key cell)
+
+let iter_cells t ~center f =
+  for gi = 0 to grid_count t - 1 do
+    iter_cells_in_grid t gi ~center f
+  done
 
 (* Apply [update] to every sample of [cell] inside the unit ball at
    [center], then refresh the cell's cached max/argmax in the same pass
@@ -129,35 +142,44 @@ let update_cell t cell ~center update =
     t.hook cell
   end
 
-let insert t ~center ~weight =
+let insert_in_grid t ~grid ~center ~weight =
   assert (Point.dim center = t.dim);
-  iter_cells t ~center (fun _table _key cell ->
+  iter_cells_in_grid t grid ~center (fun _table _key cell ->
       cell.nballs <- cell.nballs + 1;
       update_cell t cell ~center (fun s ->
           s.depth <- s.depth +. weight;
           true))
 
+let insert t ~center ~weight =
+  assert (Point.dim center = t.dim);
+  for gi = 0 to grid_count t - 1 do
+    insert_in_grid t ~grid:gi ~center ~weight
+  done
+
 let delete t ~center ~weight =
   assert (Point.dim center = t.dim);
-  iter_cells t ~center (fun table key cell ->
-      cell.nballs <- cell.nballs - 1;
-      assert (cell.nballs >= 0);
-      update_cell t cell ~center (fun s ->
-          s.depth <- s.depth -. weight;
-          true);
-      if cell.nballs = 0 then begin
-        (* Invalidate so stale heap entries are detectable. *)
-        cell.max_depth <- Float.neg_infinity;
-        cell.cversion <- cell.cversion + 1;
-        Array.iter
-          (fun s ->
-            s.version <- s.version + 1;
-            s.depth <- Float.neg_infinity)
-          cell.samples;
-        t.hook cell;
-        Grid.Tbl.remove table key;
-        t.n_cells <- t.n_cells - 1
-      end)
+  Array.iteri
+    (fun gi _ ->
+      iter_cells_in_grid t gi ~center (fun table key cell ->
+          cell.nballs <- cell.nballs - 1;
+          assert (cell.nballs >= 0);
+          update_cell t cell ~center (fun s ->
+              s.depth <- s.depth -. weight;
+              true);
+          if cell.nballs = 0 then begin
+            (* Invalidate so stale heap entries are detectable. *)
+            cell.max_depth <- Float.neg_infinity;
+            cell.cversion <- cell.cversion + 1;
+            Array.iter
+              (fun s ->
+                s.version <- s.version + 1;
+                s.depth <- Float.neg_infinity)
+              cell.samples;
+            t.hook cell;
+            Grid.Tbl.remove table key;
+            t.n_cells.(gi) <- t.n_cells.(gi) - 1
+          end))
+    t.tables
 
 (* Generic insertion: [f] returns the depth delta for each sample of an
    intersected cell lying inside the ball (0 = unchanged). Counts as a
@@ -174,10 +196,10 @@ let insert_with t ~center ~f =
           end
           else false))
 
-let touch_colored t ~center ~color =
+let touch_colored_in_grid t ~grid ~center ~color =
   assert (Point.dim center = t.dim);
   assert (color >= 0);
-  iter_cells t ~center (fun _table _key cell ->
+  iter_cells_in_grid t grid ~center (fun _table _key cell ->
       cell.nballs <- cell.nballs + 1;
       update_cell t cell ~center (fun s ->
           if s.flag <> color then begin
@@ -186,6 +208,11 @@ let touch_colored t ~center ~color =
             true
           end
           else false))
+
+let touch_colored t ~center ~color =
+  for gi = 0 to grid_count t - 1 do
+    touch_colored_in_grid t ~grid:gi ~center ~color
+  done
 
 let iter_samples t f =
   Array.iter
@@ -232,12 +259,34 @@ let validate t ~live =
     t.tables;
   !ok
 
-let best t =
+(* Per-grid argmax, then a merge in grid-index order, both keeping the
+   earlier candidate on ties — the same answer as one scan over all
+   cells, but computable shard-by-shard. *)
+let best_cell_in_grid t gi =
   let best = ref None in
-  iter_live_cells t (fun c ->
+  Grid.Tbl.iter
+    (fun _ c ->
       match !best with
       | Some b when cell_max b >= c.max_depth -> ()
-      | _ -> best := Some c);
+      | _ -> best := Some c)
+    t.tables.(gi);
+  !best
+
+let best_in_grid t ~grid =
+  match best_cell_in_grid t grid with
+  | Some c when c.max_depth > Float.neg_infinity -> Some c.best
+  | _ -> None
+
+let best t =
+  let best = ref None in
+  for gi = 0 to grid_count t - 1 do
+    match best_cell_in_grid t gi with
+    | Some c -> (
+        match !best with
+        | Some b when cell_max b >= c.max_depth -> ()
+        | _ -> best := Some c)
+    | None -> ()
+  done;
   match !best with
   | Some c when c.max_depth > Float.neg_infinity -> Some c.best
   | _ -> None

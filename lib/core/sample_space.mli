@@ -17,7 +17,17 @@
 
     Each cell caches its max-depth sample (refreshed for free during the
     per-update sample scan); the dynamic structure indexes cells, not
-    samples, in its lazy heap. *)
+    samples, in its lazy heap.
+
+    Parallel construction: every grid of the shifted collection owns
+    disjoint state — its own hash table, its own rng stream (derived
+    with [Rng.split_at] keyed by the grid index, so a grid's samples
+    depend only on the operations applied to that grid) and its own
+    id/cell counters. The [*_in_grid] operations therefore commute
+    across distinct grids and may run on different domains
+    concurrently, with no locks, producing bit-identical state for any
+    domain count. Hooks must not be registered while building in
+    parallel (static solvers never register one). *)
 
 type sample = {
   id : int;
@@ -60,6 +70,23 @@ val insert : t -> center:Maxrs_geom.Point.t -> weight:float -> unit
 (** Insert a unit ball: materialize missing cells (sampling their
     circumspheres), bump cell refcounts, add [weight] to the depth of
     every sample of an intersected cell that lies inside the ball. *)
+
+val insert_in_grid :
+  t -> grid:int -> center:Maxrs_geom.Point.t -> weight:float -> unit
+(** {!insert} restricted to one grid of the shifted collection; calls
+    for distinct grids touch disjoint state and may run concurrently.
+    [insert t] is equivalent to [insert_in_grid t ~grid:gi] for every
+    [gi]. *)
+
+val touch_colored_in_grid :
+  t -> grid:int -> center:Maxrs_geom.Point.t -> color:int -> unit
+(** {!touch_colored} restricted to one grid (same contract as
+    {!insert_in_grid}). *)
+
+val best_in_grid : t -> grid:int -> sample option
+(** Max-depth sample among the live cells of one grid (ties broken by
+    that grid's table iteration order, which is deterministic for a
+    fixed operation sequence on the grid). *)
 
 val delete : t -> center:Maxrs_geom.Point.t -> weight:float -> unit
 (** Reverse of {!insert}; drops cells whose refcount reaches zero. *)

@@ -1,4 +1,5 @@
 module Point = Maxrs_geom.Point
+module Parallel = Maxrs_parallel.Parallel
 
 type result = { center : Point.t; value : float }
 
@@ -13,10 +14,19 @@ let solve ?(cfg = Config.default) ?(radius = 1.) ~dim pts =
   if n = 0 then None
   else begin
     let space = Sample_space.create ~dim ~cfg ~expected_n:n in
-    Array.iter
-      (fun (p, weight) ->
-        Sample_space.insert space ~center:(Point.scale (1. /. radius) p) ~weight)
-      pts;
+    let scaled =
+      Array.map (fun (p, w) -> (Point.scale (1. /. radius) p, w)) pts
+    in
+    (* Shard by shifted-grid index: each grid owns disjoint state inside
+       the sample space, so grids build concurrently and the result is
+       bit-identical for any domain count. *)
+    Parallel.with_pool ~domains:(Config.domains cfg) (fun pool ->
+        Parallel.parallel_for pool ~n:(Sample_space.grid_count space)
+          (fun gi ->
+            Array.iter
+              (fun (center, weight) ->
+                Sample_space.insert_in_grid space ~grid:gi ~center ~weight)
+              scaled));
     match Sample_space.best space with
     | Some s when s.Sample_space.depth > 0. ->
         Some { center = Point.scale radius s.Sample_space.pos; value = s.Sample_space.depth }

@@ -3,23 +3,40 @@ type t = { mutable state : int64 }
 (* splitmix64: fast, passes BigCrush, trivially seedable. *)
 let golden = 0x9E3779B97F4A7C15L
 
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
 let create seed = { state = Int64.of_int seed }
 
 let bits64 t =
   t.state <- Int64.add t.state golden;
-  let z = t.state in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+  mix t.state
 
 let split t =
   let seed = bits64 t in
   { state = seed }
 
+let split_at t i =
+  assert (i >= 0);
+  (* The i-th child stream: mix the state the generator would reach after
+     i+1 steps, without advancing [t]. Children are keyed purely by index,
+     so derivation order (or concurrency) cannot change them. *)
+  { state = mix (Int64.add t.state (Int64.mul golden (Int64.of_int (i + 1)))) }
+
 let int t bound =
-  assert (bound > 0);
-  let mask = Int64.shift_right_logical (bits64 t) 1 in
-  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let b = Int64.of_int bound in
+  (* Rejection sampling over the 63-bit draw: accept v < 2^63 - (2^63 mod
+     bound), i.e. v <= max_int - r, so every residue is equally likely. *)
+  let r = Int64.rem (Int64.add (Int64.rem Int64.max_int b) 1L) b in
+  let limit = Int64.sub Int64.max_int r in
+  let rec draw () =
+    let v = Int64.shift_right_logical (bits64 t) 1 in
+    if v <= limit then Int64.to_int (Int64.rem v b) else draw ()
+  in
+  draw ()
 
 (* 53 random mantissa bits mapped to [0, 1). *)
 let unit_float t =

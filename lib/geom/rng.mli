@@ -12,11 +12,20 @@ val create : int -> t
 val split : t -> t
 (** [split t] derives an independent generator; [t] advances. *)
 
+val split_at : t -> int -> t
+(** [split_at t i] derives the [i]-th child generator without advancing
+    [t]. Children are keyed by index alone: for a fixed [t] state,
+    [split_at t i] is the same stream no matter how many or in what order
+    other children are derived — the deterministic seeding primitive for
+    work sharded across domains (one stream per shifted grid). *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+(** [int t bound] is exactly uniform in [\[0, bound)] (rejection
+    sampling, no modulo bias). Raises [Invalid_argument] if
+    [bound <= 0]. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)

@@ -1,5 +1,6 @@
 module Circle = Maxrs_geom.Circle
 module Angle = Maxrs_geom.Angle
+module Parallel = Maxrs_parallel.Parallel
 
 type result = { x : float; y : float; value : int }
 
@@ -70,18 +71,24 @@ let sweep_circle ~radius centers ~colors i =
     evts;
   (!best_angle, !best)
 
-let max_colored ~radius centers ~colors =
+let max_colored ?domains ~radius centers ~colors =
   assert (radius > 0.);
   let n = Array.length centers in
   assert (n > 0 && Array.length colors = n);
-  let best = ref { x = 0.; y = 0.; value = min_int } in
-  for i = 0 to n - 1 do
-    let angle, v = sweep_circle ~radius centers ~colors i in
-    if v > !best.value then begin
-      let xi, yi = centers.(i) in
-      let c = Circle.make ~cx:xi ~cy:yi ~r:radius in
-      let x, y = Circle.point_at c angle in
-      best := { x; y; value = v }
-    end
-  done;
-  !best
+  (* Independent per-circle sweeps, reduced in index order (strict >,
+     first index wins) — bit-identical for any domain count. Small
+     inputs run inline: same result, no domain-spawn overhead. *)
+  let domains = if n < 32 then 1 else Parallel.resolve domains in
+  let _, bi, angle, v =
+    Parallel.with_pool ~domains (fun pool ->
+        Parallel.map_reduce pool ~n
+          ~map:(fun i -> sweep_circle ~radius centers ~colors i)
+          ~reduce:(fun (i, bi, bangle, bv) (angle, v) ->
+            if v > bv then (i + 1, i, angle, v)
+            else (i + 1, bi, bangle, bv))
+          (0, 0, 0., min_int))
+  in
+  let xi, yi = centers.(bi) in
+  let c = Circle.make ~cx:xi ~cy:yi ~r:radius in
+  let x, y = Circle.point_at c angle in
+  { x; y; value = v }

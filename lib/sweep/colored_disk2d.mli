@@ -14,9 +14,15 @@ type result = {
 }
 
 val max_colored :
-  radius:float -> (float * float) array -> colors:int array -> result
+  ?domains:int ->
+  radius:float ->
+  (float * float) array ->
+  colors:int array ->
+  result
 (** [max_colored ~radius centers ~colors] (arrays of equal nonzero
-    length). Colors are arbitrary ints. *)
+    length). Colors are arbitrary ints. The per-circle sweeps run
+    concurrently on [domains] domains (default [MAXRS_DOMAINS], else 1)
+    and merge in index order — bit-identical for any domain count. *)
 
 val colored_depth_at :
   radius:float -> (float * float) array -> colors:int array -> float -> float -> int

@@ -1,5 +1,6 @@
 module Circle = Maxrs_geom.Circle
 module Angle = Maxrs_geom.Angle
+module Parallel = Maxrs_parallel.Parallel
 
 type result = { x : float; y : float; value : float }
 
@@ -51,19 +52,25 @@ let sweep_circle ~radius pts i =
     evts;
   (!best_angle, !best)
 
-let max_weight ~radius pts =
+let max_weight ?domains ~radius pts =
   assert (radius > 0.);
   let n = Array.length pts in
   assert (n > 0);
   Array.iter (fun (_, _, w) -> assert (w >= 0.)) pts;
-  let best = ref { x = 0.; y = 0.; value = Float.neg_infinity } in
-  for i = 0 to n - 1 do
-    let angle, v = sweep_circle ~radius pts i in
-    if v > !best.value then begin
-      let xi, yi, _ = pts.(i) in
-      let c = Circle.make ~cx:xi ~cy:yi ~r:radius in
-      let x, y = Circle.point_at c angle in
-      best := { x; y; value = v }
-    end
-  done;
-  !best
+  (* The n circle sweeps are independent; run them on the domain pool
+     and keep the sequential argmax semantics (strict >, first index
+     wins) by reducing in index order. *)
+  let domains = if n < 32 then 1 else Parallel.resolve domains in
+  let _, bi, angle, v =
+    Parallel.with_pool ~domains (fun pool ->
+        Parallel.map_reduce pool ~n
+          ~map:(fun i -> sweep_circle ~radius pts i)
+          ~reduce:(fun (i, bi, bangle, bv) (angle, v) ->
+            if v > bv then (i + 1, i, angle, v)
+            else (i + 1, bi, bangle, bv))
+          (0, 0, 0., Float.neg_infinity))
+  in
+  let xi, yi, _ = pts.(bi) in
+  let c = Circle.make ~cx:xi ~cy:yi ~r:radius in
+  let x, y = Circle.point_at c angle in
+  { x; y; value = v }

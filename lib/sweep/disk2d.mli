@@ -21,11 +21,15 @@ type result = {
   value : float;  (** maximum weighted depth *)
 }
 
-val max_weight : radius:float -> (float * float * float) array -> result
+val max_weight :
+  ?domains:int -> radius:float -> (float * float * float) array -> result
 (** [max_weight ~radius pts] with [pts] of (x, y, weight >= 0), non-empty.
     Returns a point of the plane of maximum weighted depth w.r.t. the
     disks of the given radius centered at the points — equivalently an
-    optimal center placement for the primal MaxRS query. *)
+    optimal center placement for the primal MaxRS query. The n
+    per-circle sweeps run concurrently on [domains] domains (default
+    [MAXRS_DOMAINS], else 1) and are merged in index order, so the
+    result is bit-identical for any domain count. *)
 
 val depth_at : radius:float -> (float * float * float) array -> float -> float -> float
 (** Weighted depth of a query point: total weight of disks containing it. *)

@@ -1,3 +1,5 @@
+module Parallel = Maxrs_parallel.Parallel
+
 type placement = { lo : float; value : float }
 
 (* A point at coordinate [x] with weight [w] is covered by the closed
@@ -106,6 +108,16 @@ let max_sum_brute ~len pts =
       candidates
   end
 
-let batched ~lens pts =
+let batched ?domains ~lens pts =
   let b = preprocess pts in
-  Array.map (fun len -> query b ~len) lens
+  let m = Array.length lens in
+  let n = Array.length pts in
+  (* Each query costs O(n); below ~16k total work the queries are
+     cheaper than spawning domains. *)
+  let domains = if m < 2 || m * n < 16384 then 1 else Parallel.resolve domains in
+  if domains = 1 then Array.map (fun len -> query b ~len) lens
+  else
+    (* The m queries are independent and only read the preprocessed
+       structure; slot i always holds query i's answer. *)
+    Parallel.with_pool ~domains (fun pool ->
+        Parallel.map pool ~n:m (fun i -> query b ~len:lens.(i)))

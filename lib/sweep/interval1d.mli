@@ -37,5 +37,9 @@ val preprocess : (float * float) array -> batched
 val query : batched -> len:float -> placement
 (** O(n) per length, via a merge of the two implicitly-sorted event lists. *)
 
-val batched : lens:float array -> (float * float) array -> placement array
-(** [preprocess] + one [query] per length: O(n log n + mn). *)
+val batched :
+  ?domains:int -> lens:float array -> (float * float) array -> placement array
+(** [preprocess] + one [query] per length: O(n log n + mn). The m
+    queries are independent; [domains] (default [MAXRS_DOMAINS], else 1)
+    answers them concurrently on a domain pool with bit-identical output
+    for any domain count. *)

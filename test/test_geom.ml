@@ -73,6 +73,69 @@ let test_rng_bounds () =
     Alcotest.(check bool) "uniform in range" true (u >= -2. && u < 5.)
   done
 
+let test_rng_int_uniform_small_bound () =
+  (* Rejection sampling removes the modulo bias: for a small bound every
+     residue appears with frequency ~1/b. 70k draws put each bucket's
+     standard deviation near 93, so a 5% tolerance (500) is ~5 sigma. *)
+  let rng = Rng.create 2024 in
+  let b = 7 in
+  let n = 70_000 in
+  let counts = Array.make b 0 in
+  for _ = 1 to n do
+    let v = Rng.int rng b in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expect = float_of_int n /. float_of_int b in
+  Array.iteri
+    (fun i c ->
+      let dev = Float.abs (float_of_int c -. expect) /. expect in
+      Alcotest.(check bool)
+        (Printf.sprintf "residue %d near uniform" i)
+        true (dev < 0.05))
+    counts
+
+let test_rng_int_invalid_bound () =
+  let rng = Rng.create 3 in
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0));
+  Alcotest.check_raises "negative bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng (-5)))
+
+let test_rng_split_at () =
+  (* Children are keyed by index alone, independent of derivation order. *)
+  let a = Rng.create 5 and b = Rng.create 5 in
+  let b4 = Rng.split_at b 4 in
+  let a3 = Rng.split_at a 3 in
+  let a4 = Rng.split_at a 4 in
+  let b3 = Rng.split_at b 3 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "child 3 stream" (Rng.int a3 1_000_000)
+      (Rng.int b3 1_000_000);
+    Alcotest.(check int) "child 4 stream" (Rng.int a4 1_000_000)
+      (Rng.int b4 1_000_000)
+  done;
+  let p = Rng.create 5 in
+  let c3 = Rng.split_at p 3 and c4 = Rng.split_at p 4 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Rng.int c3 1_000_000 <> Rng.int c4 1_000_000 then differs := true
+  done;
+  Alcotest.(check bool) "different indices differ" true !differs
+
+let prop_rng_int_in_bound =
+  QCheck.Test.make ~count:300 ~name:"rng: int lies in [0, bound)"
+    QCheck.(pair small_int (int_range 1 1_000_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.int rng bound in
+        if not (0 <= v && v < bound) then ok := false
+      done;
+      !ok)
+
 let test_rng_gaussian_moments () =
   let rng = Rng.create 11 in
   let n = 20000 in
@@ -430,6 +493,7 @@ let prop_circle_intersections_on_both =
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
+      prop_rng_int_in_bound;
       prop_angle_complement_measure;
       prop_angle_complement_disjoint;
       prop_circle_coverage_consistent;
@@ -450,6 +514,12 @@ let () =
         [
           Alcotest.test_case "determinism" `Quick test_rng_determinism;
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "int uniform at small bound" `Quick
+            test_rng_int_uniform_small_bound;
+          Alcotest.test_case "int rejects bound <= 0" `Quick
+            test_rng_int_invalid_bound;
+          Alcotest.test_case "split_at keyed by index" `Quick
+            test_rng_split_at;
           Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
           Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle;
           Alcotest.test_case "bernoulli" `Quick test_rng_bernoulli;

@@ -1,0 +1,284 @@
+(* Tests for the domain-pool execution layer (lib/core/parallel) and the
+   cross-domain determinism contract of the solvers built on it: for any
+   pool size the outputs must be bit-identical to the sequential run. *)
+
+module Parallel = Maxrs_parallel.Parallel
+module Rng = Maxrs_geom.Rng
+module Interval1d = Maxrs_sweep.Interval1d
+module Disk2d = Maxrs_sweep.Disk2d
+module Bsei = Maxrs_conv.Bsei
+module Convolution = Maxrs_conv.Convolution
+module Config = Maxrs.Config
+module Static = Maxrs.Static
+
+(* ------------------------------------------------------------------ *)
+(* Pool lifecycle *)
+
+let test_pool_reuse () =
+  let pool = Parallel.create 4 in
+  Alcotest.(check int) "size" 4 (Parallel.size pool);
+  for _ = 1 to 5 do
+    let n = 1000 in
+    let out = Array.make n 0 in
+    Parallel.parallel_for pool ~n (fun i -> out.(i) <- i * i);
+    Array.iteri
+      (fun i v -> if v <> i * i then Alcotest.failf "slot %d: %d" i v)
+      out
+  done;
+  Parallel.shutdown pool;
+  (* shutdown is idempotent *)
+  Parallel.shutdown pool
+
+let test_pool_repeated_create () =
+  for round = 1 to 20 do
+    Parallel.with_pool ~domains:3 (fun pool ->
+        let s = Parallel.map_reduce pool ~n:100 ~map:Fun.id ~reduce:( + ) 0 in
+        Alcotest.(check int) (Printf.sprintf "round %d sum" round) 4950 s)
+  done
+
+let test_pool_sequential_fallback () =
+  (* domains = 1 must not spawn: everything runs inline on the caller. *)
+  let caller = Domain.self () in
+  Parallel.with_pool ~domains:1 (fun pool ->
+      Alcotest.(check int) "size" 1 (Parallel.size pool);
+      Parallel.parallel_for pool ~n:64 (fun _ ->
+          if Domain.self () <> caller then
+            Alcotest.fail "body ran off the calling domain"))
+
+let test_empty_and_tiny () =
+  Parallel.with_pool ~domains:4 (fun pool ->
+      Parallel.parallel_for pool ~n:0 (fun _ -> Alcotest.fail "n=0 body ran");
+      Alcotest.(check (array int)) "map n=0" [||] (Parallel.map pool ~n:0 Fun.id);
+      Alcotest.(check (array int)) "map n=1" [| 0 |]
+        (Parallel.map pool ~n:1 Fun.id);
+      Alcotest.(check int) "reduce n=0" 42
+        (Parallel.map_reduce pool ~n:0 ~map:Fun.id ~reduce:( + ) 42))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism of the combinators themselves *)
+
+let test_map_slots () =
+  List.iter
+    (fun d ->
+      Parallel.with_pool ~domains:d (fun pool ->
+          let out = Parallel.map pool ~n:257 (fun i -> (i * 7) + 1) in
+          Array.iteri
+            (fun i v ->
+              if v <> (i * 7) + 1 then
+                Alcotest.failf "domains=%d slot %d holds %d" d i v)
+            out))
+    [ 1; 2; 3; 4 ]
+
+let test_map_reduce_index_order () =
+  (* String concatenation is not commutative: any out-of-order combine
+     would change the result. *)
+  let expected =
+    String.concat "," (List.init 100 string_of_int)
+  in
+  List.iter
+    (fun d ->
+      Parallel.with_pool ~domains:d (fun pool ->
+          let got =
+            Parallel.map_reduce pool ~n:100 ~map:string_of_int
+              ~reduce:(fun acc s -> if acc = "" then s else acc ^ "," ^ s)
+              ""
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "domains=%d folds in index order" d)
+            expected got))
+    [ 1; 2; 4 ]
+
+let test_map_chunks_cover () =
+  Parallel.with_pool ~domains:4 (fun pool ->
+      let spans =
+        Parallel.map_chunks ~chunks:7 pool ~n:100 (fun ~lo ~hi -> (lo, hi))
+      in
+      Alcotest.(check int) "chunk count" 7 (Array.length spans);
+      let covered = Array.make 100 false in
+      Array.iter
+        (fun (lo, hi) ->
+          for i = lo to hi - 1 do
+            if covered.(i) then Alcotest.failf "index %d covered twice" i;
+            covered.(i) <- true
+          done)
+        spans;
+      if not (Array.for_all Fun.id covered) then
+        Alcotest.fail "chunks do not cover [0, n)")
+
+(* ------------------------------------------------------------------ *)
+(* Exception propagation *)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  List.iter
+    (fun d ->
+      Parallel.with_pool ~domains:d (fun pool ->
+          (match
+             Parallel.parallel_for pool ~n:100 (fun i ->
+                 if i = 37 then raise (Boom i))
+           with
+          | () -> Alcotest.failf "domains=%d: exception swallowed" d
+          | exception Boom 37 -> ()
+          | exception e ->
+              Alcotest.failf "domains=%d: wrong exception %s" d
+                (Printexc.to_string e));
+          (* the pool survives a failed job *)
+          let s =
+            Parallel.map_reduce pool ~n:50 ~map:Fun.id ~reduce:( + ) 0
+          in
+          Alcotest.(check int) "pool usable after failure" 1225 s))
+    [ 1; 2; 4 ]
+
+let test_exception_from_worker_domain () =
+  (* Force the raise onto a worker (not the caller) by raising on every
+     index: with 4 participants someone other than the caller hits it. *)
+  Parallel.with_pool ~domains:4 (fun pool ->
+      match Parallel.parallel_for pool ~n:64 (fun i -> raise (Boom i)) with
+      | () -> Alcotest.fail "exception swallowed"
+      | exception Boom _ -> ()
+      | exception e ->
+          Alcotest.failf "wrong exception %s" (Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain determinism of the solvers (qcheck) *)
+
+let check_all_equal ~name results =
+  match results with
+  | [] -> true
+  | r1 :: rest ->
+      List.for_all (fun r -> r = r1) rest
+      ||
+      (QCheck.Test.fail_reportf "%s: outputs differ across domain counts"
+         name)
+
+let prop_static_domain_invariant =
+  QCheck.Test.make ~count:15
+    ~name:"Static.solve identical for domains in {1,2,4}"
+    QCheck.(
+      pair small_int
+        (list_of_size Gen.(5 -- 60)
+           (pair (pair (float_range 0. 20.) (float_range 0. 20.))
+              (float_range 0. 5.))))
+    (fun (seed, l) ->
+      QCheck.assume (l <> []);
+      let pts =
+        Array.of_list (List.map (fun ((x, y), w) -> ([| x; y |], w)) l)
+      in
+      let solve d =
+        Static.solve
+          ~cfg:
+            (Config.make ~epsilon:0.3 ~max_grid_shifts:(Some 4) ~seed
+               ~domains:(Some d) ())
+          ~dim:2 pts
+      in
+      check_all_equal ~name:"Static.solve"
+        (List.map solve [ 1; 2; 4 ]))
+
+let prop_batched_oracle_domain_invariant =
+  QCheck.Test.make ~count:10
+    ~name:"Interval1d.batched identical for domains in {1,2,4}"
+    QCheck.(
+      pair
+        (list_of_size Gen.(return 300)
+           (pair (float_range 0. 1000.) (float_range 0. 5.)))
+        (list_of_size Gen.(return 80) (float_range 1. 100.)))
+    (fun (pl, ll) ->
+      (* m * n = 24000 >= the sequential-fallback threshold, so the
+         parallel path really runs at domains > 1. *)
+      let pts = Array.of_list pl and lens = Array.of_list ll in
+      check_all_equal ~name:"Interval1d.batched"
+        (List.map
+           (fun d -> Interval1d.batched ~domains:d ~lens pts)
+           [ 1; 2; 4 ]))
+
+let prop_bsei_chain_domain_invariant =
+  QCheck.Test.make ~count:10
+    ~name:"min_plus_via_bsei identical for domains in {1,2,4} and = naive"
+    QCheck.(
+      list_of_size
+        Gen.(160 -- 200)
+        (pair (int_range (-100) 100) (int_range (-100) 100)))
+    (fun l ->
+      QCheck.assume (l <> []);
+      let a = Array.of_list (List.map fst l)
+      and b = Array.of_list (List.map snd l) in
+      let naive = Convolution.min_plus a b in
+      List.for_all
+        (fun d -> Bsei.min_plus_via_bsei ~domains:d a b = naive)
+        [ 1; 2; 4 ])
+
+let test_disk_sweep_domain_invariant () =
+  let rng = Rng.create 91 in
+  let pts =
+    Array.init 200 (fun _ ->
+        (Rng.uniform rng 0. 15., Rng.uniform rng 0. 15., Rng.uniform rng 0. 3.))
+  in
+  let r1 = Disk2d.max_weight ~domains:1 ~radius:1. pts in
+  List.iter
+    (fun d ->
+      let r = Disk2d.max_weight ~domains:d ~radius:1. pts in
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d matches sequential" d)
+        true (r = r1))
+    [ 2; 4 ]
+
+let test_bsei_batched_domain_invariant () =
+  let rng = Rng.create 17 in
+  let pts = Array.init 400 (fun _ -> Rng.uniform rng 0. 1e6) in
+  let r1 = Bsei.batched ~domains:1 pts in
+  List.iter
+    (fun d ->
+      let r = Bsei.batched ~domains:d pts in
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d matches sequential" d)
+        true (r = r1))
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_static_domain_invariant;
+      prop_batched_oracle_domain_invariant;
+      prop_bsei_chain_domain_invariant;
+    ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "reuse across jobs + idempotent shutdown" `Quick
+            test_pool_reuse;
+          Alcotest.test_case "repeated create/teardown" `Quick
+            test_pool_repeated_create;
+          Alcotest.test_case "domains=1 runs inline" `Quick
+            test_pool_sequential_fallback;
+          Alcotest.test_case "empty and tiny inputs" `Quick test_empty_and_tiny;
+        ] );
+      ( "combinators",
+        [
+          Alcotest.test_case "map fills slot i with f i" `Quick test_map_slots;
+          Alcotest.test_case "map_reduce folds in index order" `Quick
+            test_map_reduce_index_order;
+          Alcotest.test_case "map_chunks partitions [0, n)" `Quick
+            test_map_chunks_cover;
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "propagates and pool survives" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "propagates from worker domains" `Quick
+            test_exception_from_worker_domain;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "disk sweep invariant to domains" `Quick
+            test_disk_sweep_domain_invariant;
+          Alcotest.test_case "batched BSEI invariant to domains" `Quick
+            test_bsei_batched_domain_invariant;
+        ] );
+      ("properties", qcheck_cases);
+    ]
