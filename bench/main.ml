@@ -33,6 +33,9 @@ module Colored = Maxrs.Colored
 module Output_sensitive = Maxrs.Output_sensitive
 module Approx_colored = Maxrs.Approx_colored
 module Workload = Maxrs.Workload
+module Resilient = Maxrs.Resilient
+module Budget = Maxrs_resilience.Budget
+module Outcome = Maxrs_resilience.Outcome
 
 let time f =
   let t0 = Sys.time () in
@@ -642,6 +645,154 @@ let e10 () =
   row "\nwrote BENCH_parallel.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* E11 — resilience: (a) guard overhead — the validated entry points
+   against their validation-free fast paths on the E2 and E6 workloads
+   (target: < 3%); (b) deadline degradation — a tight wall-clock budget
+   on the E6 exact solve forcing the Theorem-1.6 approximation
+   fallback, with the depth ratio recorded. Results are written to
+   BENCH_robustness.json. *)
+
+let e11 () =
+  header "E11 — resilience: guard overhead and deadline degradation";
+  let reps = 5 in
+  row "%34s %12s %12s %12s %10s\n" "entry point" "unchecked(s)" "checked(s)"
+    "validate(s)" "overhead";
+  (* End-to-end checked vs unchecked runs are interleaved (so GC /
+     allocator drift cancels), but at the seconds scale machine noise
+     still swamps a sub-millisecond input scan — so the reported
+     overhead is the isolated validation pass over the same input,
+     relative to the unchecked solve time. *)
+  let overhead ~name ~validate ~unchecked ~checked =
+    ignore (wtime unchecked);
+    ignore (wtime checked);
+    let tu = ref Float.infinity and tc = ref Float.infinity in
+    for _ = 1 to reps do
+      tu := Float.min !tu (snd (wtime unchecked));
+      tc := Float.min !tc (snd (wtime checked))
+    done;
+    let tu = !tu and tc = !tc in
+    let vreps = 200 in
+    let tv =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to vreps do
+        validate ()
+      done;
+      (Unix.gettimeofday () -. t0) /. float_of_int vreps
+    in
+    let pct = tv /. tu *. 100. in
+    row "%34s %12.4f %12.4f %12.6f %9.3f%%\n" name tu tc tv pct;
+    (name, tu, tc, tv, pct)
+  in
+  let e2_entry =
+    let rng = Rng.create 110016 in
+    let pts =
+      Array.map
+        (fun p -> (p, 1.))
+        (Workload.gaussian_clusters rng ~dim:2 ~n:12000 ~k:6 ~extent:15.
+           ~spread:1.)
+    in
+    let cfg =
+      Config.make ~epsilon:0.3 ~sample_constant:0.25 ~max_grid_shifts:(Some 4)
+        ~seed:12000 ~domains:!domains_opt ()
+    in
+    overhead ~name:"e2-static n=12000"
+      ~validate:(fun () ->
+        match
+          Maxrs_resilience.Guard.weighted_points ~dim:2 ~field:"points" pts
+        with
+        | Ok () -> ()
+        | Error _ -> assert false)
+      ~unchecked:(fun () -> ignore (Static.solve_unchecked ~cfg ~dim:2 pts))
+      ~checked:(fun () -> ignore (Static.solve_checked ~cfg ~dim:2 pts))
+  in
+  let e6_n = 6000 in
+  let e6_pts, e6_colors =
+    let rng = Rng.create (29 * e6_n) in
+    let extent = 1.5 *. sqrt (float_of_int e6_n) in
+    ( Array.init e6_n (fun _ ->
+          (Rng.uniform rng 0. extent, Rng.uniform rng 0. extent)),
+      Array.init e6_n (fun i -> i mod 400) )
+  in
+  let e6_entry =
+    overhead
+      ~name:(Printf.sprintf "e6-output-sensitive n=%d" e6_n)
+      ~validate:(fun () ->
+        let open Maxrs_resilience.Guard in
+        match
+          Result.bind (planar_points ~field:"centers" e6_pts) (fun () ->
+              length_matches ~field:"colors" ~expected:e6_n e6_colors)
+        with
+        | Ok () -> ()
+        | Error _ -> assert false)
+      ~unchecked:(fun () ->
+        ignore
+          (Output_sensitive.solve_unchecked ~max_shifts:6
+             ?domains:!domains_opt e6_pts ~colors:e6_colors))
+      ~checked:(fun () ->
+        ignore
+          (Output_sensitive.solve_checked ~max_shifts:6 ?domains:!domains_opt
+             e6_pts ~colors:e6_colors))
+  in
+  (* Deadline degradation: time the exact solve, then grant ~5% of that
+     and let the resilient front door fall back to Theorem 1.6. *)
+  let exact, exact_t =
+    wtime (fun () ->
+        Output_sensitive.solve ~max_shifts:6 ?domains:!domains_opt e6_pts
+          ~colors:e6_colors)
+  in
+  let deadline = Float.max (exact_t /. 20.) 1e-4 in
+  let outcome =
+    match
+      Resilient.exact_colored ~max_shifts:6 ?domains:!domains_opt ~deadline
+        e6_pts ~colors:e6_colors
+    with
+    | Ok o -> o
+    | Error _ -> assert false
+  in
+  let r = Outcome.value outcome in
+  let source =
+    match r.Resilient.source with
+    | Resilient.Exact -> "exact"
+    | Resilient.Approx_fallback -> "approx-fallback"
+    | Resilient.Best_so_far -> "best-so-far"
+  in
+  let ratio =
+    float_of_int r.Resilient.depth
+    /. float_of_int exact.Output_sensitive.depth
+  in
+  row "\ndeadline degradation (E6 exact, budget = %.4fs of %.4fs):\n" deadline
+    exact_t;
+  row "  outcome=%s source=%s depth=%d/%d ratio=%.3f verified=%b\n"
+    (Outcome.label outcome) source r.Resilient.depth
+    exact.Output_sensitive.depth ratio r.Resilient.verified;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiment\": \"E11\",\n";
+  Buffer.add_string buf "  \"guard_overhead\": [\n";
+  List.iteri
+    (fun i (name, tu, tc, tv, pct) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf
+        "    { \"name\": %S, \"unchecked_seconds\": %.6f, \
+         \"checked_seconds\": %.6f, \"validate_seconds\": %.6f, \
+         \"overhead_pct\": %.3f }"
+        name tu tc tv pct)
+    [ e2_entry; e6_entry ];
+  Buffer.add_string buf "\n  ],\n";
+  Printf.bprintf buf
+    "  \"deadline_degradation\": { \"n\": %d, \"exact_seconds\": %.6f, \
+     \"deadline_seconds\": %.6f, \"outcome\": %S, \"source\": %S, \
+     \"exact_depth\": %d, \"degraded_depth\": %d, \"ratio\": %.4f, \
+     \"verified\": %b }\n"
+    e6_n exact_t deadline (Outcome.label outcome) source
+    exact.Output_sensitive.depth r.Resilient.depth ratio
+    r.Resilient.verified;
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_robustness.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  row "\nwrote BENCH_robustness.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment id. *)
 
 let micro () =
@@ -743,6 +894,7 @@ let experiments =
     ("e8", e8);
     ("e9", e9);
     ("e10", e10);
+    ("e11", e11);
     ("ablation", ablation);
     ("micro", micro);
   ]

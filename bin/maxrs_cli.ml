@@ -31,11 +31,62 @@ module Reductions = Maxrs_conv.Reductions
 module Points_io = Maxrs.Points_io
 module Trace = Maxrs.Trace
 module Verify = Maxrs.Verify
+module Resilient = Maxrs.Resilient
+module Guard = Maxrs_resilience.Guard
+module Budget = Maxrs_resilience.Budget
+module Outcome = Maxrs_resilience.Outcome
 module Boxd = Maxrs_sweep.Boxd
 module Rect2d = Maxrs_sweep.Rect2d
 module Colored_rect2d = Maxrs_sweep.Colored_rect2d
 module Approx_colored_rect = Maxrs.Approx_colored_rect
 module Batched2d = Maxrs_sweep.Batched2d
+
+(* ------------------------------------------------------------------ *)
+(* Failure model: distinct exit codes with one-line diagnostics *)
+
+let exit_parse_error = 2
+let exit_invalid_input = 3
+let exit_deadline = 4
+
+let resilience_exits =
+  Cmd.Exit.info exit_parse_error ~doc:"on malformed input files (parse error)."
+  :: Cmd.Exit.info exit_invalid_input
+       ~doc:
+         "on invalid input data: non-finite coordinates or weights, \
+          negative weights/colors, dimension mismatches, empty inputs."
+  :: Cmd.Exit.info exit_deadline
+       ~doc:
+         "when $(b,--strict) is set and the $(b,--deadline) expired before \
+          the exact answer was found."
+  :: Cmd.Exit.defaults
+
+let guarded f =
+  try f () with
+  | Points_io.Parse_error msg | Trace.Parse_error msg ->
+      Printf.eprintf "maxrs: parse error: %s\n" msg;
+      exit_parse_error
+  | Guard.Error e ->
+      Printf.eprintf "maxrs: %s\n" (Guard.to_string e);
+      exit_invalid_input
+
+let invalid e =
+  Printf.eprintf "maxrs: %s\n" (Guard.to_string e);
+  exit_invalid_input
+
+let source_label = function
+  | Resilient.Exact -> "exact solver"
+  | Resilient.Approx_fallback -> "approximation fallback"
+  | Resilient.Best_so_far -> "best-so-far scan"
+
+(* Shared by the deadline-aware commands: report how the answer was
+   obtained and map expiry to the --strict | --lenient policy. *)
+let finish_outcome ~strict ~source outcome =
+  if Outcome.is_complete outcome then 0
+  else begin
+    Printf.eprintf "maxrs: deadline expired; %s answer from the %s\n"
+      (Outcome.label outcome) (source_label source);
+    if strict then exit_deadline else 0
+  end
 
 (* ------------------------------------------------------------------ *)
 (* IO helpers *)
@@ -84,6 +135,34 @@ let unweighted_arg =
   Arg.(
     value & flag
     & info [ "unweighted" ] ~doc:"Treat every input row as weight 1.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock budget in seconds for the exact solve. On expiry the \
+           solver degrades gracefully to the near-linear approximation \
+           pipeline and the reported answer is re-verified against the full \
+           input; see $(b,--strict) to fail instead.")
+
+let strict_arg =
+  Arg.(
+    value
+    & vflag false
+        [
+          ( true,
+            info [ "strict" ]
+              ~doc:
+                "With $(b,--deadline): exit with code 4 when the deadline \
+                 expires instead of reporting the degraded answer." );
+          ( false,
+            info [ "lenient" ]
+              ~doc:
+                "With $(b,--deadline): report the verified degraded answer \
+                 on expiry and exit 0 (default)." );
+        ])
 
 (* ------------------------------------------------------------------ *)
 (* generate *)
@@ -161,19 +240,21 @@ let generate_cmd =
 (* static *)
 
 let static input radius epsilon shifts seed unweighted =
-  let pts = load_weighted input ~unweighted in
-  if Array.length pts = 0 then begin
-    prerr_endline "empty input";
-    1
-  end
-  else begin
-    let dim = Point.dim (fst pts.(0)) in
-    let cfg = Config.make ~epsilon ~max_grid_shifts:shifts ~seed () in
-    let r = Static.solve_or_point ~cfg ~radius ~dim pts in
-    Printf.printf "center: %s\nweight: %g\n" (Point.to_string r.Static.center)
-      r.Static.value;
-    0
-  end
+  guarded (fun () ->
+      let pts = load_weighted input ~unweighted in
+      if Array.length pts = 0 then begin
+        prerr_endline "empty input";
+        1
+      end
+      else begin
+        let dim = Point.dim (fst pts.(0)) in
+        let cfg = Config.make ~epsilon ~max_grid_shifts:shifts ~seed () in
+        let r = Static.solve_or_point ~cfg ~radius ~dim pts in
+        Printf.printf "center: %s\nweight: %g\n"
+          (Point.to_string r.Static.center)
+          r.Static.value;
+        0
+      end)
 
 let static_cmd =
   Cmd.v
@@ -187,14 +268,15 @@ let static_cmd =
 (* colored *)
 
 let colored input radius epsilon shifts seed =
-  let pts, colors = Points_io.load_colored input in
-  let points = Array.map (fun (x, y) -> [| x; y |]) pts in
-  let cfg = Config.make ~epsilon ~max_grid_shifts:shifts ~seed () in
-  let r = Colored.solve_or_point ~cfg ~radius ~dim:2 points ~colors in
-  Printf.printf "center: %s\ndistinct colors: %d\n"
-    (Point.to_string r.Colored.center)
-    r.Colored.value;
-  0
+  guarded (fun () ->
+      let pts, colors = Points_io.load_colored input in
+      let points = Array.map (fun (x, y) -> [| x; y |]) pts in
+      let cfg = Config.make ~epsilon ~max_grid_shifts:shifts ~seed () in
+      let r = Colored.solve_or_point ~cfg ~radius ~dim:2 points ~colors in
+      Printf.printf "center: %s\ndistinct colors: %d\n"
+        (Point.to_string r.Colored.center)
+        r.Colored.value;
+      0)
 
 let colored_cmd =
   Cmd.v
@@ -207,77 +289,119 @@ let colored_cmd =
 (* ------------------------------------------------------------------ *)
 (* exact-disk *)
 
-let exact_disk input radius unweighted =
-  let pts = load_weighted input ~unweighted in
-  let pts3 = Array.map (fun (p, w) -> (p.(0), p.(1), w)) pts in
-  let r = Disk2d.max_weight ~radius pts3 in
-  Printf.printf "center: (%g, %g)\nweight: %g\n" r.Disk2d.x r.Disk2d.y
-    r.Disk2d.value;
-  0
+let exact_disk input radius unweighted deadline strict =
+  guarded (fun () ->
+      let pts = load_weighted input ~unweighted in
+      let pts3 = Array.map (fun (p, w) -> (p.(0), p.(1), w)) pts in
+      match Resilient.exact_weighted ?deadline ~radius pts3 with
+      | Error e -> invalid e
+      | Ok outcome ->
+          let r = Outcome.value outcome in
+          Printf.printf "center: (%g, %g)\nweight: %g\n" r.Resilient.wx
+            r.Resilient.wy r.Resilient.value;
+          finish_outcome ~strict ~source:r.Resilient.wsource outcome)
 
 let exact_disk_cmd =
   Cmd.v
-    (Cmd.info "exact-disk"
+    (Cmd.info "exact-disk" ~exits:resilience_exits
        ~doc:"Exact disk MaxRS by angular sweep ([CL86]-style, O(n^2 log n)).")
-    Term.(const exact_disk $ input_arg $ radius_arg $ unweighted_arg)
+    Term.(
+      const exact_disk $ input_arg $ radius_arg $ unweighted_arg $ deadline_arg
+      $ strict_arg)
 
 (* ------------------------------------------------------------------ *)
 (* exact-colored / output-sensitive / approx-colored *)
 
-let output_sensitive input radius shifts seed =
-  let pts, colors = Points_io.load_colored input in
-  let r = Output_sensitive.solve ~radius ?max_shifts:shifts ~seed pts ~colors in
-  Printf.printf "center: (%g, %g)\ndistinct colors: %d\n" r.Output_sensitive.x
-    r.Output_sensitive.y r.Output_sensitive.depth;
-  Printf.printf "stats: %d shifts, %d cells, %d sweep events\n"
-    r.Output_sensitive.stats.Output_sensitive.shifts
-    r.Output_sensitive.stats.Output_sensitive.cells_processed
-    r.Output_sensitive.stats.Output_sensitive.sweep_events;
-  0
+let output_sensitive input radius shifts seed deadline strict =
+  guarded (fun () ->
+      let pts, colors = Points_io.load_colored input in
+      match deadline with
+      | None ->
+          let r =
+            Output_sensitive.solve ~radius ?max_shifts:shifts ~seed pts ~colors
+          in
+          Printf.printf "center: (%g, %g)\ndistinct colors: %d\n"
+            r.Output_sensitive.x r.Output_sensitive.y r.Output_sensitive.depth;
+          Printf.printf "stats: %d shifts, %d cells, %d sweep events\n"
+            r.Output_sensitive.stats.Output_sensitive.shifts
+            r.Output_sensitive.stats.Output_sensitive.cells_processed
+            r.Output_sensitive.stats.Output_sensitive.sweep_events;
+          0
+      | Some _ -> (
+          match
+            Resilient.exact_colored ~radius ?max_shifts:shifts ~seed ?deadline
+              pts ~colors
+          with
+          | Error e -> invalid e
+          | Ok outcome ->
+              let r = Outcome.value outcome in
+              Printf.printf
+                "center: (%g, %g)\ndistinct colors: %d (verified: %b)\n"
+                r.Resilient.x r.Resilient.y r.Resilient.depth
+                r.Resilient.verified;
+              finish_outcome ~strict ~source:r.Resilient.source outcome))
 
 let output_sensitive_cmd =
   Cmd.v
-    (Cmd.info "output-sensitive"
+    (Cmd.info "output-sensitive" ~exits:resilience_exits
        ~doc:"Exact colored disk MaxRS, output-sensitive (Theorem 4.6).")
-    Term.(const output_sensitive $ input_arg $ radius_arg $ shifts_arg $ seed_arg)
+    Term.(
+      const output_sensitive $ input_arg $ radius_arg $ shifts_arg $ seed_arg
+      $ deadline_arg $ strict_arg)
 
-let approx_colored input radius epsilon shifts seed =
-  let pts, colors = Points_io.load_colored input in
-  let r =
-    Approx_colored.solve ~radius ~epsilon ?max_shifts:shifts ~seed pts ~colors
-  in
-  Printf.printf "center: (%g, %g)\ndistinct colors: %d (estimate was %d)\n"
-    r.Approx_colored.x r.Approx_colored.y r.Approx_colored.depth
-    r.Approx_colored.estimate;
-  (match r.Approx_colored.strategy with
-  | Approx_colored.Exact_small -> print_endline "strategy: exact (small opt)"
-  | Approx_colored.Sampled { lambda; colors_sampled; disks_sampled } ->
-      Printf.printf "strategy: sampled colors (lambda=%.3f, %d colors, %d disks)\n"
-        lambda colors_sampled disks_sampled);
-  0
+let approx_colored input radius epsilon shifts seed deadline strict =
+  guarded (fun () ->
+      let pts, colors = Points_io.load_colored input in
+      let budget =
+        match deadline with
+        | None -> Budget.unlimited
+        | Some s -> Budget.of_seconds s
+      in
+      match
+        Approx_colored.solve_checked ~radius ~epsilon ?max_shifts:shifts ~seed
+          ~budget pts ~colors
+      with
+      | Error e -> invalid e
+      | Ok outcome ->
+          let r = Outcome.value outcome in
+          Printf.printf
+            "center: (%g, %g)\ndistinct colors: %d (estimate was %d)\n"
+            r.Approx_colored.x r.Approx_colored.y r.Approx_colored.depth
+            r.Approx_colored.estimate;
+          (match r.Approx_colored.strategy with
+          | Approx_colored.Exact_small ->
+              print_endline "strategy: exact (small opt)"
+          | Approx_colored.Sampled { lambda; colors_sampled; disks_sampled } ->
+              Printf.printf
+                "strategy: sampled colors (lambda=%.3f, %d colors, %d disks)\n"
+                lambda colors_sampled disks_sampled);
+          finish_outcome ~strict ~source:Resilient.Best_so_far outcome)
 
 let approx_colored_cmd =
   Cmd.v
-    (Cmd.info "approx-colored"
+    (Cmd.info "approx-colored" ~exits:resilience_exits
        ~doc:"(1-eps)-approximate colored disk MaxRS (Theorem 1.6).")
     Term.(
       const approx_colored $ input_arg $ radius_arg $ epsilon_arg $ shifts_arg
-      $ seed_arg)
+      $ seed_arg $ deadline_arg $ strict_arg)
 
 (* ------------------------------------------------------------------ *)
 (* batched (1-D) and bsei *)
 
 let batched input lens =
-  let pts = load_1d input in
-  let lens = Array.of_list lens in
-  let results = Interval1d.batched ~lens pts in
-  Array.iteri
-    (fun i p ->
-      Printf.printf "L=%g: weight %g at [%g, %g]\n" lens.(i)
-        p.Interval1d.value p.Interval1d.lo
-        (p.Interval1d.lo +. lens.(i)))
-    results;
-  0
+  guarded (fun () ->
+      let pts = load_1d input in
+      let lens = Array.of_list lens in
+      match Interval1d.batched_checked ~lens pts with
+      | Error e -> invalid e
+      | Ok results ->
+          Array.iteri
+            (fun i p ->
+              Printf.printf "L=%g: weight %g at [%g, %g]\n" lens.(i)
+                p.Interval1d.value p.Interval1d.lo
+                (p.Interval1d.lo +. lens.(i)))
+            results;
+          0)
 
 let batched_cmd =
   let lens =
@@ -292,19 +416,22 @@ let batched_cmd =
     Term.(const batched $ input_arg $ lens)
 
 let bsei input ks =
-  let pts = Array.map fst (load_1d input) in
-  (match ks with
-  | [] ->
-      let g = Bsei.batched pts in
-      Array.iteri (fun i len -> Printf.printf "k=%d: length %g\n" (i + 1) len) g
-  | ks ->
-      List.iter
-        (fun k ->
-          let iv = Bsei.smallest pts ~k in
-          Printf.printf "k=%d: [%g, %g] length %g\n" k iv.Bsei.lo iv.Bsei.hi
-            (Bsei.length iv))
-        ks);
-  0
+  guarded (fun () ->
+      let pts = Array.map fst (load_1d input) in
+      (match ks with
+      | [] ->
+          let g = Guard.ok_exn (Bsei.batched_checked pts) in
+          Array.iteri
+            (fun i len -> Printf.printf "k=%d: length %g\n" (i + 1) len)
+            g
+      | ks ->
+          List.iter
+            (fun k ->
+              let iv = Guard.ok_exn (Bsei.smallest_checked pts ~k) in
+              Printf.printf "k=%d: [%g, %g] length %g\n" k iv.Bsei.lo
+                iv.Bsei.hi (Bsei.length iv))
+            ks);
+      0)
 
 let bsei_cmd =
   let ks =
@@ -322,12 +449,13 @@ let bsei_cmd =
 (* rect / box / colored-rect / batched-disks / dynamic *)
 
 let rect input width height unweighted =
-  let pts = load_weighted input ~unweighted in
-  let pts3 = Array.map (fun (p, w) -> (p.(0), p.(1), w)) pts in
-  let r = Rect2d.max_sum ~width ~height pts3 in
-  Printf.printf "center: (%g, %g)\nweight: %g\n" r.Rect2d.x r.Rect2d.y
-    r.Rect2d.value;
-  0
+  guarded (fun () ->
+      let pts = load_weighted input ~unweighted in
+      let pts3 = Array.map (fun (p, w) -> (p.(0), p.(1), w)) pts in
+      let r = Rect2d.max_sum ~width ~height pts3 in
+      Printf.printf "center: (%g, %g)\nweight: %g\n" r.Rect2d.x r.Rect2d.y
+        r.Rect2d.value;
+      0)
 
 let width_arg =
   Arg.(value & opt float 1. & info [ "width" ] ~docv:"W" ~doc:"Rectangle width.")
@@ -343,12 +471,13 @@ let rect_cmd =
     Term.(const rect $ input_arg $ width_arg $ height_arg $ unweighted_arg)
 
 let box input widths unweighted =
-  let pts = load_weighted input ~unweighted in
-  let widths = Array.of_list widths in
-  let r = Boxd.max_sum ~widths pts in
-  Printf.printf "center: %s\nweight: %g\n" (Point.to_string r.Boxd.point)
-    r.Boxd.value;
-  0
+  guarded (fun () ->
+      let pts = load_weighted input ~unweighted in
+      let widths = Array.of_list widths in
+      let r = Boxd.max_sum ~widths pts in
+      Printf.printf "center: %s\nweight: %g\n" (Point.to_string r.Boxd.point)
+        r.Boxd.value;
+      0)
 
 let box_cmd =
   let widths =
@@ -362,6 +491,7 @@ let box_cmd =
     Term.(const box $ input_arg $ widths $ unweighted_arg)
 
 let colored_rect input width height epsilon exact seed =
+  guarded (fun () ->
   let pts, colors = Points_io.load_colored input in
   if exact then begin
     let r = Colored_rect2d.max_colored ~width ~height pts ~colors in
@@ -383,7 +513,7 @@ let colored_rect input width height epsilon exact seed =
           "strategy: sampled colors (lambda=%.3f, %d colors, %d points)\n"
           lambda colors_sampled disks_sampled
   end;
-  0
+  0)
 
 let colored_rect_cmd =
   let exact =
@@ -402,16 +532,17 @@ let colored_rect_cmd =
       $ exact $ seed_arg)
 
 let batched_disks input radii unweighted =
-  let pts = load_weighted input ~unweighted in
-  let pts3 = Array.map (fun (p, w) -> (p.(0), p.(1), w)) pts in
-  let radii = Array.of_list radii in
-  let results = Batched2d.disks ~radii pts3 in
-  Array.iteri
-    (fun i r ->
-      Printf.printf "r=%g: weight %g at (%g, %g)\n" radii.(i) r.Disk2d.value
-        r.Disk2d.x r.Disk2d.y)
-    results;
-  0
+  guarded (fun () ->
+      let pts = load_weighted input ~unweighted in
+      let pts3 = Array.map (fun (p, w) -> (p.(0), p.(1), w)) pts in
+      let radii = Array.of_list radii in
+      let results = Batched2d.disks ~radii pts3 in
+      Array.iteri
+        (fun i r ->
+          Printf.printf "r=%g: weight %g at (%g, %g)\n" radii.(i)
+            r.Disk2d.value r.Disk2d.x r.Disk2d.y)
+        results;
+      0)
 
 let batched_disks_cmd =
   let radii =
@@ -426,6 +557,7 @@ let batched_disks_cmd =
     Term.(const batched_disks $ input_arg $ radii $ unweighted_arg)
 
 let dynamic input radius epsilon shifts seed dim verify =
+  guarded (fun () ->
   let ops = Trace.load input in
   let cfg = Config.make ~epsilon ~max_grid_shifts:shifts ~seed () in
   if verify then begin
@@ -455,7 +587,7 @@ let dynamic input radius epsilon shifts seed dim verify =
               s.Trace.live)
       steps
   end;
-  0
+  0)
 
 let dynamic_cmd =
   let dim =
@@ -498,20 +630,21 @@ let depth_map input radius cells colored out =
       done
     done
   in
-  with_out out (fun oc ->
-      if colored then begin
-        let pts, colors = Points_io.load_colored input in
-        emit oc pts (fun x y ->
-            float_of_int
-              (Colored_disk2d.colored_depth_at ~radius pts ~colors x y))
-      end
-      else begin
-        let wpts = load_weighted input ~unweighted:false in
-        let pts = Array.map (fun (p, _) -> (p.(0), p.(1))) wpts in
-        let pts3 = Array.map (fun (p, w) -> (p.(0), p.(1), w)) wpts in
-        emit oc pts (fun x y -> Disk2d.depth_at ~radius pts3 x y)
-      end);
-  0
+  guarded (fun () ->
+      with_out out (fun oc ->
+          if colored then begin
+            let pts, colors = Points_io.load_colored input in
+            emit oc pts (fun x y ->
+                float_of_int
+                  (Colored_disk2d.colored_depth_at ~radius pts ~colors x y))
+          end
+          else begin
+            let wpts = load_weighted input ~unweighted:false in
+            let pts = Array.map (fun (p, _) -> (p.(0), p.(1))) wpts in
+            let pts3 = Array.map (fun (p, w) -> (p.(0), p.(1), w)) wpts in
+            emit oc pts (fun x y -> Disk2d.depth_at ~radius pts3 x y)
+          end);
+      0)
 
 let depth_map_cmd =
   let cells =
@@ -577,7 +710,7 @@ let convolution_cmd =
 
 let () =
   let doc = "maximum range sum algorithms (PODS 2025 reproduction)" in
-  let info = Cmd.info "maxrs" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "maxrs" ~version:"1.0.0" ~doc ~exits:resilience_exits in
   exit
     (Cmd.eval'
        (Cmd.group info

@@ -1,4 +1,5 @@
 module Parallel = Maxrs_parallel.Parallel
+module Guard = Maxrs_resilience.Guard
 
 type interval = { lo : float; hi : float }
 
@@ -41,6 +42,21 @@ let batched ?domains pts =
     (* The n window scans are independent reads of the sorted array;
        slot k-1 always holds the k-enclosing answer. *)
     Parallel.with_pool ~domains (fun pool -> Parallel.map pool ~n answer)
+
+let smallest_checked pts ~k =
+  let open Guard in
+  let* () = non_empty ~field:"points" pts in
+  let* () = finite_values ~field:"points" pts in
+  let n = Array.length pts in
+  if k < 1 || k > n then
+    invalid ~field:"k" (Printf.sprintf "must lie in [1, %d], got %d" n k)
+  else Ok (smallest pts ~k)
+
+let batched_checked ?domains pts =
+  let open Guard in
+  let* () = non_empty ~field:"points" pts in
+  let* () = finite_values ~field:"points" pts in
+  Ok (batched ?domains pts)
 
 let monotone_min_plus_via_bsei ?domains d e =
   let n = Array.length d in

@@ -22,6 +22,18 @@ val batched : ?domains:int -> float array -> float array
     else 1) runs them concurrently with bit-identical output for any
     domain count. *)
 
+val smallest_checked :
+  float array -> k:int -> (interval, Maxrs_resilience.Guard.error) result
+(** {!smallest} with validated input: non-empty, all-finite points and
+    [k] in range, reported as a structured error instead of an
+    assertion failure. *)
+
+val batched_checked :
+  ?domains:int ->
+  float array ->
+  (float array, Maxrs_resilience.Guard.error) result
+(** {!batched} with validated input (non-empty, all-finite points). *)
+
 val monotone_min_plus_via_bsei :
   ?domains:int -> int array -> int array -> int array
 (** Section 6.2: monotone (min,+)-convolution of two strictly decreasing

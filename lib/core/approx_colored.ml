@@ -1,5 +1,8 @@
 module Rng = Maxrs_geom.Rng
 module Colored_disk2d = Maxrs_sweep.Colored_disk2d
+module Guard = Maxrs_resilience.Guard
+module Budget = Maxrs_resilience.Budget
+module Outcome = Maxrs_resilience.Outcome
 
 let src = Logs.Src.create "maxrs.approx_colored" ~doc:"Theorem 1.6 pipeline"
 
@@ -32,18 +35,27 @@ let estimate_opt ?(estimate_cfg : Config.t option) ?domains ~radius ~seed
   let pts = Array.map (fun (x, y) -> [| x; y |]) centers in
   (Colored.solve_or_point ~cfg ~radius ~dim:2 pts ~colors).Colored.value
 
-let solve ?(radius = 1.) ?(epsilon = 0.25) ?(c1 = 1.0) ?(seed = 0x1e6)
-    ?estimate_cfg ?max_shifts ?domains centers ~colors =
-  if not (epsilon > 0. && epsilon < 1.) then
-    invalid_arg "Approx_colored.solve: epsilon must lie in (0, 1)";
+let solve_unchecked ?(radius = 1.) ?(epsilon = 0.25) ?(c1 = 1.0)
+    ?(seed = 0x1e6) ?estimate_cfg ?max_shifts ?domains
+    ?(budget = Budget.unlimited) centers ~colors =
   let n = Array.length centers in
-  if n = 0 then invalid_arg "Approx_colored.solve: empty input";
-  if Array.length colors <> n then
-    invalid_arg "Approx_colored.solve: colors length mismatch";
   let opt' = estimate_opt ?estimate_cfg ?domains ~radius ~seed centers ~colors in
   let threshold = c1 /. (epsilon ** 2.) *. log (float_of_int (Int.max n 2)) in
+  (* The budget is threaded into the exact output-sensitive runs (the
+     expensive part of the pipeline); an expiry there demotes the whole
+     answer to Partial. The Theorem-1.5 estimate is the cheap stage and
+     runs unbudgeted. *)
+  let complete = ref true in
   let exact pts cols =
-    Output_sensitive.solve ~radius ?max_shifts ~seed ?domains pts ~colors:cols
+    match
+      Guard.ok_exn
+        (Output_sensitive.solve_checked ~radius ?max_shifts ~seed ?domains
+           ~budget pts ~colors:cols)
+    with
+    | Outcome.Complete r -> r
+    | Outcome.Degraded r | Outcome.Partial r ->
+        complete := false;
+        r
   in
   let finish ~strategy (r : Output_sensitive.result) =
     (* The sampled run reports depth w.r.t. the sample; re-evaluate the
@@ -57,52 +69,86 @@ let solve ?(radius = 1.) ?(epsilon = 0.25) ?(c1 = 1.0) ?(seed = 0x1e6)
     { x = r.Output_sensitive.x; y = r.Output_sensitive.y; depth;
       estimate = opt'; strategy }
   in
-  if float_of_int opt' <= threshold then begin
-    Log.debug (fun m ->
-        m "opt' = %d <= threshold %.1f: running exact on all %d disks" opt'
-          threshold n);
-    finish ~strategy:Exact_small (exact centers colors)
-  end
-  else begin
-    let lambda =
-      Float.min 1. (c1 *. log (float_of_int n) /. (epsilon ** 2. *. float_of_int opt'))
-    in
-    let rng = Rng.create seed in
-    let distinct = List.sort_uniq compare (Array.to_list colors) in
-    (* Resample until non-empty (empty samples are vanishingly rare at the
-       analysis' lambda but possible for tiny inputs). *)
-    let rec draw tries =
-      let chosen = Hashtbl.create 64 in
-      List.iter
-        (fun c -> if Rng.bernoulli rng lambda then Hashtbl.replace chosen c ())
-        distinct;
-      if Hashtbl.length chosen > 0 || tries > 20 then chosen
-      else draw (tries + 1)
-    in
-    let chosen = draw 0 in
-    Log.debug (fun m ->
-        m "opt' = %d: sampling colors with lambda = %.4f -> %d colors" opt'
-          lambda (Hashtbl.length chosen));
-    if Hashtbl.length chosen = 0 then
+  let result =
+    if float_of_int opt' <= threshold then begin
+      Log.debug (fun m ->
+          m "opt' = %d <= threshold %.1f: running exact on all %d disks" opt'
+            threshold n);
       finish ~strategy:Exact_small (exact centers colors)
-    else begin
-      let keep = Array.init n (fun i -> Hashtbl.mem chosen colors.(i)) in
-      let idx = ref [] in
-      for i = n - 1 downto 0 do
-        if keep.(i) then idx := i :: !idx
-      done;
-      let idx = Array.of_list !idx in
-      let sub_centers = Array.map (fun i -> centers.(i)) idx in
-      let sub_colors = Array.map (fun i -> colors.(i)) idx in
-      let r = exact sub_centers sub_colors in
-      finish
-        ~strategy:
-          (Sampled
-             {
-               lambda;
-               colors_sampled = Hashtbl.length chosen;
-               disks_sampled = Array.length idx;
-             })
-        r
     end
-  end
+    else begin
+      let lambda =
+        Float.min 1.
+          (c1 *. log (float_of_int n) /. (epsilon ** 2. *. float_of_int opt'))
+      in
+      let rng = Rng.create seed in
+      let distinct = List.sort_uniq compare (Array.to_list colors) in
+      (* Resample until non-empty (empty samples are vanishingly rare at
+         the analysis' lambda but possible for tiny inputs). *)
+      let rec draw tries =
+        let chosen = Hashtbl.create 64 in
+        List.iter
+          (fun c ->
+            if Rng.bernoulli rng lambda then Hashtbl.replace chosen c ())
+          distinct;
+        if Hashtbl.length chosen > 0 || tries > 20 then chosen
+        else draw (tries + 1)
+      in
+      let chosen = draw 0 in
+      Log.debug (fun m ->
+          m "opt' = %d: sampling colors with lambda = %.4f -> %d colors" opt'
+            lambda (Hashtbl.length chosen));
+      if Hashtbl.length chosen = 0 then
+        finish ~strategy:Exact_small (exact centers colors)
+      else begin
+        let keep = Array.init n (fun i -> Hashtbl.mem chosen colors.(i)) in
+        let idx = ref [] in
+        for i = n - 1 downto 0 do
+          if keep.(i) then idx := i :: !idx
+        done;
+        let idx = Array.of_list !idx in
+        let sub_centers = Array.map (fun i -> centers.(i)) idx in
+        let sub_colors = Array.map (fun i -> colors.(i)) idx in
+        let r = exact sub_centers sub_colors in
+        finish
+          ~strategy:
+            (Sampled
+               {
+                 lambda;
+                 colors_sampled = Hashtbl.length chosen;
+                 disks_sampled = Array.length idx;
+               })
+          r
+      end
+    end
+  in
+  if !complete then Outcome.Complete result else Outcome.Partial result
+
+let solve_checked ?radius ?epsilon ?c1 ?seed ?estimate_cfg ?max_shifts ?domains
+    ?budget centers ~colors =
+  let cols = colors in
+  (* rebound: [open Guard] below shadows [colors] *)
+  let open Guard in
+  let check =
+    let* () = positive ~field:"radius" (Option.value ~default:1. radius) in
+    let* () =
+      in_open_range ~field:"epsilon" ~lo:0. ~hi:1.
+        (Option.value ~default:0.25 epsilon)
+    in
+    let* () = positive ~field:"c1" (Option.value ~default:1.0 c1) in
+    let* () = non_empty ~field:"centers" centers in
+    let* () = planar_points ~field:"centers" centers in
+    colors ~nonneg:true ~field:"colors" ~expected:(Array.length centers) cols
+  in
+  Result.map
+    (fun () ->
+      solve_unchecked ?radius ?epsilon ?c1 ?seed ?estimate_cfg ?max_shifts
+        ?domains ?budget centers ~colors:cols)
+    check
+
+let solve ?radius ?epsilon ?c1 ?seed ?estimate_cfg ?max_shifts ?domains centers
+    ~colors =
+  Outcome.value
+    (Guard.ok_exn
+       (solve_checked ?radius ?epsilon ?c1 ?seed ?estimate_cfg ?max_shifts
+          ?domains centers ~colors))

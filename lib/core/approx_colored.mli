@@ -42,4 +42,27 @@ val solve :
     algorithm's grid collection. [domains] sizes the parallel execution
     layer for both the Theorem-1.5 estimate and the exact runs (default:
     [MAXRS_DOMAINS], else 1); results are bit-identical for any domain
-    count. Requires a non-empty input. *)
+    count. Requires a non-empty input.
+
+    Raises {!Maxrs_resilience.Guard.Error} on malformed input
+    (non-positive/non-finite radius, epsilon outside (0, 1),
+    non-positive c1, empty input, non-finite coordinates, negative
+    colors, length mismatch). *)
+
+val solve_checked :
+  ?radius:float ->
+  ?epsilon:float ->
+  ?c1:float ->
+  ?seed:int ->
+  ?estimate_cfg:Config.t ->
+  ?max_shifts:int ->
+  ?domains:int ->
+  ?budget:Maxrs_resilience.Budget.t ->
+  (float * float) array ->
+  colors:int array ->
+  (result Maxrs_resilience.Outcome.t, Maxrs_resilience.Guard.error)
+  Stdlib.result
+(** Validated entry. The [budget] bounds the exact output-sensitive
+    stage(s) of the pipeline; on expiry the answer is [Partial] — its
+    depth is still re-evaluated against the full input (achievable at
+    (x, y)), but the (1 - eps) guarantee no longer holds. *)

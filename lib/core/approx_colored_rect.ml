@@ -1,5 +1,6 @@
 module Rng = Maxrs_geom.Rng
 module Colored_rect2d = Maxrs_sweep.Colored_rect2d
+module Guard = Maxrs_resilience.Guard
 
 type strategy =
   | Exact_small
@@ -39,16 +40,9 @@ let estimate_opt ~width ~height centers ~colors =
     centers;
   Hashtbl.fold (fun _ set acc -> Int.max acc (Hashtbl.length set)) cells 0
 
-let solve ?(width = 1.) ?(height = 1.) ?(epsilon = 0.25) ?(c1 = 1.0)
+let solve_unchecked ?(width = 1.) ?(height = 1.) ?(epsilon = 0.25) ?(c1 = 1.0)
     ?(seed = 0x7ec7) centers ~colors =
-  if width <= 0. || height <= 0. then
-    invalid_arg "Approx_colored_rect.solve: sides must be positive";
-  if not (epsilon > 0. && epsilon < 1.) then
-    invalid_arg "Approx_colored_rect.solve: epsilon must lie in (0, 1)";
   let n = Array.length centers in
-  if n = 0 then invalid_arg "Approx_colored_rect.solve: empty input";
-  if Array.length colors <> n then
-    invalid_arg "Approx_colored_rect.solve: colors length mismatch";
   let opt' = estimate_opt ~width ~height centers ~colors in
   let threshold = c1 /. (epsilon ** 2.) *. log (float_of_int (Int.max n 2)) in
   let finish ~strategy (r : Colored_rect2d.result) =
@@ -104,3 +98,27 @@ let solve ?(width = 1.) ?(height = 1.) ?(epsilon = 0.25) ?(c1 = 1.0)
         r
     end
   end
+
+let solve_checked ?width ?height ?epsilon ?c1 ?seed centers ~colors =
+  let cols = colors in
+  (* rebound: [open Guard] below shadows [colors] *)
+  let open Guard in
+  let check =
+    let* () = positive ~field:"width" (Option.value ~default:1. width) in
+    let* () = positive ~field:"height" (Option.value ~default:1. height) in
+    let* () =
+      in_open_range ~field:"epsilon" ~lo:0. ~hi:1.
+        (Option.value ~default:0.25 epsilon)
+    in
+    let* () = positive ~field:"c1" (Option.value ~default:1.0 c1) in
+    let* () = non_empty ~field:"centers" centers in
+    let* () = planar_points ~field:"centers" centers in
+    length_matches ~field:"colors" ~expected:(Array.length centers) cols
+  in
+  Result.map
+    (fun () ->
+      solve_unchecked ?width ?height ?epsilon ?c1 ?seed centers ~colors:cols)
+    check
+
+let solve ?width ?height ?epsilon ?c1 ?seed centers ~colors =
+  Guard.ok_exn (solve_checked ?width ?height ?epsilon ?c1 ?seed centers ~colors)

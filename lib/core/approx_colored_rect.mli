@@ -52,4 +52,18 @@ val solve :
   colors:int array ->
   result
 (** Defaults: 1 x 1 rectangle, epsilon = 0.25, c1 = 1.0. Requires a
-    non-empty input. *)
+    non-empty input. Raises {!Maxrs_resilience.Guard.Error} on
+    malformed input. *)
+
+val solve_checked :
+  ?width:float ->
+  ?height:float ->
+  ?epsilon:float ->
+  ?c1:float ->
+  ?seed:int ->
+  (float * float) array ->
+  colors:int array ->
+  (result, Maxrs_resilience.Guard.error) Stdlib.result
+(** {!solve} with validation (positive finite sides, epsilon in (0, 1),
+    positive c1, non-empty finite centers, matching color length)
+    reported as a structured error. *)

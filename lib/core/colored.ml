@@ -1,17 +1,12 @@
 module Point = Maxrs_geom.Point
 module Parallel = Maxrs_parallel.Parallel
+module Guard = Maxrs_resilience.Guard
 
 type result = { center : Point.t; value : int }
 
-let solve ?(cfg = Config.default) ?(radius = 1.) ~dim pts ~colors =
+let solve_unchecked ?(cfg = Config.default) ?(radius = 1.) ~dim pts ~colors =
   Config.validate cfg;
-  if radius <= 0. then invalid_arg "Colored.solve: radius must be positive";
   let n = Array.length pts in
-  if Array.length colors <> n then
-    invalid_arg "Colored.solve: colors length mismatch";
-  Array.iter
-    (fun c -> if c < 0 then invalid_arg "Colored.solve: colors must be >= 0")
-    colors;
   if n = 0 then None
   else begin
     let space = Sample_space.create ~dim ~cfg ~expected_n:n in
@@ -41,8 +36,31 @@ let solve ?(cfg = Config.default) ?(radius = 1.) ~dim pts ~colors =
     | _ -> None
   end
 
+let solve_checked ?cfg ?(radius = 1.) ~dim pts ~colors =
+  let cols = colors in
+  (* rebound: [open Guard] below shadows [colors] *)
+  let open Guard in
+  let check =
+    let* () = positive ~field:"radius" radius in
+    if dim < 1 then
+      invalid ~field:"dim" (Printf.sprintf "must be >= 1, got %d" dim)
+    else
+      let* () = points ~dim ~field:"points" pts in
+      colors ~nonneg:true ~field:"colors" ~expected:(Array.length pts) cols
+  in
+  Result.map
+    (fun () -> solve_unchecked ?cfg ~radius ~dim pts ~colors:cols)
+    check
+
+let solve ?cfg ?radius ~dim pts ~colors =
+  Guard.ok_exn (solve_checked ?cfg ?radius ~dim pts ~colors)
+
 let solve_or_point ?cfg ?radius ~dim pts ~colors =
-  assert (Array.length pts > 0);
-  match solve ?cfg ?radius ~dim pts ~colors with
-  | Some r -> r
-  | None -> { center = pts.(0); value = 1 }
+  let cols = colors in
+  Guard.ok_exn
+    (let open Guard in
+     let* () = non_empty ~field:"points" pts in
+     let* r = solve_checked ?cfg ?radius ~dim pts ~colors:cols in
+     match r with
+     | Some r -> Ok r
+     | None -> Ok { center = pts.(0); value = 1 })

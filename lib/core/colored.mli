@@ -19,7 +19,18 @@ val solve :
   colors:int array ->
   result option
 (** Colors must be non-negative ints. [None] when no sample witnesses any
-    ball. *)
+    ball. Raises {!Maxrs_resilience.Guard.Error} on malformed input. *)
+
+val solve_checked :
+  ?cfg:Config.t ->
+  ?radius:float ->
+  dim:int ->
+  Maxrs_geom.Point.t array ->
+  colors:int array ->
+  (result option, Maxrs_resilience.Guard.error) Stdlib.result
+(** {!solve} with validation (positive finite radius, [dim >= 1],
+    finite coordinates of matching dimension, non-negative colors of
+    matching length) reported as a structured error. *)
 
 val solve_or_point :
   ?cfg:Config.t ->

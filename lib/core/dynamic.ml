@@ -1,4 +1,5 @@
 module Point = Maxrs_geom.Point
+module Guard = Maxrs_resilience.Guard
 
 let src = Logs.Src.create "maxrs.dynamic" ~doc:"Dynamic MaxRS (Theorem 1.1)"
 
@@ -106,17 +107,25 @@ let maybe_rebuild t =
 let scale t p = Point.scale (1. /. t.radius) p
 let unscale t p = Point.scale t.radius p
 
-let insert t ?(weight = 1.) p =
-  assert (Point.dim p = t.dim);
-  if weight < 0. then invalid_arg "Dynamic.insert: weight must be >= 0";
-  let center = scale t p in
-  let h = t.next_handle in
-  t.next_handle <- h + 1;
-  Hashtbl.replace t.balls h (center, weight);
-  Sample_space.insert t.space ~center ~weight;
-  maybe_rebuild t;
-  maybe_compact t;
-  h
+let insert_checked t ?(weight = 1.) p =
+  let open Guard in
+  let check =
+    let* () = points ~dim:t.dim ~field:"point" [| p |] in
+    non_negative ~field:"weight" weight
+  in
+  Result.map
+    (fun () ->
+      let center = scale t p in
+      let h = t.next_handle in
+      t.next_handle <- h + 1;
+      Hashtbl.replace t.balls h (center, weight);
+      Sample_space.insert t.space ~center ~weight;
+      maybe_rebuild t;
+      maybe_compact t;
+      h)
+    check
+
+let insert t ?weight p = Guard.ok_exn (insert_checked t ?weight p)
 
 let delete t h =
   match Hashtbl.find_opt t.balls h with

@@ -20,7 +20,17 @@ val create : ?cfg:Config.t -> ?radius:float -> dim:int -> unit -> t
 (** [create ~dim ()] with a unit query radius by default. *)
 
 val insert : t -> ?weight:float -> Maxrs_geom.Point.t -> handle
-(** Insert a point (default weight 1). O_eps(log n) amortized. *)
+(** Insert a point (default weight 1). O_eps(log n) amortized. Raises
+    {!Maxrs_resilience.Guard.Error} on a dimension mismatch, non-finite
+    coordinates, or a negative/non-finite weight. *)
+
+val insert_checked :
+  t ->
+  ?weight:float ->
+  Maxrs_geom.Point.t ->
+  (handle, Maxrs_resilience.Guard.error) result
+(** {!insert} with validation reported as a structured error; on
+    [Error] the structure is unchanged. *)
 
 val delete : t -> handle -> unit
 (** Delete a previously inserted point. Raises [Not_found] on an unknown

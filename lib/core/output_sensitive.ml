@@ -7,6 +7,9 @@ module Rng = Maxrs_geom.Rng
 module Colored_depth = Maxrs_union.Colored_depth
 module Colored_disk2d = Maxrs_sweep.Colored_disk2d
 module Parallel = Maxrs_parallel.Parallel
+module Guard = Maxrs_resilience.Guard
+module Budget = Maxrs_resilience.Budget
+module Outcome = Maxrs_resilience.Outcome
 
 type stats = {
   shifts : int;
@@ -20,7 +23,8 @@ type result = { x : float; y : float; depth : int; stats : stats }
 (* Everything one grid of the shifted collection contributes: its best
    placement and its share of the statistics. Grids are independent, so
    these are computed in parallel and merged in grid-index order, which
-   reproduces the sequential scan exactly. *)
+   reproduces the sequential scan exactly. [g_expired] marks a grid
+   whose scan was cut short by the deadline. *)
 type grid_result = {
   g_depth : int;
   g_x : float;
@@ -28,87 +32,97 @@ type grid_result = {
   g_cells : int;
   g_disks : int;
   g_events : int;
+  g_expired : bool;
 }
 
-let solve_grid pts colors grid =
-  let n = Array.length pts in
-  (* Bucket disks by the grid cells they intersect. *)
-  let buckets : int list ref Grid.Tbl.t = Grid.Tbl.create (4 * n) in
-  Array.iteri
-    (fun i (x, y) ->
-      let ball = Ball.unit [| x; y |] in
-      Grid.iter_keys_intersecting_ball grid ball (fun key ->
-          match Grid.Tbl.find_opt buckets key with
-          | Some l -> l := i :: !l
-          | None -> Grid.Tbl.add buckets (Array.copy key) (ref [ i ])))
-    pts;
-  let acc =
-    ref
-      {
-        g_depth = 0;
-        g_x = fst pts.(0);
-        g_y = snd pts.(0);
-        g_cells = 0;
-        g_disks = 0;
-        g_events = 0;
-      }
-  in
-  Grid.Tbl.iter
-    (fun key idxs ->
-      let corners = Box.corners (Grid.cell_box grid key) in
-      (* Lemma 4.3: drop disks containing no corner of the cell. *)
-      let trimmed =
-        List.filter
-          (fun i ->
-            let x, y = pts.(i) in
-            List.exists
-              (fun c ->
-                (((c.(0) -. x) ** 2.) +. ((c.(1) -. y) ** 2.)) <= 1. +. 1e-12)
-              corners)
-          !idxs
-      in
-      match trimmed with
-      | [] -> ()
-      | _ :: _ ->
-          let sub = Array.of_list trimmed in
-          let sub_centers = Array.map (fun i -> pts.(i)) sub in
-          let sub_colors = Array.map (fun i -> colors.(i)) sub in
-          let r =
-            Colored_depth.max_colored_depth ~radius:1. sub_centers
-              ~colors:sub_colors
-          in
-          let a = !acc in
-          acc :=
-            {
-              g_depth =
-                (if r.Colored_depth.depth > a.g_depth then
-                   r.Colored_depth.depth
-                 else a.g_depth);
-              g_x =
-                (if r.Colored_depth.depth > a.g_depth then r.Colored_depth.x
-                 else a.g_x);
-              g_y =
-                (if r.Colored_depth.depth > a.g_depth then r.Colored_depth.y
-                 else a.g_y);
-              g_cells = a.g_cells + 1;
-              g_disks = a.g_disks + Array.length sub;
-              g_events =
-                a.g_events + r.Colored_depth.stats.Colored_depth.events;
-            })
-    buckets;
-  !acc
+exception Out_of_time
 
-let solve ?(radius = 1.) ?max_shifts ?(seed = 0x4f53) ?domains centers ~colors
-    =
-  if radius <= 0. then invalid_arg "Output_sensitive.solve: radius <= 0";
-  let n = Array.length centers in
-  if n = 0 then invalid_arg "Output_sensitive.solve: empty input";
-  if Array.length colors <> n then
-    invalid_arg "Output_sensitive.solve: colors length mismatch";
-  (* Work with unit disks. *)
-  let pts =
-    Array.map (fun (x, y) -> (x /. radius, y /. radius)) centers
+let solve_grid ~budget pts colors grid =
+  let n = Array.length pts in
+  let empty =
+    {
+      g_depth = 0;
+      g_x = fst pts.(0);
+      g_y = snd pts.(0);
+      g_cells = 0;
+      g_disks = 0;
+      g_events = 0;
+      g_expired = false;
+    }
   in
+  if Budget.expired budget then { empty with g_expired = true }
+  else begin
+    (* Bucket disks by the grid cells they intersect. *)
+    let buckets : int list ref Grid.Tbl.t = Grid.Tbl.create (4 * n) in
+    Array.iteri
+      (fun i (x, y) ->
+        let ball = Ball.unit [| x; y |] in
+        Grid.iter_keys_intersecting_ball grid ball (fun key ->
+            match Grid.Tbl.find_opt buckets key with
+            | Some l -> l := i :: !l
+            | None -> Grid.Tbl.add buckets (Array.copy key) (ref [ i ])))
+      pts;
+    let acc = ref empty in
+    (* The per-cell sweeps dominate; poll the budget between cells and
+       abandon the rest of this grid's cells on expiry (one cell of
+       overshoot at most). *)
+    (try
+       Grid.Tbl.iter
+         (fun key idxs ->
+           if Budget.expired budget then raise_notrace Out_of_time;
+           let corners = Box.corners (Grid.cell_box grid key) in
+           (* Lemma 4.3: drop disks containing no corner of the cell. *)
+           let trimmed =
+             List.filter
+               (fun i ->
+                 let x, y = pts.(i) in
+                 List.exists
+                   (fun c ->
+                     (((c.(0) -. x) ** 2.) +. ((c.(1) -. y) ** 2.))
+                     <= 1. +. 1e-12)
+                   corners)
+               !idxs
+           in
+           match trimmed with
+           | [] -> ()
+           | _ :: _ ->
+               let sub = Array.of_list trimmed in
+               let sub_centers = Array.map (fun i -> pts.(i)) sub in
+               let sub_colors = Array.map (fun i -> colors.(i)) sub in
+               let r =
+                 Colored_depth.max_colored_depth ~radius:1. sub_centers
+                   ~colors:sub_colors
+               in
+               let a = !acc in
+               acc :=
+                 {
+                   g_depth =
+                     (if r.Colored_depth.depth > a.g_depth then
+                        r.Colored_depth.depth
+                      else a.g_depth);
+                   g_x =
+                     (if r.Colored_depth.depth > a.g_depth then
+                        r.Colored_depth.x
+                      else a.g_x);
+                   g_y =
+                     (if r.Colored_depth.depth > a.g_depth then
+                        r.Colored_depth.y
+                      else a.g_y);
+                   g_cells = a.g_cells + 1;
+                   g_disks = a.g_disks + Array.length sub;
+                   g_events =
+                     a.g_events + r.Colored_depth.stats.Colored_depth.events;
+                   g_expired = a.g_expired;
+                 })
+         buckets
+     with Out_of_time -> acc := { !acc with g_expired = true });
+    !acc
+  end
+
+let solve_unchecked ?(radius = 1.) ?max_shifts ?(seed = 0x4f53) ?domains
+    ?(budget = Budget.unlimited) centers ~colors =
+  (* Work with unit disks. *)
+  let pts = Array.map (fun (x, y) -> (x /. radius, y /. radius)) centers in
   let grids =
     match max_shifts with
     | None -> Shifted_grids.make ~dim:2 ~side:1. ~delta:0.25 ()
@@ -120,7 +134,7 @@ let solve ?(radius = 1.) ?max_shifts ?(seed = 0x4f53) ?domains centers ~colors
   let merged =
     Parallel.with_pool ~domains:(Parallel.resolve domains) (fun pool ->
         Parallel.map_reduce pool ~n:(Array.length garr)
-          ~map:(fun gi -> solve_grid pts colors garr.(gi))
+          ~map:(fun gi -> solve_grid ~budget pts colors garr.(gi))
           ~reduce:(fun a g ->
             {
               g_depth = (if g.g_depth > a.g_depth then g.g_depth else a.g_depth);
@@ -129,6 +143,7 @@ let solve ?(radius = 1.) ?max_shifts ?(seed = 0x4f53) ?domains centers ~colors
               g_cells = a.g_cells + g.g_cells;
               g_disks = a.g_disks + g.g_disks;
               g_events = a.g_events + g.g_events;
+              g_expired = a.g_expired || g.g_expired;
             })
           {
             g_depth = 0;
@@ -137,23 +152,55 @@ let solve ?(radius = 1.) ?max_shifts ?(seed = 0x4f53) ?domains centers ~colors
             g_cells = 0;
             g_disks = 0;
             g_events = 0;
+            g_expired = false;
           })
   in
-  (* Re-evaluate against the full input: the per-cell depth is computed on
-     a subset, so this can only confirm or improve it. *)
+  (* Re-evaluate against the full input: the per-cell depth is computed
+     on a subset, so in exact arithmetic this can only confirm or
+     improve it. The re-evaluated value is the one reported — never the
+     raw cell count, which on ill-conditioned inputs can exceed what
+     the witness point actually achieves — keeping every answer
+     (including deadline-cut ones) achievable at the reported point.
+     O(n), so it runs even when the budget is spent. *)
   let depth =
     Colored_disk2d.colored_depth_at ~radius:1. pts ~colors merged.g_x
       merged.g_y
   in
-  {
-    x = merged.g_x *. radius;
-    y = merged.g_y *. radius;
-    depth = Int.max depth merged.g_depth;
-    stats =
-      {
-        shifts = Shifted_grids.count grids;
-        cells_processed = merged.g_cells;
-        disks_after_trim = merged.g_disks;
-        sweep_events = merged.g_events;
-      };
-  }
+  let result =
+    {
+      x = merged.g_x *. radius;
+      y = merged.g_y *. radius;
+      depth;
+      stats =
+        {
+          shifts = Shifted_grids.count grids;
+          cells_processed = merged.g_cells;
+          disks_after_trim = merged.g_disks;
+          sweep_events = merged.g_events;
+        };
+    }
+  in
+  if merged.g_expired then Outcome.Partial result else Outcome.Complete result
+
+let solve_checked ?radius ?max_shifts ?seed ?domains ?budget centers ~colors =
+  let cols = colors in
+  (* rebound: [open Guard] below shadows [colors] *)
+  let open Guard in
+  let check =
+    let* () =
+      positive ~field:"radius" (Option.value ~default:1. radius)
+    in
+    let* () = non_empty ~field:"centers" centers in
+    let* () = planar_points ~field:"centers" centers in
+    length_matches ~field:"colors" ~expected:(Array.length centers) cols
+  in
+  Result.map
+    (fun () ->
+      solve_unchecked ?radius ?max_shifts ?seed ?domains ?budget centers
+        ~colors:cols)
+    check
+
+let solve ?radius ?max_shifts ?seed ?domains centers ~colors =
+  Outcome.value
+    (Guard.ok_exn
+       (solve_checked ?radius ?max_shifts ?seed ?domains centers ~colors))

@@ -36,4 +36,40 @@ val solve :
     [domains] sizes the parallel execution layer (default: the
     [MAXRS_DOMAINS] environment variable, else 1): the independent grid
     shifts are processed concurrently and merged in shift order, so the
-    result is bit-identical for any domain count. *)
+    result is bit-identical for any domain count.
+
+    Raises {!Maxrs_resilience.Guard.Error} on malformed input
+    (non-positive/non-finite radius, empty input, non-finite
+    coordinates, color-array length mismatch). *)
+
+val solve_checked :
+  ?radius:float ->
+  ?max_shifts:int ->
+  ?seed:int ->
+  ?domains:int ->
+  ?budget:Maxrs_resilience.Budget.t ->
+  (float * float) array ->
+  colors:int array ->
+  (result Maxrs_resilience.Outcome.t, Maxrs_resilience.Guard.error)
+  Stdlib.result
+(** Validated entry with a cooperative deadline. The budget is polled
+    between grid cells; cells (and whole shifts) not yet processed at
+    expiry are skipped and the answer is [Partial]. The reported depth
+    is re-evaluated against the full input either way, so a [Partial]
+    answer is still achievable at (x, y) — it just may not be the
+    maximum. Without expiry the answer is [Complete] and equals
+    {!solve}. *)
+
+val solve_unchecked :
+  ?radius:float ->
+  ?max_shifts:int ->
+  ?seed:int ->
+  ?domains:int ->
+  ?budget:Maxrs_resilience.Budget.t ->
+  (float * float) array ->
+  colors:int array ->
+  result Maxrs_resilience.Outcome.t
+(** The validation-free path behind {!solve_checked}: identical
+    computation, no input scan. The input must already be finite,
+    non-empty and length-consistent; behaviour otherwise is
+    unspecified. *)

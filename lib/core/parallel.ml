@@ -83,46 +83,167 @@ let with_pool ~domains f =
   let pool = create (resolve (Some domains)) in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-(* Tracks one job: how many queued helpers have not finished yet, and the
-   first failure raised by any participant (re-raised on the caller once
-   every participant is done, so no task outlives the call). *)
+exception Injected_fault
+
+(* Deterministic fault injection. Whether a (job, chunk, attempt) triple
+   faults is a pure function of the configured seed, so a faulty run is
+   exactly reproducible: same schedule of throws/stalls for a given
+   MAXRS_FAULTS value regardless of domain interleaving. *)
+module Faults = struct
+  type config = { seed : int; rate : float }
+
+  let of_string s =
+    match String.split_on_char ':' (String.trim s) with
+    | [ seed; rate ] -> (
+        match (int_of_string_opt seed, float_of_string_opt rate) with
+        | Some seed, Some rate when Float.is_finite rate && rate >= 0. ->
+            Some { seed; rate = Float.min rate 1. }
+        | _ -> None)
+    | _ -> None
+
+  let state : config option Atomic.t =
+    Atomic.make
+      (match Sys.getenv_opt "MAXRS_FAULTS" with
+      | None -> None
+      | Some s -> of_string s)
+
+  let configure cfg = Atomic.set state (Some cfg)
+  let disable () = Atomic.set state None
+  let current () = Atomic.get state
+  let enabled () = current () <> None
+  let injected = Atomic.make 0
+  let retried = Atomic.make 0
+  let recovered = Atomic.make 0
+  let injected_count () = Atomic.get injected
+  let retried_count () = Atomic.get retried
+  let recovered_count () = Atomic.get recovered
+
+  let reset_counters () =
+    Atomic.set injected 0;
+    Atomic.set retried 0;
+    Atomic.set recovered 0
+
+  let splitmix64 x =
+    let open Int64 in
+    let z = add x 0x9E3779B97F4A7C15L in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  (* One stalled chunk is enough to exercise slow-worker paths without
+     turning test runs glacial. Sys.time (not wall clock) keeps the
+     parallel library free of a unix dependency. *)
+  let stall () =
+    let until = Sys.time () +. 0.0005 in
+    while Sys.time () < until do
+      Domain.cpu_relax ()
+    done
+
+  (* Called before a chunk body runs (never mid-body), so a retry after
+     an injected fault is safe even for non-idempotent bodies. *)
+  let maybe_inject ~job ~chunk ~attempt =
+    match current () with
+    | None -> ()
+    | Some { rate; _ } when rate <= 0. -> ()
+    | Some { seed; rate } ->
+        let h =
+          splitmix64 (Int64.of_int seed)
+          |> Int64.logxor (Int64.of_int job)
+          |> splitmix64
+          |> Int64.logxor (Int64.of_int chunk)
+          |> splitmix64
+          |> Int64.logxor (Int64.of_int attempt)
+          |> splitmix64
+        in
+        let u =
+          Int64.to_float (Int64.shift_right_logical h 11)
+          *. (1. /. 9007199254740992.)
+        in
+        if u < rate then begin
+          Atomic.incr injected;
+          if Int64.logand h 1L = 1L then stall ();
+          raise Injected_fault
+        end
+end
+
+(* Distinguishes job instances for the fault-injection schedule only;
+   results never depend on it. *)
+let job_counter = Atomic.make 0
+
+(* Tracks one job: how many queued helpers have not finished yet, the
+   first fatal failure raised by any participant (re-raised on the
+   caller once every participant is done, so no task outlives the
+   call), and the chunks awaiting sequential recovery on the caller. *)
 type job = {
   job_mutex : Mutex.t;
   job_done : Condition.t;
   mutable live_helpers : int;
-  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable fatal : (exn * Printexc.raw_backtrace) option;
+  mutable recover : int list;
 }
 
-let run_chunks pool ~chunks exec =
+(* Failure policy: a chunk that raises is retried once, and if it fails
+   again the chunk index is parked for sequential re-execution on the
+   caller after the parallel drain — degrade-to-sequential. Chunk
+   boundaries are unchanged and the caller replays parked chunks in
+   ascending index order, so recovery preserves the bit-identical
+   determinism contract. Retry/recovery applies to injected faults
+   always (they fire before the body starts) and to genuine body
+   exceptions only when the body is declared [idempotent]; otherwise a
+   genuine exception is fatal: remaining chunks are drained without
+   executing and the first such exception is re-raised on the caller. *)
+let run_chunks pool ~idempotent ~chunks exec =
   if chunks > 0 then
     if pool.size = 1 || chunks = 1 then
       for c = 0 to chunks - 1 do
         exec c
       done
     else begin
+      let job_id = Atomic.fetch_and_add job_counter 1 in
       let next = Atomic.make 0 in
       let job =
         {
           job_mutex = Mutex.create ();
           job_done = Condition.create ();
           live_helpers = Int.min (pool.size - 1) (chunks - 1);
-          failure = None;
+          fatal = None;
+          recover = [];
         }
+      in
+      let retryable = function Injected_fault -> true | _ -> idempotent in
+      let record_fatal e bt =
+        Mutex.lock job.job_mutex;
+        if job.fatal = None then job.fatal <- Some (e, bt);
+        Mutex.unlock job.job_mutex
+      in
+      let park c =
+        Mutex.lock job.job_mutex;
+        job.recover <- c :: job.recover;
+        Mutex.unlock job.job_mutex
+      in
+      let attempt c a =
+        Faults.maybe_inject ~job:job_id ~chunk:c ~attempt:a;
+        exec c
       in
       let rec participate () =
         let c = Atomic.fetch_and_add next 1 in
         if c < chunks then begin
-          (* Fail fast: once a failure is recorded, drain the remaining
-             chunks without executing them. *)
-          (match job.failure with
+          (* Fail fast: once a fatal failure is recorded, drain the
+             remaining chunks without executing them. *)
+          (match job.fatal with
           | Some _ -> ()
           | None -> (
-              try exec c
-              with e ->
-                let bt = Printexc.get_raw_backtrace () in
-                Mutex.lock job.job_mutex;
-                if job.failure = None then job.failure <- Some (e, bt);
-                Mutex.unlock job.job_mutex));
+              try attempt c 0
+              with e0 ->
+                if not (retryable e0) then
+                  record_fatal e0 (Printexc.get_raw_backtrace ())
+                else begin
+                  Atomic.incr Faults.retried;
+                  try attempt c 1
+                  with e1 ->
+                    if retryable e1 then park c
+                    else record_fatal e1 (Printexc.get_raw_backtrace ())
+                end));
           participate ()
         end
       in
@@ -145,23 +266,30 @@ let run_chunks pool ~chunks exec =
         Condition.wait job.job_done job.job_mutex
       done;
       Mutex.unlock job.job_mutex;
-      match job.failure with
+      match job.fatal with
       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-      | None -> ()
+      | None ->
+          (* Sequential recovery on the caller, no injection: exec is
+             exactly what a domains=1 run would have done. *)
+          List.iter
+            (fun c ->
+              exec c;
+              Atomic.incr Faults.recovered)
+            (List.sort compare job.recover)
     end
 
 let default_chunks pool n = Int.min n (pool.size * 4)
 
 let chunk_lo ~n ~chunks c = c * n / chunks
 
-let parallel_for ?chunks pool ~n body =
+let parallel_for ?chunks ?(idempotent = false) pool ~n body =
   if n > 0 then begin
     let chunks =
       match chunks with
       | Some c -> Int.max 1 (Int.min c n)
       | None -> default_chunks pool n
     in
-    run_chunks pool ~chunks (fun c ->
+    run_chunks pool ~idempotent ~chunks (fun c ->
         let lo = chunk_lo ~n ~chunks c and hi = chunk_lo ~n ~chunks (c + 1) in
         for i = lo to hi - 1 do
           body i
@@ -172,10 +300,12 @@ let map pool ~n f =
   if n = 0 then [||]
   else begin
     (* Seed the output array with f 0 (run on the caller) to avoid
-       option-boxing every slot. *)
+       option-boxing every slot. Slot writes are idempotent, so failed
+       chunks may be replayed. *)
     let first = f 0 in
     let out = Array.make n first in
-    parallel_for pool ~n:(n - 1) (fun i -> out.(i + 1) <- f (i + 1));
+    parallel_for ~idempotent:true pool ~n:(n - 1) (fun i ->
+        out.(i + 1) <- f (i + 1));
     out
   end
 
@@ -188,7 +318,7 @@ let map_chunks ?chunks pool ~n f =
       | None -> default_chunks pool n
     in
     let out = Array.make chunks None in
-    run_chunks pool ~chunks (fun c ->
+    run_chunks pool ~idempotent:true ~chunks (fun c ->
         let lo = chunk_lo ~n ~chunks c and hi = chunk_lo ~n ~chunks (c + 1) in
         out.(c) <- Some (f ~lo ~hi));
     Array.map (function Some v -> v | None -> assert false) out

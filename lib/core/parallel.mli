@@ -39,12 +39,66 @@ val with_pool : domains:int -> (pool -> 'a) -> 'a
 val size : pool -> int
 (** Total participant count (workers + caller). *)
 
-val parallel_for : ?chunks:int -> pool -> n:int -> (int -> unit) -> unit
+(** {1 Fault tolerance}
+
+    A chunk whose execution raises is retried once in place, and if it
+    fails again the chunk is re-executed sequentially on the caller
+    after the parallel drain (degrade-to-sequential). Chunk boundaries
+    and merge order never change, so recovery preserves the
+    bit-identical determinism contract. Injected faults (below) fire
+    {e before} the chunk body starts and are therefore always safe to
+    retry; genuine body exceptions are retried only when the body is
+    declared idempotent, and are otherwise re-raised on the caller
+    after all participants finish (remaining chunks skipped). *)
+
+exception Injected_fault
+(** The deterministic fault thrown by the injection hook. Never escapes
+    a pool combinator: it either triggers a retry or sequential
+    recovery. *)
+
+(** Deterministic fault injection, for exercising the recovery path in
+    tests and CI. Enabled by [MAXRS_FAULTS=<seed>:<rate>] (read once at
+    startup) or programmatically via {!configure}. Whether a given
+    (job, chunk, attempt) faults — throw, or brief stall then throw —
+    is a pure function of the seed, so a faulty schedule is exactly
+    reproducible. Sequential runs ([size = 1] pools or single-chunk
+    jobs) never inject, preserving a clean baseline to compare
+    against. *)
+module Faults : sig
+  type config = { seed : int; rate : float }
+
+  val of_string : string -> config option
+  (** Parse ["<seed>:<rate>"], e.g. ["42:0.3"]. [None] on malformed
+      input; rate clamped to [\[0, 1\]]. *)
+
+  val configure : config -> unit
+  val disable : unit -> unit
+  val enabled : unit -> bool
+  val current : unit -> config option
+
+  val injected_count : unit -> int
+  (** Faults fired since start (or {!reset_counters}). *)
+
+  val retried_count : unit -> int
+  (** Chunks retried in place after a first failure. *)
+
+  val recovered_count : unit -> int
+  (** Chunks re-executed sequentially on the caller. *)
+
+  val reset_counters : unit -> unit
+end
+
+val parallel_for :
+  ?chunks:int -> ?idempotent:bool -> pool -> n:int -> (int -> unit) -> unit
 (** [parallel_for pool ~n body] runs [body i] for every [i] in
     [\[0, n)], split into chunks pulled by the participants. The body
-    must be safe to run concurrently for distinct indices. If any body
-    raises, remaining chunks are skipped and the first exception is
-    re-raised on the caller after all participants finish. *)
+    must be safe to run concurrently for distinct indices.
+    [idempotent] (default [false]) declares that a chunk of [body]
+    calls may safely run more than once (e.g. pure writes to
+    per-index slots), enabling retry of genuine body exceptions; when
+    [false], a genuine exception skips the remaining chunks and the
+    first one is re-raised on the caller after all participants
+    finish. Injected faults are recovered either way. *)
 
 val map : pool -> n:int -> (int -> 'a) -> 'a array
 (** [map pool ~n f] is [\[| f 0; ...; f (n-1) |\]], computed in

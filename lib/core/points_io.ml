@@ -7,7 +7,11 @@ let fields line =
   |> List.map (fun f ->
          let f = String.trim f in
          match float_of_string_opt f with
-         | Some v -> v
+         (* [float_of_string] accepts "nan" and "inf"; a non-finite
+            coordinate or weight would silently poison every downstream
+            comparison, so reject it at the boundary. *)
+         | Some v when Float.is_finite v -> v
+         | Some _ -> fail line "non-finite value"
          | None -> fail line "not a number")
 
 let parse_weighted_line ?(unweighted = false) line =
@@ -33,29 +37,41 @@ let parse_1d_line line =
   | [ x ] -> (x, 1.)
   | _ -> fail line "1-D record must be x[,weight]"
 
+(* Physical 1-based line numbers (comments and blank lines count), so a
+   reported position matches what an editor shows. [String.trim] strips
+   the '\r' of CRLF files and trailing whitespace. *)
 let read_data_lines path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let rec go acc =
+      let rec go lineno acc =
         match In_channel.input_line ic with
         | Some l ->
             let l = String.trim l in
-            if l = "" || l.[0] = '#' then go acc else go (l :: acc)
+            if l = "" || l.[0] = '#' then go (lineno + 1) acc
+            else go (lineno + 1) ((lineno, l) :: acc)
         | None -> List.rev acc
       in
-      go [])
+      go 1 [])
+
+let parse_at parse (lineno, l) =
+  try parse l
+  with Parse_error msg ->
+    raise (Parse_error (Printf.sprintf "line %d: %s" lineno msg))
 
 let load_weighted ?unweighted path =
-  Array.of_list (List.map (parse_weighted_line ?unweighted) (read_data_lines path))
+  Array.of_list
+    (List.map
+       (parse_at (parse_weighted_line ?unweighted))
+       (read_data_lines path))
 
 let load_colored path =
-  let rows = List.map parse_colored_line (read_data_lines path) in
+  let rows = List.map (parse_at parse_colored_line) (read_data_lines path) in
   (Array.of_list (List.map fst rows), Array.of_list (List.map snd rows))
 
 let load_1d path =
-  Array.of_list (List.map parse_1d_line (read_data_lines path))
+  Array.of_list (List.map (parse_at parse_1d_line) (read_data_lines path))
 
 let format_weighted buf pts =
   Array.iter

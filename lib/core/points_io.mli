@@ -4,10 +4,16 @@
     Formats (one record per line, [#]-comments and blank lines ignored):
     - weighted d-dimensional points: [x1,...,xd,weight]
     - colored planar points: [x,y,color] (color a non-negative int)
-    - 1-D weighted points: [x,weight] (or bare [x], weight 1) *)
+    - 1-D weighted points: [x,weight] (or bare [x], weight 1)
+
+    CRLF line endings and trailing whitespace are tolerated. Non-finite
+    fields ([nan]/[inf]) are rejected: they would otherwise silently
+    poison downstream float comparisons. *)
 
 exception Parse_error of string
-(** Raised with a message naming the offending line. *)
+(** Raised with a message naming the offending line. The [load_*]
+    functions prefix it with the 1-based physical line number
+    (["line 7: ..."]); the bare [parse_*_line] functions do not. *)
 
 val parse_weighted_line : ?unweighted:bool -> string -> Maxrs_geom.Point.t * float
 val parse_colored_line : string -> (float * float) * int

@@ -1,0 +1,117 @@
+module Point = Maxrs_geom.Point
+module Disk2d = Maxrs_sweep.Disk2d
+module Guard = Maxrs_resilience.Guard
+module Budget = Maxrs_resilience.Budget
+module Outcome = Maxrs_resilience.Outcome
+
+let src = Logs.Src.create "maxrs.resilient" ~doc:"Deadline-aware front doors"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type source = Exact | Approx_fallback | Best_so_far
+
+type colored_result = {
+  x : float;
+  y : float;
+  depth : int;
+  verified : bool;
+  source : source;
+}
+
+let budget_of_deadline = function
+  | None -> Budget.unlimited
+  | Some s -> Budget.of_seconds s
+
+let exact_colored ?radius ?max_shifts ?seed ?domains ?deadline centers ~colors
+    =
+  let budget = budget_of_deadline deadline in
+  match
+    Output_sensitive.solve_checked ?radius ?max_shifts ?seed ?domains ~budget
+      centers ~colors
+  with
+  | Error e -> Error e
+  | Ok outcome ->
+      let pts = Array.map (fun (x, y) -> [| x; y |]) centers in
+      let finish ~source (x, y, depth) =
+        let verified =
+          Verify.check_colored_achieved ?radius pts ~colors [| x; y |] depth
+        in
+        { x; y; depth; verified; source }
+      in
+      let r = Outcome.value outcome in
+      let exact_cand =
+        (r.Output_sensitive.x, r.Output_sensitive.y, r.Output_sensitive.depth)
+      in
+      if Outcome.is_complete outcome then
+        Ok (Outcome.Complete (finish ~source:Exact exact_cand))
+      else begin
+        (* Deadline expired mid-exact-solve. The Theorem-1.6 pipeline is
+           the principled cheaper answer (O(eps^-2 n log n) expected vs
+           the exact solver's n * opt term); run it unbudgeted and keep
+           the deeper of the two candidates. Both depths are already
+           re-evaluated against the full input by their solvers. *)
+        Log.info (fun m ->
+            m "exact colored solve hit its deadline; degrading to the \
+               Theorem-1.6 approximation");
+        match
+          Approx_colored.solve_checked ?radius ?seed ?max_shifts ?domains
+            centers ~colors
+        with
+        | Ok a ->
+            let a = Outcome.value a in
+            let _, _, exact_depth = exact_cand in
+            let cand =
+              if a.Approx_colored.depth >= exact_depth then
+                (a.Approx_colored.x, a.Approx_colored.y, a.Approx_colored.depth)
+              else exact_cand
+            in
+            Ok (Outcome.Degraded (finish ~source:Approx_fallback cand))
+        | Error e ->
+            (* The estimator cannot digest this input (e.g. negative
+               colors): the deadline-cut scan's best is all we have. *)
+            Log.warn (fun m ->
+                m "approx fallback rejected the input (%s); returning \
+                   best-so-far"
+                  (Guard.to_string e));
+            Ok (Outcome.Partial (finish ~source:Best_so_far exact_cand))
+      end
+
+type weighted_result = {
+  wx : float;
+  wy : float;
+  value : float;
+  wverified : bool;
+  wsource : source;
+}
+
+let exact_weighted ?cfg ?domains ?deadline ~radius pts =
+  let budget = budget_of_deadline deadline in
+  match Disk2d.max_weight_checked ?domains ~budget ~radius pts with
+  | Error e -> Error e
+  | Ok outcome ->
+      let wpts = Array.map (fun (x, y, w) -> ([| x; y |], w)) pts in
+      let finish ~source (x, y, value) =
+        let wverified =
+          Verify.check_achieved ~radius wpts [| x; y |] value
+        in
+        { wx = x; wy = y; value; wverified; wsource = source }
+      in
+      let r = Outcome.value outcome in
+      let exact_cand = (r.Disk2d.x, r.Disk2d.y, r.Disk2d.value) in
+      if Outcome.is_complete outcome then
+        Ok (Outcome.Complete (finish ~source:Exact exact_cand))
+      else begin
+        (* Theorem 1.2: a (1/2 - eps)-approximation in near-linear time,
+           with an always-achievable witnessed value. *)
+        Log.info (fun m ->
+            m "exact weighted solve hit its deadline; degrading to the \
+               Theorem-1.2 approximation");
+        let fb = Static.solve_or_point ?cfg ~radius ~dim:2 wpts in
+        let _, _, exact_value = exact_cand in
+        let cand =
+          if fb.Static.value >= exact_value then
+            (fb.Static.center.(0), fb.Static.center.(1), fb.Static.value)
+          else exact_cand
+        in
+        Ok (Outcome.Degraded (finish ~source:Approx_fallback cand))
+      end

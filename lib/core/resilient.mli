@@ -1,0 +1,71 @@
+(** Deadline-aware front doors for the exact solvers, with graceful
+    degradation.
+
+    The paper's structure gives a principled fallback: the exact
+    output-sensitive solver (Theorem 4.6) costs O(n log n + n opt),
+    while the Theorem-1.6 color-sampling pipeline delivers a (1 - eps)
+    answer in O(eps^-2 n log n) — so when an exact solve blows its
+    deadline we degrade to the near-linear approximation (or, when even
+    that is unavailable, to the best candidate found so far) instead of
+    failing. Every degraded answer is re-verified against the full
+    input with {!Verify}, so the reported value is always achievable at
+    the reported point.
+
+    Outcome semantics here: [Complete] — the exact answer within the
+    deadline; [Degraded] — the deadline expired and the answer comes
+    from the approximation fallback (or the exact partial scan, if that
+    happened to be deeper); [Partial] — the deadline expired and the
+    fallback was unavailable too, so only the best-so-far candidate is
+    returned. *)
+
+type source =
+  | Exact  (** the exact solver finished *)
+  | Approx_fallback  (** answer from the approximation pipeline *)
+  | Best_so_far  (** deadline-cut exact scan's best candidate *)
+
+type colored_result = {
+  x : float;
+  y : float;
+  depth : int;  (** verified colored depth at (x, y) w.r.t. full input *)
+  verified : bool;  (** {!Verify.check_colored_achieved} on the answer *)
+  source : source;
+}
+
+val exact_colored :
+  ?radius:float ->
+  ?max_shifts:int ->
+  ?seed:int ->
+  ?domains:int ->
+  ?deadline:float ->
+  (float * float) array ->
+  colors:int array ->
+  (colored_result Maxrs_resilience.Outcome.t, Maxrs_resilience.Guard.error)
+  result
+(** Exact colored MaxRS ({!Output_sensitive}) under a wall-clock
+    [deadline] in seconds (unlimited when omitted). On expiry, falls
+    back to the Theorem-1.6 pipeline ({!Approx_colored}) and returns
+    the deeper of (partial exact, approx) as [Degraded]; if the
+    fallback is unavailable (e.g. negative colors, which the Theorem-1.5
+    estimator cannot digest), returns the partial answer as
+    [Partial]. *)
+
+type weighted_result = {
+  wx : float;
+  wy : float;
+  value : float;  (** verified weighted depth at (wx, wy) *)
+  wverified : bool;  (** {!Verify.check_achieved} on the answer *)
+  wsource : source;
+}
+
+val exact_weighted :
+  ?cfg:Config.t ->
+  ?domains:int ->
+  ?deadline:float ->
+  radius:float ->
+  (float * float * float) array ->
+  (weighted_result Maxrs_resilience.Outcome.t, Maxrs_resilience.Guard.error)
+  result
+(** Exact weighted disk MaxRS ({!Maxrs_sweep.Disk2d}) under a deadline.
+    On expiry, falls back to the Theorem-1.2 near-linear
+    (1/2 - eps)-approximation ({!Static}, configured by [cfg]) and
+    returns the better of (partial exact, approx) as [Degraded]. *)

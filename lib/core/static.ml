@@ -1,15 +1,11 @@
 module Point = Maxrs_geom.Point
 module Parallel = Maxrs_parallel.Parallel
+module Guard = Maxrs_resilience.Guard
 
 type result = { center : Point.t; value : float }
 
-let solve ?(cfg = Config.default) ?(radius = 1.) ~dim pts =
+let solve_unchecked ?(cfg = Config.default) ?(radius = 1.) ~dim pts =
   Config.validate cfg;
-  if radius <= 0. then invalid_arg "Static.solve: radius must be positive";
-  Array.iter
-    (fun (_, w) ->
-      if w < 0. then invalid_arg "Static.solve: weights must be >= 0")
-    pts;
   let n = Array.length pts in
   if n = 0 then None
   else begin
@@ -33,12 +29,30 @@ let solve ?(cfg = Config.default) ?(radius = 1.) ~dim pts =
     | _ -> None
   end
 
+let validate ~radius ~dim pts =
+  let open Guard in
+  let* () = positive ~field:"radius" radius in
+  if dim < 1 then
+    invalid ~field:"dim" (Printf.sprintf "must be >= 1, got %d" dim)
+  else weighted_points ~dim ~field:"points" pts
+
+let solve_checked ?cfg ?(radius = 1.) ~dim pts =
+  Result.map
+    (fun () -> solve_unchecked ?cfg ~radius ~dim pts)
+    (validate ~radius ~dim pts)
+
+let solve ?cfg ?radius ~dim pts =
+  Guard.ok_exn (solve_checked ?cfg ?radius ~dim pts)
+
 let solve_or_point ?cfg ?radius ~dim pts =
-  assert (Array.length pts > 0);
-  match solve ?cfg ?radius ~dim pts with
-  | Some r -> r
-  | None ->
-      let best = ref pts.(0) in
-      Array.iter (fun (p, w) -> if w > snd !best then best := (p, w)) pts;
-      let p, w = !best in
-      { center = p; value = w }
+  Guard.ok_exn
+    (let open Guard in
+     let* () = non_empty ~field:"points" pts in
+     let* r = solve_checked ?cfg ?radius ~dim pts in
+     match r with
+     | Some r -> Ok r
+     | None ->
+         let best = ref pts.(0) in
+         Array.iter (fun (p, w) -> if w > snd !best then best := (p, w)) pts;
+         let p, w = !best in
+         Ok { center = p; value = w })

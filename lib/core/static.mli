@@ -17,7 +17,31 @@ val solve :
 (** [solve ~dim pts] with [pts] an array of (point, weight >= 0) pairs.
     [None] only when no circumsphere sample lands in any ball (tiny
     inputs); callers may fall back to placing the ball on any input
-    point, which covers at least that point. *)
+    point, which covers at least that point.
+
+    Raises {!Maxrs_resilience.Guard.Error} on malformed input
+    (non-positive/non-finite radius, [dim < 1], dimension mismatches,
+    non-finite coordinates, negative or non-finite weights). *)
+
+val solve_checked :
+  ?cfg:Config.t ->
+  ?radius:float ->
+  dim:int ->
+  (Maxrs_geom.Point.t * float) array ->
+  (result option, Maxrs_resilience.Guard.error) Stdlib.result
+(** {!solve} with the same validation reported as a structured error
+    instead of an exception. *)
+
+val solve_unchecked :
+  ?cfg:Config.t ->
+  ?radius:float ->
+  dim:int ->
+  (Maxrs_geom.Point.t * float) array ->
+  result option
+(** The validation-free path behind {!solve_checked}: identical
+    computation, no input scan. For callers whose input is already
+    validated or generated; behaviour on non-finite coordinates or
+    negative weights is unspecified. *)
 
 val solve_or_point :
   ?cfg:Config.t ->

@@ -24,7 +24,8 @@ let parse_line line =
         String.split_on_char ',' rest
         |> List.map (fun f ->
                match float_of_string_opt (String.trim f) with
-               | Some v -> v
+               | Some v when Float.is_finite v -> v
+               | Some _ -> fail line "non-finite coordinate"
                | None -> fail line "bad coordinate")
       in
       (* '+' lines are unweighted: every field is a coordinate. Weighted
@@ -40,7 +41,8 @@ let parse_line line =
         String.split_on_char ',' rest
         |> List.map (fun f ->
                match float_of_string_opt (String.trim f) with
-               | Some v -> v
+               | Some v when Float.is_finite v -> v
+               | Some _ -> fail line "non-finite value"
                | None -> fail line "bad number")
       in
       match List.rev fs with
@@ -53,15 +55,24 @@ let load path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let rec go acc =
+      (* Physical 1-based line numbers, as in {!Points_io}. String.trim
+         strips the '\r' of CRLF files and trailing whitespace. *)
+      let rec go lineno acc =
         match In_channel.input_line ic with
         | Some l ->
             let l = String.trim l in
-            if l = "" || l.[0] = '#' then go acc
-            else go (parse_line l :: acc)
+            if l = "" || l.[0] = '#' then go (lineno + 1) acc
+            else
+              let op =
+                try parse_line l
+                with Parse_error msg ->
+                  raise
+                    (Parse_error (Printf.sprintf "line %d: %s" lineno msg))
+              in
+              go (lineno + 1) (op :: acc)
         | None -> List.rev acc
       in
-      Array.of_list (go []))
+      Array.of_list (go 1 []))
 
 let save path ops =
   let oc = open_out path in

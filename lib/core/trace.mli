@@ -21,6 +21,9 @@ type op =
 type t = op array
 
 exception Parse_error of string
+(** {!load} prefixes messages with the 1-based physical line number;
+    bare {!parse_line} does not. CRLF and trailing whitespace are
+    tolerated; non-finite coordinates/weights are rejected. *)
 
 val parse_line : string -> op
 val load : string -> t

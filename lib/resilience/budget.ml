@@ -1,0 +1,53 @@
+type state = {
+  deadline : float;
+  poll : int;
+  mutable until_poll : int;
+      (* racy across domains, but only an accuracy hint *)
+  latch : bool Atomic.t;
+}
+
+type t = Unlimited | Limited of state
+
+exception Expired
+
+let unlimited = Unlimited
+let is_unlimited = function Unlimited -> true | Limited _ -> false
+let default_poll = 16
+
+let at ?(poll = default_poll) deadline =
+  if not (Float.is_finite deadline) then Unlimited
+  else
+    Limited
+      {
+        deadline;
+        poll = Int.max 1 poll;
+        (* 0 so the very first query consults the clock: a budget that
+           is already expired at creation must be seen as such. *)
+        until_poll = 0;
+        latch = Atomic.make false;
+      }
+
+let of_seconds ?poll secs =
+  if not (Float.is_finite secs) then Unlimited
+  else at ?poll (Unix.gettimeofday () +. secs)
+
+let expired = function
+  | Unlimited -> false
+  | Limited s ->
+      Atomic.get s.latch
+      ||
+      if s.until_poll > 0 then (
+        s.until_poll <- s.until_poll - 1;
+        false)
+      else (
+        s.until_poll <- s.poll;
+        if Unix.gettimeofday () > s.deadline then (
+          Atomic.set s.latch true;
+          true)
+        else false)
+
+let check b = if expired b then raise Expired
+
+let remaining = function
+  | Unlimited -> infinity
+  | Limited s -> s.deadline -. Unix.gettimeofday ()

@@ -1,0 +1,39 @@
+(** Cooperative wall-clock deadlines for long-running solves.
+
+    A budget is polled from solver hot loops: {!expired} consults the
+    clock only every [poll] calls (amortising the [gettimeofday]
+    syscall) and latches once the deadline passes, so every subsequent
+    query is a cheap atomic load. Budgets are safe to share across the
+    domain pool's workers: the latch is an [Atomic.t] and the poll
+    counter is only an accuracy hint, so a racy decrement at worst
+    checks the clock a little early or late. *)
+
+type t
+
+exception Expired
+(** Raised by {!check} when the deadline has passed. *)
+
+val unlimited : t
+(** Never expires; {!expired} is [false] without touching the clock. *)
+
+val is_unlimited : t -> bool
+
+val at : ?poll:int -> float -> t
+(** [at deadline] expires once [Unix.gettimeofday () > deadline]. The
+    clock is consulted on the first {!expired} call and then every
+    [poll] (default 16) calls. A non-finite [deadline] gives
+    {!unlimited}. *)
+
+val of_seconds : ?poll:int -> float -> t
+(** [of_seconds s] is [at (now + s)]. Non-positive [s] is already
+    expired; non-finite [s] gives {!unlimited}. *)
+
+val expired : t -> bool
+(** Latching: once [true], always [true]. *)
+
+val check : t -> unit
+(** [check b] raises {!Expired} if [expired b]. *)
+
+val remaining : t -> float
+(** Seconds until the deadline ([infinity] when unlimited); may go
+    negative once expired. *)

@@ -1,0 +1,137 @@
+type error =
+  | Invalid_input of { field : string; index : int option; reason : string }
+
+exception Error of error
+
+let to_string (Invalid_input { field; index; reason }) =
+  match index with
+  | Some i -> Printf.sprintf "invalid input: %s[%d]: %s" field i reason
+  | None -> Printf.sprintf "invalid input: %s: %s" field reason
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (to_string e)
+    | _ -> None)
+
+let invalid ?index ~field reason =
+  Stdlib.Error (Invalid_input { field; index; reason })
+
+let ok_exn = function Ok v -> v | Stdlib.Error e -> raise (Error e)
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Scalar checks *)
+
+let finite ~field v =
+  if Float.is_finite v then Ok ()
+  else invalid ~field (Printf.sprintf "must be finite, got %g" v)
+
+let positive ~field v =
+  if Float.is_finite v && v > 0. then Ok ()
+  else invalid ~field (Printf.sprintf "must be finite and > 0, got %g" v)
+
+let non_negative ~field v =
+  if Float.is_finite v && v >= 0. then Ok ()
+  else invalid ~field (Printf.sprintf "must be finite and >= 0, got %g" v)
+
+let in_open_range ~field ~lo ~hi v =
+  if Float.is_finite v && v > lo && v < hi then Ok ()
+  else invalid ~field (Printf.sprintf "must lie in (%g, %g), got %g" lo hi v)
+
+(* ------------------------------------------------------------------ *)
+(* Array checks *)
+
+let non_empty ~field a =
+  if Array.length a > 0 then Ok () else invalid ~field "must be non-empty"
+
+let length_matches ~field ~expected a =
+  let n = Array.length a in
+  if n = expected then Ok ()
+  else invalid ~field (Printf.sprintf "length %d, expected %d" n expected)
+
+let each ~field f a =
+  let n = Array.length a in
+  let rec go i =
+    if i >= n then Ok ()
+    else
+      match f a.(i) with
+      | None -> go (i + 1)
+      | Some reason -> invalid ~index:i ~field reason
+  in
+  go 0
+
+let bad_coord v = Printf.sprintf "non-finite coordinate %g" v
+let bad_weight v = Printf.sprintf "non-finite weight %g" v
+
+let finite_values ~field a =
+  each ~field (fun v -> if Float.is_finite v then None else Some (bad_coord v)) a
+
+let planar_points ~field pts =
+  each ~field
+    (fun (x, y) ->
+      if Float.is_finite x && Float.is_finite y then None
+      else Some (bad_coord (if Float.is_finite x then y else x)))
+    pts
+
+let weighted_triples ?(nonneg = true) ~field pts =
+  each ~field
+    (fun (x, y, w) ->
+      if not (Float.is_finite x && Float.is_finite y) then
+        Some (bad_coord (if Float.is_finite x then y else x))
+      else if not (Float.is_finite w) then Some (bad_weight w)
+      else if nonneg && w < 0. then
+        Some (Printf.sprintf "weight must be >= 0, got %g" w)
+      else None)
+    pts
+
+let pairs_1d ~field pts =
+  each ~field
+    (fun (x, w) ->
+      if not (Float.is_finite x) then Some (bad_coord x)
+      else if not (Float.is_finite w) then Some (bad_weight w)
+      else None)
+    pts
+
+let point_reason ~dim p =
+  let d = Array.length p in
+  if d <> dim then Some (Printf.sprintf "dimension %d, expected %d" d dim)
+  else
+    let rec go j =
+      if j >= d then None
+      else if Float.is_finite p.(j) then go (j + 1)
+      else Some (bad_coord p.(j))
+    in
+    go 0
+
+let points ?dim ~field pts =
+  if Array.length pts = 0 then Ok ()
+  else
+    let dim = match dim with Some d -> d | None -> Array.length pts.(0) in
+    each ~field (fun p -> point_reason ~dim p) pts
+
+let weighted_points ?dim ?(nonneg = true) ~field pts =
+  if Array.length pts = 0 then Ok ()
+  else
+    let dim =
+      match dim with Some d -> d | None -> Array.length (fst pts.(0))
+    in
+    each ~field
+      (fun (p, w) ->
+        match point_reason ~dim p with
+        | Some r -> Some r
+        | None ->
+            if not (Float.is_finite w) then Some (bad_weight w)
+            else if nonneg && w < 0. then
+              Some (Printf.sprintf "weight must be >= 0, got %g" w)
+            else None)
+      pts
+
+let colors ?(nonneg = false) ~field ~expected cols =
+  let* () = length_matches ~field ~expected cols in
+  if not nonneg then Ok ()
+  else
+    each ~field
+      (fun c ->
+        if c >= 0 then None
+        else Some (Printf.sprintf "color must be >= 0, got %d" c))
+      cols

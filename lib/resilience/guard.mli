@@ -1,0 +1,87 @@
+(** Structured input validation shared by every public solver entry.
+
+    The solvers' hot paths assume well-formed data (finite coordinates,
+    non-negative weights, matching array lengths); a NaN smuggled into a
+    sweep silently poisons comparisons rather than failing loudly. The
+    [_checked] entry points validate against these invariants up front
+    and return a structured {!error} instead of raising, so a service
+    front-end can map bad requests to diagnostics without parsing
+    exception strings. The [_exn] wrappers (the historical signatures)
+    funnel through the same checks and raise {!Error}. *)
+
+type error =
+  | Invalid_input of {
+      field : string;  (** which argument, e.g. ["points"] or ["radius"] *)
+      index : int option;  (** offending array index, when applicable *)
+      reason : string;  (** human-readable constraint violation *)
+    }
+
+exception Error of error
+(** Raised by the [_exn] wrappers. A printer is registered, so an
+    uncaught [Error] renders as the {!to_string} form. *)
+
+val to_string : error -> string
+
+val invalid : ?index:int -> field:string -> string -> ('a, error) result
+(** [invalid ~field reason] is [Error (Invalid_input ...)]. *)
+
+val ok_exn : ('a, error) result -> 'a
+(** [ok_exn (Ok v)] is [v]; [ok_exn (Error e)] raises [Error e]. *)
+
+val ( let* ) :
+  ('a, error) result -> ('a -> ('b, error) result) -> ('b, error) result
+(** [Result.bind]: short-circuiting sequencing of checks (first failure
+    wins), used as [let* () = check1 in let* () = check2 in Ok v]. *)
+
+(** {1 Scalar checks} *)
+
+val finite : field:string -> float -> (unit, error) result
+val positive : field:string -> float -> (unit, error) result
+(** Finite and strictly positive (radii, widths, lengths). *)
+
+val non_negative : field:string -> float -> (unit, error) result
+(** Finite and [>= 0] (weights, durations). *)
+
+val in_open_range :
+  field:string -> lo:float -> hi:float -> float -> (unit, error) result
+
+(** {1 Array checks} *)
+
+val non_empty : field:string -> 'a array -> (unit, error) result
+
+val length_matches :
+  field:string -> expected:int -> 'a array -> (unit, error) result
+
+val each : field:string -> ('a -> string option) -> 'a array -> (unit, error) result
+(** [each ~field f a] fails at the first index [i] where [f a.(i)] is
+    [Some reason]. *)
+
+val finite_values : field:string -> float array -> (unit, error) result
+
+val planar_points : field:string -> (float * float) array -> (unit, error) result
+(** Both coordinates finite. *)
+
+val weighted_triples :
+  ?nonneg:bool -> field:string -> (float * float * float) array ->
+  (unit, error) result
+(** (x, y, w): coordinates finite, weight finite; with [nonneg] (default
+    [true]) also [w >= 0]. *)
+
+val pairs_1d : field:string -> (float * float) array -> (unit, error) result
+(** (x, w) records: both finite. Weights may be negative (the Section 5
+    reductions plant negative guard points). *)
+
+val points :
+  ?dim:int -> field:string -> float array array -> (unit, error) result
+(** Every coordinate finite and every point of the same dimension
+    ([dim] when given, else the first point's). *)
+
+val weighted_points :
+  ?dim:int -> ?nonneg:bool -> field:string ->
+  (float array * float) array -> (unit, error) result
+
+val colors :
+  ?nonneg:bool -> field:string -> expected:int -> int array ->
+  (unit, error) result
+(** Length matches [expected]; with [nonneg] (default [false]) every
+    color is [>= 0]. *)

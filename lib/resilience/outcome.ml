@@ -1,0 +1,21 @@
+type 'a t = Complete of 'a | Degraded of 'a | Partial of 'a
+
+let value = function Complete v | Degraded v | Partial v -> v
+
+let map f = function
+  | Complete v -> Complete (f v)
+  | Degraded v -> Degraded (f v)
+  | Partial v -> Partial (f v)
+
+let is_complete = function Complete _ -> true | Degraded _ | Partial _ -> false
+
+let rank = function Partial _ -> 0 | Degraded _ -> 1 | Complete _ -> 2
+
+let worst a b =
+  let v = value b in
+  if rank a <= rank b then map (fun _ -> v) a else b
+
+let label = function
+  | Complete _ -> "complete"
+  | Degraded _ -> "degraded"
+  | Partial _ -> "partial"

@@ -1,0 +1,23 @@
+(** Degradation status attached to solver answers under a {!Budget}.
+
+    - [Complete v]: the full computation ran; [v] is the exact (or
+      nominal-approximation-ratio) answer.
+    - [Degraded v]: the deadline expired and the solver fell back to a
+      cheaper algorithm (e.g. the Theorem-1.6 approximation in place of
+      the exact output-sensitive solve); [v] is that algorithm's answer.
+    - [Partial v]: the deadline expired mid-run and [v] is the best
+      candidate found so far, re-verified to be achievable, but with no
+      approximation guarantee. *)
+
+type 'a t = Complete of 'a | Degraded of 'a | Partial of 'a
+
+val value : 'a t -> 'a
+val map : ('a -> 'b) -> 'a t -> 'b t
+val is_complete : 'a t -> bool
+
+val worst : 'a t -> 'b t -> 'b t
+(** [worst a b] is [b]'s value tagged with the weaker of the two
+    statuses ([Partial] < [Degraded] < [Complete]). *)
+
+val label : 'a t -> string
+(** ["complete"], ["degraded"] or ["partial"]. *)

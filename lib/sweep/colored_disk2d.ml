@@ -1,6 +1,9 @@
 module Circle = Maxrs_geom.Circle
 module Angle = Maxrs_geom.Angle
 module Parallel = Maxrs_parallel.Parallel
+module Guard = Maxrs_resilience.Guard
+module Budget = Maxrs_resilience.Budget
+module Outcome = Maxrs_resilience.Outcome
 
 type result = { x : float; y : float; value : int }
 
@@ -71,24 +74,65 @@ let sweep_circle ~radius centers ~colors i =
     evts;
   (!best_angle, !best)
 
-let max_colored ?domains ~radius centers ~colors =
-  assert (radius > 0.);
+let solve ?domains ~budget ~radius centers ~colors =
   let n = Array.length centers in
-  assert (n > 0 && Array.length colors = n);
   (* Independent per-circle sweeps, reduced in index order (strict >,
      first index wins) — bit-identical for any domain count. Small
-     inputs run inline: same result, no domain-spawn overhead. *)
+     inputs run inline: same result, no domain-spawn overhead. Under a
+     budget, sweeps not yet started at expiry are skipped. *)
   let domains = if n < 32 then 1 else Parallel.resolve domains in
-  let _, bi, angle, v =
+  let skipped = Atomic.make 0 in
+  let _, bi, angle, _v =
     Parallel.with_pool ~domains (fun pool ->
         Parallel.map_reduce pool ~n
-          ~map:(fun i -> sweep_circle ~radius centers ~colors i)
-          ~reduce:(fun (i, bi, bangle, bv) (angle, v) ->
-            if v > bv then (i + 1, i, angle, v)
-            else (i + 1, bi, bangle, bv))
-          (0, 0, 0., min_int))
+          ~map:(fun i ->
+            if Budget.expired budget then begin
+              Atomic.incr skipped;
+              None
+            end
+            else Some (sweep_circle ~radius centers ~colors i))
+          ~reduce:(fun (i, bi, bangle, bv) r ->
+            match r with
+            | None -> (i + 1, bi, bangle, bv)
+            | Some (angle, v) ->
+                if v > bv then (i + 1, i, angle, v)
+                else (i + 1, bi, bangle, bv))
+          (0, -1, 0., min_int))
   in
-  let xi, yi = centers.(bi) in
-  let c = Circle.make ~cx:xi ~cy:yi ~r:radius in
-  let x, y = Circle.point_at c angle in
-  { x; y; value = v }
+  let result =
+    if bi < 0 then
+      (* Every sweep was skipped: return a trivially achievable
+         candidate, the colored depth at the first center. *)
+      let x, y = centers.(0) in
+      { x; y; value = colored_depth_at ~radius centers ~colors x y }
+    else begin
+      let xi, yi = centers.(bi) in
+      let c = Circle.make ~cx:xi ~cy:yi ~r:radius in
+      let x, y = Circle.point_at c angle in
+      (* Re-evaluate at the witness (cf. Output_sensitive): on
+         ill-conditioned inputs the angular count can exceed what any
+         concrete point achieves, and the reported value must be
+         achievable at (x, y). Equal to the sweep count whenever the
+         witness is representable. *)
+      { x; y; value = colored_depth_at ~radius centers ~colors x y }
+    end
+  in
+  if Atomic.get skipped = 0 then Outcome.Complete result
+  else Outcome.Partial result
+
+let max_colored_checked ?domains ?(budget = Budget.unlimited) ~radius centers
+    ~colors =
+  let cols = colors in
+  (* rebound: [open Guard] below shadows [colors] *)
+  let open Guard in
+  let* () = positive ~field:"radius" radius in
+  let* () = non_empty ~field:"centers" centers in
+  let* () = planar_points ~field:"centers" centers in
+  let* () =
+    length_matches ~field:"colors" ~expected:(Array.length centers) cols
+  in
+  Ok (solve ?domains ~budget ~radius centers ~colors:cols)
+
+let max_colored ?domains ~radius centers ~colors =
+  Outcome.value
+    (Guard.ok_exn (max_colored_checked ?domains ~radius centers ~colors))

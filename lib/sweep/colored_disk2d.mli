@@ -10,7 +10,9 @@
 type result = {
   x : float;
   y : float;
-  value : int;  (** maximum colored depth *)
+  value : int;
+      (** maximum colored depth, re-evaluated at (x, y) against the
+          full input — always achievable at the returned point *)
 }
 
 val max_colored :
@@ -22,7 +24,23 @@ val max_colored :
 (** [max_colored ~radius centers ~colors] (arrays of equal nonzero
     length). Colors are arbitrary ints. The per-circle sweeps run
     concurrently on [domains] domains (default [MAXRS_DOMAINS], else 1)
-    and merge in index order — bit-identical for any domain count. *)
+    and merge in index order — bit-identical for any domain count.
+
+    Raises {!Maxrs_resilience.Guard.Error} on malformed input
+    (non-positive/non-finite radius, empty centers, non-finite
+    coordinates, color-array length mismatch). *)
+
+val max_colored_checked :
+  ?domains:int ->
+  ?budget:Maxrs_resilience.Budget.t ->
+  radius:float ->
+  (float * float) array ->
+  colors:int array ->
+  (result Maxrs_resilience.Outcome.t, Maxrs_resilience.Guard.error)
+  Stdlib.result
+(** Validated entry. Under a [budget], sweeps not started at expiry are
+    skipped and the answer is [Partial] (achievable at the returned
+    point, not necessarily maximal); otherwise [Complete]. *)
 
 val colored_depth_at :
   radius:float -> (float * float) array -> colors:int array -> float -> float -> int

@@ -1,6 +1,9 @@
 module Circle = Maxrs_geom.Circle
 module Angle = Maxrs_geom.Angle
 module Parallel = Maxrs_parallel.Parallel
+module Guard = Maxrs_resilience.Guard
+module Budget = Maxrs_resilience.Budget
+module Outcome = Maxrs_resilience.Outcome
 
 type result = { x : float; y : float; value : float }
 
@@ -52,25 +55,59 @@ let sweep_circle ~radius pts i =
     evts;
   (!best_angle, !best)
 
-let max_weight ?domains ~radius pts =
-  assert (radius > 0.);
+let solve ?domains ~budget ~radius pts =
   let n = Array.length pts in
-  assert (n > 0);
-  Array.iter (fun (_, _, w) -> assert (w >= 0.)) pts;
   (* The n circle sweeps are independent; run them on the domain pool
      and keep the sequential argmax semantics (strict >, first index
-     wins) by reducing in index order. *)
+     wins) by reducing in index order. Under a budget, circles whose
+     sweep has not started when the deadline passes are skipped (the
+     sweep itself is O(n log n), a bounded overshoot). *)
   let domains = if n < 32 then 1 else Parallel.resolve domains in
-  let _, bi, angle, v =
+  let skipped = Atomic.make 0 in
+  let _, bi, angle, _v =
     Parallel.with_pool ~domains (fun pool ->
         Parallel.map_reduce pool ~n
-          ~map:(fun i -> sweep_circle ~radius pts i)
-          ~reduce:(fun (i, bi, bangle, bv) (angle, v) ->
-            if v > bv then (i + 1, i, angle, v)
-            else (i + 1, bi, bangle, bv))
-          (0, 0, 0., Float.neg_infinity))
+          ~map:(fun i ->
+            if Budget.expired budget then begin
+              Atomic.incr skipped;
+              None
+            end
+            else Some (sweep_circle ~radius pts i))
+          ~reduce:(fun (i, bi, bangle, bv) r ->
+            match r with
+            | None -> (i + 1, bi, bangle, bv)
+            | Some (angle, v) ->
+                if v > bv then (i + 1, i, angle, v)
+                else (i + 1, bi, bangle, bv))
+          (0, -1, 0., Float.neg_infinity))
   in
-  let xi, yi, _ = pts.(bi) in
-  let c = Circle.make ~cx:xi ~cy:yi ~r:radius in
-  let x, y = Circle.point_at c angle in
-  { x; y; value = v }
+  let result =
+    if bi < 0 then
+      (* Every sweep was skipped: return a trivially achievable
+         candidate, the depth at the first input point. *)
+      let x, y, _ = pts.(0) in
+      { x; y; value = depth_at ~radius pts x y }
+    else begin
+      let xi, yi, _ = pts.(bi) in
+      let c = Circle.make ~cx:xi ~cy:yi ~r:radius in
+      let x, y = Circle.point_at c angle in
+      (* Re-evaluate at the witness (cf. Output_sensitive): on
+         ill-conditioned inputs the angular count can exceed what any
+         concrete point achieves, and the reported value must be
+         achievable at (x, y). Equal to the sweep count whenever the
+         witness is representable. *)
+      { x; y; value = depth_at ~radius pts x y }
+    end
+  in
+  if Atomic.get skipped = 0 then Outcome.Complete result
+  else Outcome.Partial result
+
+let max_weight_checked ?domains ?(budget = Budget.unlimited) ~radius pts =
+  let open Guard in
+  let* () = positive ~field:"radius" radius in
+  let* () = non_empty ~field:"points" pts in
+  let* () = weighted_triples ~field:"points" pts in
+  Ok (solve ?domains ~budget ~radius pts)
+
+let max_weight ?domains ~radius pts =
+  Outcome.value (Guard.ok_exn (max_weight_checked ?domains ~radius pts))

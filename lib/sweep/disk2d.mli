@@ -18,7 +18,9 @@
 type result = {
   x : float;
   y : float;
-  value : float;  (** maximum weighted depth *)
+  value : float;
+      (** maximum weighted depth, re-evaluated at (x, y) against the
+          full input — always achievable at the returned point *)
 }
 
 val max_weight :
@@ -29,7 +31,24 @@ val max_weight :
     optimal center placement for the primal MaxRS query. The n
     per-circle sweeps run concurrently on [domains] domains (default
     [MAXRS_DOMAINS], else 1) and are merged in index order, so the
-    result is bit-identical for any domain count. *)
+    result is bit-identical for any domain count.
+
+    Raises {!Maxrs_resilience.Guard.Error} on malformed input
+    (non-positive/non-finite radius, empty input, non-finite
+    coordinates, negative or non-finite weights). *)
+
+val max_weight_checked :
+  ?domains:int ->
+  ?budget:Maxrs_resilience.Budget.t ->
+  radius:float ->
+  (float * float * float) array ->
+  (result Maxrs_resilience.Outcome.t, Maxrs_resilience.Guard.error)
+  Stdlib.result
+(** Validated entry. Under a [budget], circles whose sweep has not
+    started at expiry are skipped and the answer is [Partial]: still an
+    achievable depth (it is realised at the returned point), but not
+    necessarily the maximum. Without skips the answer is [Complete] and
+    equals {!max_weight}. *)
 
 val depth_at : radius:float -> (float * float * float) array -> float -> float -> float
 (** Weighted depth of a query point: total weight of disks containing it. *)

@@ -1,4 +1,5 @@
 module Parallel = Maxrs_parallel.Parallel
+module Guard = Maxrs_resilience.Guard
 
 type placement = { lo : float; value : float }
 
@@ -108,6 +109,12 @@ let max_sum_brute ~len pts =
       candidates
   end
 
+let max_sum_checked ~len pts =
+  let open Guard in
+  let* () = non_negative ~field:"len" len in
+  let* () = pairs_1d ~field:"points" pts in
+  Ok (max_sum ~len pts)
+
 let batched ?domains ~lens pts =
   let b = preprocess pts in
   let m = Array.length lens in
@@ -121,3 +128,15 @@ let batched ?domains ~lens pts =
        structure; slot i always holds query i's answer. *)
     Parallel.with_pool ~domains (fun pool ->
         Parallel.map pool ~n:m (fun i -> query b ~len:lens.(i)))
+
+let batched_checked ?domains ~lens pts =
+  let open Guard in
+  let* () =
+    each ~field:"lens"
+      (fun l ->
+        if Float.is_finite l && l >= 0. then None
+        else Some (Printf.sprintf "length must be finite and >= 0, got %g" l))
+      lens
+  in
+  let* () = pairs_1d ~field:"points" pts in
+  Ok (batched ?domains ~lens pts)

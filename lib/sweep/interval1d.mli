@@ -43,3 +43,22 @@ val batched :
     queries are independent; [domains] (default [MAXRS_DOMAINS], else 1)
     answers them concurrently on a domain pool with bit-identical output
     for any domain count. *)
+
+(** {1 Validated entries}
+
+    Same computations, but non-finite coordinates, weights or lengths
+    (and negative lengths) are rejected up front with a structured
+    error. Negative {e weights} remain legal — the Section 5 reductions
+    plant negative guard points. Empty inputs are legal here (the empty
+    placement has value 0). *)
+
+val max_sum_checked :
+  len:float ->
+  (float * float) array ->
+  (placement, Maxrs_resilience.Guard.error) result
+
+val batched_checked :
+  ?domains:int ->
+  lens:float array ->
+  (float * float) array ->
+  (placement array, Maxrs_resilience.Guard.error) result

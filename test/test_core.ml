@@ -16,6 +16,7 @@ module Approx_colored = Maxrs.Approx_colored
 module Workload = Maxrs.Workload
 module Disk2d = Maxrs_sweep.Disk2d
 module Colored_disk2d = Maxrs_sweep.Colored_disk2d
+module Guard = Maxrs_resilience.Guard
 
 (* Faithful-shift config at eps = 1/4, small samples: used by most tests. *)
 let test_cfg = Config.make ~epsilon:0.25 ~seed:7 ()
@@ -287,9 +288,15 @@ let test_static_empty_and_single () =
   Alcotest.(check (float 1e-9)) "single point" 3. r.Static.value
 
 let test_static_rejects_negative_weight () =
-  Alcotest.check_raises "negative weight"
-    (Invalid_argument "Static.solve: weights must be >= 0") (fun () ->
-      ignore (Static.solve ~cfg:test_cfg ~dim:2 [| ([| 0.; 0. |], -1.) |]))
+  (match Static.solve ~cfg:test_cfg ~dim:2 [| ([| 0.; 0. |], -1.) |] with
+  | _ -> Alcotest.fail "negative weight accepted"
+  | exception
+      Guard.Error (Guard.Invalid_input { field = "points"; index = Some 0; _ })
+    -> ());
+  match Static.solve_checked ~cfg:test_cfg ~dim:2 [| ([| 0.; 0. |], -1.) |] with
+  | Error (Guard.Invalid_input { field = "points"; index = Some 0; _ }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Guard.to_string e)
+  | Ok _ -> Alcotest.fail "negative weight accepted (checked)"
 
 (* ------------------------------------------------------------------ *)
 (* Colored MaxRS (Theorem 1.5) *)
@@ -331,10 +338,13 @@ let test_colored_ratio_vs_exact () =
   done
 
 let test_colored_rejects_negative_color () =
-  Alcotest.check_raises "negative color"
-    (Invalid_argument "Colored.solve: colors must be >= 0") (fun () ->
-      ignore
-        (Colored.solve ~cfg:test_cfg ~dim:2 [| [| 0.; 0. |] |] ~colors:[| -1 |]))
+  match
+    Colored.solve ~cfg:test_cfg ~dim:2 [| [| 0.; 0. |] |] ~colors:[| -1 |]
+  with
+  | _ -> Alcotest.fail "negative color accepted"
+  | exception
+      Guard.Error (Guard.Invalid_input { field = "colors"; index = Some 0; _ })
+    -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Output-sensitive exact (Theorem 4.6) *)

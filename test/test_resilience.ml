@@ -1,0 +1,526 @@
+(* Tests for the resilience layer: Guard validation at every public
+   solver entry, Budget deadlines with graceful degradation, and the
+   fault-tolerant domain pool (poisoned runs must recover and stay
+   bit-identical to the sequential path). *)
+
+module Rng = Maxrs_geom.Rng
+module Parallel = Maxrs_parallel.Parallel
+module Guard = Maxrs_resilience.Guard
+module Budget = Maxrs_resilience.Budget
+module Outcome = Maxrs_resilience.Outcome
+module Disk2d = Maxrs_sweep.Disk2d
+module Colored_disk2d = Maxrs_sweep.Colored_disk2d
+module Interval1d = Maxrs_sweep.Interval1d
+module Bsei = Maxrs_conv.Bsei
+module Config = Maxrs.Config
+module Static = Maxrs.Static
+module Colored = Maxrs.Colored
+module Dynamic = Maxrs.Dynamic
+module Output_sensitive = Maxrs.Output_sensitive
+module Approx_colored = Maxrs.Approx_colored
+module Approx_colored_rect = Maxrs.Approx_colored_rect
+module Points_io = Maxrs.Points_io
+module Trace = Maxrs.Trace
+module Verify = Maxrs.Verify
+module Resilient = Maxrs.Resilient
+module Workload = Maxrs.Workload
+
+let test_cfg = Config.make ~epsilon:0.25 ~seed:7 ()
+
+let expect_field field = function
+  | Error (Guard.Invalid_input { field = f; _ }) when f = field -> ()
+  | Error e ->
+      Alcotest.failf "expected error on %S, got %s" field (Guard.to_string e)
+  | Ok _ -> Alcotest.failf "expected error on %S, got Ok" field
+
+(* ------------------------------------------------------------------ *)
+(* Guard: structured validation at every public entry *)
+
+let test_guard_static () =
+  expect_field "radius"
+    (Static.solve_checked ~cfg:test_cfg ~radius:0. ~dim:2 [| ([| 0.; 0. |], 1.) |]);
+  expect_field "points"
+    (Static.solve_checked ~cfg:test_cfg ~dim:2 [| ([| Float.nan; 0. |], 1.) |]);
+  expect_field "points"
+    (Static.solve_checked ~cfg:test_cfg ~dim:2 [| ([| 0. |], 1.) |]);
+  expect_field "points"
+    (Static.solve_checked ~cfg:test_cfg ~dim:2 [| ([| 0.; 0. |], Float.nan) |]);
+  expect_field "dim" (Static.solve_checked ~cfg:test_cfg ~dim:0 [||])
+
+let test_guard_colored () =
+  expect_field "colors"
+    (Colored.solve_checked ~cfg:test_cfg ~dim:2 [| [| 0.; 0. |] |] ~colors:[||]);
+  expect_field "colors"
+    (Colored.solve_checked ~cfg:test_cfg ~dim:2 [| [| 0.; 0. |] |]
+       ~colors:[| -3 |]);
+  expect_field "points"
+    (Colored.solve_checked ~cfg:test_cfg ~dim:2
+       [| [| Float.infinity; 0. |] |]
+       ~colors:[| 1 |])
+
+let test_guard_dynamic () =
+  let d = Dynamic.create ~cfg:test_cfg ~dim:2 () in
+  expect_field "point" (Dynamic.insert_checked d [| Float.nan; 0. |]);
+  expect_field "point" (Dynamic.insert_checked d [| 0. |]);
+  expect_field "weight" (Dynamic.insert_checked d ~weight:(-2.) [| 0.; 0. |]);
+  Alcotest.(check int) "failed inserts leave structure empty" 0
+    (Dynamic.size d);
+  (match Dynamic.insert_checked d [| 0.; 0. |] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "valid insert rejected: %s" (Guard.to_string e));
+  Alcotest.(check int) "valid insert lands" 1 (Dynamic.size d)
+
+let test_guard_output_sensitive () =
+  expect_field "centers" (Output_sensitive.solve_checked [||] ~colors:[||]);
+  expect_field "centers"
+    (Output_sensitive.solve_checked [| (Float.nan, 0.) |] ~colors:[| 0 |]);
+  expect_field "colors"
+    (Output_sensitive.solve_checked [| (0., 0.) |] ~colors:[||]);
+  expect_field "radius"
+    (Output_sensitive.solve_checked ~radius:(-1.) [| (0., 0.) |] ~colors:[| 0 |])
+
+let test_guard_approx_colored () =
+  expect_field "epsilon"
+    (Approx_colored.solve_checked ~epsilon:0. [| (0., 0.) |] ~colors:[| 0 |]);
+  expect_field "colors"
+    (Approx_colored.solve_checked [| (0., 0.) |] ~colors:[| -1 |]);
+  expect_field "centers" (Approx_colored.solve_checked [||] ~colors:[||])
+
+let test_guard_approx_colored_rect () =
+  expect_field "width"
+    (Approx_colored_rect.solve_checked ~width:(-1.) [| (0., 0.) |]
+       ~colors:[| 0 |]);
+  expect_field "epsilon"
+    (Approx_colored_rect.solve_checked ~epsilon:1. [| (0., 0.) |]
+       ~colors:[| 0 |]);
+  expect_field "centers"
+    (Approx_colored_rect.solve_checked [| (Float.nan, 1.) |] ~colors:[| 0 |])
+
+let test_guard_sweeps () =
+  expect_field "points" (Disk2d.max_weight_checked ~radius:1. [||]);
+  expect_field "points"
+    (Disk2d.max_weight_checked ~radius:1. [| (0., 0., -1.) |]);
+  expect_field "points"
+    (Disk2d.max_weight_checked ~radius:1. [| (0., Float.nan, 1.) |]);
+  expect_field "radius"
+    (Disk2d.max_weight_checked ~radius:Float.nan [| (0., 0., 1.) |]);
+  expect_field "colors"
+    (Colored_disk2d.max_colored_checked ~radius:1. [| (0., 0.) |] ~colors:[||]);
+  expect_field "centers"
+    (Colored_disk2d.max_colored_checked ~radius:1.
+       [| (Float.infinity, 0.) |]
+       ~colors:[| 1 |])
+
+let test_guard_interval_and_bsei () =
+  expect_field "points"
+    (Interval1d.max_sum_checked ~len:1. [| (Float.nan, 1.) |]);
+  expect_field "len" (Interval1d.max_sum_checked ~len:(-1.) [| (0., 1.) |]);
+  (* negative weights are legal guard points *)
+  (match Interval1d.max_sum_checked ~len:1. [| (0., -5.); (0.5, 3.) |] with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "negative weight wrongly rejected: %s" (Guard.to_string e));
+  expect_field "lens"
+    (Interval1d.batched_checked ~lens:[| Float.infinity |] [| (0., 1.) |]);
+  expect_field "k" (Bsei.smallest_checked [| 1.; 2. |] ~k:0);
+  expect_field "k" (Bsei.smallest_checked [| 1.; 2. |] ~k:3);
+  expect_field "points" (Bsei.smallest_checked [||] ~k:1);
+  expect_field "points" (Bsei.batched_checked [| Float.nan |])
+
+(* ------------------------------------------------------------------ *)
+(* Points_io / Trace: line numbers, CRLF, non-finite rejection *)
+
+let write_tmp content =
+  let path = Filename.temp_file "maxrs_test" ".csv" in
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc;
+  path
+
+let expect_parse_error_line load path lineno =
+  match load path with
+  | _ -> Alcotest.fail "malformed file accepted"
+  | exception Points_io.Parse_error msg ->
+      let prefix = Printf.sprintf "line %d:" lineno in
+      if not (String.length msg >= String.length prefix
+              && String.sub msg 0 (String.length prefix) = prefix)
+      then Alcotest.failf "expected %S prefix, got %S" prefix msg
+
+let test_points_io_line_numbers () =
+  let path =
+    write_tmp "# header\r\n1,2,0.5\r\n\r\n1,nosuch,1\n"
+  in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      expect_parse_error_line (fun p -> Points_io.load_weighted p) path 4)
+
+let test_points_io_rejects_nonfinite () =
+  let path = write_tmp "1,2,0.5\n1,inf,1\n" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      expect_parse_error_line (fun p -> Points_io.load_weighted p) path 2)
+
+let test_points_io_crlf_ok () =
+  let path = write_tmp "# c\r\n1,2,0.5\r\n3,4,1.5 \r\n" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let pts = Points_io.load_weighted path in
+      Alcotest.(check int) "both records parsed" 2 (Array.length pts);
+      Alcotest.(check (float 1e-9)) "weight" 1.5 (snd pts.(1)))
+
+let test_trace_line_numbers () =
+  let path = write_tmp "+ 1,2\r\n# note\n+ 3,nan\n" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match Trace.load path with
+      | _ -> Alcotest.fail "non-finite coordinate accepted"
+      | exception Trace.Parse_error msg ->
+          if not (String.length msg >= 7 && String.sub msg 0 7 = "line 3:")
+          then Alcotest.failf "expected line 3 prefix, got %S" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Budget *)
+
+let test_budget_basics () =
+  Alcotest.(check bool) "unlimited never expires" false
+    (Budget.expired Budget.unlimited);
+  Alcotest.(check bool) "nan deadline = unlimited" true
+    (Budget.is_unlimited (Budget.at Float.nan));
+  let b = Budget.of_seconds (-1.) in
+  Alcotest.(check bool) "negative budget starts expired" true
+    (Budget.expired b);
+  Alcotest.(check bool) "expiry latches" true (Budget.expired b);
+  let far = Budget.of_seconds 3600. in
+  Alcotest.(check bool) "distant deadline not expired" false
+    (Budget.expired far);
+  (match Budget.check far with
+  | () -> ()
+  | exception Budget.Expired -> Alcotest.fail "check raised early");
+  match Budget.check b with
+  | () -> Alcotest.fail "check did not raise"
+  | exception Budget.Expired -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines: degradation keeps answers achievable *)
+
+let colored_instance n =
+  let rng = Rng.create 101 in
+  let centers =
+    Array.init n (fun _ ->
+        (Rng.uniform rng 0. 10., Rng.uniform rng 0. 10.))
+  in
+  let colors = Array.init n (fun i -> i mod 7) in
+  (centers, colors)
+
+let test_expired_budget_partial_but_sound () =
+  let centers, colors = colored_instance 120 in
+  let b = Budget.of_seconds (-1.) in
+  match Output_sensitive.solve_checked ~budget:b centers ~colors with
+  | Error e -> Alcotest.failf "valid input rejected: %s" (Guard.to_string e)
+  | Ok (Outcome.Complete _) -> Alcotest.fail "expired budget ran to completion"
+  | Ok (Outcome.Degraded r) | Ok (Outcome.Partial r) ->
+      let pts = Array.map (fun (x, y) -> [| x; y |]) centers in
+      Alcotest.(check bool) "partial answer achievable" true
+        (Verify.check_colored_achieved pts ~colors
+           [| r.Output_sensitive.x; r.Output_sensitive.y |]
+           r.Output_sensitive.depth)
+
+let test_expired_budget_disk_sound () =
+  let rng = Rng.create 55 in
+  let pts =
+    Array.init 100 (fun _ ->
+        (Rng.uniform rng 0. 8., Rng.uniform rng 0. 8., Rng.uniform rng 0. 2.))
+  in
+  let b = Budget.of_seconds (-1.) in
+  match Disk2d.max_weight_checked ~budget:b ~radius:1. pts with
+  | Error e -> Alcotest.failf "valid input rejected: %s" (Guard.to_string e)
+  | Ok (Outcome.Complete _) -> Alcotest.fail "expired budget ran to completion"
+  | Ok (Outcome.Degraded r) | Ok (Outcome.Partial r) ->
+      let d = Disk2d.depth_at ~radius:1. pts r.Disk2d.x r.Disk2d.y in
+      Alcotest.(check bool) "partial value achievable" true
+        (d >= r.Disk2d.value -. 1e-9)
+
+let test_resilient_degrades_to_approx () =
+  let centers, colors = colored_instance 150 in
+  match Resilient.exact_colored ~deadline:(-1.) centers ~colors with
+  | Error e -> Alcotest.failf "valid input rejected: %s" (Guard.to_string e)
+  | Ok (Outcome.Complete _) -> Alcotest.fail "expired deadline completed"
+  | Ok (Outcome.Degraded r) ->
+      Alcotest.(check bool) "fallback answer verified" true
+        r.Resilient.verified;
+      Alcotest.(check bool) "fallback source" true
+        (r.Resilient.source = Resilient.Approx_fallback);
+      Alcotest.(check bool) "fallback found something" true
+        (r.Resilient.depth >= 1)
+  | Ok (Outcome.Partial _) ->
+      Alcotest.fail "approx fallback should be available here"
+
+let test_resilient_complete_within_deadline () =
+  let centers, colors = colored_instance 80 in
+  let exact = Output_sensitive.solve centers ~colors in
+  match Resilient.exact_colored ~deadline:3600. centers ~colors with
+  | Ok (Outcome.Complete r) ->
+      Alcotest.(check bool) "source exact" true
+        (r.Resilient.source = Resilient.Exact);
+      Alcotest.(check int) "matches unbudgeted exact depth"
+        exact.Output_sensitive.depth r.Resilient.depth;
+      Alcotest.(check bool) "verified" true r.Resilient.verified
+  | Ok _ -> Alcotest.fail "generous deadline degraded"
+  | Error e -> Alcotest.failf "valid input rejected: %s" (Guard.to_string e)
+
+let test_resilient_weighted_degrades () =
+  let rng = Rng.create 77 in
+  let pts =
+    Array.init 150 (fun _ ->
+        (Rng.uniform rng 0. 10., Rng.uniform rng 0. 10., Rng.uniform rng 0. 3.))
+  in
+  match
+    Resilient.exact_weighted ~cfg:test_cfg ~deadline:(-1.) ~radius:1. pts
+  with
+  | Error e -> Alcotest.failf "valid input rejected: %s" (Guard.to_string e)
+  | Ok (Outcome.Complete _) -> Alcotest.fail "expired deadline completed"
+  | Ok (Outcome.Degraded r) | Ok (Outcome.Partial r) ->
+      Alcotest.(check bool) "degraded weighted answer verified" true
+        r.Resilient.wverified
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection: poisoned pool runs recover, bit-identically *)
+
+let with_faults cfg f =
+  let saved = Parallel.Faults.current () in
+  Parallel.Faults.configure cfg;
+  Fun.protect
+    ~finally:(fun () ->
+      match saved with
+      | Some c -> Parallel.Faults.configure c
+      | None -> Parallel.Faults.disable ())
+    f
+
+let test_poisoned_pool_bit_identical () =
+  let rng = Rng.create 91 in
+  let pts =
+    Array.init 200 (fun _ ->
+        (Rng.uniform rng 0. 15., Rng.uniform rng 0. 15., Rng.uniform rng 0. 3.))
+  in
+  let clean = Disk2d.max_weight ~domains:1 ~radius:1. pts in
+  with_faults { Parallel.Faults.seed = 9; rate = 0.6 } (fun () ->
+      Parallel.Faults.reset_counters ();
+      List.iter
+        (fun d ->
+          let r = Disk2d.max_weight ~domains:d ~radius:1. pts in
+          Alcotest.(check bool)
+            (Printf.sprintf "poisoned domains=%d = clean sequential" d)
+            true (r = clean))
+        [ 2; 4 ];
+      Alcotest.(check bool) "faults actually fired" true
+        (Parallel.Faults.injected_count () > 0))
+
+let test_poisoned_static_bit_identical () =
+  let rng = Rng.create 13 in
+  let pts =
+    Array.init 120 (fun _ ->
+        ( [| Rng.uniform rng 0. 12.; Rng.uniform rng 0. 12. |],
+          Rng.uniform rng 0. 2. ))
+  in
+  let solve d =
+    Static.solve
+      ~cfg:(Config.make ~epsilon:0.3 ~max_grid_shifts:(Some 4) ~seed:3
+              ~domains:(Some d) ())
+      ~dim:2 pts
+  in
+  let clean = solve 1 in
+  with_faults { Parallel.Faults.seed = 4; rate = 0.5 } (fun () ->
+      Alcotest.(check bool) "poisoned 4-domain Static = sequential" true
+        (solve 4 = clean))
+
+let test_double_fault_recovers_sequentially () =
+  (* rate 1.0: every chunk faults on both attempts, so the whole job is
+     re-executed sequentially on the caller — and still succeeds. *)
+  with_faults { Parallel.Faults.seed = 1; rate = 1.0 } (fun () ->
+      Parallel.Faults.reset_counters ();
+      Parallel.with_pool ~domains:4 (fun pool ->
+          let out = Array.make 100 0 in
+          Parallel.parallel_for pool ~n:100 (fun i -> out.(i) <- i + 1);
+          Array.iteri
+            (fun i v ->
+              if v <> i + 1 then Alcotest.failf "slot %d: %d" i v)
+            out);
+      Alcotest.(check bool) "chunks recovered on caller" true
+        (Parallel.Faults.recovered_count () > 0))
+
+exception Boom
+
+let test_genuine_exception_still_propagates () =
+  with_faults { Parallel.Faults.seed = 2; rate = 0.4 } (fun () ->
+      Parallel.with_pool ~domains:4 (fun pool ->
+          match
+            Parallel.parallel_for pool ~n:64 (fun i ->
+                if i = 33 then raise Boom)
+          with
+          | () -> Alcotest.fail "exception swallowed"
+          | exception Boom -> ()
+          | exception Parallel.Injected_fault ->
+              Alcotest.fail "injected fault escaped"))
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial qcheck: structured error or sound answer *)
+
+let adv_float =
+  QCheck.Gen.oneofl
+    [ Float.nan; Float.infinity; Float.neg_infinity; 0.; 1.; 1.; 2.5;
+      -3.; 1e9; 1e-9; 0.5 ]
+
+let adv_triples =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";"
+        (List.map (fun (x, y, w) -> Printf.sprintf "(%g,%g,%g)" x y w) l))
+    QCheck.Gen.(list_size (0 -- 12) (triple adv_float adv_float adv_float))
+
+let prop_disk_adversarial =
+  QCheck.Test.make ~count:200 ~name:"Disk2d: structured error or sound answer"
+    adv_triples (fun l ->
+      let pts = Array.of_list l in
+      match Disk2d.max_weight_checked ~radius:1. pts with
+      | Error _ -> true
+      | Ok o ->
+          let r = Outcome.value o in
+          Disk2d.depth_at ~radius:1. pts r.Disk2d.x r.Disk2d.y
+          >= r.Disk2d.value -. 1e-9)
+
+let prop_static_adversarial =
+  QCheck.Test.make ~count:100
+    ~name:"Static: structured error or sound answer" adv_triples (fun l ->
+      let pts = Array.of_list (List.map (fun (x, y, w) -> ([| x; y |], w)) l) in
+      match Static.solve_checked ~cfg:test_cfg ~dim:2 pts with
+      | Error _ -> true
+      | Ok None -> true
+      | Ok (Some r) ->
+          Verify.check_achieved ~slack:1e-6 pts r.Static.center r.Static.value)
+
+let prop_colored_disk_adversarial =
+  QCheck.Test.make ~count:150
+    ~name:"Colored_disk2d: structured error or sound answer" adv_triples
+    (fun l ->
+      let centers = Array.of_list (List.map (fun (x, y, _) -> (x, y)) l) in
+      let colors = Array.of_list (List.mapi (fun i _ -> i mod 3) l) in
+      match Colored_disk2d.max_colored_checked ~radius:1. centers ~colors with
+      | Error _ -> true
+      | Ok o ->
+          let r = Outcome.value o in
+          Colored_disk2d.colored_depth_at ~radius:1. centers ~colors
+            r.Colored_disk2d.x r.Colored_disk2d.y
+          >= r.Colored_disk2d.value)
+
+let prop_output_sensitive_adversarial =
+  QCheck.Test.make ~count:60
+    ~name:"Output_sensitive: structured error or sound answer" adv_triples
+    (fun l ->
+      let centers = Array.of_list (List.map (fun (x, y, _) -> (x, y)) l) in
+      let colors = Array.of_list (List.mapi (fun i _ -> i mod 4) l) in
+      match Output_sensitive.solve_checked centers ~colors with
+      | Error _ -> true
+      | Ok o ->
+          let r = Outcome.value o in
+          let pts = Array.map (fun (x, y) -> [| x; y |]) centers in
+          Verify.check_colored_achieved pts ~colors
+            [| r.Output_sensitive.x; r.Output_sensitive.y |]
+            r.Output_sensitive.depth)
+
+let prop_interval_adversarial =
+  QCheck.Test.make ~count:200
+    ~name:"Interval1d: structured error or sound answer"
+    QCheck.(
+      make
+        ~print:(fun l ->
+          String.concat ";"
+            (List.map (fun (x, w) -> Printf.sprintf "(%g,%g)" x w) l))
+        Gen.(list_size (0 -- 12) (pair adv_float adv_float)))
+    (fun l ->
+      let pts = Array.of_list l in
+      match Interval1d.max_sum_checked ~len:1. pts with
+      | Error _ -> true
+      | Ok p ->
+          (* the sweep's own coverage criterion: x is covered by the
+             placement iff lo lies in [x - len, x] *)
+          let covered =
+            Array.fold_left
+              (fun acc (x, w) ->
+                if x -. 1. <= p.Interval1d.lo && p.Interval1d.lo <= x then
+                  acc +. w
+                else acc)
+              0. pts
+          in
+          Float.abs (covered -. p.Interval1d.value) <= 1e-6
+          || p.Interval1d.value = 0.)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_disk_adversarial;
+      prop_static_adversarial;
+      prop_colored_disk_adversarial;
+      prop_output_sensitive_adversarial;
+      prop_interval_adversarial;
+    ]
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "guard",
+        [
+          Alcotest.test_case "Static entries" `Quick test_guard_static;
+          Alcotest.test_case "Colored entries" `Quick test_guard_colored;
+          Alcotest.test_case "Dynamic.insert" `Quick test_guard_dynamic;
+          Alcotest.test_case "Output_sensitive entries" `Quick
+            test_guard_output_sensitive;
+          Alcotest.test_case "Approx_colored entries" `Quick
+            test_guard_approx_colored;
+          Alcotest.test_case "Approx_colored_rect entries" `Quick
+            test_guard_approx_colored_rect;
+          Alcotest.test_case "disk sweep entries" `Quick test_guard_sweeps;
+          Alcotest.test_case "interval + BSEI entries" `Quick
+            test_guard_interval_and_bsei;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "Points_io 1-based line numbers" `Quick
+            test_points_io_line_numbers;
+          Alcotest.test_case "Points_io rejects non-finite" `Quick
+            test_points_io_rejects_nonfinite;
+          Alcotest.test_case "Points_io tolerates CRLF" `Quick
+            test_points_io_crlf_ok;
+          Alcotest.test_case "Trace line numbers + finiteness" `Quick
+            test_trace_line_numbers;
+        ] );
+      ("budget", [ Alcotest.test_case "basics" `Quick test_budget_basics ]);
+      ( "deadline",
+        [
+          Alcotest.test_case "expired budget: partial but sound" `Quick
+            test_expired_budget_partial_but_sound;
+          Alcotest.test_case "expired budget: disk sweep sound" `Quick
+            test_expired_budget_disk_sound;
+          Alcotest.test_case "Resilient degrades to approx" `Quick
+            test_resilient_degrades_to_approx;
+          Alcotest.test_case "Resilient completes within deadline" `Quick
+            test_resilient_complete_within_deadline;
+          Alcotest.test_case "Resilient weighted degrades" `Quick
+            test_resilient_weighted_degrades;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "poisoned pool bit-identical" `Quick
+            test_poisoned_pool_bit_identical;
+          Alcotest.test_case "poisoned Static bit-identical" `Quick
+            test_poisoned_static_bit_identical;
+          Alcotest.test_case "double fault recovers sequentially" `Quick
+            test_double_fault_recovers_sequentially;
+          Alcotest.test_case "genuine exceptions still propagate" `Quick
+            test_genuine_exception_still_propagates;
+        ] );
+      ("adversarial", qcheck_cases);
+    ]
