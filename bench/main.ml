@@ -881,6 +881,187 @@ let micro () =
     (List.sort compare !rows)
 
 (* ------------------------------------------------------------------ *)
+(* E12 — counter-verified complexity: rerun the theorem workloads with
+   operation counters on and fit the counter growth, not the wall clock,
+   against the predicted shapes. Theorems 1.2/1.5/1.6 predict
+   near-linear work, so events / (n ln n) should be flat across the n
+   ladder; Theorem 4.6 predicts O(n log n + n * opt), so sweep events
+   per (n * opt) should stay bounded on fixed-density planted inputs.
+   Results go to BENCH_observability.json. MAXRS_E12_MAX_N caps the
+   ladder (CI smoke). *)
+
+module Obs = Maxrs_obs.Obs
+
+let e12 () =
+  header "E12 — counter-verified complexity (operation counters)";
+  let max_n =
+    match Sys.getenv_opt "MAXRS_E12_MAX_N" with
+    | Some s -> ( match int_of_string_opt (String.trim s) with
+                  | Some v when v >= 1000 -> v
+                  | _ -> max_int)
+    | None -> max_int
+  in
+  let prev = Obs.enabled () in
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled prev) @@ fun () ->
+  (* Counter delta around one solve; snapshots make resets unnecessary. *)
+  let measure f =
+    let base = Obs.Snapshot.capture () in
+    let r = f () in
+    (r, Obs.Snapshot.diff (Obs.Snapshot.capture ()) ~base)
+  in
+  let nlogn n = float_of_int n *. log (float_of_int n) in
+  let spread = function
+    | [] -> Float.nan
+    | r :: rs ->
+        let lo = List.fold_left Float.min r rs in
+        let hi = List.fold_left Float.max r rs in
+        hi /. lo
+  in
+  (* Near-linear solvers: events / (n ln n) flat across the ladder. *)
+  let ladder = List.filter (fun n -> n <= max_n) [ 1000; 4000; 16000; 64000; 100000 ] in
+  let linear_series ~theorem ~solver ~counters ~run =
+    row "\n[%s] Theorem %s — %s / (n ln n):\n" solver theorem
+      (String.concat "+" counters);
+    row "%8s %14s %12s\n" "n" "events" "ratio";
+    let points =
+      List.map
+        (fun n ->
+          let _, d = run n in
+          let events =
+            List.fold_left
+              (fun acc c -> acc + Obs.Snapshot.counter d c)
+              0 counters
+          in
+          let ratio = float_of_int events /. nlogn n in
+          row "%8d %14d %12.2f\n" n events ratio;
+          (n, events, ratio))
+        ladder
+    in
+    let sp = spread (List.map (fun (_, _, r) -> r) points) in
+    row "ratio spread (max/min): %.2f  (flat shape => < 3)\n" sp;
+    (theorem, solver, String.concat "+" counters, "n_log_n", points, sp)
+  in
+  let s12 =
+    linear_series ~theorem:"1.2" ~solver:"static"
+      ~counters:[ "samples.visited" ]
+      ~run:(fun n ->
+        let rng = Rng.create (41000 + n) in
+        let pts =
+          Array.map
+            (fun p -> (p, 1.))
+            (Workload.gaussian_clusters rng ~dim:2 ~n ~k:8 ~extent:20.
+               ~spread:1.5)
+        in
+        measure (fun () ->
+            Static.solve_or_point ~cfg:(bench_cfg ~shifts:4 ~seed:n ()) ~dim:2
+              pts))
+  in
+  let s15 =
+    linear_series ~theorem:"1.5" ~solver:"colored"
+      ~counters:[ "samples.visited" ]
+      ~run:(fun n ->
+        let rng = Rng.create (42000 + n) in
+        let m = 40 in
+        let pts, colors =
+          Workload.trajectories rng ~m ~steps:(n / m) ~extent:20. ~step:0.7
+        in
+        let points = Array.map (fun (x, y) -> [| x; y |]) pts in
+        measure (fun () ->
+            Colored.solve_or_point
+              ~cfg:(bench_cfg ~shifts:4 ~seed:n ())
+              ~dim:2 points ~colors))
+  in
+  let s16 =
+    (* The Theorem-1.6 pipeline = a Theorem-1.5 estimate plus an exact
+       run on the lambda-thinned subset: its total work is the sample
+       visits plus the output-sensitive sweep events. *)
+    linear_series ~theorem:"1.6" ~solver:"approx_colored"
+      ~counters:[ "samples.visited"; "os.sweep_events" ]
+      ~run:(fun n ->
+        let rng = Rng.create (43000 + n) in
+        let extent = 1.5 *. sqrt (float_of_int n) in
+        let pts =
+          Array.init n (fun _ ->
+              (Rng.uniform rng 0. extent, Rng.uniform rng 0. extent))
+        in
+        let colors = Array.init n (fun i -> i mod 500) in
+        measure (fun () ->
+            Approx_colored.solve ~max_shifts:4 ~seed:n
+              ?domains:!domains_opt pts ~colors))
+  in
+  (* Theorem 4.6: events / (n * opt) bounded at fixed density, where the
+     planted extent keeps the expected depth (and thus opt) constant. *)
+  let os_ladder = List.filter (fun n -> n <= max_n) [ 2000; 4000; 8000; 16000 ] in
+  row "\n[output_sensitive] Theorem 4.6 — os.sweep_events / (n * opt):\n";
+  row "%8s %8s %14s %12s\n" "n" "opt" "events" "ratio";
+  let os_points =
+    List.map
+      (fun n ->
+        let rng = Rng.create (23 * n) in
+        let extent = 1.5 *. sqrt (float_of_int n) in
+        let pts =
+          Array.init n (fun _ ->
+              (Rng.uniform rng 0. extent, Rng.uniform rng 0. extent))
+        in
+        let colors = Array.init n (fun i -> i mod 500) in
+        let r, d =
+          measure (fun () ->
+              Output_sensitive.solve ~max_shifts:6 ?domains:!domains_opt pts
+                ~colors)
+        in
+        let opt = Int.max 1 r.Output_sensitive.depth in
+        let events = Obs.Snapshot.counter d "os.sweep_events" in
+        let ratio = float_of_int events /. (float_of_int n *. float_of_int opt) in
+        row "%8d %8d %14d %12.2f\n" n opt events ratio;
+        (n, opt, events, ratio))
+      os_ladder
+  in
+  let os_max =
+    List.fold_left (fun a (_, _, _, r) -> Float.max a r) 0. os_points
+  in
+  let os_spread = spread (List.map (fun (_, _, _, r) -> r) os_points) in
+  row "max ratio: %.2f, spread: %.2f  (bounded => output-sensitive)\n" os_max
+    os_spread;
+  (* JSON *)
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"experiment\": \"E12\",\n  \"series\": [\n";
+  List.iteri
+    (fun i (theorem, solver, counter, norm, points, sp) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf
+        "    { \"theorem\": %S, \"solver\": %S, \"counter\": %S,\n      \
+         \"normalizer\": %S, \"ratio_spread\": %.4f,\n      \"points\": ["
+        theorem solver counter norm sp;
+      List.iteri
+        (fun j (n, events, ratio) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Printf.bprintf buf
+            "{ \"n\": %d, \"events\": %d, \"ratio\": %.4f }" n events ratio)
+        points;
+      Buffer.add_string buf "] }")
+    [ s12; s15; s16 ];
+  Buffer.add_string buf ",\n";
+  Printf.bprintf buf
+    "    { \"theorem\": \"4.6\", \"solver\": \"output_sensitive\", \
+     \"counter\": \"os.sweep_events\",\n      \"normalizer\": \"n_opt\", \
+     \"max_ratio\": %.4f, \"ratio_spread\": %.4f,\n      \"points\": ["
+    os_max os_spread;
+  List.iteri
+    (fun j (n, opt, events, ratio) ->
+      if j > 0 then Buffer.add_string buf ", ";
+      Printf.bprintf buf
+        "{ \"n\": %d, \"opt\": %d, \"events\": %d, \"ratio\": %.4f }" n opt
+        events ratio)
+    os_points;
+  Buffer.add_string buf "] }\n  ]\n}\n";
+  let oc = open_out "BENCH_observability.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  row "\nwrote BENCH_observability.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -895,6 +1076,7 @@ let experiments =
     ("e9", e9);
     ("e10", e10);
     ("e11", e11);
+    ("e12", e12);
     ("ablation", ablation);
     ("micro", micro);
   ]

@@ -40,6 +40,7 @@ module Rect2d = Maxrs_sweep.Rect2d
 module Colored_rect2d = Maxrs_sweep.Colored_rect2d
 module Approx_colored_rect = Maxrs.Approx_colored_rect
 module Batched2d = Maxrs_sweep.Batched2d
+module Obs = Maxrs_obs.Obs
 
 (* ------------------------------------------------------------------ *)
 (* Failure model: distinct exit codes with one-line diagnostics *)
@@ -100,6 +101,67 @@ let with_out path f =
   | Some p ->
       let oc = open_out p in
       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+(* ------------------------------------------------------------------ *)
+(* Observability: --stats[=FILE] *)
+
+(* Pre-register the cross-layer counters so a [--stats] snapshot always
+   carries the full key set: OCaml only runs the initializers of linked
+   compilation units, so a run that never touches, say, the kd-tree
+   would otherwise omit its counters entirely instead of reporting 0. *)
+let () =
+  List.iter
+    (fun name -> ignore (Obs.counter name : Obs.counter))
+    [
+      "kd.visits";
+      "kd.points";
+      "sweep.events";
+      "sweep.circles";
+      "sweep.interval1d.queries";
+      "sweep.interval1d.events";
+      "segment_tree.updates";
+      "segment_tree.nodes";
+      "grid.cells";
+      "samples.drawn";
+      "samples.visited";
+      "os.cells";
+      "os.disks";
+      "os.sweep_events";
+      "approx.colors_sampled";
+      "approx.disks_sampled";
+      "pool.jobs";
+      "pool.chunks";
+      "pool.waits";
+      "pool.retries";
+      "pool.recovered";
+      "resilient.degraded";
+      "resilient.partial";
+    ]
+
+let stats_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "stats" ] ~docv:"FILE"
+        ~doc:
+          "Record operation counters during the run and print a one-line \
+           JSON snapshot to $(docv) when done ($(docv) defaults to \
+           stdout). Recording alone can also be enabled with \
+           MAXRS_STATS=1.")
+
+let with_stats stats f =
+  match stats with
+  | None -> f ()
+  | Some dest ->
+      Obs.set_enabled true;
+      let code = f () in
+      let json = Obs.Snapshot.to_json (Obs.Snapshot.capture ()) in
+      (if dest = "-" then print_endline json
+       else
+         with_out (Some dest) (fun oc ->
+             output_string oc json;
+             output_char oc '\n'));
+      code
 
 (* ------------------------------------------------------------------ *)
 (* Common options *)
@@ -239,7 +301,8 @@ let generate_cmd =
 (* ------------------------------------------------------------------ *)
 (* static *)
 
-let static input radius epsilon shifts seed unweighted =
+let static input radius epsilon shifts seed unweighted stats =
+  with_stats stats @@ fun () ->
   guarded (fun () ->
       let pts = load_weighted input ~unweighted in
       if Array.length pts = 0 then begin
@@ -262,12 +325,13 @@ let static_cmd =
        ~doc:"(1/2-eps)-approximate MaxRS for a d-ball (Theorem 1.2).")
     Term.(
       const static $ input_arg $ radius_arg $ epsilon_arg $ shifts_arg
-      $ seed_arg $ unweighted_arg)
+      $ seed_arg $ unweighted_arg $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* colored *)
 
-let colored input radius epsilon shifts seed =
+let colored input radius epsilon shifts seed stats =
+  with_stats stats @@ fun () ->
   guarded (fun () ->
       let pts, colors = Points_io.load_colored input in
       let points = Array.map (fun (x, y) -> [| x; y |]) pts in
@@ -284,12 +348,13 @@ let colored_cmd =
        ~doc:"(1/2-eps)-approximate colored MaxRS (Theorem 1.5).")
     Term.(
       const colored $ input_arg $ radius_arg $ epsilon_arg $ shifts_arg
-      $ seed_arg)
+      $ seed_arg $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* exact-disk *)
 
-let exact_disk input radius unweighted deadline strict =
+let exact_disk input radius unweighted deadline strict stats =
+  with_stats stats @@ fun () ->
   guarded (fun () ->
       let pts = load_weighted input ~unweighted in
       let pts3 = Array.map (fun (p, w) -> (p.(0), p.(1), w)) pts in
@@ -307,12 +372,13 @@ let exact_disk_cmd =
        ~doc:"Exact disk MaxRS by angular sweep ([CL86]-style, O(n^2 log n)).")
     Term.(
       const exact_disk $ input_arg $ radius_arg $ unweighted_arg $ deadline_arg
-      $ strict_arg)
+      $ strict_arg $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* exact-colored / output-sensitive / approx-colored *)
 
-let output_sensitive input radius shifts seed deadline strict =
+let output_sensitive input radius shifts seed deadline strict stats =
+  with_stats stats @@ fun () ->
   guarded (fun () ->
       let pts, colors = Points_io.load_colored input in
       match deadline with
@@ -347,9 +413,10 @@ let output_sensitive_cmd =
        ~doc:"Exact colored disk MaxRS, output-sensitive (Theorem 4.6).")
     Term.(
       const output_sensitive $ input_arg $ radius_arg $ shifts_arg $ seed_arg
-      $ deadline_arg $ strict_arg)
+      $ deadline_arg $ strict_arg $ stats_arg)
 
-let approx_colored input radius epsilon shifts seed deadline strict =
+let approx_colored input radius epsilon shifts seed deadline strict stats =
+  with_stats stats @@ fun () ->
   guarded (fun () ->
       let pts, colors = Points_io.load_colored input in
       let budget =
@@ -383,7 +450,61 @@ let approx_colored_cmd =
        ~doc:"(1-eps)-approximate colored disk MaxRS (Theorem 1.6).")
     Term.(
       const approx_colored $ input_arg $ radius_arg $ epsilon_arg $ shifts_arg
-      $ seed_arg $ deadline_arg $ strict_arg)
+      $ seed_arg $ deadline_arg $ strict_arg $ stats_arg)
+
+(* ------------------------------------------------------------------ *)
+(* solve: unified resilient front door *)
+
+let solve input radius shifts seed colored_in unweighted deadline strict stats
+    =
+  with_stats stats @@ fun () ->
+  guarded (fun () ->
+      if colored_in then begin
+        let pts, colors = Points_io.load_colored input in
+        match
+          Resilient.exact_colored ~radius ?max_shifts:shifts ~seed ?deadline
+            pts ~colors
+        with
+        | Error e -> invalid e
+        | Ok outcome ->
+            let r = Outcome.value outcome in
+            Printf.printf
+              "center: (%g, %g)\ndistinct colors: %d (verified: %b)\n"
+              r.Resilient.x r.Resilient.y r.Resilient.depth
+              r.Resilient.verified;
+            finish_outcome ~strict ~source:r.Resilient.source outcome
+      end
+      else begin
+        let pts = load_weighted input ~unweighted in
+        let pts3 = Array.map (fun (p, w) -> (p.(0), p.(1), w)) pts in
+        match Resilient.exact_weighted ?deadline ~radius pts3 with
+        | Error e -> invalid e
+        | Ok outcome ->
+            let r = Outcome.value outcome in
+            Printf.printf "center: (%g, %g)\nweight: %g\n" r.Resilient.wx
+              r.Resilient.wy r.Resilient.value;
+            finish_outcome ~strict ~source:r.Resilient.wsource outcome
+      end)
+
+let solve_cmd =
+  let colored_in =
+    Arg.(
+      value & flag
+      & info [ "colored" ]
+          ~doc:
+            "Input rows are x,y,color; solve the colored problem (exact \
+             output-sensitive solver, Theorem 4.6) instead of the weighted \
+             one.")
+  in
+  Cmd.v
+    (Cmd.info "solve" ~exits:resilience_exits
+       ~doc:
+         "Unified front door: the exact solver under an optional deadline, \
+          degrading to the matching near-linear approximation on expiry \
+          (weighted: Theorem 1.2 fallback; colored: Theorem 1.6 fallback).")
+    Term.(
+      const solve $ input_arg $ radius_arg $ shifts_arg $ seed_arg $ colored_in
+      $ unweighted_arg $ deadline_arg $ strict_arg $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* batched (1-D) and bsei *)
@@ -716,6 +837,7 @@ let () =
        (Cmd.group info
           [
             generate_cmd;
+            solve_cmd;
             static_cmd;
             colored_cmd;
             exact_disk_cmd;

@@ -1,5 +1,6 @@
 module Rng = Maxrs_geom.Rng
 module Colored_disk2d = Maxrs_sweep.Colored_disk2d
+module Obs = Maxrs_obs.Obs
 module Guard = Maxrs_resilience.Guard
 module Budget = Maxrs_resilience.Budget
 module Outcome = Maxrs_resilience.Outcome
@@ -7,6 +8,11 @@ module Outcome = Maxrs_resilience.Outcome
 let src = Logs.Src.create "maxrs.approx_colored" ~doc:"Theorem 1.6 pipeline"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Theorem 1.6's color sampling: how many color classes and disks the
+   lambda-thinning kept for the exact output-sensitive stage. *)
+let c_colors_sampled = Obs.counter "approx.colors_sampled"
+let c_disks_sampled = Obs.counter "approx.disks_sampled"
 
 type strategy =
   | Exact_small
@@ -38,6 +44,7 @@ let estimate_opt ?(estimate_cfg : Config.t option) ?domains ~radius ~seed
 let solve_unchecked ?(radius = 1.) ?(epsilon = 0.25) ?(c1 = 1.0)
     ?(seed = 0x1e6) ?estimate_cfg ?max_shifts ?domains
     ?(budget = Budget.unlimited) centers ~colors =
+  Obs.with_span "approx_colored.solve" @@ fun () ->
   let n = Array.length centers in
   let opt' = estimate_opt ?estimate_cfg ?domains ~radius ~seed centers ~colors in
   let threshold = c1 /. (epsilon ** 2.) *. log (float_of_int (Int.max n 2)) in
@@ -109,6 +116,8 @@ let solve_unchecked ?(radius = 1.) ?(epsilon = 0.25) ?(c1 = 1.0)
         let idx = Array.of_list !idx in
         let sub_centers = Array.map (fun i -> centers.(i)) idx in
         let sub_colors = Array.map (fun i -> colors.(i)) idx in
+        Obs.add c_colors_sampled (Hashtbl.length chosen);
+        Obs.add c_disks_sampled (Array.length idx);
         let r = exact sub_centers sub_colors in
         finish
           ~strategy:

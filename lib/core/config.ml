@@ -5,6 +5,7 @@ type t = {
   max_grid_shifts : int option;
   seed : int;
   domains : int option;
+  stats : bool option;
 }
 
 let default =
@@ -15,14 +16,23 @@ let default =
     max_grid_shifts = None;
     seed = 0x6d617872;
     domains = None;
+    stats = None;
   }
 
 let make ?(epsilon = default.epsilon)
     ?(sample_constant = default.sample_constant)
     ?(min_samples = default.min_samples)
     ?(max_grid_shifts = default.max_grid_shifts) ?(seed = default.seed)
-    ?(domains = default.domains) () =
-  { epsilon; sample_constant; min_samples; max_grid_shifts; seed; domains }
+    ?(domains = default.domains) ?(stats = default.stats) () =
+  {
+    epsilon;
+    sample_constant;
+    min_samples;
+    max_grid_shifts;
+    seed;
+    domains;
+    stats;
+  }
 
 let validate t =
   if not (t.epsilon > 0. && t.epsilon < 0.5) then
@@ -33,9 +43,12 @@ let validate t =
   (match t.max_grid_shifts with
   | Some c when c < 1 -> invalid_arg "Config: max_grid_shifts must be >= 1"
   | _ -> ());
-  match t.domains with
+  (match t.domains with
   | Some d when d < 1 -> invalid_arg "Config: domains must be >= 1"
-  | _ -> ()
+  | _ -> ());
+  (* A configured stats preference wins over the ambient MAXRS_STATS
+     setting for everything that runs after validation. *)
+  Option.iter Maxrs_obs.Obs.set_enabled t.stats
 
 let domains t = Maxrs_parallel.Parallel.resolve t.domains
 

@@ -20,6 +20,11 @@ type t = {
       (** domain count for the parallel execution layer; [None] defers to
           the [MAXRS_DOMAINS] environment variable (default 1). Results
           are bit-identical for every domain count. *)
+  stats : bool option;
+      (** observability override: [Some b] forces operation-counter
+          recording on/off (applied by {!validate}); [None] leaves the
+          ambient [MAXRS_STATS] / [Maxrs_obs.Obs.set_enabled] state
+          untouched. *)
 }
 
 val default : t
@@ -33,11 +38,14 @@ val make :
   ?max_grid_shifts:int option ->
   ?seed:int ->
   ?domains:int option ->
+  ?stats:bool option ->
   unit ->
   t
 
 val validate : t -> unit
-(** Raises [Invalid_argument] on out-of-range parameters. *)
+(** Raises [Invalid_argument] on out-of-range parameters. As a side
+    effect, applies the [stats] override (if any) to the global
+    observability switch. *)
 
 val domains : t -> int
 (** Effective domain count: the [domains] field, or [MAXRS_DOMAINS] /

@@ -6,10 +6,20 @@ module Shifted_grids = Maxrs_geom.Shifted_grids
 module Rng = Maxrs_geom.Rng
 module Colored_depth = Maxrs_union.Colored_depth
 module Colored_disk2d = Maxrs_sweep.Colored_disk2d
+module Obs = Maxrs_obs.Obs
 module Parallel = Maxrs_parallel.Parallel
 module Guard = Maxrs_resilience.Guard
 module Budget = Maxrs_resilience.Budget
 module Outcome = Maxrs_resilience.Outcome
+
+(* Theorem 4.6's O(n log n + n·opt) bound is checked against
+   [os.sweep_events]; cells/disks record the grid-bucketing volume after
+   the Lemma 4.3 corner trim. Added once per solve from the merged
+   per-grid tallies, so the hot per-cell loop carries no
+   instrumentation. *)
+let c_os_cells = Obs.counter "os.cells"
+let c_os_disks = Obs.counter "os.disks"
+let c_os_events = Obs.counter "os.sweep_events"
 
 type stats = {
   shifts : int;
@@ -121,6 +131,7 @@ let solve_grid ~budget pts colors grid =
 
 let solve_unchecked ?(radius = 1.) ?max_shifts ?(seed = 0x4f53) ?domains
     ?(budget = Budget.unlimited) centers ~colors =
+  Obs.with_span "output_sensitive.solve" @@ fun () ->
   (* Work with unit disks. *)
   let pts = Array.map (fun (x, y) -> (x /. radius, y /. radius)) centers in
   let grids =
@@ -166,6 +177,9 @@ let solve_unchecked ?(radius = 1.) ?max_shifts ?(seed = 0x4f53) ?domains
     Colored_disk2d.colored_depth_at ~radius:1. pts ~colors merged.g_x
       merged.g_y
   in
+  Obs.add c_os_cells merged.g_cells;
+  Obs.add c_os_disks merged.g_disks;
+  Obs.add c_os_events merged.g_events;
   let result =
     {
       x = merged.g_x *. radius;

@@ -10,6 +10,17 @@
    function of (n, chunks) only, never of which domain runs what, so any
    per-index output is placed deterministically. *)
 
+module Obs = Maxrs_obs.Obs
+
+(* Queue-wait counts expose idle workers; retry/recovered mirror the
+   [Faults] counters into the global snapshot so fault-injection runs
+   show up in [--stats] output. *)
+let c_waits = Obs.counter "pool.waits"
+let c_jobs = Obs.counter "pool.jobs"
+let c_chunks = Obs.counter "pool.chunks"
+let c_retries = Obs.counter "pool.retries"
+let c_recovered = Obs.counter "pool.recovered"
+
 type task = unit -> unit
 
 type pool = {
@@ -42,6 +53,7 @@ let resolve = function
 let rec worker_loop pool =
   Mutex.lock pool.mutex;
   while Queue.is_empty pool.queue && not pool.stop do
+    Obs.incr c_waits;
     Condition.wait pool.work_available pool.mutex
   done;
   if Queue.is_empty pool.queue then Mutex.unlock pool.mutex (* stopping *)
@@ -193,7 +205,9 @@ type job = {
    genuine exception is fatal: remaining chunks are drained without
    executing and the first such exception is re-raised on the caller. *)
 let run_chunks pool ~idempotent ~chunks exec =
-  if chunks > 0 then
+  if chunks > 0 then begin
+    Obs.incr c_jobs;
+    Obs.add c_chunks chunks;
     if pool.size = 1 || chunks = 1 then
       for c = 0 to chunks - 1 do
         exec c
@@ -239,6 +253,7 @@ let run_chunks pool ~idempotent ~chunks exec =
                   record_fatal e0 (Printexc.get_raw_backtrace ())
                 else begin
                   Atomic.incr Faults.retried;
+                  Obs.incr c_retries;
                   try attempt c 1
                   with e1 ->
                     if retryable e1 then park c
@@ -274,9 +289,11 @@ let run_chunks pool ~idempotent ~chunks exec =
           List.iter
             (fun c ->
               exec c;
-              Atomic.incr Faults.recovered)
+              Atomic.incr Faults.recovered;
+              Obs.incr c_recovered)
             (List.sort compare job.recover)
     end
+  end
 
 let default_chunks pool n = Int.min n (pool.size * 4)
 

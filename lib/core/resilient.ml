@@ -1,5 +1,6 @@
 module Point = Maxrs_geom.Point
 module Disk2d = Maxrs_sweep.Disk2d
+module Obs = Maxrs_obs.Obs
 module Guard = Maxrs_resilience.Guard
 module Budget = Maxrs_resilience.Budget
 module Outcome = Maxrs_resilience.Outcome
@@ -7,6 +8,12 @@ module Outcome = Maxrs_resilience.Outcome
 let src = Logs.Src.create "maxrs.resilient" ~doc:"Deadline-aware front doors"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Every deadline-driven demotion is counted: [resilient.degraded] for
+   an approximation fallback that produced an answer, [resilient.partial]
+   for best-so-far returns where even the fallback was unusable. *)
+let c_degraded = Obs.counter "resilient.degraded"
+let c_partial = Obs.counter "resilient.partial"
 
 type source = Exact | Approx_fallback | Best_so_far
 
@@ -65,6 +72,7 @@ let exact_colored ?radius ?max_shifts ?seed ?domains ?deadline centers ~colors
                 (a.Approx_colored.x, a.Approx_colored.y, a.Approx_colored.depth)
               else exact_cand
             in
+            Obs.incr c_degraded;
             Ok (Outcome.Degraded (finish ~source:Approx_fallback cand))
         | Error e ->
             (* The estimator cannot digest this input (e.g. negative
@@ -73,6 +81,7 @@ let exact_colored ?radius ?max_shifts ?seed ?domains ?deadline centers ~colors
                 m "approx fallback rejected the input (%s); returning \
                    best-so-far"
                   (Guard.to_string e));
+            Obs.incr c_partial;
             Ok (Outcome.Partial (finish ~source:Best_so_far exact_cand))
       end
 
@@ -113,5 +122,6 @@ let exact_weighted ?cfg ?domains ?deadline ~radius pts =
             (fb.Static.center.(0), fb.Static.center.(1), fb.Static.value)
           else exact_cand
         in
+        Obs.incr c_degraded;
         Ok (Outcome.Degraded (finish ~source:Approx_fallback cand))
       end

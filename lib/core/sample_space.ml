@@ -4,6 +4,14 @@ module Grid = Maxrs_geom.Grid
 module Shifted_grids = Maxrs_geom.Shifted_grids
 module Sphere = Maxrs_geom.Sphere
 module Rng = Maxrs_geom.Rng
+module Obs = Maxrs_obs.Obs
+
+(* Cells materialized and samples drawn/visited are the primitive
+   operations behind Theorems 1.2/1.5: O(n) cells per grid, O(ε⁻²log n)
+   samples per cell, and each ball update touches O(1) cells. *)
+let c_cells = Obs.counter "grid.cells"
+let c_drawn = Obs.counter "samples.drawn"
+let c_visited = Obs.counter "samples.visited"
 
 type sample = {
   id : int;
@@ -94,6 +102,8 @@ let new_cell t gi grid key =
         })
   in
   t.n_cells.(gi) <- t.n_cells.(gi) + 1;
+  Obs.incr c_cells;
+  Obs.add c_drawn t.t_samples;
   { samples; nballs = 0; max_depth = 0.; best = samples.(0); cversion = 0 }
 
 (* Visit every cell of grid [gi] intersected by the unit ball at
@@ -122,6 +132,7 @@ let iter_cells t ~center f =
    [center], then refresh the cell's cached max/argmax in the same pass
    and fire the hook if it moved. *)
 let update_cell t cell ~center update =
+  Obs.add c_visited (Array.length cell.samples);
   let changed = ref false in
   let mx = ref Float.neg_infinity and arg = ref cell.samples.(0) in
   Array.iter

@@ -1,4 +1,5 @@
 module Point = Maxrs_geom.Point
+module Obs = Maxrs_obs.Obs
 module Parallel = Maxrs_parallel.Parallel
 module Guard = Maxrs_resilience.Guard
 
@@ -8,7 +9,9 @@ let solve_unchecked ?(cfg = Config.default) ?(radius = 1.) ~dim pts =
   Config.validate cfg;
   let n = Array.length pts in
   if n = 0 then None
-  else begin
+  else
+    Obs.with_span "static.solve" @@ fun () ->
+    begin
     let space = Sample_space.create ~dim ~cfg ~expected_n:n in
     let scaled =
       Array.map (fun (p, w) -> (Point.scale (1. /. radius) p, w)) pts

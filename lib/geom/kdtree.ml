@@ -1,3 +1,10 @@
+module Obs = Maxrs_obs.Obs
+
+(* Node visits are the machine-independent cost of a kd-tree query:
+   pruning quality shows up directly in [kd.visits] growth. *)
+let c_visits = Obs.counter "kd.visits"
+let c_points = Obs.counter "kd.points"
+
 type node =
   | Leaf of { idxs : int array }
   | Node of {
@@ -63,8 +70,11 @@ let dim t = t.dims
 
 let iter_in_ball t ball f =
   let r2 = (ball.Ball.radius +. Ball.boundary_tolerance) ** 2. in
-  let rec go = function
+  let rec go node =
+    Obs.incr c_visits;
+    match node with
     | Leaf { idxs } ->
+        Obs.add c_points (Array.length idxs);
         Array.iter
           (fun i ->
             if Point.dist2 t.pts.(i) ball.Ball.center <= r2 then
@@ -85,8 +95,11 @@ let count_in_ball t ball =
 
 let count_in_box t box =
   let c = ref 0 in
-  let rec go = function
+  let rec go node =
+    Obs.incr c_visits;
+    match node with
     | Leaf { idxs } ->
+        Obs.add c_points (Array.length idxs);
         Array.iter (fun i -> if Box.contains box t.pts.(i) then incr c) idxs
     | Node { left; right; bbox; _ } ->
         if Box.intersects_box bbox box then begin
@@ -99,7 +112,9 @@ let count_in_box t box =
 
 let nearest t q =
   let best_i = ref (-1) and best_d2 = ref infinity in
-  let rec go = function
+  let rec go node =
+    Obs.incr c_visits;
+    match node with
     | Leaf { idxs } ->
         Array.iter
           (fun i ->

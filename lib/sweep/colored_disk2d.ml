@@ -1,9 +1,15 @@
 module Circle = Maxrs_geom.Circle
 module Angle = Maxrs_geom.Angle
+module Obs = Maxrs_obs.Obs
 module Parallel = Maxrs_parallel.Parallel
 module Guard = Maxrs_resilience.Guard
 module Budget = Maxrs_resilience.Budget
 module Outcome = Maxrs_resilience.Outcome
+
+(* Same event geometry as [Disk2d]; the counters are shared so that
+   "sweep.events" means arc endpoints regardless of the payload. *)
+let c_events = Obs.counter "sweep.events"
+let c_circles = Obs.counter "sweep.circles"
 
 type result = { x : float; y : float; value : int }
 
@@ -54,6 +60,8 @@ let sweep_circle ~radius centers ~colors i =
               Color_counter.add counter colors.(j))
     centers;
   let evts = Array.of_list !events in
+  Obs.incr c_circles;
+  Obs.add c_events (Array.length evts);
   Array.sort
     (fun (a1, add1, _) (a2, add2, _) ->
       match Float.compare a1 a2 with

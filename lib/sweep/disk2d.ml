@@ -1,9 +1,16 @@
 module Circle = Maxrs_geom.Circle
 module Angle = Maxrs_geom.Angle
+module Obs = Maxrs_obs.Obs
 module Parallel = Maxrs_parallel.Parallel
 module Guard = Maxrs_resilience.Guard
 module Budget = Maxrs_resilience.Budget
 module Outcome = Maxrs_resilience.Outcome
+
+(* Arc endpoints are the primitive operation of the Θ(n²) exact sweep
+   (two per intersecting pair, per boundary circle); the counters are
+   shared with [Colored_disk2d], which runs the same event geometry. *)
+let c_events = Obs.counter "sweep.events"
+let c_circles = Obs.counter "sweep.circles"
 
 type result = { x : float; y : float; value : float }
 
@@ -37,6 +44,8 @@ let sweep_circle ~radius pts i =
               base := !base +. wj)
     pts;
   let evts = Array.of_list !events in
+  Obs.incr c_circles;
+  Obs.add c_events (Array.length evts);
   Array.sort
     (fun (a1, w1) (a2, w2) ->
       match Float.compare a1 a2 with

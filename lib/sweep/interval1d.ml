@@ -1,5 +1,12 @@
+module Obs = Maxrs_obs.Obs
 module Parallel = Maxrs_parallel.Parallel
 module Guard = Maxrs_resilience.Guard
+
+(* Each query merges two implicit streams of n endpoints each; the 2n
+   events are recorded in one [add] per query (not per event) to keep
+   the per-event loop free of instrumentation. *)
+let c_queries = Obs.counter "sweep.interval1d.queries"
+let c_events = Obs.counter "sweep.interval1d.events"
 
 type placement = { lo : float; value : float }
 
@@ -27,6 +34,8 @@ let query b ~len =
   let n = Array.length pts in
   if n = 0 then { lo = 0.; value = 0. }
   else begin
+    Obs.incr c_queries;
+    Obs.add c_events (2 * n);
     (* Two implicitly sorted event streams over the left endpoint [a]:
        starts: point i enters the window at a = x_i - len;
        ends:   point i leaves the window just after a = x_i.

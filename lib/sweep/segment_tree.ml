@@ -1,3 +1,11 @@
+module Obs = Maxrs_obs.Obs
+
+(* Nodes touched per [range_add] is the O(log n) primitive of the
+   sweep-over-segment-tree solvers; accumulated locally and flushed in
+   one [add] per update to keep the recursion lean. *)
+let c_updates = Obs.counter "segment_tree.updates"
+let c_nodes = Obs.counter "segment_tree.nodes"
+
 type t = {
   n : int;  (** number of leaves requested *)
   base : int;  (** power-of-two leaf count *)
@@ -38,7 +46,9 @@ let size t = t.n
 let range_add t l r v =
   let l = Int.max 0 l and r = Int.min t.n r in
   if l < r then begin
+    let touched = ref 0 in
     let rec go node node_lo node_hi =
+      touched := !touched + 1;
       if r <= node_lo || node_hi <= l then ()
       else if l <= node_lo && node_hi <= r then begin
         t.maxv.(node) <- t.maxv.(node) +. v;
@@ -59,7 +69,9 @@ let range_add t l r v =
         end
       end
     in
-    go 1 0 t.base
+    go 1 0 t.base;
+    Obs.incr c_updates;
+    Obs.add c_nodes !touched
   end
 
 let max_all t = t.maxv.(1)

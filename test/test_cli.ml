@@ -1,0 +1,216 @@
+(* End-to-end tests of the maxrs_cli binary: the documented failure
+   model (exit codes 2 / 3 / 4) and the --stats JSON snapshot, whose
+   counter key set is pinned by a checked-in golden file so that
+   adding, renaming or dropping an instrumented counter is a visible,
+   reviewed change. *)
+
+(* Both the binary and the golden files are dune deps, so they live
+   next to this test in _build; resolving them relative to the test
+   executable works under [dune runtest] and [dune exec] alike. *)
+let test_dir = Filename.dirname Sys.executable_name
+
+let cli =
+  match Sys.getenv_opt "MAXRS_CLI" with
+  | Some p -> p
+  | None -> Filename.concat test_dir "../bin/maxrs_cli.exe"
+
+let golden_dir =
+  match Sys.getenv_opt "MAXRS_CLI_GOLDEN" with
+  | Some p -> p
+  | None -> Filename.concat test_dir "cli_golden"
+
+let write_file path lines =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun l -> output_string oc (l ^ "\n")) lines)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_lines path =
+  String.split_on_char '\n' (read_file path)
+  |> List.filter (fun l -> String.trim l <> "")
+
+(* Run the CLI with stdout/stderr captured; returns (code, out, err). *)
+let run args =
+  let out = Filename.temp_file "maxrs_cli_out" ".txt" in
+  let err = Filename.temp_file "maxrs_cli_err" ".txt" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> %s" (Filename.quote cli) args
+      (Filename.quote out) (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  let o = read_file out and e = read_file err in
+  Sys.remove out;
+  Sys.remove err;
+  (code, o, e)
+
+let with_input lines f =
+  let path = Filename.temp_file "maxrs_cli_in" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path lines;
+      f path)
+
+(* A small deterministic weighted instance (x, y, w rows). *)
+let weighted_instance n =
+  List.init n (fun i ->
+      let x = float_of_int (i mod 17) *. 0.25
+      and y = float_of_int (i mod 23) *. 0.25 in
+      Printf.sprintf "%g,%g,%d" x y (1 + (i mod 3)))
+
+let contains ~needle hay =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Exit codes *)
+
+let test_exit_parse_error () =
+  with_input [ "definitely,not,numbers" ] (fun input ->
+      let code, _, err = run (Printf.sprintf "solve -i %s" input) in
+      Alcotest.(check int) "exit 2 on parse error" 2 code;
+      Alcotest.(check bool) "diagnostic mentions parse" true
+        (contains ~needle:"parse error" err))
+
+let test_exit_invalid_input () =
+  with_input [ "0,0,-5"; "1,1,2" ] (fun input ->
+      let code, _, err = run (Printf.sprintf "solve -i %s" input) in
+      Alcotest.(check int) "exit 3 on negative weight" 3 code;
+      Alcotest.(check bool) "diagnostic is non-empty" true
+        (String.length err > 0))
+
+let test_exit_deadline_strict () =
+  (* Large enough that the O(n^2 log n) exact sweep cannot finish
+     within a microsecond; --strict maps the degraded answer to 4. *)
+  with_input (weighted_instance 4000) (fun input ->
+      let code, _, err =
+        run (Printf.sprintf "solve -i %s --deadline 0.000001 --strict" input)
+      in
+      Alcotest.(check int) "exit 4 on strict deadline" 4 code;
+      Alcotest.(check bool) "diagnostic mentions deadline" true
+        (contains ~needle:"deadline" err))
+
+let test_exit_deadline_lenient_is_zero () =
+  with_input (weighted_instance 4000) (fun input ->
+      let code, out, _ =
+        run (Printf.sprintf "solve -i %s --deadline 0.000001" input)
+      in
+      Alcotest.(check int) "lenient expiry still exits 0" 0 code;
+      Alcotest.(check bool) "answer still printed" true
+        (contains ~needle:"weight:" out))
+
+(* ------------------------------------------------------------------ *)
+(* --stats JSON schema *)
+
+(* Keys of a JSON object given the text following its opening brace.
+   Counter names are plain ASCII (no escapes), so scanning for
+   "name": tokens at depth zero is exact. *)
+let object_keys json ~section =
+  let marker = Printf.sprintf "\"%s\":{" section in
+  let start =
+    let n = String.length marker and m = String.length json in
+    let rec go i =
+      if i + n > m then Alcotest.failf "section %s not found" section
+      else if String.sub json i n = marker then i + n
+      else go (i + 1)
+    in
+    go 0
+  in
+  let keys = ref [] in
+  let depth = ref 0 in
+  let i = ref start in
+  let stop = ref false in
+  while not !stop do
+    (match json.[!i] with
+    | '{' -> incr depth
+    | '}' -> if !depth = 0 then stop := true else decr depth
+    | '"' when !depth = 0 ->
+        let j = String.index_from json (!i + 1) '"' in
+        if j + 1 < String.length json && json.[j + 1] = ':' then
+          keys := String.sub json (!i + 1) (j - !i - 1) :: !keys;
+        i := j
+    | _ -> ());
+    incr i
+  done;
+  List.rev !keys
+
+let test_stats_counter_schema () =
+  with_input (weighted_instance 60) (fun input ->
+      let stats = Filename.temp_file "maxrs_cli_stats" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove stats)
+        (fun () ->
+          let code, _, _ =
+            run (Printf.sprintf "solve -i %s --stats=%s" input stats)
+          in
+          Alcotest.(check int) "exit 0" 0 code;
+          let json = read_file stats in
+          Alcotest.(check bool) "schema marker" true
+            (contains ~needle:"\"schema\":\"maxrs.stats/1\"" json);
+          Alcotest.(check bool) "enabled" true
+            (contains ~needle:"\"enabled\":true" json);
+          let expected = read_lines (Filename.concat golden_dir "stats_keys.golden") in
+          Alcotest.(check (list string))
+            "counter key set matches the golden file"
+            expected
+            (object_keys json ~section:"counters")))
+
+let test_stats_stdout_and_counts () =
+  with_input (weighted_instance 60) (fun input ->
+      let code, out, _ = run (Printf.sprintf "solve -i %s --stats" input) in
+      Alcotest.(check int) "exit 0" 0 code;
+      (* The weighted solver is the angular sweep: one sweep per input
+         circle must be visible in the snapshot printed to stdout. *)
+      Alcotest.(check bool) "sweep.circles counted" true
+        (contains ~needle:"\"sweep.circles\":60" out))
+
+let test_stats_colored_records_os_counters () =
+  let colored =
+    List.init 80 (fun i ->
+        Printf.sprintf "%g,%g,%d"
+          (float_of_int (i mod 13) *. 0.5)
+          (float_of_int (i mod 7) *. 0.5)
+          (i mod 5))
+  in
+  with_input colored (fun input ->
+      let code, out, _ =
+        run (Printf.sprintf "solve -i %s --colored --stats" input)
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      let keys = object_keys out ~section:"spans" in
+      Alcotest.(check bool) "output-sensitive span recorded" true
+        (List.mem "output_sensitive.solve" keys);
+      Alcotest.(check bool) "sweep events recorded" true
+        (contains ~needle:"\"os.sweep_events\":" out
+        && not (contains ~needle:"\"os.sweep_events\":0" out)))
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "exit-codes",
+        [
+          Alcotest.test_case "2 = parse error" `Quick test_exit_parse_error;
+          Alcotest.test_case "3 = invalid input" `Quick
+            test_exit_invalid_input;
+          Alcotest.test_case "4 = strict deadline" `Quick
+            test_exit_deadline_strict;
+          Alcotest.test_case "lenient deadline = 0" `Quick
+            test_exit_deadline_lenient_is_zero;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counter schema golden" `Quick
+            test_stats_counter_schema;
+          Alcotest.test_case "stdout snapshot + sweep counts" `Quick
+            test_stats_stdout_and_counts;
+          Alcotest.test_case "colored records OS counters" `Quick
+            test_stats_colored_records_os_counters;
+        ] );
+    ]

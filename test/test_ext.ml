@@ -783,6 +783,211 @@ let test_grid_baseline_colored_dominates () =
     (v >= exact.Colored_disk2d.value)
 
 (* ------------------------------------------------------------------ *)
+(* Metamorphic properties: the solvers are invariant under input
+   transformations that provably preserve the optimum. All generators
+   draw coordinates on the dyadic lattice k/8 with integer weights, and
+   the applied translations / scalings are dyadic too, so every
+   arithmetic step below (translations, x2 scalings, the radius
+   normalization x -> x / r, weight sums) is exact in binary floating
+   point: the assertions are exact value equality, not tolerance
+   checks. Witness points may legitimately differ between runs (ties),
+   so only the optimum value is compared.
+
+   The randomized Static / Colored solvers (Theorems 1.2/1.5) are
+   deliberately tested under power-of-two scaling only: their grids are
+   anchored at the origin and every grid cell draws its own rng stream,
+   so translating or permuting the input changes which witnesses are
+   sampled — the (1/2 - eps) guarantee is distributional, not
+   pointwise. Scaling by a power of two composes bit-exactly with the
+   radius normalization, so the whole computation replays verbatim. *)
+
+let dyadic k = float_of_int k /. 8.
+
+let gen_weighted_lattice =
+  QCheck.(
+    list_of_size
+      (Gen.int_range 1 25)
+      (triple (int_range 0 48) (int_range 0 48) (int_range 1 4)))
+
+let gen_colored_lattice =
+  QCheck.(
+    list_of_size
+      (Gen.int_range 1 25)
+      (triple (int_range 0 48) (int_range 0 48) (int_range 0 5)))
+
+let gen_offset = QCheck.int_range (-40) 40
+
+let weighted_pts l =
+  Array.of_list
+    (List.map (fun (x, y, w) -> (dyadic x, dyadic y, float_of_int w)) l)
+
+let colored_pts l =
+  ( Array.of_list (List.map (fun (x, y, _) -> (dyadic x, dyadic y)) l),
+    Array.of_list (List.map (fun (_, _, c) -> c) l) )
+
+let prop_disk2d_translation_invariant =
+  QCheck.Test.make ~count:80 ~long_factor:5
+    ~name:"disk2d: dyadic translation preserves the optimum"
+    QCheck.(triple gen_weighted_lattice gen_offset gen_offset)
+    (fun (l, tx, ty) ->
+      let pts = weighted_pts l in
+      let moved =
+        Array.map (fun (x, y, w) -> (x +. dyadic tx, y +. dyadic ty, w)) pts
+      in
+      let a = Disk2d.max_weight ~radius:1. pts in
+      let b = Disk2d.max_weight ~radius:1. moved in
+      a.Disk2d.value = b.Disk2d.value)
+
+let prop_disk2d_permutation_invariant =
+  QCheck.Test.make ~count:80 ~long_factor:5
+    ~name:"disk2d: input order is irrelevant"
+    gen_weighted_lattice
+    (fun l ->
+      let pts = weighted_pts l in
+      let rev = Array.of_list (List.rev (Array.to_list pts)) in
+      let a = Disk2d.max_weight ~radius:1. pts in
+      let b = Disk2d.max_weight ~radius:1. rev in
+      a.Disk2d.value = b.Disk2d.value)
+
+let prop_disk2d_scaling_invariant =
+  QCheck.Test.make ~count:80 ~long_factor:5
+    ~name:"disk2d: doubling coordinates and radius preserves the optimum"
+    gen_weighted_lattice
+    (fun l ->
+      let pts = weighted_pts l in
+      let scaled = Array.map (fun (x, y, w) -> (2. *. x, 2. *. y, w)) pts in
+      let a = Disk2d.max_weight ~radius:1. pts in
+      let b = Disk2d.max_weight ~radius:2. scaled in
+      a.Disk2d.value = b.Disk2d.value)
+
+let prop_colored_disk2d_translation_invariant =
+  QCheck.Test.make ~count:80 ~long_factor:5
+    ~name:"colored disk2d: dyadic translation preserves the optimum"
+    QCheck.(triple gen_colored_lattice gen_offset gen_offset)
+    (fun (l, tx, ty) ->
+      let pts, colors = colored_pts l in
+      let moved =
+        Array.map (fun (x, y) -> (x +. dyadic tx, y +. dyadic ty)) pts
+      in
+      let a = Colored_disk2d.max_colored ~radius:1. pts ~colors in
+      let b = Colored_disk2d.max_colored ~radius:1. moved ~colors in
+      a.Colored_disk2d.value = b.Colored_disk2d.value)
+
+let prop_colored_disk2d_permutation_invariant =
+  QCheck.Test.make ~count:80 ~long_factor:5
+    ~name:"colored disk2d: input order is irrelevant"
+    gen_colored_lattice
+    (fun l ->
+      let pts, colors = colored_pts l in
+      let rl = List.rev l in
+      let rpts, rcolors = colored_pts rl in
+      let a = Colored_disk2d.max_colored ~radius:1. pts ~colors in
+      let b = Colored_disk2d.max_colored ~radius:1. rpts ~colors:rcolors in
+      a.Colored_disk2d.value = b.Colored_disk2d.value)
+
+let prop_colored_disk2d_scaling_invariant =
+  QCheck.Test.make ~count:80 ~long_factor:5
+    ~name:"colored disk2d: doubling coordinates and radius preserves the \
+           optimum"
+    gen_colored_lattice
+    (fun l ->
+      let pts, colors = colored_pts l in
+      let scaled = Array.map (fun (x, y) -> (2. *. x, 2. *. y)) pts in
+      let a = Colored_disk2d.max_colored ~radius:1. pts ~colors in
+      let b = Colored_disk2d.max_colored ~radius:2. scaled ~colors in
+      a.Colored_disk2d.value = b.Colored_disk2d.value)
+
+let gen_interval_lattice =
+  QCheck.(
+    pair
+      (list_of_size
+         (Gen.int_range 1 30)
+         (pair (int_range (-48) 48) (int_range 1 4)))
+      (int_range 4 32))
+
+let interval_pts l =
+  Array.of_list (List.map (fun (x, w) -> (dyadic x, float_of_int w)) l)
+
+let prop_interval1d_translation_invariant =
+  QCheck.Test.make ~count:120 ~long_factor:5
+    ~name:"interval1d: dyadic translation preserves the optimum"
+    QCheck.(pair gen_interval_lattice gen_offset)
+    (fun ((l, len), t) ->
+      let pts = interval_pts l in
+      let moved = Array.map (fun (x, w) -> (x +. dyadic t, w)) pts in
+      let len = dyadic len in
+      let a = Interval1d.max_sum ~len pts in
+      let b = Interval1d.max_sum ~len moved in
+      a.Interval1d.value = b.Interval1d.value)
+
+let prop_interval1d_permutation_invariant =
+  QCheck.Test.make ~count:120 ~long_factor:5
+    ~name:"interval1d: input order is irrelevant"
+    gen_interval_lattice
+    (fun (l, len) ->
+      let pts = interval_pts l in
+      let rev = Array.of_list (List.rev (Array.to_list pts)) in
+      let len = dyadic len in
+      let a = Interval1d.max_sum ~len pts in
+      let b = Interval1d.max_sum ~len rev in
+      a.Interval1d.value = b.Interval1d.value)
+
+let prop_interval1d_scaling_invariant =
+  QCheck.Test.make ~count:120 ~long_factor:5
+    ~name:"interval1d: doubling coordinates and length preserves the optimum"
+    gen_interval_lattice
+    (fun (l, len) ->
+      let pts = interval_pts l in
+      let scaled = Array.map (fun (x, w) -> (2. *. x, w)) pts in
+      let len = dyadic len in
+      let a = Interval1d.max_sum ~len pts in
+      let b = Interval1d.max_sum ~len:(2. *. len) scaled in
+      a.Interval1d.value = b.Interval1d.value)
+
+(* Fixed seed + capped shifts: both runs replay the same random
+   choices, so the scaling metamorphosis compares identical sampling
+   decisions on bit-identical normalized inputs. *)
+let meta_cfg = Config.make ~max_grid_shifts:(Some 3) ~seed:4242 ()
+
+let prop_static_scaling_invariant =
+  QCheck.Test.make ~count:40 ~long_factor:5
+    ~name:"static (Thm 1.2): power-of-two scaling replays bit-exactly"
+    gen_weighted_lattice
+    (fun l ->
+      let pts =
+        Array.of_list
+          (List.map
+             (fun (x, y, w) -> ([| dyadic x; dyadic y |], float_of_int w))
+             l)
+      in
+      let scaled = Array.map (fun (p, w) -> (Point.scale 2. p, w)) pts in
+      let a = Static.solve ~cfg:meta_cfg ~radius:1. ~dim:2 pts in
+      let b = Static.solve ~cfg:meta_cfg ~radius:2. ~dim:2 scaled in
+      match (a, b) with
+      | None, None -> true
+      | Some a, Some b -> a.Static.value = b.Static.value
+      | _ -> false)
+
+let prop_colored_static_scaling_invariant =
+  QCheck.Test.make ~count:40 ~long_factor:5
+    ~name:"colored (Thm 1.5): power-of-two scaling replays bit-exactly"
+    gen_colored_lattice
+    (fun l ->
+      let pts =
+        Array.of_list (List.map (fun (x, y, _) -> [| dyadic x; dyadic y |]) l)
+      in
+      let colors = Array.of_list (List.map (fun (_, _, c) -> c) l) in
+      let scaled = Array.map (Point.scale 2.) pts in
+      let a = Maxrs.Colored.solve ~cfg:meta_cfg ~radius:1. ~dim:2 pts ~colors in
+      let b =
+        Maxrs.Colored.solve ~cfg:meta_cfg ~radius:2. ~dim:2 scaled ~colors
+      in
+      match (a, b) with
+      | None, None -> true
+      | Some a, Some b -> a.Maxrs.Colored.value = b.Maxrs.Colored.value
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
@@ -796,6 +1001,22 @@ let qcheck_cases =
       prop_colored_rect_matches_brute;
       prop_colored_rect_point_achieves;
       prop_approx_rect_sound;
+    ]
+
+let metamorphic_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_disk2d_translation_invariant;
+      prop_disk2d_permutation_invariant;
+      prop_disk2d_scaling_invariant;
+      prop_colored_disk2d_translation_invariant;
+      prop_colored_disk2d_permutation_invariant;
+      prop_colored_disk2d_scaling_invariant;
+      prop_interval1d_translation_invariant;
+      prop_interval1d_permutation_invariant;
+      prop_interval1d_scaling_invariant;
+      prop_static_scaling_invariant;
+      prop_colored_static_scaling_invariant;
     ]
 
 let () =
@@ -895,4 +1116,5 @@ let () =
             test_io_comments_and_blanks;
         ] );
       ("properties", qcheck_cases);
+      ("metamorphic", metamorphic_cases);
     ]

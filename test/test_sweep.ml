@@ -364,6 +364,55 @@ let prop_interval_monotone_in_len =
       b.Interval1d.value >= a.Interval1d.value -. 1e-9)
 
 (* ------------------------------------------------------------------ *)
+(* Differential seed-sweep: a deterministic battery of ~200 seeded
+   random instances (n up to 40 — above the qcheck properties' sizes)
+   comparing the production sweeps against the O(n^3) candidate
+   enumeration. Integer weights make both sides' depth sums exact
+   floats, so agreement is checked with [=], not a tolerance. Extents
+   cycle through dense / medium / sparse regimes so the sweeps see
+   all-overlapping, mixed and mostly-disjoint arrangements. *)
+
+let diff_extents = [| 2.; 6.; 12. |]
+
+let test_differential_weighted_seed_sweep () =
+  for seed = 1 to 100 do
+    let rng = Rng.create (7000 + seed) in
+    let n = 1 + Rng.int rng 40 in
+    let extent = diff_extents.(seed mod Array.length diff_extents) in
+    let pts =
+      Array.init n (fun _ ->
+          ( Rng.uniform rng 0. extent,
+            Rng.uniform rng 0. extent,
+            float_of_int (1 + Rng.int rng 5) ))
+    in
+    let a = Disk2d.max_weight ~radius:1. pts in
+    let _, bv = Brute.max_weighted ~radius:1. pts in
+    Alcotest.(check (float 0.))
+      (Printf.sprintf "seed %d (n=%d, extent=%.0f)" seed n extent)
+      bv a.Disk2d.value
+  done
+
+let test_differential_colored_seed_sweep () =
+  for seed = 1 to 100 do
+    let rng = Rng.create (8000 + seed) in
+    let n = 1 + Rng.int rng 40 in
+    let extent = diff_extents.(seed mod Array.length diff_extents) in
+    let centers =
+      Array.init n (fun _ ->
+          (Rng.uniform rng 0. extent, Rng.uniform rng 0. extent))
+    in
+    (* Color count varies from 2 (duplicates dominate) to 12. *)
+    let palette = 2 + Rng.int rng 11 in
+    let colors = Array.init n (fun _ -> Rng.int rng palette) in
+    let a = Colored_disk2d.max_colored ~radius:1. centers ~colors in
+    let _, bv = Brute.max_colored ~radius:1. centers ~colors in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d (n=%d, extent=%.0f, palette=%d)" seed n extent
+         palette)
+      bv a.Colored_disk2d.value
+  done
+
+(* ------------------------------------------------------------------ *)
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
@@ -423,6 +472,13 @@ let () =
           Alcotest.test_case "duplicates count once" `Quick
             test_colored_disk_duplicates_dont_count;
           Alcotest.test_case "depth queries" `Quick test_colored_depth_at;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "weighted sweep vs brute, 100 seeds" `Quick
+            test_differential_weighted_seed_sweep;
+          Alcotest.test_case "colored sweep vs brute, 100 seeds" `Quick
+            test_differential_colored_seed_sweep;
         ] );
       ("properties", qcheck_cases);
     ]
