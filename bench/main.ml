@@ -1062,6 +1062,212 @@ let e12 () =
   row "\nwrote BENCH_observability.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* E13 — durability: per-update WAL overhead under the three fsync
+   cadences, and recovery time as a function of log length with and
+   without snapshots. Results go to BENCH_durability.json.
+   MAXRS_E13_OPS / MAXRS_E13_MAX_N shrink the run (CI smoke). *)
+
+module Session = Maxrs_durable.Session
+module Wal = Maxrs_durable.Wal
+
+let e13 () =
+  header "E13 — durability (WAL overhead, recovery time)";
+  let env_cap name default =
+    match Sys.getenv_opt name with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some v when v >= 100 -> v
+        | _ -> default)
+    | None -> default
+  in
+  let fresh_wal () =
+    let p = Filename.temp_file "maxrs_bench" ".wal" in
+    Sys.remove p;
+    p
+  in
+  let cleanup_wal wal =
+    let dir = Filename.dirname wal and base = Filename.basename wal in
+    Array.iter
+      (fun name ->
+        if
+          String.length name >= String.length base
+          && String.sub name 0 (String.length base) = base
+        then try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+      (Sys.readdir dir)
+  in
+  (* One op script shared by every run: mixed inserts and deletes with
+     identical swap-remove bookkeeping on each side, so the bare
+     structure and every session see the same sequence. *)
+  let gen_bops ~n ~seed ~extent =
+    let rng = Rng.create seed in
+    let nlive = ref 0 in
+    Array.init n (fun _ ->
+        if !nlive > 1 && Rng.uniform rng 0. 1. < 0.25 then begin
+          let k = int_of_float (Rng.uniform rng 0. (float_of_int !nlive)) in
+          decr nlive;
+          `Del (Int.min k (!nlive - 1))
+        end
+        else begin
+          incr nlive;
+          `Ins
+            ( [| Rng.uniform rng 0. extent; Rng.uniform rng 0. extent |],
+              1. +. Rng.uniform rng 0. 1. )
+        end)
+  in
+  let run_bops ops ~ins ~del =
+    let dummy = Dynamic.handle_of_id 0 in
+    let live = Array.make (Array.length ops + 1) dummy in
+    let nlive = ref 0 in
+    Array.iter
+      (fun op ->
+        match op with
+        | `Ins (p, w) ->
+            live.(!nlive) <- ins p w;
+            incr nlive
+        | `Del k ->
+            del live.(k);
+            decr nlive;
+            live.(k) <- live.(!nlive))
+      ops
+  in
+  let n_ops = env_cap "MAXRS_E13_OPS" 20_000 in
+  let extent = 1.5 *. sqrt (float_of_int n_ops) in
+  let cfg = bench_cfg ~shifts:4 ~seed:1300 () in
+  let ops = gen_bops ~n:n_ops ~seed:1301 ~extent in
+  let reps = 3 in
+  (* Part A: per-update overhead of journaling, vs the bare structure.
+     The journaling cost is tens of us against ~1 ms of solver work per
+     op, so heap-growth and GC phase effects between process phases
+     would swamp it: run one untimed warm-up, interleave the reps
+     across configurations, and compact before every timed run. *)
+  let run_bare () =
+    let dyn = Dynamic.create ~cfg ~dim:2 () in
+    run_bops ops
+      ~ins:(fun p w -> Dynamic.insert dyn ~weight:w p)
+      ~del:(fun h -> Dynamic.delete dyn h)
+  in
+  let run_session policy () =
+    let wal = fresh_wal () in
+    Fun.protect
+      ~finally:(fun () -> cleanup_wal wal)
+      (fun () ->
+        match Session.open_ ~wal ~snapshot_every:0 ~fsync:policy ~cfg () with
+        | Error msg -> failwith msg
+        | Ok sess ->
+            run_bops ops
+              ~ins:(fun p w -> Session.insert sess ~weight:w p)
+              ~del:(fun h -> Session.delete sess h);
+            Session.flush sess;
+            Session.close sess)
+  in
+  let configs =
+    [
+      ("bare", run_bare);
+      ("never", run_session Wal.Never);
+      ("interval", run_session (Wal.Interval 64));
+      ("always", run_session Wal.Always);
+    ]
+  in
+  row "\n[overhead] %d mixed updates, best of %d interleaved runs:\n" n_ops
+    reps;
+  run_bare ();
+  let mins = Array.make (List.length configs) infinity in
+  for _ = 1 to reps do
+    List.iteri
+      (fun i (_, f) ->
+        Gc.compact ();
+        let _, dt = wtime f in
+        mins.(i) <- Float.min mins.(i) dt)
+      configs
+  done;
+  let bare_s = mins.(0) in
+  row "%-16s %10.3f ms  %8.2f us/op\n" "bare dynamic" (1e3 *. bare_s)
+    (1e6 *. bare_s /. float_of_int n_ops);
+  let overhead =
+    List.filteri (fun i _ -> i > 0) (List.map fst configs)
+    |> List.mapi (fun i name ->
+           let t = mins.(i + 1) in
+           let pct = 100. *. (t -. bare_s) /. bare_s in
+           row "%-16s %10.3f ms  %8.2f us/op  %+7.2f%%\n" ("fsync " ^ name)
+             (1e3 *. t)
+             (1e6 *. t /. float_of_int n_ops)
+             pct;
+           (name, t, pct))
+  in
+  (* Part B: recovery time vs log length, wal-only replay vs snapshot
+     plus short suffix. *)
+  let max_n = env_cap "MAXRS_E13_MAX_N" 32_000 in
+  let ladder = List.filter (fun n -> n <= max_n) [ 2_000; 8_000; 32_000 ] in
+  row "\n[recovery] time to reopen a closed session:\n";
+  row "%8s %16s %10s %12s\n" "log ops" "snapshots" "replayed" "recover ms";
+  let recovery =
+    List.concat_map
+      (fun n ->
+        let ops = gen_bops ~n ~seed:(1302 + n) ~extent in
+        List.map
+          (fun snapshot_every ->
+            let wal = fresh_wal () in
+            Fun.protect
+              ~finally:(fun () -> cleanup_wal wal)
+              (fun () ->
+                (match
+                   Session.open_ ~wal ~snapshot_every ~fsync:(Wal.Interval 64)
+                     ~cfg ()
+                 with
+                | Error msg -> failwith msg
+                | Ok sess ->
+                    run_bops ops
+                      ~ins:(fun p w -> Session.insert sess ~weight:w p)
+                      ~del:(fun h -> Session.delete sess h);
+                    Session.close sess);
+                let recovered = ref None in
+                let _, dt =
+                  wtime (fun () ->
+                      match Session.open_ ~wal ~snapshot_every ~cfg () with
+                      | Error msg -> failwith msg
+                      | Ok sess -> recovered := Some sess)
+                in
+                let sess = Option.get !recovered in
+                let replayed =
+                  match Session.recovery sess with
+                  | Some r -> r.Session.replayed
+                  | None -> 0
+                in
+                Session.close sess;
+                row "%8d %16s %10d %12.2f\n" n
+                  (if snapshot_every = 0 then "none"
+                   else Printf.sprintf "every %d" snapshot_every)
+                  replayed (1e3 *. dt);
+                (n, snapshot_every, replayed, dt)))
+          [ 0; Int.max 1 (n / 4) ])
+      ladder
+  in
+  (* JSON *)
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf
+    "{\n  \"experiment\": \"E13\",\n  \"overhead\": {\n    \"n_ops\": %d, \
+     \"bare_s\": %.6f,\n    \"policies\": [" n_ops bare_s;
+  List.iteri
+    (fun i (name, t, pct) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Printf.bprintf buf
+        "{ \"fsync\": %S, \"s\": %.6f, \"overhead_pct\": %.2f }" name t pct)
+    overhead;
+  Buffer.add_string buf "]\n  },\n  \"recovery\": [\n";
+  List.iteri
+    (fun i (n, snapshot_every, replayed, dt) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf
+        "    { \"log_ops\": %d, \"snapshot_every\": %d, \"replayed\": %d, \
+         \"recover_s\": %.6f }" n snapshot_every replayed dt)
+    recovery;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_durability.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  row "\nwrote BENCH_durability.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1077,6 +1283,7 @@ let experiments =
     ("e10", e10);
     ("e11", e11);
     ("e12", e12);
+    ("e13", e13);
     ("ablation", ablation);
     ("micro", micro);
   ]

@@ -41,6 +41,8 @@ module Colored_rect2d = Maxrs_sweep.Colored_rect2d
 module Approx_colored_rect = Maxrs.Approx_colored_rect
 module Batched2d = Maxrs_sweep.Batched2d
 module Obs = Maxrs_obs.Obs
+module Session = Maxrs_durable.Session
+module Wal = Maxrs_durable.Wal
 
 (* ------------------------------------------------------------------ *)
 (* Failure model: distinct exit codes with one-line diagnostics *)
@@ -48,6 +50,7 @@ module Obs = Maxrs_obs.Obs
 let exit_parse_error = 2
 let exit_invalid_input = 3
 let exit_deadline = 4
+let exit_interrupted = 5
 
 let resilience_exits =
   Cmd.Exit.info exit_parse_error ~doc:"on malformed input files (parse error)."
@@ -59,6 +62,10 @@ let resilience_exits =
        ~doc:
          "when $(b,--strict) is set and the $(b,--deadline) expired before \
           the exact answer was found."
+  :: Cmd.Exit.info exit_interrupted
+       ~doc:
+         "when SIGINT/SIGTERM interrupted a $(b,session) run; the WAL and \
+          any $(b,--stats) snapshot are flushed before exiting."
   :: Cmd.Exit.defaults
 
 let guarded f =
@@ -136,6 +143,14 @@ let () =
       "pool.recovered";
       "resilient.degraded";
       "resilient.partial";
+      "wal.records";
+      "wal.bytes";
+      "wal.fsyncs";
+      "snapshot.writes";
+      "snapshot.bytes";
+      "recovery.runs";
+      "recovery.replayed";
+      "recovery.truncated_bytes";
     ]
 
 let stats_arg =
@@ -730,6 +745,180 @@ let dynamic_cmd =
       $ seed_arg $ dim $ verify)
 
 (* ------------------------------------------------------------------ *)
+(* session: crash-safe dynamic structure (WAL + snapshots + recovery) *)
+
+let session wal input snapshot_every fsync_kind fsync_interval linger
+    final_snapshot radius epsilon shifts seed dim stats =
+  with_stats stats @@ fun () ->
+  guarded (fun () ->
+      let fsync =
+        match fsync_kind with
+        | `Always -> Wal.Always
+        | `Never -> Wal.Never
+        | `Interval -> Wal.Interval (Int.max 1 fsync_interval)
+      in
+      let cfg = Config.make ~epsilon ~max_grid_shifts:shifts ~seed () in
+      match Session.open_ ~wal ~snapshot_every ~fsync ~dim ~radius ~cfg () with
+      | Error msg ->
+          Printf.eprintf "maxrs: %s\n" msg;
+          exit_invalid_input
+      | Ok sess ->
+          (* Handlers only set a flag; the op loop and the linger loop
+             poll it, so the WAL is never torn by our own signal exit —
+             we stop between ops, flush, and leave with code 5. *)
+          let interrupted = ref false in
+          let handler = Sys.Signal_handle (fun _ -> interrupted := true) in
+          let prev_int = Sys.signal Sys.sigint handler in
+          let prev_term = Sys.signal Sys.sigterm handler in
+          Fun.protect
+            ~finally:(fun () ->
+              Session.flush sess;
+              Sys.set_signal Sys.sigint prev_int;
+              Sys.set_signal Sys.sigterm prev_term)
+            (fun () ->
+              (* Flushed eagerly so a supervisor watching the stream sees
+                 the session come up before it starts lingering. *)
+              (match Session.recovery sess with
+              | None -> Printf.printf "session: fresh log at %s\n%!" wal
+              | Some r ->
+                  Printf.printf
+                    "session: recovered seq=%d (snapshot=%s, replayed=%d, \
+                     truncated=%dB%s%s)\n"
+                    r.Session.seq
+                    (match r.Session.snapshot_seq with
+                    | Some s -> string_of_int s
+                    | None -> "none")
+                    r.Session.replayed r.Session.truncated_bytes
+                    (match r.Session.corruption with
+                    | Some c -> ", " ^ c
+                    | None -> "")
+                    (if r.Session.wal_rewritten then ", log rewritten" else "");
+                  flush stdout);
+              let interrupted_exit () =
+                Session.flush sess;
+                Session.close sess;
+                Printf.eprintf "maxrs: interrupted; WAL flushed at seq=%d\n"
+                  (Session.seq sess);
+                exit_interrupted
+              in
+              try
+                (match input with
+                | None -> ()
+                | Some path ->
+                    let ops = Trace.load path in
+                    Array.iteri
+                      (fun i op ->
+                        if !interrupted then raise Stdlib.Exit;
+                        match op with
+                        | Trace.Insert (p, w) ->
+                            ignore
+                              (Session.insert sess ~weight:w p : Dynamic.handle)
+                        | Trace.Delete h -> (
+                            try Session.delete sess (Dynamic.handle_of_id h)
+                            with Not_found ->
+                              Guard.ok_exn
+                                (Guard.invalid ~index:i ~field:"delete"
+                                   (Printf.sprintf "handle %d is not live" h)))
+                        | Trace.Query -> (
+                            match Session.best sess with
+                            | Some (p, v) ->
+                                Printf.printf "op %d: live=%d best=%g at %s\n"
+                                  i (Session.size sess) v (Point.to_string p)
+                            | None ->
+                                Printf.printf "op %d: live=%d best=-\n" i
+                                  (Session.size sess)))
+                      ops);
+                let t0 = Unix.gettimeofday () in
+                while (not !interrupted) && Unix.gettimeofday () -. t0 < linger
+                do
+                  Unix.sleepf 0.02
+                done;
+                if !interrupted then raise Stdlib.Exit;
+                if final_snapshot then Session.snapshot_now sess;
+                (match Session.best sess with
+                | Some (p, v) ->
+                    Printf.printf "final: seq=%d live=%d best=%g at %s\n"
+                      (Session.seq sess) (Session.size sess) v
+                      (Point.to_string p)
+                | None ->
+                    Printf.printf "final: seq=%d live=%d best=-\n"
+                      (Session.seq sess) (Session.size sess));
+                Session.close sess;
+                0
+              with Stdlib.Exit -> interrupted_exit ()))
+
+let session_cmd =
+  let wal =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"FILE"
+          ~doc:
+            "Write-ahead log path. If the file exists the session recovers \
+             from it (newest valid snapshot plus WAL replay) and continues; \
+             its recorded dimension/radius/config win over the flags below.")
+  in
+  let input =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "i"; "input" ] ~docv:"FILE"
+          ~doc:
+            "Trace file of +/w/-/? ops to feed the session. Unlike \
+             $(b,dynamic), $(b,- i) deletes the point created by the i-th \
+             insert (handle i), which stays meaningful across restarts.")
+  in
+  let snapshot_every =
+    Arg.(
+      value & opt int 1000
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:"Ops between automatic snapshots (0 disables them).")
+  in
+  let fsync_kind =
+    Arg.(
+      value
+      & opt (enum [ ("always", `Always); ("interval", `Interval); ("never", `Never) ]) `Interval
+      & info [ "fsync" ] ~docv:"POLICY"
+          ~doc:
+            "WAL durability: $(b,always) fsyncs every append, $(b,interval) \
+             every $(b,--fsync-interval) appends, $(b,never) only on exit.")
+  in
+  let fsync_interval =
+    Arg.(
+      value & opt int 64
+      & info [ "fsync-interval" ] ~docv:"K"
+          ~doc:"Appends between fsyncs under $(b,--fsync interval).")
+  in
+  let linger =
+    Arg.(
+      value & opt float 0.
+      & info [ "linger" ] ~docv:"SECS"
+          ~doc:
+            "Stay alive this long after processing the trace (for driving \
+             the session with signals).")
+  in
+  let final_snapshot =
+    Arg.(
+      value & flag
+      & info [ "final-snapshot" ]
+          ~doc:"Write a full snapshot before exiting cleanly.")
+  in
+  let dim =
+    Arg.(value & opt int 2 & info [ "dim" ] ~docv:"D" ~doc:"Dimension.")
+  in
+  Cmd.v
+    (Cmd.info "session" ~exits:resilience_exits
+       ~doc:
+         "Crash-safe dynamic MaxRS session: every update is journaled to a \
+          checksummed write-ahead log, snapshots are written atomically, and \
+          restarting on the same $(b,--wal) recovers the structure \
+          bit-identically to the surviving op prefix.")
+    Term.(
+      const session $ wal $ input $ snapshot_every $ fsync_kind
+      $ fsync_interval $ linger $ final_snapshot $ radius_arg $ epsilon_arg
+      $ shifts_arg $ seed_arg $ dim $ stats_arg)
+
+(* ------------------------------------------------------------------ *)
 (* depth-map: rasterize the (weighted or colored) depth function *)
 
 let depth_map input radius cells colored out =
@@ -851,5 +1040,6 @@ let () =
             colored_rect_cmd;
             batched_disks_cmd;
             dynamic_cmd;
+            session_cmd;
             depth_map_cmd;
           ]))

@@ -7,6 +7,11 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type handle = int
 
+type op_event =
+  | Op_insert of { handle : handle; point : Point.t; weight : float }
+  | Op_delete of handle
+  | Op_epoch of { epochs : int; n0 : int }
+
 type entry = { depth : float; version : int; cell : Sample_space.cell }
 
 type t = {
@@ -20,9 +25,23 @@ type t = {
   mutable next_handle : int;
   mutable epochs : int;
   mutable pushes : int;  (** heap entries since the last compaction *)
+  mutable journal : op_event -> unit;  (** op-journaling hook *)
 }
 
-let entry_cmp a b = Float.compare a.depth b.depth
+(* A strict total order: depth first, then the cell's stable uid, then
+   the entry version (freshest first). With no ties between
+   distinguishable entries, the heap's top — and hence every query
+   answer — is independent of the heap's internal layout, so a
+   crash-recovered structure (whose heap is rebuilt by compaction)
+   answers exactly like one that never stopped. *)
+let entry_cmp a b =
+  let c = Float.compare a.depth b.depth in
+  if c <> 0 then c
+  else
+    let c =
+      Int.compare (Sample_space.cell_uid b.cell) (Sample_space.cell_uid a.cell)
+    in
+    if c <> 0 then c else Int.compare a.version b.version
 
 (* The heap is lazy: every cell-max change pushes a fresh entry and stale
    ones are discarded at query time. Unchecked, that grows without bound,
@@ -75,6 +94,7 @@ let create ?(cfg = Config.default) ?(radius = 1.) ~dim () =
       next_handle = 0;
       epochs = 0;
       pushes = 0;
+      journal = ignore;
     }
   in
   attach_hook t;
@@ -83,6 +103,12 @@ let create ?(cfg = Config.default) ?(radius = 1.) ~dim () =
 let size t = Hashtbl.length t.balls
 let epochs t = t.epochs
 let sample_count t = Sample_space.sample_count t.space
+let dim t = t.dim
+let radius t = t.radius
+let config t = t.cfg
+let handle_id (h : handle) : int = h
+let handle_of_id (i : int) : handle = i
+let on_op t f = t.journal <- f
 
 let rebuild t =
   t.epochs <- t.epochs + 1;
@@ -96,9 +122,14 @@ let rebuild t =
   t.heap <- Heap.create ~cmp:entry_cmp;
   t.pushes <- 0;
   attach_hook t;
-  Hashtbl.iter
-    (fun _ (center, weight) -> Sample_space.insert t.space ~center ~weight)
-    t.balls
+  (* Sorted handle order, not hash-table order: the sample positions an
+     epoch draws depend on the insertion order, and a restored ball
+     table must rebuild exactly like the original. *)
+  Hashtbl.fold (fun h bw acc -> (h, bw) :: acc) t.balls []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.iter (fun (_, (center, weight)) ->
+         Sample_space.insert t.space ~center ~weight);
+  t.journal (Op_epoch { epochs = t.epochs; n0 = t.n0 })
 
 let maybe_rebuild t =
   let n = size t in
@@ -120,6 +151,7 @@ let insert_checked t ?(weight = 1.) p =
       t.next_handle <- h + 1;
       Hashtbl.replace t.balls h (center, weight);
       Sample_space.insert t.space ~center ~weight;
+      t.journal (Op_insert { handle = h; point = p; weight });
       maybe_rebuild t;
       maybe_compact t;
       h)
@@ -133,6 +165,7 @@ let delete t h =
   | Some (center, weight) ->
       Hashtbl.remove t.balls h;
       Sample_space.delete t.space ~center ~weight;
+      t.journal (Op_delete h);
       maybe_rebuild t;
       maybe_compact t
 
@@ -154,3 +187,74 @@ let best t =
         end
   in
   go ()
+
+(* ------------------------------------------------------------------ *)
+(* Durable state capture. The lazy heap is not serialized: stale entries
+   never influence a query (they are discarded on sight) and, because
+   [entry_cmp] is a total order, a heap rebuilt by [compact] from the
+   restored cells returns exactly the answers the original heap would
+   have — so [restore st] continues bit-identically to the structure
+   [st] was captured from. *)
+
+module State = struct
+  type t = {
+    dim : int;
+    radius : float;
+    cfg : Config.t;
+    balls : (handle * (Point.t * float)) list;
+        (** scaled centers, sorted by handle *)
+    n0 : int;
+    next_handle : int;
+    epochs : int;
+    space : Sample_space.State.t;
+  }
+end
+
+let state t =
+  {
+    State.dim = t.dim;
+    radius = t.radius;
+    cfg = t.cfg;
+    balls =
+      Hashtbl.fold (fun h (c, w) acc -> (h, (Array.copy c, w)) :: acc) t.balls []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
+    n0 = t.n0;
+    next_handle = t.next_handle;
+    epochs = t.epochs;
+    space = Sample_space.state t.space;
+  }
+
+let restore (s : State.t) =
+  Config.validate s.State.cfg;
+  if s.State.radius <= 0. then
+    invalid_arg "Dynamic.restore: radius must be positive";
+  if s.State.n0 < 4 || s.State.next_handle < 0 || s.State.epochs < 0 then
+    invalid_arg "Dynamic.restore: negative or degenerate counters";
+  let space = Sample_space.restore ~cfg:s.State.cfg s.State.space in
+  let balls = Hashtbl.create 256 in
+  List.iter
+    (fun (h, (c, w)) ->
+      if h < 0 || h >= s.State.next_handle then
+        invalid_arg "Dynamic.restore: handle out of range";
+      if Array.length c <> s.State.dim then
+        invalid_arg "Dynamic.restore: ball dimension mismatch";
+      Hashtbl.replace balls h (Array.copy c, w))
+    s.State.balls;
+  let t =
+    {
+      dim = s.State.dim;
+      cfg = s.State.cfg;
+      radius = s.State.radius;
+      balls;
+      space;
+      heap = Heap.create ~cmp:entry_cmp;
+      n0 = s.State.n0;
+      next_handle = s.State.next_handle;
+      epochs = s.State.epochs;
+      pushes = 0;
+      journal = ignore;
+    }
+  in
+  attach_hook t;
+  compact t;
+  t

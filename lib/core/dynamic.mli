@@ -49,3 +49,67 @@ val epochs : t -> int
 (** Number of epoch rebuilds so far (for the amortization experiment). *)
 
 val sample_count : t -> int
+
+val dim : t -> int
+val radius : t -> float
+val config : t -> Config.t
+
+val handle_id : handle -> int
+(** Stable integer identity of a handle: dense, starting at 0, assigned
+    in insertion order. This is the WAL's on-disk representation of a
+    handle — [handle_of_id (handle_id h) = h]. *)
+
+val handle_of_id : int -> handle
+
+(** {2 Durability: op journaling and exact state capture}
+
+    The building blocks of the [maxrs_durable] crash-safe session: a
+    hook that observes every applied mutation (for write-ahead logging)
+    and an exact serializable state (for snapshots). The contract is
+    bit-identical continuation: [restore (state t)] behaves exactly like
+    [t] — same cells, same counters, same answer to every future
+    operation sequence — because all randomness flows through captured
+    split-stream rng states and every order-sensitive internal iteration
+    is canonical (sorted handles on epoch rebuilds, a total-order heap
+    comparator). *)
+
+type op_event =
+  | Op_insert of { handle : handle; point : Maxrs_geom.Point.t; weight : float }
+      (** fired after the insert is applied; [point] is the caller's
+          (unscaled) point, so replaying it through {!insert} reproduces
+          the operation exactly *)
+  | Op_delete of handle  (** fired after the delete is applied *)
+  | Op_epoch of { epochs : int; n0 : int }
+      (** fired after an epoch rebuild completes — a consistency marker,
+          not an operation: replays derive rebuilds from the op stream
+          and can use this to detect divergence *)
+
+val on_op : t -> (op_event -> unit) -> unit
+(** Register the journaling hook (a single slot; the default is
+    [ignore]). The hook runs synchronously inside {!insert}/{!delete}
+    after the mutation is applied and must not mutate the structure. *)
+
+module State : sig
+  type t = {
+    dim : int;
+    radius : float;
+    cfg : Config.t;
+    balls : (handle * (Maxrs_geom.Point.t * float)) list;
+        (** scaled centers, sorted by handle *)
+    n0 : int;
+    next_handle : int;
+    epochs : int;
+    space : Sample_space.State.t;
+  }
+end
+
+val state : t -> State.t
+(** Canonical deep copy of the full structure state (the lazy heap is
+    excluded: it is rebuilt on {!restore} and never affects answers).
+    Capturing is non-destructive. *)
+
+val restore : State.t -> t
+(** Rebuild a structure that continues bit-identically to the captured
+    one. Raises [Invalid_argument] on an internally inconsistent state
+    (a decoded-but-semantically-corrupt snapshot). No journaling hook is
+    registered on the result. *)

@@ -37,6 +37,32 @@ let parse_1d_line line =
   | [ x ] -> (x, 1.)
   | _ -> fail line "1-D record must be x[,weight]"
 
+let max_line_bytes = 65536
+
+(* Bounded line reader: [In_channel.input_line] buffers an adversarially
+   long line wholesale before the caller sees a byte of it, so a crafted
+   input could exhaust memory with a single newline-free record. Reading
+   char-by-char (through the channel's buffer, so still cheap) caps the
+   record length and surfaces the structured [Guard] error — with the
+   1-based line number — instead of unbounded buffering. *)
+let input_line_bounded ic ~lineno =
+  let buf = Buffer.create 80 in
+  let rec go () =
+    match In_channel.input_char ic with
+    | None -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+    | Some '\n' -> Some (Buffer.contents buf)
+    | Some c ->
+        if Buffer.length buf >= max_line_bytes then
+          Maxrs_resilience.Guard.ok_exn
+            (Maxrs_resilience.Guard.invalid ~index:lineno ~field:"input line"
+               (Printf.sprintf "record exceeds %d bytes" max_line_bytes))
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+  in
+  go ()
+
 (* Physical 1-based line numbers (comments and blank lines count), so a
    reported position matches what an editor shows. [String.trim] strips
    the '\r' of CRLF files and trailing whitespace. *)
@@ -46,7 +72,7 @@ let read_data_lines path =
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let rec go lineno acc =
-        match In_channel.input_line ic with
+        match input_line_bounded ic ~lineno with
         | Some l ->
             let l = String.trim l in
             if l = "" || l.[0] = '#' then go (lineno + 1) acc

@@ -15,6 +15,19 @@ exception Parse_error of string
     functions prefix it with the 1-based physical line number
     (["line 7: ..."]); the bare [parse_*_line] functions do not. *)
 
+val max_line_bytes : int
+(** Maximum accepted record length (65536 bytes). Input is streamed
+    line-by-line through a bounded reader: a longer (or newline-free)
+    record raises {!Maxrs_resilience.Guard.Error} carrying the 1-based
+    line number instead of buffering the whole line — an adversarial
+    file cannot exhaust memory with a single record. *)
+
+val input_line_bounded : in_channel -> lineno:int -> string option
+(** The bounded reader behind the [load_*] functions (shared with
+    {!Trace}): next line without its ['\n'], [None] at end of input.
+    Raises {!Maxrs_resilience.Guard.Error} (field ["input line"], index
+    [lineno]) once a line exceeds {!max_line_bytes}. *)
+
 val parse_weighted_line : ?unweighted:bool -> string -> Maxrs_geom.Point.t * float
 val parse_colored_line : string -> (float * float) * int
 val parse_1d_line : string -> float * float

@@ -49,8 +49,10 @@ type t = {
   mutable hook : cell -> unit;
 }
 
-let create ~dim ~cfg ~expected_n =
-  Config.validate cfg;
+(* Grid collection and the rng the per-grid streams derive from; both
+   are deterministic functions of (dim, cfg), which is what lets a
+   restored structure rebuild the same geometry from the config alone. *)
+let make_grids ~dim ~cfg =
   let side = Config.grid_side cfg ~dim in
   let delta = Config.grid_delta cfg in
   let rng = Rng.create cfg.Config.seed in
@@ -60,6 +62,11 @@ let create ~dim ~cfg ~expected_n =
     | Some cap ->
         Shifted_grids.make ~cap ~rng:(Rng.split rng) ~dim ~side ~delta ()
   in
+  (grids, rng)
+
+let create ~dim ~cfg ~expected_n =
+  Config.validate cfg;
+  let grids, rng = make_grids ~dim ~cfg in
   let count = Shifted_grids.count grids in
   {
     dim;
@@ -84,6 +91,12 @@ let on_cell_change t f = t.hook <- f
 let cell_max c = c.max_depth
 let cell_best c = c.best
 let cell_version c = c.cversion
+
+(* The first sample's id doubles as a cell identifier: ids are unique
+   across the structure and assigned at materialization, so the uid is a
+   deterministic function of the per-grid operation history — a stable
+   tie-breaking key that survives serialization. *)
+let cell_uid c = c.samples.(0).id
 
 let new_cell t gi grid key =
   let center = Grid.cell_center grid key in
@@ -301,3 +314,145 @@ let best t =
   match !best with
   | Some c when c.max_depth > Float.neg_infinity -> Some c.best
   | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Durable state capture.
+
+   [state] is a canonical deep copy of everything mutable: per-grid rng
+   stream states, id counters, and every live cell with its samples'
+   exact float bit patterns. Cells are sorted by key and balls are not
+   part of this layer (the dynamic structure owns them), so two
+   structures that behave identically serialize identically — the
+   bit-for-bit comparison the crash-recovery harness relies on.
+
+   [restore] rebuilds the deterministic parts (the grid collection) from
+   the config and patches every mutable field back in. The hash tables
+   are repopulated in serialized order; no observable behaviour depends
+   on their internal layout — the dynamic structure's heap uses a total
+   order over (depth, cell uid, version), and epoch rebuilds iterate
+   balls in sorted handle order. *)
+module State = struct
+  type sample_s = {
+    s_id : int;
+    s_pos : float array;
+    s_depth : float;
+    s_flag : int;
+    s_version : int;
+  }
+
+  type cell_s = {
+    cs_key : int array;
+    cs_nballs : int;
+    cs_version : int;
+    cs_max : float;
+    cs_best : int;  (** index into [cs_samples] *)
+    cs_samples : sample_s array;
+  }
+
+  type grid_s = { gs_rng : int64; gs_next_id : int; gs_cells : cell_s list }
+  type t = { st_dim : int; st_samples_per_cell : int; st_grids : grid_s array }
+end
+
+let state t =
+  let grid gi =
+    let cells =
+      Grid.Tbl.fold
+        (fun key c acc ->
+          let best = ref 0 in
+          Array.iteri (fun i s -> if s == c.best then best := i) c.samples;
+          {
+            State.cs_key = Array.copy key;
+            cs_nballs = c.nballs;
+            cs_version = c.cversion;
+            cs_max = c.max_depth;
+            cs_best = !best;
+            cs_samples =
+              Array.map
+                (fun s ->
+                  {
+                    State.s_id = s.id;
+                    s_pos = Array.copy s.pos;
+                    s_depth = s.depth;
+                    s_flag = s.flag;
+                    s_version = s.version;
+                  })
+                c.samples;
+          }
+          :: acc)
+        t.tables.(gi) []
+      |> List.sort (fun a b -> Stdlib.compare a.State.cs_key b.State.cs_key)
+    in
+    {
+      State.gs_rng = Rng.state t.rngs.(gi);
+      gs_next_id = t.next_ids.(gi);
+      gs_cells = cells;
+    }
+  in
+  {
+    State.st_dim = t.dim;
+    st_samples_per_cell = t.t_samples;
+    st_grids = Array.init (grid_count t) grid;
+  }
+
+let restore ~cfg (st : State.t) =
+  Config.validate cfg;
+  let dim = st.State.st_dim in
+  if dim < 1 then invalid_arg "Sample_space.restore: dimension must be >= 1";
+  if st.State.st_samples_per_cell < 1 then
+    invalid_arg "Sample_space.restore: samples_per_cell must be >= 1";
+  let grids, _rng = make_grids ~dim ~cfg in
+  let count = Shifted_grids.count grids in
+  if count <> Array.length st.State.st_grids then
+    invalid_arg "Sample_space.restore: grid count disagrees with the config";
+  let t =
+    {
+      dim;
+      cfg;
+      grids;
+      tables = Array.init count (fun _ -> Grid.Tbl.create 256);
+      rngs =
+        Array.map (fun g -> Rng.of_state g.State.gs_rng) st.State.st_grids;
+      t_samples = st.State.st_samples_per_cell;
+      stride = count;
+      next_ids = Array.map (fun g -> g.State.gs_next_id) st.State.st_grids;
+      n_cells =
+        Array.map (fun g -> List.length g.State.gs_cells) st.State.st_grids;
+      hook = ignore;
+    }
+  in
+  Array.iteri
+    (fun gi g ->
+      List.iter
+        (fun (c : State.cell_s) ->
+          let n = Array.length c.State.cs_samples in
+          if n <> t.t_samples then
+            invalid_arg "Sample_space.restore: cell sample count mismatch";
+          if c.State.cs_best < 0 || c.State.cs_best >= n then
+            invalid_arg "Sample_space.restore: best index out of range";
+          let samples =
+            Array.map
+              (fun (s : State.sample_s) ->
+                if Array.length s.State.s_pos <> dim then
+                  invalid_arg "Sample_space.restore: sample dimension mismatch";
+                {
+                  id = s.State.s_id;
+                  pos = Array.copy s.State.s_pos;
+                  depth = s.State.s_depth;
+                  flag = s.State.s_flag;
+                  version = s.State.s_version;
+                })
+              c.State.cs_samples
+          in
+          let cell =
+            {
+              samples;
+              nballs = c.State.cs_nballs;
+              max_depth = c.State.cs_max;
+              best = samples.(c.State.cs_best);
+              cversion = c.State.cs_version;
+            }
+          in
+          Grid.Tbl.add t.tables.(gi) (Array.copy c.State.cs_key) cell)
+        g.State.gs_cells)
+    st.State.st_grids;
+  t

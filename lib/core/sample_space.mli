@@ -62,6 +62,12 @@ val cell_version : cell -> int
 (** Bumped whenever the cell's max/argmax changes or the cell is
     dropped — lazy-heap staleness check. *)
 
+val cell_uid : cell -> int
+(** A stable unique identifier (the first sample's id): a deterministic
+    function of the per-grid operation history, so it survives
+    {!state}/{!restore} round trips. Used as a total-order tie-breaking
+    key by the dynamic structure's heap. *)
+
 val on_cell_change : t -> (cell -> unit) -> unit
 (** Register a hook invoked whenever a cell's cached max changes (or the
     cell is dropped). *)
@@ -116,3 +122,40 @@ val validate : t -> live:Maxrs_geom.Point.t list -> bool
     the structural invariants — the materialized cells are exactly the
     cells intersected by a live ball, each with the correct reference
     count, and every cached cell max matches its samples. *)
+
+(** Exact serializable state (durability layer). The capture is
+    canonical — cells sorted by key, every mutable float copied
+    bit-for-bit — so behaviourally identical structures produce
+    structurally equal states. *)
+module State : sig
+  type sample_s = {
+    s_id : int;
+    s_pos : float array;
+    s_depth : float;
+    s_flag : int;
+    s_version : int;
+  }
+
+  type cell_s = {
+    cs_key : int array;
+    cs_nballs : int;
+    cs_version : int;
+    cs_max : float;
+    cs_best : int;  (** index into [cs_samples] *)
+    cs_samples : sample_s array;
+  }
+
+  type grid_s = { gs_rng : int64; gs_next_id : int; gs_cells : cell_s list }
+  type t = { st_dim : int; st_samples_per_cell : int; st_grids : grid_s array }
+end
+
+val state : t -> State.t
+(** Deep canonical copy of all mutable state (rng streams, id counters,
+    cells, samples). The structure may continue evolving afterwards. *)
+
+val restore : cfg:Config.t -> State.t -> t
+(** Rebuild a structure whose future behaviour is identical to the
+    captured one's. The grid collection is re-derived from [cfg], which
+    must be the config the captured structure was built with; raises
+    [Invalid_argument] when the state is inconsistent with it. No hook
+    is registered on the restored structure. *)

@@ -55,10 +55,12 @@ let load path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      (* Physical 1-based line numbers, as in {!Points_io}. String.trim
+      (* Physical 1-based line numbers, as in {!Points_io}, and the same
+         bounded line reader: a newline-free multi-gigabyte trace must
+         surface a structured error, not exhaust memory. String.trim
          strips the '\r' of CRLF files and trailing whitespace. *)
       let rec go lineno acc =
-        match In_channel.input_line ic with
+        match Points_io.input_line_bounded ic ~lineno with
         | Some l ->
             let l = String.trim l in
             if l = "" || l.[0] = '#' then go (lineno + 1) acc

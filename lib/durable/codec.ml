@@ -1,0 +1,238 @@
+(* Little-endian binary codec for WAL records and full Dynamic states.
+
+   Every multi-byte value is fixed-width little-endian; floats are
+   serialized as their IEEE-754 bit pattern (Int64.bits_of_float), so a
+   decode-encode round trip is byte-identical and recovered states
+   answer queries with the exact same bits as the originals. Decoders
+   raise {!Malformed} on any structural problem; the WAL and snapshot
+   layers treat that as corruption of the enclosing checksummed frame
+   (unreachable unless the frame was produced by an incompatible
+   version, since the CRC already guards against bit damage). *)
+
+module Config = Maxrs.Config
+module Dynamic = Maxrs.Dynamic
+module Sample_space = Maxrs.Sample_space
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
+
+(* Bounds on decoded collection sizes: a corrupt length field must fail
+   cleanly instead of attempting a multi-gigabyte allocation. *)
+let max_seq_len = 1 lsl 28
+
+(* {1 Encoding} *)
+
+let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+let i64 b v = Buffer.add_int64_le b v
+let int_ b v = i64 b (Int64.of_int v)
+let f64 b v = i64 b (Int64.bits_of_float v)
+let bool_ b v = u8 b (if v then 1 else 0)
+
+let opt enc b = function
+  | None -> u8 b 0
+  | Some v ->
+      u8 b 1;
+      enc b v
+
+let array_ enc b a =
+  int_ b (Array.length a);
+  Array.iter (enc b) a
+
+let list_ enc b l =
+  int_ b (List.length l);
+  List.iter (enc b) l
+
+let float_array b a = array_ f64 b a
+let int_array b a = array_ int_ b a
+
+(* {1 Decoding} *)
+
+type reader = { data : string; mutable pos : int }
+
+let reader ?(pos = 0) data = { data; pos }
+let at_end r = r.pos >= String.length r.data
+
+let need r n what =
+  if r.pos + n > String.length r.data then
+    malformed "truncated %s at offset %d" what r.pos
+
+let r_u8 r =
+  need r 1 "u8";
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let r_i64 r =
+  need r 8 "i64";
+  let v = String.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let r_int r =
+  let v = r_i64 r in
+  let i = Int64.to_int v in
+  if Int64.of_int i <> v then malformed "int out of native range";
+  i
+
+let r_f64 r = Int64.float_of_bits (r_i64 r)
+
+let r_bool r =
+  match r_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | v -> malformed "bad bool byte %d" v
+
+let r_opt dec r =
+  match r_u8 r with
+  | 0 -> None
+  | 1 -> Some (dec r)
+  | v -> malformed "bad option byte %d" v
+
+let r_len r what =
+  let n = r_int r in
+  if n < 0 || n > max_seq_len then malformed "bad %s length %d" what n;
+  n
+
+let r_array dec r what =
+  let n = r_len r what in
+  Array.init n (fun _ -> dec r)
+
+let r_list dec r what =
+  let n = r_len r what in
+  List.init n (fun _ -> dec r)
+
+let r_float_array r what = r_array r_f64 r what
+let r_int_array r what = r_array r_int r what
+
+(* {1 Config} *)
+
+let config b (c : Config.t) =
+  f64 b c.Config.epsilon;
+  f64 b c.Config.sample_constant;
+  int_ b c.Config.min_samples;
+  opt int_ b c.Config.max_grid_shifts;
+  int_ b c.Config.seed;
+  opt int_ b c.Config.domains;
+  opt bool_ b c.Config.stats
+
+let r_config r : Config.t =
+  let epsilon = r_f64 r in
+  let sample_constant = r_f64 r in
+  let min_samples = r_int r in
+  let max_grid_shifts = r_opt r_int r in
+  let seed = r_int r in
+  let domains = r_opt r_int r in
+  let stats = r_opt r_bool r in
+  {
+    Config.epsilon;
+    sample_constant;
+    min_samples;
+    max_grid_shifts;
+    seed;
+    domains;
+    stats;
+  }
+
+(* {1 Sample-space state} *)
+
+let sample b (s : Sample_space.State.sample_s) =
+  int_ b s.Sample_space.State.s_id;
+  float_array b s.Sample_space.State.s_pos;
+  f64 b s.Sample_space.State.s_depth;
+  int_ b s.Sample_space.State.s_flag;
+  int_ b s.Sample_space.State.s_version
+
+let r_sample r : Sample_space.State.sample_s =
+  let s_id = r_int r in
+  let s_pos = r_float_array r "sample pos" in
+  let s_depth = r_f64 r in
+  let s_flag = r_int r in
+  let s_version = r_int r in
+  { Sample_space.State.s_id; s_pos; s_depth; s_flag; s_version }
+
+let cell b (c : Sample_space.State.cell_s) =
+  int_array b c.Sample_space.State.cs_key;
+  int_ b c.Sample_space.State.cs_nballs;
+  int_ b c.Sample_space.State.cs_version;
+  f64 b c.Sample_space.State.cs_max;
+  int_ b c.Sample_space.State.cs_best;
+  array_ sample b c.Sample_space.State.cs_samples
+
+let r_cell r : Sample_space.State.cell_s =
+  let cs_key = r_int_array r "cell key" in
+  let cs_nballs = r_int r in
+  let cs_version = r_int r in
+  let cs_max = r_f64 r in
+  let cs_best = r_int r in
+  let cs_samples = r_array r_sample r "cell samples" in
+  { Sample_space.State.cs_key; cs_nballs; cs_version; cs_max; cs_best; cs_samples }
+
+let grid b (g : Sample_space.State.grid_s) =
+  i64 b g.Sample_space.State.gs_rng;
+  int_ b g.Sample_space.State.gs_next_id;
+  list_ cell b g.Sample_space.State.gs_cells
+
+let r_grid r : Sample_space.State.grid_s =
+  let gs_rng = r_i64 r in
+  let gs_next_id = r_int r in
+  let gs_cells = r_list r_cell r "grid cells" in
+  { Sample_space.State.gs_rng; gs_next_id; gs_cells }
+
+let space b (s : Sample_space.State.t) =
+  int_ b s.Sample_space.State.st_dim;
+  int_ b s.Sample_space.State.st_samples_per_cell;
+  array_ grid b s.Sample_space.State.st_grids
+
+let r_space r : Sample_space.State.t =
+  let st_dim = r_int r in
+  let st_samples_per_cell = r_int r in
+  let st_grids = r_array r_grid r "grids" in
+  { Sample_space.State.st_dim; st_samples_per_cell; st_grids }
+
+(* {1 Dynamic state} *)
+
+let ball b (h, (center, weight)) =
+  int_ b (Dynamic.handle_id h);
+  float_array b center;
+  f64 b weight
+
+let r_ball r =
+  let h = Dynamic.handle_of_id (r_int r) in
+  let center = r_float_array r "ball center" in
+  let weight = r_f64 r in
+  (h, (center, weight))
+
+let state b (s : Dynamic.State.t) =
+  int_ b s.Dynamic.State.dim;
+  f64 b s.Dynamic.State.radius;
+  config b s.Dynamic.State.cfg;
+  list_ ball b s.Dynamic.State.balls;
+  int_ b s.Dynamic.State.n0;
+  int_ b s.Dynamic.State.next_handle;
+  int_ b s.Dynamic.State.epochs;
+  space b s.Dynamic.State.space
+
+let r_state r : Dynamic.State.t =
+  let dim = r_int r in
+  let radius = r_f64 r in
+  let cfg = r_config r in
+  let balls = r_list r_ball r "balls" in
+  let n0 = r_int r in
+  let next_handle = r_int r in
+  let epochs = r_int r in
+  let space = r_space r in
+  { Dynamic.State.dim; radius; cfg; balls; n0; next_handle; epochs; space }
+
+let encode_state s =
+  let b = Buffer.create 4096 in
+  state b s;
+  Buffer.contents b
+
+let decode_state data =
+  let r = reader data in
+  let s = r_state r in
+  if not (at_end r) then
+    malformed "trailing bytes after state (%d of %d consumed)" r.pos
+      (String.length data);
+  s

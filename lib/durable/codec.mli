@@ -1,0 +1,55 @@
+(** Little-endian binary codec for WAL records and {!Maxrs.Dynamic}
+    state snapshots.
+
+    Floats travel as IEEE-754 bit patterns, so encode/decode round
+    trips are byte-identical and recovered structures answer with the
+    exact same bits as the originals. All decoders raise {!Malformed}
+    on structural problems (truncation, bad tags, absurd lengths) —
+    never [Invalid_argument] or an allocation blow-up. *)
+
+exception Malformed of string
+
+val malformed : ('a, unit, string, 'b) format4 -> 'a
+(** [malformed fmt ...] raises {!Malformed} with a formatted message. *)
+
+(** {1 Primitive encoders} — append to a [Buffer.t]. *)
+
+val u8 : Buffer.t -> int -> unit
+val i64 : Buffer.t -> int64 -> unit
+val int_ : Buffer.t -> int -> unit
+val f64 : Buffer.t -> float -> unit
+val bool_ : Buffer.t -> bool -> unit
+val opt : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a option -> unit
+val float_array : Buffer.t -> float array -> unit
+val int_array : Buffer.t -> int array -> unit
+
+(** {1 Primitive decoders} — consume from a cursor over a string. *)
+
+type reader = { data : string; mutable pos : int }
+
+val reader : ?pos:int -> string -> reader
+val at_end : reader -> bool
+val r_u8 : reader -> int
+val r_i64 : reader -> int64
+val r_int : reader -> int
+val r_f64 : reader -> float
+val r_bool : reader -> bool
+val r_opt : (reader -> 'a) -> reader -> 'a option
+val r_float_array : reader -> string -> float array
+val r_int_array : reader -> string -> int array
+
+(** {1 Domain codecs} *)
+
+val config : Buffer.t -> Maxrs.Config.t -> unit
+val r_config : reader -> Maxrs.Config.t
+val state : Buffer.t -> Maxrs.Dynamic.State.t -> unit
+val r_state : reader -> Maxrs.Dynamic.State.t
+
+val encode_state : Maxrs.Dynamic.State.t -> string
+(** Whole-state convenience wrapper. Because {!Maxrs.Dynamic.state} is
+    canonical (sorted balls, sorted cells), two structures with equal
+    observable state encode to equal strings — tests use this as a
+    fingerprint for bit-identical recovery. *)
+
+val decode_state : string -> Maxrs.Dynamic.State.t
+(** Inverse of {!encode_state}; raises {!Malformed} on trailing bytes. *)

@@ -1,0 +1,28 @@
+(* CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven. All
+   arithmetic stays within 32 bits, so native 63-bit ints hold every
+   intermediate exactly; no external dependency is needed. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc byte =
+  let table = Lazy.force table in
+  table.((crc lxor byte) land 0xff) lxor (crc lsr 8)
+
+let of_substring s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.of_substring";
+  let crc = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    crc := update !crc (Char.code (String.unsafe_get s i))
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let of_string s = of_substring s ~pos:0 ~len:(String.length s)
+let of_bytes b = of_string (Bytes.unsafe_to_string b)

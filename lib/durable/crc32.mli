@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE 802.3) — the checksum guarding every WAL record and
+    snapshot payload. Values are in [0, 2^32). *)
+
+val of_string : string -> int
+val of_bytes : bytes -> int
+
+val of_substring : string -> pos:int -> len:int -> int
+(** Raises [Invalid_argument] on an out-of-bounds range. *)

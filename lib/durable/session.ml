@@ -1,0 +1,312 @@
+(* Crash-safe session around [Maxrs.Dynamic]: every applied operation
+   is journaled to the WAL via the structure's op hook, full-state
+   snapshots are taken every [snapshot_every] ops, and [open_] on an
+   existing log recovers by loading the newest usable snapshot and
+   replaying the WAL suffix, stopping cleanly at the first torn or
+   corrupt record.
+
+   Because [Dynamic.restore (Dynamic.state t)] continues bit-identically
+   to [t] (captured rng streams, canonical iteration orders, exact
+   float bit patterns), the recovered structure is byte-for-byte
+   equivalent to one that replayed the surviving op prefix from
+   scratch: same cells, same counters, same best-placement answer.
+
+   Ordering: the hook journals an op after it is applied but before the
+   mutating call returns, so a crash can only lose ops that had not yet
+   returned to the caller — recovery always lands on a valid prefix,
+   never a half-applied operation. *)
+
+module Obs = Maxrs_obs.Obs
+module Config = Maxrs.Config
+module Dynamic = Maxrs.Dynamic
+module Point = Maxrs_geom.Point
+
+let c_runs = Obs.counter "recovery.runs"
+let c_replayed = Obs.counter "recovery.replayed"
+let c_truncated = Obs.counter "recovery.truncated_bytes"
+
+type recovery = {
+  snapshot_seq : int option;  (** seq of the snapshot used, if any *)
+  replayed : int;  (** op records replayed on top of it *)
+  seq : int;  (** total ops live after recovery *)
+  truncated_bytes : int;  (** corrupt/torn suffix dropped from the log *)
+  corruption : string option;  (** why the log scan stopped early *)
+  wal_rewritten : bool;
+      (** the log was rewritten from a snapshot newer than its own
+          valid prefix (or its header was unrecoverable) *)
+}
+
+type t = {
+  dyn : Dynamic.t;
+  mutable writer : Wal.writer;
+  wal : string;
+  snapshot_every : int;
+  mutable seq : int;
+  mutable last_snapshot_seq : int;
+  mutable closed : bool;
+  recovery : recovery option;
+}
+
+exception Divergence of string
+
+(* Replay [records] onto [dyn], skipping the first [skip] op records
+   (already contained in the restored snapshot). Epoch markers are
+   verified, not applied: a mismatch means the WAL and the structure
+   disagree about history and recovery must not pretend otherwise. *)
+let replay dyn records ~skip =
+  let applied = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun r ->
+      match r with
+      | Wal.Insert { handle; point; weight } ->
+          if !skipped < skip then incr skipped
+          else begin
+            let h = Dynamic.insert dyn ~weight point in
+            if Dynamic.handle_id h <> handle then
+              raise
+                (Divergence
+                   (Printf.sprintf "replay assigned handle %d, log says %d"
+                      (Dynamic.handle_id h) handle));
+            incr applied
+          end
+      | Wal.Delete handle ->
+          if !skipped < skip then incr skipped
+          else begin
+            (match Dynamic.delete dyn (Dynamic.handle_of_id handle) with
+            | () -> ()
+            | exception Not_found ->
+                raise
+                  (Divergence
+                     (Printf.sprintf "replay deletes unknown handle %d" handle)));
+            incr applied
+          end
+      | Wal.Epoch { epochs; n0 = _ } ->
+          if !skipped >= skip && Dynamic.epochs dyn <> epochs then
+            raise
+              (Divergence
+                 (Printf.sprintf "epoch marker %d but structure has %d" epochs
+                    (Dynamic.epochs dyn))))
+    records;
+  !applied
+
+let install_hook t =
+  Dynamic.on_op t.dyn (fun ev ->
+      match ev with
+      | Dynamic.Op_insert { handle; point; weight } ->
+          Wal.append t.writer
+            (Wal.Insert { handle = Dynamic.handle_id handle; point; weight });
+          t.seq <- t.seq + 1
+      | Dynamic.Op_delete h ->
+          Wal.append t.writer (Wal.Delete (Dynamic.handle_id h));
+          t.seq <- t.seq + 1
+      | Dynamic.Op_epoch { epochs; n0 } ->
+          Wal.append t.writer (Wal.Epoch { epochs; n0 }))
+
+let op_count records =
+  List.fold_left
+    (fun n r -> match r with Wal.Epoch _ -> n | Wal.Insert _ | Wal.Delete _ -> n + 1)
+    0 records
+
+let params_of_dyn dyn ~base_seq =
+  {
+    Wal.dim = Dynamic.dim dyn;
+    radius = Dynamic.radius dyn;
+    cfg = Dynamic.config dyn;
+    base_seq;
+  }
+
+let file_size path = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0
+
+(* Newest snapshot that passes semantic validation ([Dynamic.restore])
+   and is not older than the log's base (an older one could not bridge
+   the gap to the first logged record). *)
+let usable_snapshot ~wal ~base =
+  List.find_map
+    (fun (seq, state, _file) ->
+      if seq < base then None
+      else
+        match Dynamic.restore state with
+        | dyn -> Some (seq, dyn)
+        | exception Invalid_argument _ -> None)
+    (Snapshot.load_all ~wal)
+
+let recover_from_scan ~wal ~fsync (scan : Wal.scan) =
+  let base = scan.params.Wal.base_seq in
+  let wal_ops = op_count scan.records in
+  let valid_seq = base + wal_ops in
+  let truncated = file_size wal - scan.valid_bytes in
+  let corruption = Option.map Wal.corruption_to_string scan.corruption in
+  let finish dyn ~snapshot_seq ~replayed ~seq ~wal_rewritten ~writer =
+    Obs.incr c_runs;
+    Obs.add c_replayed replayed;
+    Obs.add c_truncated (max 0 truncated);
+    ( dyn,
+      writer,
+      { snapshot_seq; replayed; seq; truncated_bytes = max 0 truncated; corruption; wal_rewritten }
+    )
+  in
+  match usable_snapshot ~wal ~base with
+  | Some (snap_seq, dyn) when snap_seq > valid_seq ->
+      (* The snapshot is ahead of the log's valid prefix (e.g. bit rot
+         destroyed a middle record after the snapshot was taken). The
+         snapshot is the longest surviving prefix: adopt it and rewrite
+         the log to start there. *)
+      let writer =
+        Wal.create wal (params_of_dyn dyn ~base_seq:snap_seq) ~fsync
+      in
+      Ok
+        (finish dyn ~snapshot_seq:(Some snap_seq) ~replayed:0 ~seq:snap_seq
+           ~wal_rewritten:true ~writer)
+  | Some (snap_seq, dyn) ->
+      let replayed = replay dyn scan.records ~skip:(snap_seq - base) in
+      let writer =
+        Wal.reopen wal ~valid_bytes:scan.valid_bytes
+          ~records:(List.length scan.records) ~fsync
+      in
+      Ok
+        (finish dyn ~snapshot_seq:(Some snap_seq) ~replayed ~seq:valid_seq
+           ~wal_rewritten:false ~writer)
+  | None ->
+      if base > 0 then
+        Error
+          (Printf.sprintf
+             "%s: log starts at op %d but no usable snapshot covers the gap"
+             wal base)
+      else
+        let dyn =
+          Dynamic.create ~cfg:scan.params.Wal.cfg
+            ~radius:scan.params.Wal.radius ~dim:scan.params.Wal.dim ()
+        in
+        let replayed = replay dyn scan.records ~skip:0 in
+        let writer =
+          Wal.reopen wal ~valid_bytes:scan.valid_bytes
+            ~records:(List.length scan.records) ~fsync
+        in
+        Ok
+          (finish dyn ~snapshot_seq:None ~replayed ~seq:valid_seq
+             ~wal_rewritten:false ~writer)
+
+(* No usable log: missing, empty, or its header never made it to disk
+   intact. Any usable snapshot still recovers the session (the log
+   suffix is lost, but it held nothing readable anyway); otherwise
+   start fresh with the caller's parameters. Either way the log is
+   (re)written. *)
+let recover_without_log ~wal ~fsync ~dim ~radius ~cfg ~why =
+  let old_bytes = file_size wal in
+  let snapshot_seq, dyn =
+    match usable_snapshot ~wal ~base:0 with
+    | Some (seq, dyn) -> (Some seq, dyn)
+    | None -> (None, Dynamic.create ~cfg ~radius ~dim ())
+  in
+  let seq = Option.value snapshot_seq ~default:0 in
+  let writer = Wal.create wal (params_of_dyn dyn ~base_seq:seq) ~fsync in
+  Obs.incr c_runs;
+  Obs.add c_truncated old_bytes;
+  ( dyn,
+    writer,
+    {
+      snapshot_seq;
+      replayed = 0;
+      seq;
+      truncated_bytes = old_bytes;
+      corruption = Some why;
+      wal_rewritten = true;
+    } )
+
+let open_ ~wal ?(snapshot_every = 1000) ?(fsync = Wal.Interval 64) ?(dim = 2)
+    ?(radius = 1.) ?(cfg = Config.default) () =
+  let fresh () =
+    let dyn = Dynamic.create ~cfg ~radius ~dim () in
+    let writer = Wal.create wal (params_of_dyn dyn ~base_seq:0) ~fsync in
+    Ok (dyn, writer, None)
+  in
+  let recovered =
+    match Wal.scan wal with
+    | Wal.No_file | Wal.Empty_file -> (
+        (* A vanished or never-written log with surviving snapshots is
+           still a crash to recover from, not a fresh session. *)
+        match Snapshot.load_all ~wal with
+        | [] -> fresh ()
+        | _ :: _ ->
+            let dyn, writer, r =
+              recover_without_log ~wal ~fsync ~dim ~radius ~cfg
+                ~why:"log missing or empty"
+            in
+            Ok (dyn, writer, Some r))
+    | Wal.Foreign_file ->
+        Error
+          (Printf.sprintf
+             "%s exists but is not a MaxRS WAL; refusing to overwrite it" wal)
+    | Wal.Torn_header ->
+        let dyn, writer, r =
+          recover_without_log ~wal ~fsync ~dim ~radius ~cfg
+            ~why:"torn or corrupt header"
+        in
+        Ok (dyn, writer, Some r)
+    | Wal.Scan scan -> (
+        match recover_from_scan ~wal ~fsync scan with
+        | Ok (dyn, writer, r) -> Ok (dyn, writer, Some r)
+        | Error _ as e -> e
+        | exception Divergence msg ->
+            Error (wal ^ ": replay divergence: " ^ msg))
+  in
+  match recovered with
+  | Error _ as e -> e
+  | Ok (dyn, writer, recovery) ->
+      let seq =
+        match recovery with Some r -> r.seq | None -> 0
+      in
+      let t =
+        {
+          dyn;
+          writer;
+          wal;
+          snapshot_every;
+          seq;
+          last_snapshot_seq = seq;
+          closed = false;
+          recovery;
+        }
+      in
+      install_hook t;
+      Ok t
+
+let recovery t = t.recovery
+let dynamic t = t.dyn
+let seq t = t.seq
+let wal_path t = t.wal
+
+let snapshot_now t =
+  if t.closed then invalid_arg "Session.snapshot_now: closed session";
+  (* Flush first so the durable log is never behind the snapshot —
+     otherwise every crash right after a snapshot would force a log
+     rewrite on recovery. *)
+  Wal.flush t.writer;
+  ignore (Snapshot.write ~wal:t.wal ~seq:t.seq (Dynamic.state t.dyn));
+  Snapshot.prune ~wal:t.wal ~keep:2;
+  t.last_snapshot_seq <- t.seq
+
+let maybe_snapshot t =
+  if t.snapshot_every > 0 && t.seq - t.last_snapshot_seq >= t.snapshot_every
+  then snapshot_now t
+
+let insert t ?weight p =
+  if t.closed then invalid_arg "Session.insert: closed session";
+  let h = Dynamic.insert t.dyn ?weight p in
+  maybe_snapshot t;
+  h
+
+let delete t h =
+  if t.closed then invalid_arg "Session.delete: closed session";
+  Dynamic.delete t.dyn h;
+  maybe_snapshot t
+
+let best t = Dynamic.best t.dyn
+let size t = Dynamic.size t.dyn
+let flush t = if not t.closed then Wal.flush t.writer
+
+let close t =
+  if not t.closed then begin
+    Wal.close t.writer;
+    t.closed <- true
+  end

@@ -1,0 +1,72 @@
+(** Crash-safe session around {!Maxrs.Dynamic}.
+
+    Every applied insert/delete is journaled to a checksummed
+    write-ahead log before the mutating call returns; full-state
+    snapshots are written atomically every [snapshot_every] ops; and
+    {!open_} on an existing log recovers by loading the newest usable
+    snapshot and replaying the WAL suffix, stopping cleanly at the
+    first torn or corrupt record.
+
+    The recovery guarantee is {e bit-identical prefix continuation}:
+    after any crash, truncation, or single-record corruption, the
+    recovered structure is byte-for-byte equivalent (same cells, same
+    counters, same answer to the next query) to one that replayed the
+    surviving op prefix from scratch. Ops whose mutating call had not
+    returned at crash time may be lost; nothing else is. *)
+
+type t
+
+type recovery = {
+  snapshot_seq : int option;  (** seq of the snapshot used, if any *)
+  replayed : int;  (** op records replayed on top of it *)
+  seq : int;  (** total ops live after recovery *)
+  truncated_bytes : int;  (** corrupt/torn suffix dropped from the log *)
+  corruption : string option;  (** why the log scan stopped early *)
+  wal_rewritten : bool;
+      (** the log was rewritten from a snapshot newer than its valid
+          prefix, or its header was unrecoverable *)
+}
+
+val open_ :
+  wal:string ->
+  ?snapshot_every:int ->
+  ?fsync:Wal.fsync_policy ->
+  ?dim:int ->
+  ?radius:float ->
+  ?cfg:Maxrs.Config.t ->
+  unit ->
+  (t, string) result
+(** Open or recover the session at [wal]. [snapshot_every] ops between
+    automatic snapshots (default 1000; [0] disables them); [fsync]
+    defaults to [Interval 64]. When the log exists, its recorded
+    [dim]/[radius]/[cfg] win over the optional arguments (which default
+    to [dim = 2], [radius = 1.], {!Maxrs.Config.default} and only seed
+    a fresh session). [Error] cases: the path holds a non-WAL file, or
+    the log is unrecoverable (replay divergence, or a rewritten log
+    whose covering snapshot was lost). *)
+
+val insert : t -> ?weight:float -> Maxrs_geom.Point.t -> Maxrs.Dynamic.handle
+val delete : t -> Maxrs.Dynamic.handle -> unit
+val best : t -> (Maxrs_geom.Point.t * float) option
+val size : t -> int
+val seq : t -> int
+(** Ops applied over the session's whole history (across restarts). *)
+
+val recovery : t -> recovery option
+(** [None] when {!open_} created a fresh log. *)
+
+val dynamic : t -> Maxrs.Dynamic.t
+(** The underlying structure. Mutating it directly still journals (the
+    hook is installed on it) but bypasses the snapshot cadence. *)
+
+val snapshot_now : t -> unit
+(** Flush the WAL, write a snapshot at the current seq, prune old ones
+    (keeping 2). *)
+
+val flush : t -> unit
+(** fsync any unsynced WAL appends. *)
+
+val close : t -> unit
+(** Flush and close the WAL. Idempotent; further mutation raises. *)
+
+val wal_path : t -> string

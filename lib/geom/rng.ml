@@ -9,6 +9,8 @@ let mix z =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let create seed = { state = Int64.of_int seed }
+let state t = t.state
+let of_state state = { state }
 
 let bits64 t =
   t.state <- Int64.add t.state golden;

@@ -9,6 +9,14 @@ type t
 val create : int -> t
 (** [create seed] is a fresh generator. Equal seeds yield equal streams. *)
 
+val state : t -> int64
+(** The full internal state. [of_state (state t)] continues [t]'s stream
+    exactly — the persistence primitive for crash recovery: a restored
+    generator produces the same remaining draws as the original. *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from a {!state} value. *)
+
 val split : t -> t
 (** [split t] derives an independent generator; [t] advances. *)
 

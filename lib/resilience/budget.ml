@@ -1,5 +1,8 @@
 type state = {
   deadline : float;
+  now : unit -> float;
+      (* injectable for tests; Unix.gettimeofday can step backwards
+         under NTP, so nothing below may assume monotonicity *)
   poll : int;
   mutable until_poll : int;
       (* racy across domains, but only an accuracy hint *)
@@ -14,12 +17,13 @@ let unlimited = Unlimited
 let is_unlimited = function Unlimited -> true | Limited _ -> false
 let default_poll = 16
 
-let at ?(poll = default_poll) deadline =
+let at ?(poll = default_poll) ?(now = Unix.gettimeofday) deadline =
   if not (Float.is_finite deadline) then Unlimited
   else
     Limited
       {
         deadline;
+        now;
         poll = Int.max 1 poll;
         (* 0 so the very first query consults the clock: a budget that
            is already expired at creation must be seen as such. *)
@@ -27,10 +31,13 @@ let at ?(poll = default_poll) deadline =
         latch = Atomic.make false;
       }
 
-let of_seconds ?poll secs =
+let of_seconds ?poll ?(now = Unix.gettimeofday) secs =
   if not (Float.is_finite secs) then Unlimited
-  else at ?poll (Unix.gettimeofday () +. secs)
+  else at ?poll ~now (now () +. secs)
 
+(* Expiry is latched: once any observation (here or in {!remaining})
+   crosses the deadline, the budget stays expired even if the wall
+   clock later steps backwards past the deadline again. *)
 let expired = function
   | Unlimited -> false
   | Limited s ->
@@ -41,7 +48,7 @@ let expired = function
         false)
       else (
         s.until_poll <- s.poll;
-        if Unix.gettimeofday () > s.deadline then (
+        if s.now () > s.deadline then (
           Atomic.set s.latch true;
           true)
         else false)
@@ -50,4 +57,14 @@ let check b = if expired b then raise Expired
 
 let remaining = function
   | Unlimited -> infinity
-  | Limited s -> s.deadline -. Unix.gettimeofday ()
+  | Limited s ->
+      if Atomic.get s.latch then 0.
+      else
+        let r = s.deadline -. s.now () in
+        if r <= 0. then begin
+          (* Observing expiry is permanent, so a subsequent backwards
+             clock step cannot resurrect the budget. *)
+          Atomic.set s.latch true;
+          0.
+        end
+        else r

@@ -18,22 +18,27 @@ val unlimited : t
 
 val is_unlimited : t -> bool
 
-val at : ?poll:int -> float -> t
-(** [at deadline] expires once [Unix.gettimeofday () > deadline]. The
+val at : ?poll:int -> ?now:(unit -> float) -> float -> t
+(** [at deadline] expires once the clock reads past [deadline]. The
     clock is consulted on the first {!expired} call and then every
     [poll] (default 16) calls. A non-finite [deadline] gives
-    {!unlimited}. *)
+    {!unlimited}. [now] (default [Unix.gettimeofday]) injects the clock
+    — for tests, and the reason nothing here assumes monotonicity: the
+    real wall clock can step backwards under NTP. *)
 
-val of_seconds : ?poll:int -> float -> t
-(** [of_seconds s] is [at (now + s)]. Non-positive [s] is already
+val of_seconds : ?poll:int -> ?now:(unit -> float) -> float -> t
+(** [of_seconds s] is [at (now () + s)]. Non-positive [s] is already
     expired; non-finite [s] gives {!unlimited}. *)
 
 val expired : t -> bool
-(** Latching: once [true], always [true]. *)
+(** Latching: once [true], always [true], even if the clock later steps
+    backwards past the deadline again. *)
 
 val check : t -> unit
 (** [check b] raises {!Expired} if [expired b]. *)
 
 val remaining : t -> float
-(** Seconds until the deadline ([infinity] when unlimited); may go
-    negative once expired. *)
+(** Seconds until the deadline ([infinity] when unlimited), clamped at
+    [0.]. Any observation of expiry (here or via {!expired}) latches, so
+    [remaining] never bounces back above [0.] on a backwards clock
+    step. *)

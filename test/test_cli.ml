@@ -191,6 +191,143 @@ let test_stats_colored_records_os_counters () =
         (contains ~needle:"\"os.sweep_events\":" out
         && not (contains ~needle:"\"os.sweep_events\":0" out)))
 
+(* ------------------------------------------------------------------ *)
+(* session: durability, recovery, and the signal exit path *)
+
+let fresh_wal () =
+  let p = Filename.temp_file "maxrs_cli_wal" ".wal" in
+  Sys.remove p;
+  p
+
+let cleanup_wal wal =
+  let dir = Filename.dirname wal and base = Filename.basename wal in
+  Array.iter
+    (fun name ->
+      if
+        String.length name >= String.length base
+        && String.sub name 0 (String.length base) = base
+      then try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    (Sys.readdir dir)
+
+let session_trace =
+  List.init 30 (fun i ->
+      if i mod 9 = 8 then "?"
+      else if i mod 5 = 4 then Printf.sprintf "- %d" (i / 2)
+      else
+        Printf.sprintf "+ %g,%g"
+          (float_of_int (i mod 6) *. 0.4)
+          (float_of_int (i mod 4) *. 0.4))
+
+(* The line the session prints on clean exit ("final: seq=... best=...")
+   summarizes the recovered answer; equality across a restart is the
+   CLI-visible face of bit-identical recovery. *)
+let final_line out =
+  match List.find_opt (fun l -> contains ~needle:"final:" l) (String.split_on_char '\n' out) with
+  | Some l -> l
+  | None -> Alcotest.failf "no final line in %S" out
+
+let test_session_restart_same_answer () =
+  let wal = fresh_wal () in
+  Fun.protect
+    ~finally:(fun () -> cleanup_wal wal)
+    (fun () ->
+      with_input session_trace (fun trace ->
+          let code, out1, _ =
+            run
+              (Printf.sprintf
+                 "session --wal %s -i %s --shifts 3 --snapshot-every 8"
+                 (Filename.quote wal) trace)
+          in
+          Alcotest.(check int) "first run exits 0" 0 code;
+          Alcotest.(check bool) "first run is fresh" true
+            (contains ~needle:"fresh log" out1);
+          let code, out2, _ =
+            run (Printf.sprintf "session --wal %s --shifts 3" (Filename.quote wal))
+          in
+          Alcotest.(check int) "restart exits 0" 0 code;
+          Alcotest.(check bool) "restart recovers" true
+            (contains ~needle:"session: recovered" out2);
+          Alcotest.(check string) "same final answer after restart"
+            (final_line out1) (final_line out2)))
+
+let test_session_recovers_truncated_wal () =
+  let wal = fresh_wal () in
+  Fun.protect
+    ~finally:(fun () -> cleanup_wal wal)
+    (fun () ->
+      with_input session_trace (fun trace ->
+          let code, _, _ =
+            run
+              (Printf.sprintf "session --wal %s -i %s --shifts 3"
+                 (Filename.quote wal) trace)
+          in
+          Alcotest.(check int) "first run exits 0" 0 code;
+          (* Tear the tail of the log, as a crash mid-append would. *)
+          let size = (Unix.stat wal).Unix.st_size in
+          let fd = Unix.openfile wal [ Unix.O_WRONLY ] 0o644 in
+          Unix.ftruncate fd (size - 5);
+          Unix.close fd;
+          let code, out, _ =
+            run (Printf.sprintf "session --wal %s --shifts 3" (Filename.quote wal))
+          in
+          Alcotest.(check int) "recovery exits 0" 0 code;
+          Alcotest.(check bool) "reports the torn frame" true
+            (contains ~needle:"torn frame" out);
+          (* Cutting 5 bytes leaves the rest of that frame on disk too;
+             recovery drops the whole torn remainder, so the reported
+             count is frame-sized, not 5 — just require it nonzero. *)
+          Alcotest.(check bool) "reports truncation" true
+            (contains ~needle:"truncated=" out
+            && not (contains ~needle:"truncated=0B" out))))
+
+let test_session_sigterm_flushes_and_exits_5 () =
+  let wal = fresh_wal () in
+  Fun.protect
+    ~finally:(fun () -> cleanup_wal wal)
+    (fun () ->
+      let out = Filename.temp_file "maxrs_cli_out" ".txt" in
+      let err = Filename.temp_file "maxrs_cli_err" ".txt" in
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove out;
+          Sys.remove err)
+        (fun () ->
+          let fd_out = Unix.openfile out [ Unix.O_WRONLY; O_TRUNC ] 0o644 in
+          let fd_err = Unix.openfile err [ Unix.O_WRONLY; O_TRUNC ] 0o644 in
+          let pid =
+            Unix.create_process cli
+              [| cli; "session"; "--wal"; wal; "--shifts"; "3"; "--linger"; "30" |]
+              Unix.stdin fd_out fd_err
+          in
+          Unix.close fd_out;
+          Unix.close fd_err;
+          (* Wait until the session is up (it prints its opening line
+             before lingering), then interrupt it. *)
+          let deadline = Unix.gettimeofday () +. 10. in
+          let rec wait_up () =
+            if Unix.gettimeofday () > deadline then
+              Alcotest.fail "session never came up"
+            else if not (contains ~needle:"session:" (read_file out)) then begin
+              Unix.sleepf 0.05;
+              wait_up ()
+            end
+          in
+          wait_up ();
+          Unix.kill pid Sys.sigterm;
+          (match Unix.waitpid [] pid with
+          | _, Unix.WEXITED code ->
+              Alcotest.(check int) "exit code 5 on SIGTERM" 5 code
+          | _, _ -> Alcotest.fail "session was killed, not exited");
+          Alcotest.(check bool) "reports the flushed WAL" true
+            (contains ~needle:"interrupted; WAL flushed" (read_file err));
+          (* The flushed log must recover cleanly. *)
+          let code, out2, _ =
+            run (Printf.sprintf "session --wal %s --shifts 3" (Filename.quote wal))
+          in
+          Alcotest.(check int) "post-signal recovery exits 0" 0 code;
+          Alcotest.(check bool) "post-signal recovery" true
+            (contains ~needle:"session: recovered" out2)))
+
 let () =
   Alcotest.run "cli"
     [
@@ -212,5 +349,14 @@ let () =
             test_stats_stdout_and_counts;
           Alcotest.test_case "colored records OS counters" `Quick
             test_stats_colored_records_os_counters;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "restart repeats the answer" `Quick
+            test_session_restart_same_answer;
+          Alcotest.test_case "truncated WAL recovers" `Quick
+            test_session_recovers_truncated_wal;
+          Alcotest.test_case "SIGTERM flushes and exits 5" `Quick
+            test_session_sigterm_flushes_and_exits_5;
         ] );
     ]

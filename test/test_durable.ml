@@ -1,0 +1,556 @@
+(* Tests for the durability layer: CRC and codec round trips, WAL
+   scan/append behaviour, snapshot atomicity, and the two central
+   recovery guarantees —
+
+   - exhaustive truncation matrix: a WAL cut at EVERY byte boundary
+     recovers, without raising, to the longest valid op prefix, and
+     the recovered structure is bit-identical (same encoded state,
+     same best answer) to a fresh replay of that prefix;
+
+   - randomized crash storm: >= 200 random truncations and bit flips
+     (MAXRS_CRASH_TRIALS overrides the count), same bit-identical
+     requirement, with and without snapshots in play. *)
+
+module Point = Maxrs_geom.Point
+module Rng = Maxrs_geom.Rng
+module Config = Maxrs.Config
+module Dynamic = Maxrs.Dynamic
+module Crc32 = Maxrs_durable.Crc32
+module Codec = Maxrs_durable.Codec
+module Wal = Maxrs_durable.Wal
+module Snapshot = Maxrs_durable.Snapshot
+module Session = Maxrs_durable.Session
+
+(* Small structures keep state captures cheap: few shifted grids, a
+   coarse epsilon. *)
+let test_cfg epsilon seed =
+  Config.make ~epsilon ~max_grid_shifts:(Some 3) ~seed ()
+
+let fresh_wal_path () =
+  let p = Filename.temp_file "maxrs_durable" ".wal" in
+  Sys.remove p;
+  p
+
+(* Remove a WAL and all its sidecar files (snapshots, tmp). *)
+let cleanup wal =
+  let dir = Filename.dirname wal and base = Filename.basename wal in
+  Array.iter
+    (fun name ->
+      if
+        String.length name >= String.length base
+        && String.sub name 0 (String.length base) = base
+      then try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    (Sys.readdir dir)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path data =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc data)
+
+let copy_snapshots ~from_wal ~to_wal =
+  List.iter
+    (fun (seq, _, file) ->
+      write_file (Snapshot.path ~wal:to_wal ~seq) (read_file file))
+    (Snapshot.load_all ~wal:from_wal)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic op scripts: handles are dense and assigned in insert
+   order, so the script can predict them without running anything. *)
+
+type op = Ins of float array * float | Del of int
+
+let gen_ops ~n ~seed ~extent =
+  let rng = Rng.create seed in
+  let live = ref [] and nlive = ref 0 and inserts = ref 0 in
+  List.init n (fun _ ->
+      if !nlive > 1 && Rng.bernoulli rng 0.3 then begin
+        let k = Rng.int rng !nlive in
+        let h = List.nth !live k in
+        live := List.filteri (fun i _ -> i <> k) !live;
+        decr nlive;
+        Del h
+      end
+      else begin
+        let p = [| Rng.float rng extent; Rng.float rng extent |] in
+        let w = 1. +. Rng.float rng 2. in
+        let h = !inserts in
+        incr inserts;
+        live := h :: !live;
+        incr nlive;
+        Ins (p, w)
+      end)
+
+let apply_dyn dyn = function
+  | Ins (p, w) -> ignore (Dynamic.insert dyn ~weight:w p : Dynamic.handle)
+  | Del h -> Dynamic.delete dyn (Dynamic.handle_of_id h)
+
+let apply_session s = function
+  | Ins (p, w) -> ignore (Session.insert s ~weight:w p : Dynamic.handle)
+  | Del h -> Session.delete s (Dynamic.handle_of_id h)
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+(* Fingerprint of the structure obtained by replaying the first
+   [prefix] script ops from scratch: canonical encoded state plus the
+   best answer. Equality of the encoding is equality of every cell,
+   sample, rng stream and counter — the bit-identical oracle. *)
+let baseline ~cfg ~radius ops ~prefix =
+  let dyn = Dynamic.create ~cfg ~radius ~dim:2 () in
+  List.iter (apply_dyn dyn) (take prefix ops);
+  (Codec.encode_state (Dynamic.state dyn), Dynamic.best dyn)
+
+let session_fingerprint s =
+  (Codec.encode_state (Dynamic.state (Session.dynamic s)), Session.best s)
+
+let check_fp what (exp_state, exp_best) (got_state, got_best) =
+  Alcotest.(check bool) (what ^ ": state bit-identical") true
+    (String.equal exp_state got_state);
+  Alcotest.(check bool) (what ^ ": best identical") true (exp_best = got_best)
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 *)
+
+let test_crc_vectors () =
+  Alcotest.(check int) "empty" 0 (Crc32.of_string "");
+  Alcotest.(check int) "check value" 0xCBF43926 (Crc32.of_string "123456789");
+  Alcotest.(check int) "fox" 0x414FA339
+    (Crc32.of_string "The quick brown fox jumps over the lazy dog");
+  Alcotest.(check int) "substring"
+    (Crc32.of_string "123456789")
+    (Crc32.of_substring "xx123456789yy" ~pos:2 ~len:9)
+
+let test_crc_detects_single_bit_flips () =
+  let rng = Rng.create 5 in
+  let s = String.init 64 (fun _ -> Char.chr (Rng.int rng 256)) in
+  let crc = Crc32.of_string s in
+  for _ = 1 to 200 do
+    let i = Rng.int rng (String.length s) in
+    let bit = Rng.int rng 8 in
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+    if Crc32.of_bytes b = crc then Alcotest.fail "bit flip not detected"
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Codec primitives and record round trips (qcheck) *)
+
+let qcheck_f64_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"codec: f64 round trip is bit-exact"
+    QCheck.float (fun f ->
+      let b = Buffer.create 8 in
+      Codec.f64 b f;
+      let g = Codec.r_f64 (Codec.reader (Buffer.contents b)) in
+      Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float g))
+
+let qcheck_int_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"codec: int round trip" QCheck.int
+    (fun i ->
+      let b = Buffer.create 8 in
+      Codec.int_ b i;
+      Codec.r_int (Codec.reader (Buffer.contents b)) = i)
+
+let record_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map3
+          (fun h xs w -> Wal.Insert { handle = h; point = Array.of_list xs; weight = w })
+          (0 -- 10000)
+          (list_size (1 -- 4) (float_range (-100.) 100.))
+          (float_range 0. 10.);
+        map (fun h -> Wal.Delete h) (0 -- 10000);
+        map2 (fun e n -> Wal.Epoch { epochs = e; n0 = n }) (0 -- 64) (4 -- 4096);
+      ])
+
+let arbitrary_records =
+  QCheck.make ~print:(fun l -> Printf.sprintf "<%d records>" (List.length l))
+    QCheck.Gen.(list_size (0 -- 40) record_gen)
+
+(* Round trip through the real file path: write a log, scan it back. *)
+let qcheck_wal_roundtrip =
+  QCheck.Test.make ~count:60 ~name:"wal: append/scan round trip"
+    arbitrary_records (fun records ->
+      let wal = fresh_wal_path () in
+      Fun.protect
+        ~finally:(fun () -> cleanup wal)
+        (fun () ->
+          let params =
+            { Wal.dim = 2; radius = 1.5; cfg = test_cfg 0.4 3; base_seq = 7 }
+          in
+          let w = Wal.create wal params ~fsync:Wal.Never in
+          List.iter (Wal.append w) records;
+          Wal.close w;
+          match Wal.scan wal with
+          | Wal.Scan s ->
+              s.Wal.params = params && s.Wal.records = records
+              && s.Wal.corruption = None
+              && s.Wal.valid_bytes = (Unix.stat wal).Unix.st_size
+          | _ -> false))
+
+(* Snapshot + state codec round trip, and bit-identical continuation:
+   restore a decoded snapshot and drive both structures forward with
+   identical ops — every future answer must match bit for bit. *)
+let qcheck_state_roundtrip =
+  QCheck.Test.make ~count:12 ~name:"codec: state round trip continues bit-identically"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let cfg = test_cfg 0.45 (seed + 1) in
+      let ops = gen_ops ~n:80 ~seed ~extent:4. in
+      let more = gen_ops ~n:30 ~seed:(seed + 999) ~extent:4. in
+      let dyn = Dynamic.create ~cfg ~radius:1. ~dim:2 () in
+      List.iter (apply_dyn dyn) ops;
+      let st = Dynamic.state dyn in
+      let decoded = Codec.decode_state (Codec.encode_state st) in
+      let dyn' = Dynamic.restore decoded in
+      (* [more] was generated against a fresh handle space; remap its
+         inserts/deletes onto the live handles of [dyn]. *)
+      let next = ref (List.length (List.filter (function Ins _ -> true | _ -> false) ops)) in
+      let live = ref [] in
+      List.iter
+        (function
+          | Ins (p, w) ->
+              ignore (Dynamic.insert dyn ~weight:w p : Dynamic.handle);
+              ignore (Dynamic.insert dyn' ~weight:w p : Dynamic.handle);
+              live := !next :: !live;
+              incr next
+          | Del _ -> (
+              match !live with
+              | h :: rest ->
+                  Dynamic.delete dyn (Dynamic.handle_of_id h);
+                  Dynamic.delete dyn' (Dynamic.handle_of_id h);
+                  live := rest
+              | [] -> ()))
+        more;
+      String.equal
+        (Codec.encode_state (Dynamic.state dyn))
+        (Codec.encode_state (Dynamic.state dyn'))
+      && Dynamic.best dyn = Dynamic.best dyn')
+
+let test_codec_rejects_garbage () =
+  (match Codec.decode_state "garbage bytes" with
+  | exception Codec.Malformed _ -> ()
+  | _ -> Alcotest.fail "decode of garbage must raise Malformed");
+  let r = Codec.reader "\x07" in
+  match Codec.r_opt Codec.r_int r with
+  | exception Codec.Malformed _ -> ()
+  | _ -> Alcotest.fail "bad option byte must raise Malformed"
+
+(* ------------------------------------------------------------------ *)
+(* Session basics *)
+
+let test_session_clean_restart () =
+  let wal = fresh_wal_path () in
+  Fun.protect
+    ~finally:(fun () -> cleanup wal)
+    (fun () ->
+      let cfg = test_cfg 0.45 21 in
+      let ops = gen_ops ~n:60 ~seed:21 ~extent:4. in
+      let s =
+        Result.get_ok (Session.open_ ~wal ~snapshot_every:25 ~cfg ())
+      in
+      List.iter (apply_session s) ops;
+      let fp = session_fingerprint s in
+      Session.close s;
+      let s2 = Result.get_ok (Session.open_ ~wal ()) in
+      (match Session.recovery s2 with
+      | None -> Alcotest.fail "expected a recovery on restart"
+      | Some r ->
+          Alcotest.(check int) "seq" 60 r.Session.seq;
+          Alcotest.(check (option string)) "no corruption" None r.Session.corruption);
+      check_fp "clean restart" fp (session_fingerprint s2);
+      check_fp "matches scratch replay"
+        (baseline ~cfg ~radius:1. ops ~prefix:60)
+        (session_fingerprint s2);
+      Session.close s2)
+
+let test_session_refuses_foreign_file () =
+  let wal = fresh_wal_path () in
+  Fun.protect
+    ~finally:(fun () -> cleanup wal)
+    (fun () ->
+      write_file wal "x,y,weight\n1,2,3\n";
+      match Session.open_ ~wal () with
+      | Error msg ->
+          Alcotest.(check bool) "message names the path" true
+            (String.length msg > 0);
+          Alcotest.(check string) "file untouched" "x,y,weight\n1,2,3\n"
+            (read_file wal)
+      | Ok _ -> Alcotest.fail "must refuse to overwrite a non-WAL file")
+
+let test_snapshot_survives_corrupt_newest () =
+  let wal = fresh_wal_path () in
+  Fun.protect
+    ~finally:(fun () -> cleanup wal)
+    (fun () ->
+      let cfg = test_cfg 0.45 31 in
+      let ops = gen_ops ~n:50 ~seed:31 ~extent:4. in
+      let s =
+        Result.get_ok (Session.open_ ~wal ~snapshot_every:20 ~cfg ())
+      in
+      List.iter (apply_session s) ops;
+      Session.close s;
+      (* Snapshots exist at 20 and 40; corrupt the newest: recovery
+         must fall back to 20 + WAL replay and still match. *)
+      let snap40 = Snapshot.path ~wal ~seq:40 in
+      let data = read_file snap40 in
+      let b = Bytes.of_string data in
+      Bytes.set b (Bytes.length b / 2)
+        (Char.chr (Char.code (Bytes.get b (Bytes.length b / 2)) lxor 0x40));
+      write_file snap40 (Bytes.to_string b);
+      let s2 = Result.get_ok (Session.open_ ~wal ()) in
+      (match Session.recovery s2 with
+      | Some r ->
+          Alcotest.(check (option int)) "fell back to snapshot 20" (Some 20)
+            r.Session.snapshot_seq;
+          Alcotest.(check int) "seq" 50 r.Session.seq
+      | None -> Alcotest.fail "expected recovery");
+      check_fp "corrupt-snapshot fallback"
+        (baseline ~cfg ~radius:1. ops ~prefix:50)
+        (session_fingerprint s2);
+      Session.close s2)
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive truncation matrix *)
+
+(* Build a small session log (with two live snapshots), then cut the
+   WAL at every byte length 0..size. Every cut must recover without
+   raising, land on max(newest snapshot, longest valid WAL prefix),
+   and match the from-scratch baseline of that prefix bit for bit. *)
+let test_truncation_matrix () =
+  let cfg = test_cfg 0.45 77 in
+  let n = 25 in
+  let ops = gen_ops ~n ~seed:77 ~extent:4. in
+  let master = fresh_wal_path () in
+  Fun.protect
+    ~finally:(fun () -> cleanup master)
+    (fun () ->
+      let s =
+        Result.get_ok
+          (Session.open_ ~wal:master ~snapshot_every:10 ~fsync:Wal.Never ~cfg ())
+      in
+      List.iter (apply_session s) ops;
+      Session.close s;
+      let data = read_file master in
+      let scan =
+        match Wal.scan master with Wal.Scan s -> s | _ -> assert false
+      in
+      let offsets = scan.Wal.offsets in
+      let records = Array.of_list scan.Wal.records in
+      let newest_snap =
+        match Snapshot.load_all ~wal:master with
+        | (seq, _, _) :: _ -> seq
+        | [] -> 0
+      in
+      Alcotest.(check int) "two snapshots kept" 20 newest_snap;
+      (* ops contained in the longest whole-record prefix within [cut]
+         bytes; epoch markers don't count. *)
+      let ops_within cut =
+        let v = ref 0 in
+        Array.iteri
+          (fun i off ->
+            if off <= cut then
+              match records.(i) with
+              | Wal.Insert _ | Wal.Delete _ -> incr v
+              | Wal.Epoch _ -> ())
+          offsets;
+        !v
+      in
+      let fp_cache = Hashtbl.create 16 in
+      let baseline_at prefix =
+        match Hashtbl.find_opt fp_cache prefix with
+        | Some fp -> fp
+        | None ->
+            let fp = baseline ~cfg ~radius:1. ops ~prefix in
+            Hashtbl.add fp_cache prefix fp;
+            fp
+      in
+      for cut = 0 to String.length data do
+        let wal = fresh_wal_path () in
+        Fun.protect
+          ~finally:(fun () -> cleanup wal)
+          (fun () ->
+            write_file wal (String.sub data 0 cut);
+            copy_snapshots ~from_wal:master ~to_wal:wal;
+            match Session.open_ ~wal ~cfg () with
+            | Error msg -> Alcotest.failf "cut at %d refused: %s" cut msg
+            | Ok s ->
+                let expected = max newest_snap (ops_within cut) in
+                Alcotest.(check int)
+                  (Printf.sprintf "cut at %d: recovered seq" cut)
+                  expected (Session.seq s);
+                check_fp
+                  (Printf.sprintf "cut at %d" cut)
+                  (baseline_at expected) (session_fingerprint s);
+                Session.close s)
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized crash storm: truncations and bit flips *)
+
+let crash_trials () =
+  match Sys.getenv_opt "MAXRS_CRASH_TRIALS" with
+  | Some v -> (try Int.max 4 (int_of_string v) with _ -> 240)
+  | None -> 240
+
+(* One storm over a prepared master log. Damage is either a random
+   truncation anywhere in the file or a random bit flip past the
+   8-byte magic (flipping the magic itself turns the file into a
+   foreign file, which the session rightly refuses to touch). *)
+let storm ~cfg ~ops ~master ~trials ~seed =
+  let data = read_file master in
+  let size = String.length data in
+  let scan = match Wal.scan master with Wal.Scan s -> s | _ -> assert false in
+  let offsets = scan.Wal.offsets in
+  let records = Array.of_list scan.Wal.records in
+  let header_end =
+    if Array.length offsets > 0 then
+      offsets.(0) - Wal.record_size records.(0)
+    else size
+  in
+  let newest_snap =
+    match Snapshot.load_all ~wal:master with (s, _, _) :: _ -> s | [] -> 0
+  in
+  let ops_before byte =
+    (* ops in records that end at or before [byte]; a flip inside a
+       record invalidates that record and everything after it *)
+    let v = ref 0 in
+    Array.iteri
+      (fun i off ->
+        if off <= byte then
+          match records.(i) with
+          | Wal.Insert _ | Wal.Delete _ -> incr v
+          | Wal.Epoch _ -> ())
+      offsets;
+    !v
+  in
+  let fp_cache = Hashtbl.create 16 in
+  let baseline_at prefix =
+    match Hashtbl.find_opt fp_cache prefix with
+    | Some fp -> fp
+    | None ->
+        let fp = baseline ~cfg ~radius:1. ops ~prefix in
+        Hashtbl.add fp_cache prefix fp;
+        fp
+  in
+  let rng = Rng.create seed in
+  for trial = 1 to trials do
+    let wal = fresh_wal_path () in
+    Fun.protect
+      ~finally:(fun () -> cleanup wal)
+      (fun () ->
+        let kind, damaged, damage_at =
+          if Rng.bernoulli rng 0.5 then
+            let cut = Rng.int rng (size + 1) in
+            ("truncate", String.sub data 0 cut, cut)
+          else begin
+            let off = 8 + Rng.int rng (size - 8) in
+            let bit = Rng.int rng 8 in
+            let b = Bytes.of_string data in
+            Bytes.set b off
+              (Char.chr (Char.code (Bytes.get b off) lxor (1 lsl bit)));
+            ("bitflip", Bytes.to_string b, off)
+          end
+        in
+        write_file wal damaged;
+        copy_snapshots ~from_wal:master ~to_wal:wal;
+        let expected_v =
+          if kind = "truncate" then ops_before damage_at
+          else if damage_at < header_end then 0
+          else
+            (* the record containing the flipped byte dies; everything
+               before it survives (off <= damage_at would keep a record
+               whose last byte is at damage_at - 1... offsets are
+               exclusive ends, so a flip at byte [off] kills record i
+               iff start_i <= off < offsets.(i), i.e. survives iff
+               offsets.(i) <= off) *)
+            ops_before damage_at
+        in
+        let expected = max newest_snap expected_v in
+        match Session.open_ ~wal ~cfg () with
+        | Error msg ->
+            Alcotest.failf "trial %d (%s at %d): refused: %s" trial kind
+              damage_at msg
+        | Ok s ->
+            Alcotest.(check int)
+              (Printf.sprintf "trial %d (%s at %d): seq" trial kind damage_at)
+              expected (Session.seq s);
+            check_fp
+              (Printf.sprintf "trial %d (%s at %d)" trial kind damage_at)
+              (baseline_at expected) (session_fingerprint s);
+            Session.close s)
+  done
+
+let test_crash_storm_with_snapshots () =
+  let cfg = test_cfg 0.45 91 in
+  let ops = gen_ops ~n:120 ~seed:91 ~extent:4. in
+  let master = fresh_wal_path () in
+  Fun.protect
+    ~finally:(fun () -> cleanup master)
+    (fun () ->
+      let s =
+        Result.get_ok
+          (Session.open_ ~wal:master ~snapshot_every:35 ~fsync:Wal.Never ~cfg ())
+      in
+      List.iter (apply_session s) ops;
+      Session.close s;
+      storm ~cfg ~ops ~master ~trials:(crash_trials () / 2) ~seed:1001)
+
+let test_crash_storm_wal_only () =
+  let cfg = test_cfg 0.45 92 in
+  let ops = gen_ops ~n:120 ~seed:92 ~extent:4. in
+  let master = fresh_wal_path () in
+  Fun.protect
+    ~finally:(fun () -> cleanup master)
+    (fun () ->
+      let s =
+        Result.get_ok
+          (Session.open_ ~wal:master ~snapshot_every:0 ~fsync:Wal.Never ~cfg ())
+      in
+      List.iter (apply_session s) ops;
+      Session.close s;
+      storm ~cfg ~ops ~master ~trials:(crash_trials () - (crash_trials () / 2))
+        ~seed:2002)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      qcheck_f64_roundtrip;
+      qcheck_int_roundtrip;
+      qcheck_wal_roundtrip;
+      qcheck_state_roundtrip;
+    ]
+
+let () =
+  Alcotest.run "durable"
+    [
+      ( "crc32",
+        [
+          Alcotest.test_case "known vectors" `Quick test_crc_vectors;
+          Alcotest.test_case "detects single-bit flips" `Quick
+            test_crc_detects_single_bit_flips;
+        ] );
+      ( "codec",
+        Alcotest.test_case "garbage raises Malformed" `Quick
+          test_codec_rejects_garbage
+        :: qcheck_cases );
+      ( "session",
+        [
+          Alcotest.test_case "clean restart is bit-identical" `Quick
+            test_session_clean_restart;
+          Alcotest.test_case "refuses foreign files" `Quick
+            test_session_refuses_foreign_file;
+          Alcotest.test_case "corrupt newest snapshot falls back" `Quick
+            test_snapshot_survives_corrupt_newest;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "exhaustive truncation matrix" `Slow
+            test_truncation_matrix;
+          Alcotest.test_case "crash storm (snapshots + WAL)" `Slow
+            test_crash_storm_with_snapshots;
+          Alcotest.test_case "crash storm (WAL only)" `Slow
+            test_crash_storm_wal_only;
+        ] );
+    ]

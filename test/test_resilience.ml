@@ -182,6 +182,33 @@ let test_trace_line_numbers () =
           if not (String.length msg >= 7 && String.sub msg 0 7 = "line 3:")
           then Alcotest.failf "expected line 3 prefix, got %S" msg)
 
+(* An adversarially long (newline-free) record must surface a
+   structured error carrying its 1-based line number, not buffer the
+   whole thing: the reader is bounded at [Points_io.max_line_bytes]. *)
+let test_points_io_bounds_line_length () =
+  let path =
+    write_tmp
+      ("1,2,0.5\n" ^ String.make (Points_io.max_line_bytes + 8) 'x' ^ "\n")
+  in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match Points_io.load_weighted path with
+      | _ -> Alcotest.fail "oversize record accepted"
+      | exception Guard.Error (Guard.Invalid_input { field; index; _ }) ->
+          Alcotest.(check string) "field" "input line" field;
+          Alcotest.(check (option int)) "1-based line number" (Some 2) index)
+
+let test_trace_bounds_line_length () =
+  let path = write_tmp ("+ 1,2\n+ " ^ String.make 100_000 '1') in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match Trace.load path with
+      | _ -> Alcotest.fail "oversize trace record accepted"
+      | exception Guard.Error (Guard.Invalid_input { index; _ }) ->
+          Alcotest.(check (option int)) "1-based line number" (Some 2) index)
+
 (* ------------------------------------------------------------------ *)
 (* Budget *)
 
@@ -203,6 +230,46 @@ let test_budget_basics () =
   match Budget.check b with
   | () -> Alcotest.fail "check did not raise"
   | exception Budget.Expired -> ()
+
+(* Budgets under a mocked, non-monotonic wall clock: NTP can step
+   gettimeofday backwards, and neither [remaining] nor [expired] may
+   resurrect an expired budget when it does. *)
+let test_budget_mock_clock () =
+  let now = ref 100. in
+  let clock () = !now in
+  let b = Budget.of_seconds ~poll:1 ~now:clock 10. in
+  Alcotest.(check bool) "fresh budget not expired" false (Budget.expired b);
+  Alcotest.(check bool) "remaining ~10s" true
+    (Budget.remaining b > 9.99 && Budget.remaining b <= 10.);
+  now := 105.;
+  Alcotest.(check bool) "remaining ~5s" true
+    (abs_float (Budget.remaining b -. 5.) < 1e-9);
+  (* small backwards step before the deadline: remaining grows back,
+     nothing latches *)
+  now := 103.;
+  Alcotest.(check bool) "pre-deadline backwards step ok" true
+    (abs_float (Budget.remaining b -. 7.) < 1e-9);
+  now := 110.5;
+  Alcotest.(check (float 0.)) "remaining clamps at 0, never negative" 0.
+    (Budget.remaining b);
+  now := 50.;
+  Alcotest.(check (float 0.)) "backwards clock cannot resurrect remaining" 0.
+    (Budget.remaining b);
+  Alcotest.(check bool) "backwards clock cannot un-expire" true
+    (Budget.expired b)
+
+let test_budget_mock_clock_expired_latch () =
+  let now = ref 0. in
+  let b = Budget.at ~poll:1 ~now:(fun () -> !now) 10. in
+  now := 10.5;
+  (* poll:1 consults the clock every other call; drain the skip. *)
+  let e = Budget.expired b || Budget.expired b in
+  Alcotest.(check bool) "expired past deadline" true e;
+  now := 0.;
+  Alcotest.(check bool) "expiry latched across backwards step" true
+    (Budget.expired b);
+  Alcotest.(check (float 0.)) "remaining stays 0 after latch" 0.
+    (Budget.remaining b)
 
 (* ------------------------------------------------------------------ *)
 (* Deadlines: degradation keeps answers achievable *)
@@ -496,8 +563,19 @@ let () =
             test_points_io_crlf_ok;
           Alcotest.test_case "Trace line numbers + finiteness" `Quick
             test_trace_line_numbers;
+          Alcotest.test_case "Points_io bounds record length" `Quick
+            test_points_io_bounds_line_length;
+          Alcotest.test_case "Trace bounds record length" `Quick
+            test_trace_bounds_line_length;
         ] );
-      ("budget", [ Alcotest.test_case "basics" `Quick test_budget_basics ]);
+      ( "budget",
+        [
+          Alcotest.test_case "basics" `Quick test_budget_basics;
+          Alcotest.test_case "mocked non-monotonic clock" `Quick
+            test_budget_mock_clock;
+          Alcotest.test_case "expiry latch under backwards clock" `Quick
+            test_budget_mock_clock_expired_latch;
+        ] );
       ( "deadline",
         [
           Alcotest.test_case "expired budget: partial but sound" `Quick
