@@ -1268,6 +1268,273 @@ let e13 () =
   row "\nwrote BENCH_durability.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* E14 — flat-memory kernel pass: legacy (seed-path) vs current wall
+   clock and minor-heap allocation on the Theorem 1.2/1.3 workloads and
+   the exact disk sweep. The legacy side runs the in-process seed
+   copies from bench/legacy.ml, so both sides are measured on the same
+   machine in the same process and the reported ratios are
+   machine-relative, not absolute. Every row asserts bit-identical
+   answers between the two paths (the kernel pass is a pure memory-
+   layout change). Results go to BENCH_kernels.json.
+
+   MAXRS_E14_MAX_N caps the ladders (CI smoke). MAXRS_E14_GATE=<file>
+   compares the fresh rows against a checked-in baseline on matching
+   (workload, n, m) and exits non-zero on regression: more than 15% on
+   the minor-allocation ratio (deterministic — same binary, same input,
+   same allocation count — so the bound can be tight), or more than 35%
+   on the wall-clock speedup (both sides run in the same process so the
+   ratio cancels machine speed, but shared CI runners still jitter;
+   the coarse bound catches complexity-class and deoptimization
+   regressions without tripping on scheduler noise). The baseline is
+   read before the fresh file is written, so the gate may point at the
+   checked-in BENCH_kernels.json being overwritten. Both sides are
+   measured at domains = 1 (--domains does not apply). *)
+
+let e14 () =
+  header "E14 — flat-memory kernels: legacy vs current (wall, minor words)";
+  let max_n =
+    match Sys.getenv_opt "MAXRS_E14_MAX_N" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some v when v >= 100 -> v
+        | _ -> max_int)
+    | None -> max_int
+  in
+  (* Baseline rows for gate mode, read up front — before the fresh
+     BENCH_kernels.json overwrites the file the gate may point at. *)
+  let parse_row line =
+    match
+      Scanf.sscanf (String.trim line)
+        "{ \"workload\": %S, \"n\": %d, \"m\": %d, \"legacy_s\": %f, \
+         \"current_s\": %f, \"speedup\": %f, \"legacy_minor_words\": %f, \
+         \"current_minor_words\": %f, \"alloc_ratio\": %f"
+        (fun w n m _ _ sp _ _ ar -> (w, n, m, sp, ar))
+    with
+    | r -> Some r
+    | exception _ -> None
+  in
+  let gate =
+    match Sys.getenv_opt "MAXRS_E14_GATE" with
+    | None -> None
+    | Some path ->
+        let ic = open_in path in
+        let acc = ref [] in
+        (try
+           while true do
+             match parse_row (input_line ic) with
+             | Some r -> acc := r :: !acc
+             | None -> ()
+           done
+         with End_of_file -> close_in ic);
+        Some (path, !acc)
+  in
+  let reps = 3 in
+  (* Best-of-[reps] wall clock; minimum minor-words delta (allocation is
+     deterministic, the minimum shrugs off stray GC motion). A major
+     collection up front keeps one side's garbage from being collected
+     on the other side's clock. *)
+  let measure f =
+    let best_t = ref infinity and best_a = ref infinity in
+    let last = ref None in
+    for _ = 1 to reps do
+      Gc.full_major ();
+      let a0 = Gc.minor_words () in
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      let da = Gc.minor_words () -. a0 in
+      last := Some r;
+      if dt < !best_t then best_t := dt;
+      if da < !best_a then best_a := da
+    done;
+    (Option.get !last, !best_t, !best_a)
+  in
+  let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  (* E2's bench config pinned to one domain. *)
+  let cfg1 ~epsilon ~seed =
+    Config.make ~epsilon ~sample_constant:0.25 ~max_grid_shifts:(Some 4) ~seed
+      ~domains:(Some 1) ()
+  in
+  let rows_acc = ref [] in
+  row "%-14s %8s %6s %11s %11s %9s %13s %13s %9s\n" "workload" "n" "m"
+    "legacy(s)" "current(s)" "speedup" "legacy minor" "cur minor" "alloc x";
+  let record ~workload ~n ~m ~legacy:(lt, la) ~current:(ct, ca) ~equal =
+    if not equal then begin
+      Printf.eprintf "E14: %s n=%d m=%d: legacy and current answers differ\n"
+        workload n m;
+      exit 1
+    end;
+    let speedup = lt /. ct in
+    let alloc_ratio = la /. Float.max 1. ca in
+    row "%-14s %8d %6d %11.4f %11.4f %8.2fx %13.0f %13.0f %8.1fx\n" workload n
+      m lt ct speedup la ca alloc_ratio;
+    rows_acc := (workload, n, m, lt, ct, speedup, la, ca, alloc_ratio)
+                :: !rows_acc
+  in
+  (* Theorem 1.2 (static solver) at the E1 and E2 ladders: the columnar
+     path replaces the boxed rescaled copy and the per-insert
+     ball/odometer/Option allocations of the seed sample space. *)
+  let static_rows ~workload ~dim ~epsilon ~gen ns =
+    List.iter
+      (fun n ->
+        if n <= max_n then begin
+          let pts = gen n in
+          let cfg = cfg1 ~epsilon ~seed:n in
+          let lr, lt, la =
+            measure (fun () ->
+                Legacy.Static_seed.solve_unchecked ~cfg ~dim pts)
+          in
+          let cr, ct, ca =
+            measure (fun () -> Static.solve_unchecked ~cfg ~dim pts)
+          in
+          let equal =
+            match (lr, cr) with
+            | None, None -> true
+            | Some l, Some c ->
+                feq l.Legacy.Static_seed.value c.Static.value
+                && Array.for_all2 feq l.Legacy.Static_seed.center
+                     c.Static.center
+            | _ -> false
+          in
+          record ~workload ~n ~m:0 ~legacy:(lt, la) ~current:(ct, ca) ~equal
+        end)
+      ns
+  in
+  static_rows ~workload:"static2d_e1" ~dim:2 ~epsilon:0.3
+    ~gen:(fun n ->
+      let rng = Rng.create (1000 + n) in
+      Array.map
+        (fun p -> (p, 1.))
+        (Workload.gaussian_clusters rng ~dim:2 ~n ~k:8 ~extent:20. ~spread:1.5))
+    [ 1000; 2000; 4000; 8000 ];
+  static_rows ~workload:"static2d_e2" ~dim:2 ~epsilon:0.3
+    ~gen:(fun n ->
+      let rng = Rng.create ((2 * 100000) + n) in
+      Array.map
+        (fun p -> (p, 1.))
+        (Workload.gaussian_clusters rng ~dim:2 ~n ~k:6 ~extent:15. ~spread:1.))
+    [ 2000; 4000; 8000; 16000 ];
+  static_rows ~workload:"static3d_e2" ~dim:3 ~epsilon:0.4
+    ~gen:(fun n ->
+      let rng = Rng.create ((3 * 100000) + n) in
+      Array.map
+        (fun p -> (p, 1.))
+        (Workload.gaussian_clusters rng ~dim:3 ~n ~k:6 ~extent:15. ~spread:1.))
+    [ 1000; 2000; 4000 ];
+  (* Theorem 1.3 (batched 1-D) at the E3 ladder: the columnar query
+     replaces the per-group Option peeks and boxed pair reads. *)
+  List.iter
+    (fun (n, m) ->
+      if n <= max_n then begin
+        let rng = Rng.create (n + m) in
+        let pts =
+          Array.init n (fun _ ->
+              (Rng.uniform rng 0. 1000., Rng.uniform rng 0. 5.))
+        in
+        let lens = Array.init m (fun _ -> Rng.uniform rng 1. 100.) in
+        let lr, lt, la =
+          measure (fun () -> Legacy.Interval1d_seed.batched ~lens pts)
+        in
+        let cr, ct, ca =
+          measure (fun () -> Interval1d.batched ~domains:1 ~lens pts)
+        in
+        let equal =
+          Array.length lr = Array.length cr
+          && Array.for_all2
+               (fun l c ->
+                 feq l.Legacy.Interval1d_seed.lo c.Interval1d.lo
+                 && feq l.Legacy.Interval1d_seed.value c.Interval1d.value)
+               lr cr
+        in
+        record ~workload:"interval1d_e3" ~n ~m ~legacy:(lt, la)
+          ~current:(ct, ca) ~equal
+      end)
+    [ (20000, 100); (40000, 100); (80000, 100) ];
+  (* Exact disk sweep (E2's exact-comparison sizes): reusable two-stream
+     scratch replaces the per-circle event list and closure sort. *)
+  List.iter
+    (fun n ->
+      if n <= max_n then begin
+        let rng = Rng.create (31 * n) in
+        let tri =
+          Array.map
+            (fun p -> (p.(0), p.(1), 1.))
+            (Workload.gaussian_clusters rng ~dim:2 ~n ~k:4 ~extent:8.
+               ~spread:0.8)
+        in
+        let lr, lt, la =
+          measure (fun () -> Legacy.Disk2d_seed.solve ~radius:1. tri)
+        in
+        let cr, ct, ca =
+          measure (fun () -> Disk2d.max_weight ~domains:1 ~radius:1. tri)
+        in
+        let equal =
+          feq lr.Legacy.Disk2d_seed.x cr.Disk2d.x
+          && feq lr.Legacy.Disk2d_seed.y cr.Disk2d.y
+          && feq lr.Legacy.Disk2d_seed.value cr.Disk2d.value
+        in
+        record ~workload:"disk2d_e2" ~n ~m:0 ~legacy:(lt, la)
+          ~current:(ct, ca) ~equal
+      end)
+    [ 500; 1000; 2000 ];
+  let rows = List.rev !rows_acc in
+  (* JSON: one row object per line — the gate below (and the CI job)
+     re-parses rows line by line, so keep the key order in sync with
+     [parse_row]. *)
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"experiment\": \"E14\",\n  \"rows\": [\n";
+  List.iteri
+    (fun i (w, n, m, lt, ct, sp, la, ca, ar) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf
+        "    { \"workload\": %S, \"n\": %d, \"m\": %d, \"legacy_s\": %.6f, \
+         \"current_s\": %.6f, \"speedup\": %.4f, \"legacy_minor_words\": \
+         %.0f, \"current_minor_words\": %.0f, \"alloc_ratio\": %.4f }"
+        w n m lt ct sp la ca ar)
+    rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_kernels.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  row "\nwrote BENCH_kernels.json\n";
+  match gate with
+  | None -> ()
+  | Some (path, baseline) ->
+      let matched = ref 0 and failures = ref [] in
+      List.iter
+        (fun (w, n, m, _, _, sp, _, _, ar) ->
+          match
+            List.find_opt
+              (fun (bw, bn, bm, _, _) -> bw = w && bn = n && bm = m)
+              baseline
+          with
+          | None -> ()
+          | Some (_, _, _, bsp, bar) ->
+              incr matched;
+              if sp < bsp /. 1.35 then
+                failures :=
+                  Printf.sprintf
+                    "%s n=%d m=%d: speedup %.2fx regressed vs baseline %.2fx"
+                    w n m sp bsp
+                  :: !failures;
+              if ar < bar /. 1.15 then
+                failures :=
+                  Printf.sprintf
+                    "%s n=%d m=%d: alloc ratio %.1fx regressed vs baseline \
+                     %.1fx"
+                    w n m ar bar
+                  :: !failures)
+        rows;
+      if !failures = [] then
+        row "gate vs %s: OK (%d rows matched)\n" path !matched
+      else begin
+        List.iter
+          (fun f -> Printf.eprintf "E14 gate FAIL: %s\n" f)
+          (List.rev !failures);
+        exit 1
+      end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1284,6 +1551,7 @@ let experiments =
     ("e11", e11);
     ("e12", e12);
     ("e13", e13);
+    ("e14", e14);
     ("ablation", ablation);
     ("micro", micro);
   ]

@@ -1,34 +1,43 @@
 module Point = Maxrs_geom.Point
+module Pstore = Maxrs_geom.Pstore
 module Obs = Maxrs_obs.Obs
 module Parallel = Maxrs_parallel.Parallel
 module Guard = Maxrs_resilience.Guard
+module FA = Float.Array
 
 type result = { center : Point.t; value : int }
 
-let solve_unchecked ?(cfg = Config.default) ?(radius = 1.) ~dim pts ~colors =
-  Config.validate cfg;
-  let n = Array.length pts in
-  if n = 0 then None
-  else
-    Obs.with_span "colored.solve" @@ fun () ->
-    begin
+(* Columnar solve core over a colored store; see [Static.solve_core] for
+   the scratch-buffer scaling argument. The color-grouped processing
+   order (Section 3.2's sort step) is computed on an index array with
+   the exact comparator the tuple path used, so the permutation — and
+   hence every sample's last-color-seen sequence — is unchanged. *)
+let solve_core ~cfg ~radius ~dim store =
+  Obs.with_span "colored.solve" @@ fun () ->
+  begin
+    let n = Pstore.length store in
     let space = Sample_space.create ~dim ~cfg ~expected_n:n in
+    let colors = Pstore.colors store in
     (* Process balls grouped by color (Section 3.2's sort step). *)
     let order = Array.init n Fun.id in
     Array.sort (fun i j -> compare colors.(i) colors.(j)) order;
-    let scaled =
-      Array.map (fun i -> (Point.scale (1. /. radius) pts.(i), colors.(i))) order
-    in
+    let inv = 1. /. radius in
+    let cols = Array.init dim (Pstore.col store) in
     (* Shard by shifted-grid index (see Static.solve): every grid sees
        the same color-grouped sequence, independently of the others. *)
     Parallel.with_pool ~domains:(Config.domains cfg) (fun pool ->
         Parallel.parallel_for pool ~n:(Sample_space.grid_count space)
           (fun gi ->
+            let buf = Array.make dim 0. in
             Array.iter
-              (fun (center, color) ->
-                Sample_space.touch_colored_in_grid space ~grid:gi ~center
-                  ~color)
-              scaled));
+              (fun i ->
+                for k = 0 to dim - 1 do
+                  Array.unsafe_set buf k
+                    (inv *. FA.unsafe_get (Array.unsafe_get cols k) i)
+                done;
+                Sample_space.touch_colored_in_grid space ~grid:gi ~center:buf
+                  ~color:(Array.unsafe_get colors i))
+              order));
     match Sample_space.best space with
     | Some s when s.Sample_space.depth > 0. ->
         Some
@@ -38,6 +47,15 @@ let solve_unchecked ?(cfg = Config.default) ?(radius = 1.) ~dim pts ~colors =
           }
     | _ -> None
   end
+
+let solve_unchecked ?(cfg = Config.default) ?(radius = 1.) ~dim pts ~colors =
+  Config.validate cfg;
+  if Array.length pts = 0 then None
+  else solve_core ~cfg ~radius ~dim (Pstore.of_colored pts ~colors)
+
+let solve_store ?(cfg = Config.default) ?(radius = 1.) store =
+  Config.validate cfg;
+  solve_core ~cfg ~radius ~dim:(Pstore.dims store) store
 
 let solve_checked ?cfg ?(radius = 1.) ~dim pts ~colors =
   let cols = colors in

@@ -32,6 +32,13 @@ val solve_checked :
     finite coordinates of matching dimension, non-negative colors of
     matching length) reported as a structured error. *)
 
+val solve_store :
+  ?cfg:Config.t -> ?radius:float -> Maxrs_geom.Pstore.t -> result option
+(** Columnar entry: the validation-free solve directly over a colored
+    {!Maxrs_geom.Pstore} (dimension taken from the store; raises
+    [Invalid_argument] if the store carries no colors). Bit-identical to
+    the array path on equivalent input. Trusted input. *)
+
 val solve_or_point :
   ?cfg:Config.t ->
   ?radius:float ->

@@ -1,7 +1,6 @@
-module Point = Maxrs_geom.Point
-module Ball = Maxrs_geom.Ball
-module Box = Maxrs_geom.Box
 module Grid = Maxrs_geom.Grid
+module Kern = Maxrs_geom.Kern
+module Pstore = Maxrs_geom.Pstore
 module Shifted_grids = Maxrs_geom.Shifted_grids
 module Rng = Maxrs_geom.Rng
 module Colored_depth = Maxrs_union.Colored_depth
@@ -62,16 +61,30 @@ let solve_grid ~budget pts colors grid =
   in
   if Budget.expired budget then { empty with g_expired = true }
   else begin
-    (* Bucket disks by the grid cells they intersect. *)
-    let buckets : int list ref Grid.Tbl.t = Grid.Tbl.create (4 * n) in
+    (* Bucket disks by the grid cells they intersect. Each bucket is a
+       flat index buffer; legacy consed the indices onto a list, so a
+       bucket was read in descending index order — downstream consumers
+       (the witness tie-breaks of the per-cell sweep) see that order, so
+       every bucket traversal below runs back-to-front. The odometer
+       scratch is shared across the n disks of this grid: zero
+       allocation per (disk, cell) pair. *)
+    let buckets : Kern.Ibuf.t Grid.Tbl.t = Grid.Tbl.create (4 * n) in
+    let klo = [| 0; 0 |] and khi = [| 0; 0 |] and kbuf = [| 0; 0 |] in
+    let cen = [| 0.; 0. |] in
     Array.iteri
       (fun i (x, y) ->
-        let ball = Ball.unit [| x; y |] in
-        Grid.iter_keys_intersecting_ball grid ball (fun key ->
-            match Grid.Tbl.find_opt buckets key with
-            | Some l -> l := i :: !l
-            | None -> Grid.Tbl.add buckets (Array.copy key) (ref [ i ])))
+        cen.(0) <- x;
+        cen.(1) <- y;
+        Grid.iter_keys_intersecting_into grid ~lo:klo ~hi:khi ~key:kbuf
+          ~center:cen ~radius:1. (fun key ->
+            match Grid.Tbl.find buckets key with
+            | b -> Kern.Ibuf.push b i
+            | exception Not_found ->
+                let b = Kern.Ibuf.create 8 in
+                Kern.Ibuf.push b i;
+                Grid.Tbl.add buckets (Array.copy key) b))
       pts;
+    let trim = Kern.Ibuf.create 64 in
     let acc = ref empty in
     (* The per-cell sweeps dominate; poll the budget between cells and
        abandon the rest of this grid's cells on expiry (one cell of
@@ -80,50 +93,59 @@ let solve_grid ~budget pts colors grid =
        Grid.Tbl.iter
          (fun key idxs ->
            if Budget.expired budget then raise_notrace Out_of_time;
-           let corners = Box.corners (Grid.cell_box grid key) in
-           (* Lemma 4.3: drop disks containing no corner of the cell. *)
-           let trimmed =
-             List.filter
-               (fun i ->
-                 let x, y = pts.(i) in
-                 List.exists
-                   (fun c ->
-                     (((c.(0) -. x) ** 2.) +. ((c.(1) -. y) ** 2.))
-                     <= 1. +. 1e-12)
-                   corners)
-               !idxs
-           in
-           match trimmed with
-           | [] -> ()
-           | _ :: _ ->
-               let sub = Array.of_list trimmed in
-               let sub_centers = Array.map (fun i -> pts.(i)) sub in
-               let sub_colors = Array.map (fun i -> colors.(i)) sub in
-               let r =
-                 Colored_depth.max_colored_depth ~radius:1. sub_centers
-                   ~colors:sub_colors
-               in
-               let a = !acc in
-               acc :=
-                 {
-                   g_depth =
-                     (if r.Colored_depth.depth > a.g_depth then
-                        r.Colored_depth.depth
-                      else a.g_depth);
-                   g_x =
-                     (if r.Colored_depth.depth > a.g_depth then
-                        r.Colored_depth.x
-                      else a.g_x);
-                   g_y =
-                     (if r.Colored_depth.depth > a.g_depth then
-                        r.Colored_depth.y
-                      else a.g_y);
-                   g_cells = a.g_cells + 1;
-                   g_disks = a.g_disks + Array.length sub;
-                   g_events =
-                     a.g_events + r.Colored_depth.stats.Colored_depth.events;
-                   g_expired = a.g_expired;
-                 })
+           (* Lemma 4.3: drop disks containing no corner of the cell.
+              The corner coordinates replicate [Grid.cell_box]
+              ([origin + k*side], [+ side]); membership is a disjunction
+              over the four corners, so testing them inline in any order
+              equals the old [List.exists] over [Box.corners]. *)
+           let lox = grid.Grid.origin.(0) +. (float_of_int key.(0) *. grid.Grid.side) in
+           let loy = grid.Grid.origin.(1) +. (float_of_int key.(1) *. grid.Grid.side) in
+           let hix = lox +. grid.Grid.side and hiy = loy +. grid.Grid.side in
+           Kern.Ibuf.clear trim;
+           let m = Kern.Ibuf.length idxs in
+           for s = m - 1 downto 0 do
+             let i = Kern.Ibuf.get idxs s in
+             let x, y = Array.unsafe_get pts i in
+             let hit cx cy =
+               (((cx -. x) ** 2.) +. ((cy -. y) ** 2.)) <= 1. +. 1e-12
+             in
+             if hit lox loy || hit lox hiy || hit hix loy || hit hix hiy then
+               Kern.Ibuf.push trim i
+           done;
+           let nt = Kern.Ibuf.length trim in
+           if nt > 0 then begin
+             let sub_centers =
+               Array.init nt (fun j -> pts.(Kern.Ibuf.get trim j))
+             in
+             let sub_colors =
+               Array.init nt (fun j -> colors.(Kern.Ibuf.get trim j))
+             in
+             let r =
+               Colored_depth.max_colored_depth ~radius:1. sub_centers
+                 ~colors:sub_colors
+             in
+             let a = !acc in
+             acc :=
+               {
+                 g_depth =
+                   (if r.Colored_depth.depth > a.g_depth then
+                      r.Colored_depth.depth
+                    else a.g_depth);
+                 g_x =
+                   (if r.Colored_depth.depth > a.g_depth then
+                      r.Colored_depth.x
+                    else a.g_x);
+                 g_y =
+                   (if r.Colored_depth.depth > a.g_depth then
+                      r.Colored_depth.y
+                    else a.g_y);
+                 g_cells = a.g_cells + 1;
+                 g_disks = a.g_disks + nt;
+                 g_events =
+                   a.g_events + r.Colored_depth.stats.Colored_depth.events;
+                 g_expired = a.g_expired;
+               }
+           end)
          buckets
      with Out_of_time -> acc := { !acc with g_expired = true });
     !acc
@@ -195,6 +217,17 @@ let solve_unchecked ?(radius = 1.) ?max_shifts ?(seed = 0x4f53) ?domains
     }
   in
   if merged.g_expired then Outcome.Partial result else Outcome.Complete result
+
+let solve_store ?radius ?max_shifts ?seed ?domains ?budget store =
+  if Pstore.dims store <> 2 then
+    invalid_arg "Output_sensitive.solve_store: store must be planar";
+  let xs = Pstore.col store 0 and ys = Pstore.col store 1 in
+  let centers =
+    Array.init (Pstore.length store) (fun i ->
+        (Float.Array.get xs i, Float.Array.get ys i))
+  in
+  solve_unchecked ?radius ?max_shifts ?seed ?domains ?budget centers
+    ~colors:(Pstore.colors store)
 
 let solve_checked ?radius ?max_shifts ?seed ?domains ?budget centers ~colors =
   let cols = colors in

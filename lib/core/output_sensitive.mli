@@ -73,3 +73,16 @@ val solve_unchecked :
     computation, no input scan. The input must already be finite,
     non-empty and length-consistent; behaviour otherwise is
     unspecified. *)
+
+val solve_store :
+  ?radius:float ->
+  ?max_shifts:int ->
+  ?seed:int ->
+  ?domains:int ->
+  ?budget:Maxrs_resilience.Budget.t ->
+  Maxrs_geom.Pstore.t ->
+  result Maxrs_resilience.Outcome.t
+(** {!solve_unchecked} over a planar colored {!Maxrs_geom.Pstore} —
+    bit-identical to the array path on equivalent input (same seed
+    stream, same grid order). Trusted input; raises [Invalid_argument]
+    if the store is not planar or carries no colors. *)

@@ -5,6 +5,7 @@ module Shifted_grids = Maxrs_geom.Shifted_grids
 module Sphere = Maxrs_geom.Sphere
 module Rng = Maxrs_geom.Rng
 module Obs = Maxrs_obs.Obs
+module FA = Float.Array
 
 (* Cells materialized and samples drawn/visited are the primitive
    operations behind Theorems 1.2/1.5: O(n) cells per grid, O(ε⁻²log n)
@@ -23,6 +24,12 @@ type sample = {
 
 type cell = {
   samples : sample array;
+  posf : floatarray;
+      (** the samples' positions flattened row-major (sample, axis):
+          the per-update containment scan streams this unboxed column
+          instead of chasing one [Point.t] block per sample. Derived
+          from [samples] (whose [pos] is immutable), so serialization
+          ignores it and [restore] rebuilds it. *)
   mutable nballs : int;
   mutable max_depth : float;  (** cached max over [samples] *)
   mutable best : sample;  (** a sample attaining [max_depth] *)
@@ -36,6 +43,10 @@ type cell = {
    [Rng.split_at] keyed by the grid index — not by insertion order — so a
    grid's sample positions depend only on the operations applied to that
    grid, never on how work was interleaved across grids. *)
+(* Odometer scratch for the grid-key enumeration, one per grid so the
+   sharded [*_in_grid] operations keep touching disjoint state. *)
+type scratch = { sc_lo : int array; sc_hi : int array; sc_key : int array }
+
 type t = {
   dim : int;
   cfg : Config.t;
@@ -46,8 +57,17 @@ type t = {
   stride : int;  (** grid count; sample ids are [local * stride + grid] *)
   next_ids : int array;
   n_cells : int array;
+  scratch : scratch array;
   mutable hook : cell -> unit;
 }
+
+let make_scratch ~dim count =
+  Array.init count (fun _ ->
+      {
+        sc_lo = Array.make dim 0;
+        sc_hi = Array.make dim 0;
+        sc_key = Array.make dim 0;
+      })
 
 (* Grid collection and the rng the per-grid streams derive from; both
    are deterministic functions of (dim, cfg), which is what lets a
@@ -78,6 +98,7 @@ let create ~dim ~cfg ~expected_n =
     stride = count;
     next_ids = Array.make count 0;
     n_cells = Array.make count 0;
+    scratch = make_scratch ~dim count;
     hook = ignore;
   }
 
@@ -117,19 +138,29 @@ let new_cell t gi grid key =
   t.n_cells.(gi) <- t.n_cells.(gi) + 1;
   Obs.incr c_cells;
   Obs.add c_drawn t.t_samples;
-  { samples; nballs = 0; max_depth = 0.; best = samples.(0); cversion = 0 }
+  let posf = FA.create (t.t_samples * t.dim) in
+  Array.iteri
+    (fun si s ->
+      for k = 0 to t.dim - 1 do
+        FA.unsafe_set posf ((si * t.dim) + k) s.pos.(k)
+      done)
+    samples;
+  { samples; posf; nballs = 0; max_depth = 0.; best = samples.(0); cversion = 0 }
 
 (* Visit every cell of grid [gi] intersected by the unit ball at
-   [center], materializing absent cells. *)
+   [center], materializing absent cells. Uses the grid's odometer
+   scratch and the raising [Tbl.find] so the already-materialized path
+   allocates nothing. *)
 let iter_cells_in_grid t gi ~center f =
-  let ball = Ball.unit center in
   let table = t.tables.(gi) in
   let grid = t.grids.Shifted_grids.grids.(gi) in
-  Grid.iter_keys_intersecting_ball grid ball (fun key ->
+  let sc = t.scratch.(gi) in
+  Grid.iter_keys_intersecting_into grid ~lo:sc.sc_lo ~hi:sc.sc_hi ~key:sc.sc_key
+    ~center ~radius:1. (fun key ->
       let cell =
-        match Grid.Tbl.find_opt table key with
-        | Some c -> c
-        | None ->
+        match Grid.Tbl.find table key with
+        | c -> c
+        | exception Not_found ->
             let c = new_cell t gi grid key in
             Grid.Tbl.add table (Array.copy key) c;
             c
@@ -141,16 +172,40 @@ let iter_cells t ~center f =
     iter_cells_in_grid t gi ~center f
   done
 
+(* Squared distance from sample [si] of [cell] to [center], streamed
+   from the flat position column in ascending axis order — bit-identical
+   to [Point.dist2 samples.(si).pos center]. *)
+let sample_dist2 cell ~dim si center =
+  let base = si * dim in
+  let acc = ref 0. in
+  for k = 0 to dim - 1 do
+    let d = FA.unsafe_get cell.posf (base + k) -. Array.unsafe_get center k in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+(* Refresh the cached max/argmax after a sample scan marked changes. *)
+let refresh_cell t cell changed mx arg =
+  if changed && (mx <> cell.max_depth || arg != cell.best) then begin
+    cell.max_depth <- mx;
+    cell.best <- arg;
+    cell.cversion <- cell.cversion + 1;
+    t.hook cell
+  end
+
 (* Apply [update] to every sample of [cell] inside the unit ball at
    [center], then refresh the cell's cached max/argmax in the same pass
-   and fire the hook if it moved. *)
+   and fire the hook if it moved. Generic (closure-driven) variant for
+   custom depth notions; the weighted/colored hot paths below are
+   hand-specialized copies of the same loop. *)
 let update_cell t cell ~center update =
   Obs.add c_visited (Array.length cell.samples);
+  let dim = t.dim in
   let changed = ref false in
   let mx = ref Float.neg_infinity and arg = ref cell.samples.(0) in
-  Array.iter
-    (fun s ->
-      if Point.dist2 s.pos center <= 1. +. 1e-12 && update s then begin
+  Array.iteri
+    (fun si s ->
+      if sample_dist2 cell ~dim si center <= 1. +. 1e-12 && update s then begin
         s.version <- s.version + 1;
         changed := true
       end;
@@ -159,20 +214,59 @@ let update_cell t cell ~center update =
         arg := s
       end)
     cell.samples;
-  if !changed && (!mx <> cell.max_depth || !arg != cell.best) then begin
-    cell.max_depth <- !mx;
-    cell.best <- !arg;
-    cell.cversion <- cell.cversion + 1;
-    t.hook cell
-  end
+  refresh_cell t cell !changed !mx !arg
+
+(* [update_cell] specialized to an unconditional depth delta: no update
+   closure, no per-sample indirection. Deletion passes a negated weight
+   ([x +. (-.w)] and [x -. w] are the same IEEE operation, so the result
+   is bit-identical to the old subtracting closure). *)
+let update_cell_add t cell ~center ~delta =
+  Obs.add c_visited (Array.length cell.samples);
+  let dim = t.dim in
+  let samples = cell.samples in
+  let changed = ref false in
+  let mx = ref Float.neg_infinity and arg = ref samples.(0) in
+  for si = 0 to Array.length samples - 1 do
+    let s = Array.unsafe_get samples si in
+    if sample_dist2 cell ~dim si center <= 1. +. 1e-12 then begin
+      s.depth <- s.depth +. delta;
+      s.version <- s.version + 1;
+      changed := true
+    end;
+    if s.depth > !mx then begin
+      mx := s.depth;
+      arg := s
+    end
+  done;
+  refresh_cell t cell !changed !mx !arg
+
+(* [update_cell] specialized to the colored flag test. *)
+let update_cell_color t cell ~center ~color =
+  Obs.add c_visited (Array.length cell.samples);
+  let dim = t.dim in
+  let samples = cell.samples in
+  let changed = ref false in
+  let mx = ref Float.neg_infinity and arg = ref samples.(0) in
+  for si = 0 to Array.length samples - 1 do
+    let s = Array.unsafe_get samples si in
+    if sample_dist2 cell ~dim si center <= 1. +. 1e-12 && s.flag <> color then begin
+      s.flag <- color;
+      s.depth <- s.depth +. 1.;
+      s.version <- s.version + 1;
+      changed := true
+    end;
+    if s.depth > !mx then begin
+      mx := s.depth;
+      arg := s
+    end
+  done;
+  refresh_cell t cell !changed !mx !arg
 
 let insert_in_grid t ~grid ~center ~weight =
   assert (Point.dim center = t.dim);
   iter_cells_in_grid t grid ~center (fun _table _key cell ->
       cell.nballs <- cell.nballs + 1;
-      update_cell t cell ~center (fun s ->
-          s.depth <- s.depth +. weight;
-          true))
+      update_cell_add t cell ~center ~delta:weight)
 
 let insert t ~center ~weight =
   assert (Point.dim center = t.dim);
@@ -187,9 +281,7 @@ let delete t ~center ~weight =
       iter_cells_in_grid t gi ~center (fun table key cell ->
           cell.nballs <- cell.nballs - 1;
           assert (cell.nballs >= 0);
-          update_cell t cell ~center (fun s ->
-              s.depth <- s.depth -. weight;
-              true);
+          update_cell_add t cell ~center ~delta:(-.weight);
           if cell.nballs = 0 then begin
             (* Invalidate so stale heap entries are detectable. *)
             cell.max_depth <- Float.neg_infinity;
@@ -225,13 +317,7 @@ let touch_colored_in_grid t ~grid ~center ~color =
   assert (color >= 0);
   iter_cells_in_grid t grid ~center (fun _table _key cell ->
       cell.nballs <- cell.nballs + 1;
-      update_cell t cell ~center (fun s ->
-          if s.flag <> color then begin
-            s.flag <- color;
-            s.depth <- s.depth +. 1.;
-            true
-          end
-          else false))
+      update_cell_color t cell ~center ~color)
 
 let touch_colored t ~center ~color =
   for gi = 0 to grid_count t - 1 do
@@ -417,6 +503,7 @@ let restore ~cfg (st : State.t) =
       next_ids = Array.map (fun g -> g.State.gs_next_id) st.State.st_grids;
       n_cells =
         Array.map (fun g -> List.length g.State.gs_cells) st.State.st_grids;
+      scratch = make_scratch ~dim count;
       hook = ignore;
     }
   in
@@ -443,9 +530,17 @@ let restore ~cfg (st : State.t) =
                 })
               c.State.cs_samples
           in
+          let posf = FA.create (t.t_samples * dim) in
+          Array.iteri
+            (fun si s ->
+              for k = 0 to dim - 1 do
+                FA.unsafe_set posf ((si * dim) + k) s.pos.(k)
+              done)
+            samples;
           let cell =
             {
               samples;
+              posf;
               nballs = c.State.cs_nballs;
               max_depth = c.State.cs_max;
               best = samples.(c.State.cs_best);

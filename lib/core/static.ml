@@ -1,36 +1,58 @@
 module Point = Maxrs_geom.Point
+module Pstore = Maxrs_geom.Pstore
 module Obs = Maxrs_obs.Obs
 module Parallel = Maxrs_parallel.Parallel
 module Guard = Maxrs_resilience.Guard
+module FA = Float.Array
 
 type result = { center : Point.t; value : float }
 
-let solve_unchecked ?(cfg = Config.default) ?(radius = 1.) ~dim pts =
-  Config.validate cfg;
-  let n = Array.length pts in
-  if n = 0 then None
-  else
-    Obs.with_span "static.solve" @@ fun () ->
-    begin
+(* Columnar solve core. Points are consumed from the store's unboxed
+   columns; the radius scaling that used to materialize a [scaled] copy
+   of the input ([Point.scale (1/r)] per point, per solve) is now done
+   into one per-grid scratch buffer — [inv *. x] with [inv = 1. /.
+   radius] is the exact expression [Point.scale] evaluates, so the
+   inserted centers are bit-identical. [Sample_space] only reads the
+   center during an insert (grid keys + sample distances), so reusing
+   the buffer across inserts is safe, and each grid owns its own buffer
+   so the sharded inserts stay race-free. *)
+let solve_core ~cfg ~radius ~dim store =
+  Obs.with_span "static.solve" @@ fun () ->
+  begin
+    let n = Pstore.length store in
     let space = Sample_space.create ~dim ~cfg ~expected_n:n in
-    let scaled =
-      Array.map (fun (p, w) -> (Point.scale (1. /. radius) p, w)) pts
-    in
+    let inv = 1. /. radius in
+    let ws = Pstore.weights store in
+    let cols = Array.init dim (Pstore.col store) in
     (* Shard by shifted-grid index: each grid owns disjoint state inside
        the sample space, so grids build concurrently and the result is
        bit-identical for any domain count. *)
     Parallel.with_pool ~domains:(Config.domains cfg) (fun pool ->
         Parallel.parallel_for pool ~n:(Sample_space.grid_count space)
           (fun gi ->
-            Array.iter
-              (fun (center, weight) ->
-                Sample_space.insert_in_grid space ~grid:gi ~center ~weight)
-              scaled));
+            let buf = Array.make dim 0. in
+            for i = 0 to n - 1 do
+              for k = 0 to dim - 1 do
+                Array.unsafe_set buf k
+                  (inv *. FA.unsafe_get (Array.unsafe_get cols k) i)
+              done;
+              Sample_space.insert_in_grid space ~grid:gi ~center:buf
+                ~weight:(FA.unsafe_get ws i)
+            done));
     match Sample_space.best space with
     | Some s when s.Sample_space.depth > 0. ->
         Some { center = Point.scale radius s.Sample_space.pos; value = s.Sample_space.depth }
     | _ -> None
   end
+
+let solve_unchecked ?(cfg = Config.default) ?(radius = 1.) ~dim pts =
+  Config.validate cfg;
+  if Array.length pts = 0 then None
+  else solve_core ~cfg ~radius ~dim (Pstore.of_weighted pts)
+
+let solve_store ?(cfg = Config.default) ?(radius = 1.) store =
+  Config.validate cfg;
+  solve_core ~cfg ~radius ~dim:(Pstore.dims store) store
 
 let validate ~radius ~dim pts =
   let open Guard in

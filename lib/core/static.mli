@@ -43,6 +43,13 @@ val solve_unchecked :
     validated or generated; behaviour on non-finite coordinates or
     negative weights is unspecified. *)
 
+val solve_store :
+  ?cfg:Config.t -> ?radius:float -> Maxrs_geom.Pstore.t -> result option
+(** Columnar entry: {!solve_unchecked} directly over a weighted
+    {!Maxrs_geom.Pstore} (dimension taken from the store). Bit-identical
+    to the array path on equivalent input — the array entries are thin
+    adapters over this core. Trusted input, like {!solve_unchecked}. *)
+
 val solve_or_point :
   ?cfg:Config.t ->
   ?radius:float ->

@@ -22,59 +22,107 @@ let midpoint i = norm (i.start +. (i.len /. 2.))
 let endpoints i = (i.start, norm (i.start +. i.len))
 
 (* Cut every (possibly wrapping) span into non-wrapping [a, b] pieces with
-   0 <= a <= b <= 2pi, then sort and merge. *)
-let to_flat ivls =
-  List.concat_map
-    (fun i ->
-      if i.len <= 0. then []
-      else
-        let a = i.start and b = i.start +. i.len in
-        if b <= two_pi then [ (a, b) ] else [ (a, two_pi); (0., b -. two_pi) ])
-    ivls
+   0 <= a <= b <= 2pi held in two tandem float columns, then sort the
+   columns in place and merge front-to-back within the same storage. The
+   merged sequence is independent of the order of equal-start pieces
+   (each one extends the open piece to the max end), so the in-place
+   tandem sort reproduces the old [List.sort]-of-pairs result without
+   consing a pair per piece. *)
+module FA = Float.Array
 
-let merge_flat pieces =
-  let sorted = List.sort (fun (a, _) (b, _) -> Float.compare a b) pieces in
-  let rec go acc = function
-    | [] -> List.rev acc
-    | (a, b) :: rest -> (
-        match acc with
-        | (a0, b0) :: acc' when a <= b0 +. 1e-12 ->
-            go ((a0, Float.max b0 b) :: acc') rest
-        | _ -> go ((a, b) :: acc) rest)
+(* Fills fresh columns (starts, ends) and returns (starts, ends, count). *)
+let flat_pieces ivls =
+  let count =
+    List.fold_left
+      (fun acc i ->
+        if i.len <= 0. then acc
+        else if i.start +. i.len <= two_pi then acc + 1
+        else acc + 2)
+      0 ivls
   in
-  go [] sorted
+  let a = FA.create count and b = FA.create count in
+  let k = ref 0 in
+  List.iter
+    (fun i ->
+      if i.len > 0. then begin
+        let s = i.start and e = i.start +. i.len in
+        if e <= two_pi then begin
+          FA.set a !k s;
+          FA.set b !k e;
+          incr k
+        end
+        else begin
+          FA.set a !k s;
+          FA.set b !k two_pi;
+          incr k;
+          FA.set a !k 0.;
+          FA.set b !k (e -. two_pi);
+          incr k
+        end
+      end)
+    ivls;
+  (a, b, count)
+
+(* Sort by start and merge overlapping pieces in place; returns the
+   merged piece count (pieces live in the column prefixes). Writes trail
+   reads ([m - 1 < i] throughout), so the merge reuses the columns. *)
+let merge_pieces a b count =
+  if count = 0 then 0
+  else begin
+    Kern.sort_ff a b count;
+    let m = ref 0 in
+    for i = 0 to count - 1 do
+      let ai = FA.get a i and bi = FA.get b i in
+      if !m > 0 && ai <= FA.get b (!m - 1) +. 1e-12 then
+        FA.set b (!m - 1) (Float.max (FA.get b (!m - 1)) bi)
+      else begin
+        FA.set a !m ai;
+        FA.set b !m bi;
+        incr m
+      end
+    done;
+    !m
+  end
 
 let total_length ivls =
   if List.exists is_full ivls then two_pi
-  else
-    merge_flat (to_flat ivls)
-    |> List.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0.
+  else begin
+    let a, b, count = flat_pieces ivls in
+    let m = merge_pieces a b count in
+    let acc = ref 0. in
+    for i = 0 to m - 1 do
+      acc := !acc +. (FA.get b i -. FA.get a i)
+    done;
+    !acc
+  end
 
 let complement ivls =
   if List.exists is_full ivls then []
-  else
-    let merged = merge_flat (to_flat ivls) in
-    match merged with
-    | [] -> [ full ]
-    | (first_a, _) :: _ ->
-        (* Gaps between consecutive covered pieces, plus the wrap-around gap
-           from the last piece's end back to the first piece's start. *)
-        let rec gaps acc = function
-          | [ (_, b_last) ] ->
-              let wrap = { start = norm b_last; len = norm (first_a -. b_last) } in
-              let acc = if norm (first_a -. b_last) > 1e-12 || (b_last >= two_pi -. 1e-12 && first_a <= 1e-12) then
-                  (if wrap.len > 1e-12 then wrap :: acc else acc)
-                else acc
-              in
-              List.rev acc
-          | (_, b) :: ((a', _) :: _ as rest) ->
-              let acc =
-                if a' -. b > 1e-12 then { start = b; len = a' -. b } :: acc
-                else acc
-              in
-              gaps acc rest
-          | [] -> List.rev acc
-        in
-        gaps [] merged
+  else begin
+    let a, b, count = flat_pieces ivls in
+    let m = merge_pieces a b count in
+    if m = 0 then [ full ]
+    else begin
+      (* Gaps between consecutive covered pieces, plus the wrap-around gap
+         from the last piece's end back to the first piece's start. *)
+      let first_a = FA.get a 0 in
+      let acc = ref [] in
+      for i = 0 to m - 2 do
+        let b_i = FA.get b i and a' = FA.get a (i + 1) in
+        if a' -. b_i > 1e-12 then
+          acc := { start = b_i; len = a' -. b_i } :: !acc
+      done;
+      let b_last = FA.get b (m - 1) in
+      let wrap = { start = norm b_last; len = norm (first_a -. b_last) } in
+      let acc =
+        if
+          norm (first_a -. b_last) > 1e-12
+          || (b_last >= two_pi -. 1e-12 && first_a <= 1e-12)
+        then if wrap.len > 1e-12 then wrap :: !acc else !acc
+        else !acc
+      in
+      List.rev acc
+    end
+  end
 
 let covers_circle ivls = total_length ivls >= two_pi -. 1e-9

@@ -22,6 +22,21 @@ val coverage_by_disk : t -> cx:float -> cy:float -> r:float -> coverage
 (** [coverage_by_disk c ~cx ~cy ~r] describes the set
     [{theta | point_at c theta inside the closed disk (cx,cy,r)}]. *)
 
+(** Allocation-free variant for the sweep hot loops: the classification
+    comes back as an int code and arc bounds land in a caller-provided
+    2-slot scratch buffer. Bit-identical to {!coverage_by_disk}. *)
+
+val cov_disjoint : int
+val cov_covered : int
+val cov_arc : int
+
+val coverage_into : t -> cx:float -> cy:float -> r:float -> floatarray -> int
+(** [coverage_into c ~cx ~cy ~r out] returns {!cov_disjoint},
+    {!cov_covered} or {!cov_arc}; on {!cov_arc} it writes the arc's
+    normalized start angle to [out.(0)] and its length to [out.(1)]
+    (the fields of the [Angle.ivl] that {!coverage_by_disk} would have
+    returned). [out] must have at least 2 slots. *)
+
 val intersections : t -> t -> (float * float) list
 (** The 0, 1 or 2 intersection points of the two circles. Concentric or
     (near-)identical circles yield []. *)

@@ -21,22 +21,22 @@ let cell_center g k =
 
 let cell_circumradius g = g.side *. sqrt (float_of_int g.dim) /. 2.
 
-let iter_keys_intersecting_ball g b f =
+(* Odometer over the integer bounding box, accumulating the squared
+   distance from the ball center to the partial cell box per axis —
+   prunes whole subtrees and allocates nothing per cell. [lo]/[hi]/[key]
+   are caller-provided scratch (length >= dim), so a caller looping over
+   many balls (the sample-space insert path) allocates nothing per call.
+   The key passed to [f] is the [key] scratch buffer: copy it before
+   retaining. *)
+let iter_keys_intersecting_into g ~lo ~hi ~key ~center ~radius f =
   let d = g.dim in
-  let c = b.Ball.center and r = b.Ball.radius in
-  let lo =
-    Array.init d (fun i ->
-        int_of_float (Float.floor ((c.(i) -. r -. g.origin.(i)) /. g.side)))
-  and hi =
-    Array.init d (fun i ->
-        int_of_float (Float.floor ((c.(i) +. r -. g.origin.(i)) /. g.side)))
-  in
-  let key = Array.copy lo in
+  let c = center and r = radius in
+  for i = 0 to d - 1 do
+    lo.(i) <- int_of_float (Float.floor ((c.(i) -. r -. g.origin.(i)) /. g.side));
+    hi.(i) <- int_of_float (Float.floor ((c.(i) +. r -. g.origin.(i)) /. g.side));
+    key.(i) <- lo.(i)
+  done;
   let r2 = r *. r in
-  (* Odometer over the integer bounding box, accumulating the squared
-     distance from the ball center to the partial cell box per axis —
-     prunes whole subtrees and allocates nothing per cell. The key passed
-     to [f] is a scratch buffer: copy it before retaining. *)
   let rec go i acc =
     if acc <= r2 then
       if i = d then f key
@@ -54,6 +54,12 @@ let iter_keys_intersecting_ball g b f =
         done
   in
   go 0 0.
+
+let iter_keys_intersecting_ball g b f =
+  let d = g.dim in
+  let lo = Array.make d 0 and hi = Array.make d 0 and key = Array.make d 0 in
+  iter_keys_intersecting_into g ~lo ~hi ~key ~center:b.Ball.center
+    ~radius:b.Ball.radius f
 
 let keys_intersecting_ball g b =
   let acc = ref [] in

@@ -28,6 +28,20 @@ val iter_keys_intersecting_ball : t -> Ball.t -> (key -> unit) -> unit
     callback is a scratch buffer reused across calls — copy it before
     retaining it. *)
 
+val iter_keys_intersecting_into :
+  t ->
+  lo:int array ->
+  hi:int array ->
+  key:int array ->
+  center:Point.t ->
+  radius:float ->
+  (key -> unit) ->
+  unit
+(** {!iter_keys_intersecting_ball} with caller-provided odometer scratch
+    ([lo], [hi], [key], each of length >= dim) and the ball passed as
+    center/radius — zero allocation per call, for tight insert loops.
+    The callback receives the [key] scratch buffer. *)
+
 val keys_intersecting_ball : t -> Ball.t -> key list
 
 module Tbl : Hashtbl.S with type key = key

@@ -1,12 +1,19 @@
 module Obs = Maxrs_obs.Obs
+module FA = Float.Array
 
 (* Node visits are the machine-independent cost of a kd-tree query:
    pruning quality shows up directly in [kd.visits] growth. *)
 let c_visits = Obs.counter "kd.visits"
 let c_points = Obs.counter "kd.points"
 
+(* Leaves are ranges of one shared permutation array and coordinates
+   live in per-axis float columns: building sorts nothing — each node
+   runs one allocation-free Hoare select on its [perm] slice — and leaf
+   scans stream unboxed columns instead of chasing per-point blocks.
+   [pts] is retained only to hand the original [Point.t] values to
+   query callbacks. *)
 type node =
-  | Leaf of { idxs : int array }
+  | Leaf of { lo : int; hi : int }  (** inclusive range into [perm] *)
   | Node of {
       axis : int;
       split : float;
@@ -15,73 +22,96 @@ type node =
       bbox : Box.t;
     }
 
-type t = { root : node; pts : Point.t array; dims : int }
+type t = {
+  root : node;
+  pts : Point.t array;
+  cols : floatarray array;
+  perm : int array;
+  dims : int;
+}
 
 let leaf_capacity = 12
 
-let bbox_of pts idxs =
-  let d = Point.dim pts.(idxs.(0)) in
-  let lo = Array.copy pts.(idxs.(0)) and hi = Array.copy pts.(idxs.(0)) in
-  Array.iter
-    (fun i ->
-      let p = pts.(i) in
-      for k = 0 to d - 1 do
-        if p.(k) < lo.(k) then lo.(k) <- p.(k);
-        if p.(k) > hi.(k) then hi.(k) <- p.(k)
-      done)
-    idxs;
-  Box.make lo hi
+let bbox_of cols dims perm lo hi =
+  let i0 = perm.(lo) in
+  let blo = Array.init dims (fun k -> FA.get cols.(k) i0) in
+  let bhi = Array.copy blo in
+  for s = lo + 1 to hi do
+    let i = Array.unsafe_get perm s in
+    for k = 0 to dims - 1 do
+      let v = FA.unsafe_get cols.(k) i in
+      if v < blo.(k) then blo.(k) <- v;
+      if v > bhi.(k) then bhi.(k) <- v
+    done
+  done;
+  Box.make blo bhi
 
 let build pts =
   let n = Array.length pts in
   assert (n > 0);
   let dims = Point.dim pts.(0) in
   Array.iter (fun p -> assert (Point.dim p = dims)) pts;
-  let rec go idxs depth =
-    if Array.length idxs <= leaf_capacity then Leaf { idxs }
+  let cols = Array.init dims (fun _ -> FA.create n) in
+  for i = 0 to n - 1 do
+    let p = pts.(i) in
+    for k = 0 to dims - 1 do
+      FA.unsafe_set cols.(k) i p.(k)
+    done
+  done;
+  let perm = Array.init n Fun.id in
+  (* Median by position: [mid] splits the slice into halves of size
+     [len/2] and [len - len/2], both non-empty whenever the node
+     recurses, so duplicate coordinates on the split axis cannot produce
+     an empty side or unbounded recursion (the select only guarantees
+     [<=] / [>=] around the median slot, which is all the query-side
+     pruning needs). *)
+  let rec go lo hi depth =
+    let len = hi - lo + 1 in
+    if len <= leaf_capacity then Leaf { lo; hi }
     else begin
       let axis = depth mod dims in
-      let sorted = Array.copy idxs in
-      Array.sort
-        (fun a b -> Float.compare pts.(a).(axis) pts.(b).(axis))
-        sorted;
-      let mid = Array.length sorted / 2 in
-      let split = pts.(sorted.(mid)).(axis) in
-      let left = Array.sub sorted 0 mid in
-      let right = Array.sub sorted mid (Array.length sorted - mid) in
-      (* Degenerate: all coordinates equal along this axis — fall back to
-         a leaf rather than recursing forever. *)
-      if Array.length left = 0 || Array.length right = 0 then Leaf { idxs }
-      else
-        Node
-          {
-            axis;
-            split;
-            left = go left (depth + 1);
-            right = go right (depth + 1);
-            bbox = bbox_of pts idxs;
-          }
+      let mid = lo + (len / 2) in
+      Kern.select_idx cols.(axis) perm ~lo ~hi ~k:mid;
+      let split = FA.get cols.(axis) perm.(mid) in
+      Node
+        {
+          axis;
+          split;
+          left = go lo (mid - 1) (depth + 1);
+          right = go mid hi (depth + 1);
+          bbox = bbox_of cols dims perm lo hi;
+        }
     end
   in
-  { root = go (Array.init n Fun.id) 0; pts; dims }
+  { root = go 0 (n - 1) 0; pts; cols; perm; dims }
 
 let size t = Array.length t.pts
 let dim t = t.dims
 
+(* Columnar squared distance from stored point [i] to [q], accumulated
+   in ascending axis order — bit-identical to [Point.dist2 pts.(i) q]. *)
+let dist2_to t i q =
+  let acc = ref 0. in
+  for k = 0 to t.dims - 1 do
+    let d = FA.unsafe_get t.cols.(k) i -. Array.unsafe_get q k in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
 let iter_in_ball t ball f =
   let r2 = (ball.Ball.radius +. Ball.boundary_tolerance) ** 2. in
+  let center = ball.Ball.center in
   let rec go node =
     Obs.incr c_visits;
     match node with
-    | Leaf { idxs } ->
-        Obs.add c_points (Array.length idxs);
-        Array.iter
-          (fun i ->
-            if Point.dist2 t.pts.(i) ball.Ball.center <= r2 then
-              f i t.pts.(i))
-          idxs
+    | Leaf { lo; hi } ->
+        Obs.add c_points (hi - lo + 1);
+        for s = lo to hi do
+          let i = Array.unsafe_get t.perm s in
+          if dist2_to t i center <= r2 then f i t.pts.(i)
+        done
     | Node { left; right; bbox; _ } ->
-        if Box.dist2_to_point bbox ball.Ball.center <= r2 then begin
+        if Box.dist2_to_point bbox center <= r2 then begin
           go left;
           go right
         end
@@ -98,9 +128,12 @@ let count_in_box t box =
   let rec go node =
     Obs.incr c_visits;
     match node with
-    | Leaf { idxs } ->
-        Obs.add c_points (Array.length idxs);
-        Array.iter (fun i -> if Box.contains box t.pts.(i) then incr c) idxs
+    | Leaf { lo; hi } ->
+        Obs.add c_points (hi - lo + 1);
+        for s = lo to hi do
+          let i = Array.unsafe_get t.perm s in
+          if Box.contains box t.pts.(i) then incr c
+        done
     | Node { left; right; bbox; _ } ->
         if Box.intersects_box bbox box then begin
           go left;
@@ -115,15 +148,15 @@ let nearest t q =
   let rec go node =
     Obs.incr c_visits;
     match node with
-    | Leaf { idxs } ->
-        Array.iter
-          (fun i ->
-            let d2 = Point.dist2 t.pts.(i) q in
-            if d2 < !best_d2 then begin
-              best_d2 := d2;
-              best_i := i
-            end)
-          idxs
+    | Leaf { lo; hi } ->
+        for s = lo to hi do
+          let i = Array.unsafe_get t.perm s in
+          let d2 = dist2_to t i q in
+          if d2 < !best_d2 then begin
+            best_d2 := d2;
+            best_i := i
+          end
+        done
     | Node { axis; split; left; right; bbox; _ } ->
         if Box.dist2_to_point bbox q < !best_d2 then begin
           (* Descend the nearer side first for tighter pruning. *)

@@ -1,0 +1,391 @@
+(* Monomorphic introsort / quickselect kernels over flat arrays.
+
+   Three near-identical copies of the same introsort skeleton follow —
+   one per element layout (index array keyed by a float column, tandem
+   float/float, tandem float/int). Deliberate: a polymorphic version
+   would re-introduce the comparator closure and boxing these kernels
+   exist to remove. Keys must not be NaN (the [<] / [>] scans below
+   would run off the ends); the checked solver entries guarantee this.
+
+   Skeleton per copy: insertion sort below [small]; median-of-three
+   Hoare partition quicksort; heapsort once the depth budget (2 log2 n)
+   is exhausted, keeping the worst case O(n log n). The Hoare scans are
+   in-bounds without explicit checks because the pivot is a value taken
+   from the slice itself. *)
+
+module FA = Float.Array
+
+let small = 16
+
+let depth_budget n =
+  let d = ref 0 in
+  let n = ref n in
+  while !n > 1 do
+    incr d;
+    n := !n lsr 1
+  done;
+  2 * !d
+
+(* ---------- sort_idx: permutation indices keyed by a float column - *)
+
+let ikey k a i = FA.unsafe_get k (Array.unsafe_get a i)
+
+let iswap a i j =
+  let t = Array.unsafe_get a i in
+  Array.unsafe_set a i (Array.unsafe_get a j);
+  Array.unsafe_set a j t
+
+let idx_insertion k a lo hi =
+  for i = lo + 1 to hi do
+    let v = Array.unsafe_get a i in
+    let kv = FA.unsafe_get k v in
+    let j = ref (i - 1) in
+    while !j >= lo && ikey k a !j > kv do
+      Array.unsafe_set a (!j + 1) (Array.unsafe_get a !j);
+      decr j
+    done;
+    Array.unsafe_set a (!j + 1) v
+  done
+
+let idx_sift_down k a lo root len =
+  let i = ref root in
+  let live = ref true in
+  while !live do
+    let l = (2 * !i) + 1 in
+    if l >= len then live := false
+    else begin
+      let m = ref l in
+      if l + 1 < len && ikey k a (lo + l + 1) > ikey k a (lo + l) then
+        m := l + 1;
+      if ikey k a (lo + !m) > ikey k a (lo + !i) then begin
+        iswap a (lo + !i) (lo + !m);
+        i := !m
+      end
+      else live := false
+    end
+  done
+
+let idx_heapsort k a lo hi =
+  let len = hi - lo + 1 in
+  for root = (len / 2) - 1 downto 0 do
+    idx_sift_down k a lo root len
+  done;
+  for last = len - 1 downto 1 do
+    iswap a lo (lo + last);
+    idx_sift_down k a lo 0 last
+  done
+
+(* Median-of-three then Hoare partition; returns j with
+   [lo..j] <= pivot <= [j+1..hi] and lo <= j < hi. *)
+let idx_partition k a lo hi =
+  let mid = lo + ((hi - lo) / 2) in
+  if ikey k a mid < ikey k a lo then iswap a mid lo;
+  if ikey k a hi < ikey k a lo then iswap a hi lo;
+  if ikey k a hi < ikey k a mid then iswap a hi mid;
+  let p = ikey k a mid in
+  let i = ref (lo - 1) and j = ref (hi + 1) in
+  let res = ref 0 in
+  let live = ref true in
+  while !live do
+    incr i;
+    while ikey k a !i < p do
+      incr i
+    done;
+    decr j;
+    while ikey k a !j > p do
+      decr j
+    done;
+    if !i >= !j then begin
+      res := !j;
+      live := false
+    end
+    else iswap a !i !j
+  done;
+  !res
+
+let rec idx_intro k a lo hi depth =
+  if hi - lo + 1 <= small then begin
+    if hi > lo then idx_insertion k a lo hi
+  end
+  else if depth = 0 then idx_heapsort k a lo hi
+  else begin
+    let j = idx_partition k a lo hi in
+    idx_intro k a lo j (depth - 1);
+    idx_intro k a (j + 1) hi (depth - 1)
+  end
+
+let sort_idx_range k a ~lo ~hi =
+  if hi > lo then idx_intro k a lo hi (depth_budget (hi - lo + 1))
+
+let sort_idx k a =
+  let n = Array.length a in
+  if n > 1 then idx_intro k a 0 (n - 1) (depth_budget n)
+
+let select_idx k a ~lo ~hi ~k:kth =
+  if kth < lo || kth > hi then invalid_arg "Kern.select_idx";
+  let lo = ref lo and hi = ref hi in
+  while !hi > !lo do
+    if !hi - !lo + 1 <= small then begin
+      idx_insertion k a !lo !hi;
+      lo := !hi
+    end
+    else begin
+      let j = idx_partition k a !lo !hi in
+      if kth <= j then hi := j else lo := j + 1
+    end
+  done
+
+(* ---------- sort_ff: tandem (float key, float payload) ------------ *)
+(* Keys ascending; ties payload DESCENDING (sweep adds-before-removes). *)
+
+let ff_less_ij key pay i j =
+  let ki = FA.unsafe_get key i and kj = FA.unsafe_get key j in
+  ki < kj || (ki = kj && FA.unsafe_get pay i > FA.unsafe_get pay j)
+
+let ff_swap key pay i j =
+  let tk = FA.unsafe_get key i and tp = FA.unsafe_get pay i in
+  FA.unsafe_set key i (FA.unsafe_get key j);
+  FA.unsafe_set pay i (FA.unsafe_get pay j);
+  FA.unsafe_set key j tk;
+  FA.unsafe_set pay j tp
+
+let ff_insertion key pay lo hi =
+  for i = lo + 1 to hi do
+    let kv = FA.unsafe_get key i and pv = FA.unsafe_get pay i in
+    let j = ref (i - 1) in
+    while
+      !j >= lo
+      &&
+      let kj = FA.unsafe_get key !j in
+      kj > kv || (kj = kv && FA.unsafe_get pay !j < pv)
+    do
+      FA.unsafe_set key (!j + 1) (FA.unsafe_get key !j);
+      FA.unsafe_set pay (!j + 1) (FA.unsafe_get pay !j);
+      decr j
+    done;
+    FA.unsafe_set key (!j + 1) kv;
+    FA.unsafe_set pay (!j + 1) pv
+  done
+
+let ff_sift_down key pay lo root len =
+  let i = ref root in
+  let live = ref true in
+  while !live do
+    let l = (2 * !i) + 1 in
+    if l >= len then live := false
+    else begin
+      let m = ref l in
+      if l + 1 < len && ff_less_ij key pay (lo + l) (lo + l + 1) then
+        m := l + 1;
+      if ff_less_ij key pay (lo + !i) (lo + !m) then begin
+        ff_swap key pay (lo + !i) (lo + !m);
+        i := !m
+      end
+      else live := false
+    end
+  done
+
+let ff_heapsort key pay lo hi =
+  let len = hi - lo + 1 in
+  for root = (len / 2) - 1 downto 0 do
+    ff_sift_down key pay lo root len
+  done;
+  for last = len - 1 downto 1 do
+    ff_swap key pay lo (lo + last);
+    ff_sift_down key pay lo 0 last
+  done
+
+let ff_partition key pay lo hi =
+  let mid = lo + ((hi - lo) / 2) in
+  if ff_less_ij key pay mid lo then ff_swap key pay mid lo;
+  if ff_less_ij key pay hi lo then ff_swap key pay hi lo;
+  if ff_less_ij key pay hi mid then ff_swap key pay hi mid;
+  let pk = FA.unsafe_get key mid and pp = FA.unsafe_get pay mid in
+  let i = ref (lo - 1) and j = ref (hi + 1) in
+  let res = ref 0 in
+  let live = ref true in
+  while !live do
+    incr i;
+    while
+      let ki = FA.unsafe_get key !i in
+      ki < pk || (ki = pk && FA.unsafe_get pay !i > pp)
+    do
+      incr i
+    done;
+    decr j;
+    while
+      let kj = FA.unsafe_get key !j in
+      kj > pk || (kj = pk && FA.unsafe_get pay !j < pp)
+    do
+      decr j
+    done;
+    if !i >= !j then begin
+      res := !j;
+      live := false
+    end
+    else ff_swap key pay !i !j
+  done;
+  !res
+
+let rec ff_intro key pay lo hi depth =
+  if hi - lo + 1 <= small then begin
+    if hi > lo then ff_insertion key pay lo hi
+  end
+  else if depth = 0 then ff_heapsort key pay lo hi
+  else begin
+    let j = ff_partition key pay lo hi in
+    ff_intro key pay lo j (depth - 1);
+    ff_intro key pay (j + 1) hi (depth - 1)
+  end
+
+let sort_ff key pay n = if n > 1 then ff_intro key pay 0 (n - 1) (depth_budget n)
+
+(* ---------- sort_fi: tandem (float key, int payload) -------------- *)
+(* Keys ascending; ties payload ASCENDING. *)
+
+let fi_less_ij key pay i j =
+  let ki = FA.unsafe_get key i and kj = FA.unsafe_get key j in
+  ki < kj
+  || (ki = kj && Array.unsafe_get pay i < Array.unsafe_get pay j)
+
+let fi_swap key pay i j =
+  let tk = FA.unsafe_get key i and tp = Array.unsafe_get pay i in
+  FA.unsafe_set key i (FA.unsafe_get key j);
+  Array.unsafe_set pay i (Array.unsafe_get pay j);
+  FA.unsafe_set key j tk;
+  Array.unsafe_set pay j tp
+
+let fi_insertion key pay lo hi =
+  for i = lo + 1 to hi do
+    let kv = FA.unsafe_get key i and pv = Array.unsafe_get pay i in
+    let j = ref (i - 1) in
+    while
+      !j >= lo
+      &&
+      let kj = FA.unsafe_get key !j in
+      kj > kv || (kj = kv && Array.unsafe_get pay !j > pv)
+    do
+      FA.unsafe_set key (!j + 1) (FA.unsafe_get key !j);
+      Array.unsafe_set pay (!j + 1) (Array.unsafe_get pay !j);
+      decr j
+    done;
+    FA.unsafe_set key (!j + 1) kv;
+    Array.unsafe_set pay (!j + 1) pv
+  done
+
+let fi_sift_down key pay lo root len =
+  let i = ref root in
+  let live = ref true in
+  while !live do
+    let l = (2 * !i) + 1 in
+    if l >= len then live := false
+    else begin
+      let m = ref l in
+      if l + 1 < len && fi_less_ij key pay (lo + l) (lo + l + 1) then
+        m := l + 1;
+      if fi_less_ij key pay (lo + !i) (lo + !m) then begin
+        fi_swap key pay (lo + !i) (lo + !m);
+        i := !m
+      end
+      else live := false
+    end
+  done
+
+let fi_heapsort key pay lo hi =
+  let len = hi - lo + 1 in
+  for root = (len / 2) - 1 downto 0 do
+    fi_sift_down key pay lo root len
+  done;
+  for last = len - 1 downto 1 do
+    fi_swap key pay lo (lo + last);
+    fi_sift_down key pay lo 0 last
+  done
+
+let fi_partition key pay lo hi =
+  let mid = lo + ((hi - lo) / 2) in
+  if fi_less_ij key pay mid lo then fi_swap key pay mid lo;
+  if fi_less_ij key pay hi lo then fi_swap key pay hi lo;
+  if fi_less_ij key pay hi mid then fi_swap key pay hi mid;
+  let pk = FA.unsafe_get key mid and pp = Array.unsafe_get pay mid in
+  let i = ref (lo - 1) and j = ref (hi + 1) in
+  let res = ref 0 in
+  let live = ref true in
+  while !live do
+    incr i;
+    while
+      let ki = FA.unsafe_get key !i in
+      ki < pk || (ki = pk && Array.unsafe_get pay !i < pp)
+    do
+      incr i
+    done;
+    decr j;
+    while
+      let kj = FA.unsafe_get key !j in
+      kj > pk || (kj = pk && Array.unsafe_get pay !j > pp)
+    do
+      decr j
+    done;
+    if !i >= !j then begin
+      res := !j;
+      live := false
+    end
+    else fi_swap key pay !i !j
+  done;
+  !res
+
+let rec fi_intro key pay lo hi depth =
+  if hi - lo + 1 <= small then begin
+    if hi > lo then fi_insertion key pay lo hi
+  end
+  else if depth = 0 then fi_heapsort key pay lo hi
+  else begin
+    let j = fi_partition key pay lo hi in
+    fi_intro key pay lo j (depth - 1);
+    fi_intro key pay (j + 1) hi (depth - 1)
+  end
+
+let sort_fi key pay n = if n > 1 then fi_intro key pay 0 (n - 1) (depth_budget n)
+
+(* ---------- growable scratch buffers ------------------------------ *)
+
+module Fbuf = struct
+  type t = { mutable data : floatarray; mutable len : int }
+
+  let create cap = { data = FA.create (max cap 8); len = 0 }
+  let clear b = b.len <- 0
+  let length b = b.len
+
+  let push b x =
+    let cap = FA.length b.data in
+    if b.len = cap then begin
+      let data = FA.create (2 * cap) in
+      FA.blit b.data 0 data 0 b.len;
+      b.data <- data
+    end;
+    FA.unsafe_set b.data b.len x;
+    b.len <- b.len + 1
+
+  let get b i = FA.get b.data i
+  let data b = b.data
+end
+
+module Ibuf = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create cap = { data = Array.make (max cap 8) 0; len = 0 }
+  let clear b = b.len <- 0
+  let length b = b.len
+
+  let push b x =
+    let cap = Array.length b.data in
+    if b.len = cap then begin
+      let data = Array.make (2 * cap) 0 in
+      Array.blit b.data 0 data 0 b.len;
+      b.data <- data
+    end;
+    Array.unsafe_set b.data b.len x;
+    b.len <- b.len + 1
+
+  let get b i = b.data.(i)
+  let data b = b.data
+end

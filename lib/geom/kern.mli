@@ -1,0 +1,70 @@
+(** Monomorphic, allocation-free sort/select/partition kernels.
+
+    The solvers' hot loops sort three kinds of data: permutation index
+    arrays keyed by a coordinate column (kd-tree builds), parallel
+    (angle, weight) event buffers (circular-arc sweeps) and parallel
+    (angle, payload) buffers with integer payloads (colored sweeps).
+    [Array.sort] with a comparator closure allocates the closure and
+    boxes every comparison; the kernels here are hand-monomorphised
+    introsorts (median-of-three quicksort, insertion sort below 16
+    elements, heapsort at the depth limit) that move machine ints and
+    unboxed floats only and allocate nothing.
+
+    Keys are assumed non-NaN (every public solver entry rejects
+    non-finite input up front); all kernels are deterministic — the same
+    input always produces the same output, which the bit-identity
+    contract of the parallel layer relies on. *)
+
+val sort_idx : floatarray -> int array -> unit
+(** [sort_idx key idx] sorts the whole of [idx] in place so that
+    [key.(idx.(0)) <= key.(idx.(1)) <= ...]. Ties keep a deterministic
+    (but unspecified) order. *)
+
+val sort_idx_range : floatarray -> int array -> lo:int -> hi:int -> unit
+(** [sort_idx_range key idx ~lo ~hi] sorts the inclusive slice
+    [idx.(lo..hi)] by [key]. *)
+
+val select_idx : floatarray -> int array -> lo:int -> hi:int -> k:int -> unit
+(** Hoare quickselect on the inclusive slice [idx.(lo..hi)]: afterwards
+    [idx.(k)] holds the element of rank [k - lo] within the slice, every
+    index left of [k] has a key [<= key.(idx.(k))] and every index right
+    of it a key [>= key.(idx.(k))]. O(hi - lo) expected, allocation
+    free. Requires [lo <= k <= hi]. *)
+
+val sort_ff : floatarray -> floatarray -> int -> unit
+(** [sort_ff key payload n] sorts the first [n] slots of the parallel
+    arrays in tandem: keys ascending, ties by payload {e descending}
+    (the arc-sweep convention — additions carry positive weight and
+    must precede removals at the same angle). *)
+
+val sort_fi : floatarray -> int array -> int -> unit
+(** [sort_fi key payload n] sorts the first [n] slots in tandem: keys
+    ascending, ties by integer payload {e ascending}. *)
+
+(** Growable scratch buffers for event queues and bucket lists: amortised
+    O(1) push, never shrink, reusable across sweeps so steady-state
+    operation allocates nothing. Not thread-safe — keep one per domain. *)
+
+module Fbuf : sig
+  type t
+
+  val create : int -> t
+  val clear : t -> unit
+  val length : t -> int
+  val push : t -> float -> unit
+  val get : t -> int -> float
+  val data : t -> floatarray
+  (** The backing store; valid up to [length]. Invalidated by [push]. *)
+end
+
+module Ibuf : sig
+  type t
+
+  val create : int -> t
+  val clear : t -> unit
+  val length : t -> int
+  val push : t -> int -> unit
+  val get : t -> int -> int
+  val data : t -> int array
+  (** The backing store; valid up to [length]. Invalidated by [push]. *)
+end

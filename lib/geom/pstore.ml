@@ -1,0 +1,111 @@
+module FA = Float.Array
+
+type t = {
+  dims : int;
+  n : int;
+  cols : floatarray array;
+  w : floatarray;
+  colors : int array;  (** [[||]] when the store carries no colors *)
+}
+
+let dims t = t.dims
+let length t = t.n
+let col t k = t.cols.(k)
+let weights t = t.w
+let has_colors t = Array.length t.colors > 0
+
+let colors t =
+  if has_colors t then t.colors
+  else invalid_arg "Pstore.colors: store has no color column"
+
+let coord t i k = FA.get t.cols.(k) i
+let weight t i = FA.get t.w i
+let color t i = t.colors.(i)
+
+let alloc ~dims n =
+  if n < 1 then invalid_arg "Pstore: empty input";
+  if dims < 1 then invalid_arg "Pstore: dimension must be >= 1";
+  {
+    dims;
+    n;
+    cols = Array.init dims (fun _ -> FA.create n);
+    w = FA.make n 1.;
+    colors = [||];
+  }
+
+let of_points pts =
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Pstore.of_points: empty input";
+  let dims = Point.dim pts.(0) in
+  let t = alloc ~dims n in
+  for i = 0 to n - 1 do
+    let p = pts.(i) in
+    if Point.dim p <> dims then
+      invalid_arg "Pstore.of_points: dimension mismatch";
+    for k = 0 to dims - 1 do
+      FA.unsafe_set t.cols.(k) i p.(k)
+    done
+  done;
+  t
+
+let of_weighted pts =
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Pstore.of_weighted: empty input";
+  let dims = Point.dim (fst pts.(0)) in
+  let t = alloc ~dims n in
+  for i = 0 to n - 1 do
+    let p, w = pts.(i) in
+    if Point.dim p <> dims then
+      invalid_arg "Pstore.of_weighted: dimension mismatch";
+    for k = 0 to dims - 1 do
+      FA.unsafe_set t.cols.(k) i p.(k)
+    done;
+    FA.unsafe_set t.w i w
+  done;
+  t
+
+let of_colored pts ~colors =
+  if Array.length colors <> Array.length pts then
+    invalid_arg "Pstore.of_colored: color column length mismatch";
+  let t = of_points pts in
+  { t with colors = Array.copy colors }
+
+let of_triples pts =
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Pstore.of_triples: empty input";
+  let t = alloc ~dims:2 n in
+  for i = 0 to n - 1 do
+    let x, y, w = pts.(i) in
+    FA.unsafe_set t.cols.(0) i x;
+    FA.unsafe_set t.cols.(1) i y;
+    FA.unsafe_set t.w i w
+  done;
+  t
+
+let of_planar pts =
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Pstore.of_planar: empty input";
+  let t = alloc ~dims:2 n in
+  for i = 0 to n - 1 do
+    let x, y = pts.(i) in
+    FA.unsafe_set t.cols.(0) i x;
+    FA.unsafe_set t.cols.(1) i y
+  done;
+  t
+
+let of_planar_colored pts ~colors =
+  if Array.length colors <> Array.length pts then
+    invalid_arg "Pstore.of_planar_colored: color column length mismatch";
+  let t = of_planar pts in
+  { t with colors = Array.copy colors }
+
+let point t i = Array.init t.dims (fun k -> FA.get t.cols.(k) i)
+
+let dist2 t i q =
+  assert (Point.dim q = t.dims);
+  let acc = ref 0. in
+  for k = 0 to t.dims - 1 do
+    let d = FA.unsafe_get t.cols.(k) i -. q.(k) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc

@@ -1,0 +1,72 @@
+(** Columnar point store: structure-of-arrays layout for solver inputs.
+
+    [Point.t = float array] keeps one heap block per point; a solver
+    walking n points chases n pointers and the per-point blocks are
+    scattered by whenever they were allocated. A [Pstore.t] keeps one
+    flat unboxed [floatarray] per coordinate (plus a weight column and
+    an optional color column), so the hot kernels — kd-tree builds,
+    arc sweeps, grid bucketing, sample evaluation — stream contiguous
+    float columns and index with plain ints.
+
+    Every coordinate is copied bit-for-bit from the source points, so a
+    store-backed solve and the [Point.t array] path see the very same
+    float values — the bit-identity harness in [test_kernels] relies on
+    this. Stores are immutable after construction and can be shared
+    freely across domains. *)
+
+type t
+
+(** {1 Builders}
+
+    All builders require a non-empty input (solvers dispatch the empty
+    case before building a store) and points of equal dimension. *)
+
+val of_points : Point.t array -> t
+(** Unit weights, no colors. *)
+
+val of_weighted : (Point.t * float) array -> t
+(** Coordinates and weights. *)
+
+val of_colored : Point.t array -> colors:int array -> t
+(** Coordinates with a color column (unit weights). Arrays must have
+    equal length. *)
+
+val of_triples : (float * float * float) array -> t
+(** Planar (x, y, weight) input, as taken by [Disk2d.max_weight]. *)
+
+val of_planar : (float * float) array -> t
+(** Planar centers, unit weights, no colors. *)
+
+val of_planar_colored : (float * float) array -> colors:int array -> t
+(** Planar centers with a color column. *)
+
+(** {1 Access} *)
+
+val dims : t -> int
+val length : t -> int
+
+val col : t -> int -> floatarray
+(** [col t k] is coordinate column [k]; length [length t]. Callers must
+    not mutate it. *)
+
+val weights : t -> floatarray
+(** The weight column (all 1s when built without weights). *)
+
+val has_colors : t -> bool
+
+val colors : t -> int array
+(** The color column. Raises [Invalid_argument] when [has_colors t] is
+    false. *)
+
+val coord : t -> int -> int -> float
+(** [coord t i k]: coordinate [k] of point [i]. *)
+
+val weight : t -> int -> float
+val color : t -> int -> int
+
+val point : t -> int -> Point.t
+(** Materialize point [i] as a fresh [Point.t] (allocates). *)
+
+val dist2 : t -> int -> Point.t -> float
+(** Squared distance from point [i] to [q], accumulated in ascending
+    coordinate order — bit-identical to [Point.dist2 (point t i) q]. *)

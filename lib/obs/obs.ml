@@ -165,11 +165,25 @@ type span_stat = {
   mutable s_total_ns : int;
   mutable s_max_ns : int;
   s_deltas : (string, int) Hashtbl.t;
+  (* GC deltas attributed to the span (calling domain only — worker
+     domains have their own minor heaps, so like counter attribution
+     this is exact on single-domain runs and a lower bound otherwise). *)
+  mutable s_minor_words : float;
+  mutable s_promoted_words : float;
+  mutable s_major_words : float;
+  mutable s_minor_collections : int;
+  mutable s_major_collections : int;
+  mutable s_top_heap_words : int;
 }
 
 let spans : (string, span_stat) Hashtbl.t = Hashtbl.create 16
 
-type frame = { f_name : string; f_start : float; f_base : int array }
+type frame = {
+  f_name : string;
+  f_start : float;
+  f_base : int array;
+  f_gc : Gc.stat;
+}
 
 let stacks : frame list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
@@ -180,7 +194,14 @@ let enter_span name =
   let cs = !all_counters in
   let base = Array.map (fun c -> Atomic.get c.c_cell) cs in
   let st = Domain.DLS.get stacks in
-  st := { f_name = name; f_start = Unix.gettimeofday (); f_base = base } :: !st
+  st :=
+    {
+      f_name = name;
+      f_start = Unix.gettimeofday ();
+      f_base = base;
+      f_gc = Gc.quick_stat ();
+    }
+    :: !st
 
 let exit_span () =
   let st = Domain.DLS.get stacks in
@@ -191,6 +212,8 @@ let exit_span () =
       let dt = Unix.gettimeofday () -. f.f_start in
       let ns = if dt <= 0. then 0 else int_of_float (dt *. 1e9) in
       let cs = !all_counters in
+      let g1 = Gc.quick_stat () in
+      let g0 = f.f_gc in
       Mutex.protect reg_mutex (fun () ->
           let s =
             match Hashtbl.find_opt spans f.f_name with
@@ -202,6 +225,12 @@ let exit_span () =
                     s_total_ns = 0;
                     s_max_ns = 0;
                     s_deltas = Hashtbl.create 8;
+                    s_minor_words = 0.;
+                    s_promoted_words = 0.;
+                    s_major_words = 0.;
+                    s_minor_collections = 0;
+                    s_major_collections = 0;
+                    s_top_heap_words = 0;
                   }
                 in
                 Hashtbl.add spans f.f_name s;
@@ -210,6 +239,20 @@ let exit_span () =
           s.s_count <- s.s_count + 1;
           s.s_total_ns <- s.s_total_ns + ns;
           if ns > s.s_max_ns then s.s_max_ns <- ns;
+          s.s_minor_words <-
+            s.s_minor_words +. (g1.Gc.minor_words -. g0.Gc.minor_words);
+          s.s_promoted_words <-
+            s.s_promoted_words +. (g1.Gc.promoted_words -. g0.Gc.promoted_words);
+          s.s_major_words <-
+            s.s_major_words +. (g1.Gc.major_words -. g0.Gc.major_words);
+          s.s_minor_collections <-
+            s.s_minor_collections
+            + (g1.Gc.minor_collections - g0.Gc.minor_collections);
+          s.s_major_collections <-
+            s.s_major_collections
+            + (g1.Gc.major_collections - g0.Gc.major_collections);
+          if g1.Gc.top_heap_words > s.s_top_heap_words then
+            s.s_top_heap_words <- g1.Gc.top_heap_words;
           Array.iter
             (fun c ->
               if c.c_index < Array.length f.f_base then begin
@@ -254,11 +297,32 @@ module Snapshot = struct
     hs_buckets : (int * int) list; (* (bucket index, count), non-zero only *)
   }
 
+  type span_gc = {
+    sg_minor_words : float;
+    sg_promoted_words : float;
+    sg_major_words : float;
+    sg_minor_collections : int;
+    sg_major_collections : int;
+    sg_top_heap_words : int;
+  }
+
   type span = {
     sp_count : int;
     sp_total_ns : int;
     sp_max_ns : int;
     sp_counters : (string * int) list;
+    sp_gc : span_gc;
+  }
+
+  type gc = {
+    gc_minor_words : float;
+    gc_promoted_words : float;
+    gc_major_words : float;
+    gc_minor_collections : int;
+    gc_major_collections : int;
+    gc_compactions : int;
+    gc_heap_words : int;
+    gc_top_heap_words : int;
   }
 
   type t = {
@@ -266,6 +330,7 @@ module Snapshot = struct
     gauges : (string * (int * int)) list; (* name -> (last, max) *)
     histograms : (string * histo) list;
     spans : (string * span) list;
+    gc : gc;
   }
 
   let by_name (a, _) (b, _) = String.compare a b
@@ -311,12 +376,34 @@ module Snapshot = struct
                   sp_counters =
                     Hashtbl.fold (fun k v l -> (k, v) :: l) s.s_deltas []
                     |> List.sort by_name;
+                  sp_gc =
+                    {
+                      sg_minor_words = s.s_minor_words;
+                      sg_promoted_words = s.s_promoted_words;
+                      sg_major_words = s.s_major_words;
+                      sg_minor_collections = s.s_minor_collections;
+                      sg_major_collections = s.s_major_collections;
+                      sg_top_heap_words = s.s_top_heap_words;
+                    };
                 } )
               :: acc)
             spans []
           |> List.sort by_name
         in
-        { counters; gauges; histograms; spans })
+        let g = Gc.quick_stat () in
+        let gc =
+          {
+            gc_minor_words = g.Gc.minor_words;
+            gc_promoted_words = g.Gc.promoted_words;
+            gc_major_words = g.Gc.major_words;
+            gc_minor_collections = g.Gc.minor_collections;
+            gc_major_collections = g.Gc.major_collections;
+            gc_compactions = g.Gc.compactions;
+            gc_heap_words = g.Gc.heap_words;
+            gc_top_heap_words = g.Gc.top_heap_words;
+          }
+        in
+        { counters; gauges; histograms; spans; gc })
 
   let counter t name =
     Option.value ~default:0 (List.assoc_opt name t.counters)
@@ -374,10 +461,44 @@ module Snapshot = struct
                     List.filter
                       (fun (_, v) -> v <> 0)
                       (sub_assoc s.sp_counters s0.sp_counters);
+                  sp_gc =
+                    {
+                      sg_minor_words =
+                        s.sp_gc.sg_minor_words -. s0.sp_gc.sg_minor_words;
+                      sg_promoted_words =
+                        s.sp_gc.sg_promoted_words -. s0.sp_gc.sg_promoted_words;
+                      sg_major_words =
+                        s.sp_gc.sg_major_words -. s0.sp_gc.sg_major_words;
+                      sg_minor_collections =
+                        s.sp_gc.sg_minor_collections
+                        - s0.sp_gc.sg_minor_collections;
+                      sg_major_collections =
+                        s.sp_gc.sg_major_collections
+                        - s0.sp_gc.sg_major_collections;
+                      sg_top_heap_words = s.sp_gc.sg_top_heap_words;
+                    };
                 } ))
         b.spans
     in
-    { counters; gauges = b.gauges; histograms; spans }
+    (* Process-wide GC words/collections are monotone and subtract;
+       heap gauges ([heap_words], [top_heap_words], [compactions]'
+       count is monotone too but tiny) keep the later value, matching
+       the gauge rule. *)
+    let gc =
+      {
+        gc_minor_words = b.gc.gc_minor_words -. base.gc.gc_minor_words;
+        gc_promoted_words = b.gc.gc_promoted_words -. base.gc.gc_promoted_words;
+        gc_major_words = b.gc.gc_major_words -. base.gc.gc_major_words;
+        gc_minor_collections =
+          b.gc.gc_minor_collections - base.gc.gc_minor_collections;
+        gc_major_collections =
+          b.gc.gc_major_collections - base.gc.gc_major_collections;
+        gc_compactions = b.gc.gc_compactions - base.gc.gc_compactions;
+        gc_heap_words = b.gc.gc_heap_words;
+        gc_top_heap_words = b.gc.gc_top_heap_words;
+      }
+    in
+    { counters; gauges = b.gauges; histograms; spans; gc }
 
   (* Hand-rolled JSON: no JSON library is vendored. Names are ASCII
      dotted identifiers, for which OCaml's [%S] escaping coincides with
@@ -413,7 +534,21 @@ module Snapshot = struct
         bpf "{\"count\":%d,\"total_ns\":%d,\"max_ns\":%d,\"counters\":{"
           s.sp_count s.sp_total_ns s.sp_max_ns;
         obj s.sp_counters (fun v -> bpf "%d" v);
-        bpf "}}");
-    bpf "}}";
+        bpf "},\"gc\":{";
+        bpf
+          "\"minor_words\":%.0f,\"promoted_words\":%.0f,\"major_words\":%.0f,"
+          s.sp_gc.sg_minor_words s.sp_gc.sg_promoted_words
+          s.sp_gc.sg_major_words;
+        bpf "\"minor_collections\":%d,\"major_collections\":%d,"
+          s.sp_gc.sg_minor_collections s.sp_gc.sg_major_collections;
+        bpf "\"top_heap_words\":%d}}" s.sp_gc.sg_top_heap_words);
+    bpf "},\"gc\":{";
+    bpf "\"minor_words\":%.0f,\"promoted_words\":%.0f,\"major_words\":%.0f,"
+      t.gc.gc_minor_words t.gc.gc_promoted_words t.gc.gc_major_words;
+    bpf "\"minor_collections\":%d,\"major_collections\":%d,\"compactions\":%d,"
+      t.gc.gc_minor_collections t.gc.gc_major_collections t.gc.gc_compactions;
+    bpf "\"heap_words\":%d,\"top_heap_words\":%d}" t.gc.gc_heap_words
+      t.gc.gc_top_heap_words;
+    bpf "}";
     Buffer.contents buf
 end

@@ -100,18 +100,46 @@ module Snapshot : sig
         (** (bucket index, count); zero-count buckets omitted *)
   }
 
+  type span_gc = {
+    sg_minor_words : float;
+    sg_promoted_words : float;
+    sg_major_words : float;
+    sg_minor_collections : int;
+    sg_major_collections : int;
+    sg_top_heap_words : int;  (** max observed at any exit of the span *)
+  }
+  (** GC activity attributed to a span: [Gc.quick_stat] deltas between
+      entry and exit, summed over all executions, as seen by the
+      calling domain (exact on single-domain runs; worker domains own
+      separate minor heaps, so under a pool this is a lower bound). *)
+
   type span = {
     sp_count : int;
     sp_total_ns : int;
     sp_max_ns : int;
     sp_counters : (string * int) list;  (** per-span counter deltas *)
+    sp_gc : span_gc;
   }
+
+  type gc = {
+    gc_minor_words : float;
+    gc_promoted_words : float;
+    gc_major_words : float;
+    gc_minor_collections : int;
+    gc_major_collections : int;
+    gc_compactions : int;
+    gc_heap_words : int;
+    gc_top_heap_words : int;
+  }
+  (** Process-wide [Gc.quick_stat] at capture time (allocation totals in
+      words; [heap_words]/[top_heap_words] are gauges). *)
 
   type t = {
     counters : (string * int) list;
     gauges : (string * (int * int)) list;  (** name -> (last, max) *)
     histograms : (string * histo) list;
     spans : (string * span) list;
+    gc : gc;
   }
   (** All sections sorted by name; rendering is deterministic. *)
 
@@ -125,12 +153,14 @@ module Snapshot : sig
 
   val diff : t -> base:t -> t
   (** [diff b ~base] subtracts monotone quantities (counters, histogram
-      counts/sums/buckets, span counts/totals) of [base] from [b];
-      gauges and maxima keep [b]'s values. Measures an instrumented
-      section without resetting global state. *)
+      counts/sums/buckets, span counts/totals, GC words/collections) of
+      [base] from [b]; gauges and maxima (including the GC heap gauges)
+      keep [b]'s values. Measures an instrumented section without
+      resetting global state. *)
 
   val to_json : t -> string
   (** Render as a single-line JSON object with stable key order:
       [{"schema":"maxrs.stats/1","enabled":...,"counters":{...},
-      "gauges":{...},"histograms":{...},"spans":{...}}]. *)
+      "gauges":{...},"histograms":{...},"spans":{...},"gc":{...}}].
+      Each span object carries its own ["gc"] sub-object. *)
 end

@@ -42,6 +42,20 @@ val max_colored_checked :
     skipped and the answer is [Partial] (achievable at the returned
     point, not necessarily maximal); otherwise [Complete]. *)
 
+val max_colored_store :
+  ?domains:int ->
+  ?budget:Maxrs_resilience.Budget.t ->
+  radius:float ->
+  Maxrs_geom.Pstore.t ->
+  result Maxrs_resilience.Outcome.t
+(** Columnar entry: solve directly over a planar colored
+    {!Maxrs_geom.Pstore}. Bit-identical to {!max_colored_checked} on the
+    equivalent arrays. Trusted input: no guard validation beyond the
+    planarity and color-presence checks.
+
+    Raises [Invalid_argument] if the store is not planar or carries no
+    colors. *)
+
 val colored_depth_at :
   radius:float -> (float * float) array -> colors:int array -> float -> float -> int
 (** Number of distinct colors among disks containing the query point. *)

@@ -1,10 +1,13 @@
 module Circle = Maxrs_geom.Circle
 module Angle = Maxrs_geom.Angle
+module Kern = Maxrs_geom.Kern
+module Pstore = Maxrs_geom.Pstore
 module Obs = Maxrs_obs.Obs
 module Parallel = Maxrs_parallel.Parallel
 module Guard = Maxrs_resilience.Guard
 module Budget = Maxrs_resilience.Budget
 module Outcome = Maxrs_resilience.Outcome
+module FA = Float.Array
 
 (* Arc endpoints are the primitive operation of the Θ(n²) exact sweep
    (two per intersecting pair, per boundary circle); the counters are
@@ -22,50 +25,106 @@ let depth_at ~radius pts qx qy =
       if d2 <= r2 then acc +. w else acc)
     0. pts
 
-(* Sweep the boundary circle of disk [i]. Events are (angle, +/-w) pairs;
-   ties are resolved by processing additions first so that closed-arc
-   endpoints count as covered. Returns (best angle, best depth). *)
-let sweep_circle ~radius pts i =
-  let xi, yi, wi = pts.(i) in
+(* Columnar twin of [depth_at]: same accumulation order, bit-identical. *)
+let depth_at_cols ~radius xs ys ws n qx qy =
+  let r2 = (radius +. 1e-9) ** 2. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let d2 =
+      ((FA.unsafe_get xs i -. qx) ** 2.) +. ((FA.unsafe_get ys i -. qy) ** 2.)
+    in
+    if d2 <= r2 then acc := !acc +. FA.unsafe_get ws i
+  done;
+  !acc
+
+(* Per-domain sweep scratch: the n per-center sweeps of one solve reuse
+   these buffers, so steady-state sweeping allocates nothing. Additions
+   and removals are kept as two separately sorted streams merged
+   adds-first on equal angles — the same event order as the old single
+   sort with its (angle asc, signed weight desc) comparator, since add
+   weights are >= 0 and removal weights <= 0. Keyed by [Domain.DLS]:
+   each pool domain owns one scratch, and results never depend on
+   scratch contents, so determinism is unaffected. *)
+type scratch = {
+  add_a : Kern.Fbuf.t;  (** addition angles *)
+  add_w : Kern.Fbuf.t;  (** addition weights (>= 0) *)
+  rem_a : Kern.Fbuf.t;  (** removal angles *)
+  rem_w : Kern.Fbuf.t;  (** removal weights (negated, <= 0) *)
+  cov : floatarray;  (** 2-slot [Circle.coverage_into] out-buffer *)
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        add_a = Kern.Fbuf.create 256;
+        add_w = Kern.Fbuf.create 256;
+        rem_a = Kern.Fbuf.create 256;
+        rem_w = Kern.Fbuf.create 256;
+        cov = FA.create 2;
+      })
+
+(* Sweep the boundary circle of disk [i]. Ties are resolved by
+   processing additions first so that closed-arc endpoints count as
+   covered. Returns (best angle, best depth). *)
+let sweep_circle_cols ~radius xs ys ws n i =
+  let sc = Domain.DLS.get scratch_key in
+  let xi = FA.get xs i and yi = FA.get ys i in
   let c = Circle.make ~cx:xi ~cy:yi ~r:radius in
-  let base = ref wi in
-  let events = ref [] in
-  Array.iteri
-    (fun j (xj, yj, wj) ->
-      if j <> i then
-        match Circle.coverage_by_disk c ~cx:xj ~cy:yj ~r:radius with
-        | Circle.Covered -> base := !base +. wj
-        | Circle.Disjoint -> ()
-        | Circle.Arc ivl ->
-            let s, e = Angle.endpoints ivl in
-            events := (s, wj) :: (e, -.wj) :: !events;
-            (* Arcs containing angle 0 are active from the start. *)
-            if Angle.mem ivl 0. && ivl.Angle.len < Angle.two_pi -. 1e-12 then
-              base := !base +. wj)
-    pts;
-  let evts = Array.of_list !events in
+  let base = ref (FA.get ws i) in
+  Kern.Fbuf.clear sc.add_a;
+  Kern.Fbuf.clear sc.add_w;
+  Kern.Fbuf.clear sc.rem_a;
+  Kern.Fbuf.clear sc.rem_w;
+  for j = 0 to n - 1 do
+    if j <> i then begin
+      let wj = FA.unsafe_get ws j in
+      let code =
+        Circle.coverage_into c ~cx:(FA.unsafe_get xs j)
+          ~cy:(FA.unsafe_get ys j) ~r:radius sc.cov
+      in
+      if code = Circle.cov_covered then base := !base +. wj
+      else if code = Circle.cov_arc then begin
+        let start = FA.get sc.cov 0 and len = FA.get sc.cov 1 in
+        Kern.Fbuf.push sc.add_a start;
+        Kern.Fbuf.push sc.add_w wj;
+        Kern.Fbuf.push sc.rem_a (Angle.norm (start +. len));
+        Kern.Fbuf.push sc.rem_w (-.wj);
+        (* Arcs containing angle 0 are active from the start. *)
+        if
+          Angle.norm (0. -. start) <= len +. 1e-12
+          && len < Angle.two_pi -. 1e-12
+        then base := !base +. wj
+      end
+    end
+  done;
+  let na = Kern.Fbuf.length sc.add_a and nr = Kern.Fbuf.length sc.rem_a in
   Obs.incr c_circles;
-  Obs.add c_events (Array.length evts);
-  Array.sort
-    (fun (a1, w1) (a2, w2) ->
-      match Float.compare a1 a2 with
-      | 0 -> Float.compare w2 w1 (* additions first *)
-      | c -> c)
-    evts;
+  Obs.add c_events (na + nr);
+  Kern.sort_ff (Kern.Fbuf.data sc.add_a) (Kern.Fbuf.data sc.add_w) na;
+  Kern.sort_ff (Kern.Fbuf.data sc.rem_a) (Kern.Fbuf.data sc.rem_w) nr;
+  let aa = Kern.Fbuf.data sc.add_a and aw = Kern.Fbuf.data sc.add_w in
+  let ra = Kern.Fbuf.data sc.rem_a and rw = Kern.Fbuf.data sc.rem_w in
   let active = ref !base in
   let best = ref !base and best_angle = ref 0. in
-  Array.iter
-    (fun (a, w) ->
-      active := !active +. w;
-      if !active > !best then begin
-        best := !active;
-        best_angle := a
-      end)
-    evts;
+  let ai = ref 0 and ri = ref 0 in
+  while !ai < na || !ri < nr do
+    let take_add =
+      !ai < na && (!ri >= nr || FA.unsafe_get aa !ai <= FA.unsafe_get ra !ri)
+    in
+    let a, w =
+      if take_add then (FA.unsafe_get aa !ai, FA.unsafe_get aw !ai)
+      else (FA.unsafe_get ra !ri, FA.unsafe_get rw !ri)
+    in
+    if take_add then incr ai else incr ri;
+    active := !active +. w;
+    if !active > !best then begin
+      best := !active;
+      best_angle := a
+    end
+  done;
   (!best_angle, !best)
 
-let solve ?domains ~budget ~radius pts =
-  let n = Array.length pts in
+let solve_cols ?domains ~budget ~radius xs ys ws n =
   (* The n circle sweeps are independent; run them on the domain pool
      and keep the sequential argmax semantics (strict >, first index
      wins) by reducing in index order. Under a budget, circles whose
@@ -81,7 +140,7 @@ let solve ?domains ~budget ~radius pts =
               Atomic.incr skipped;
               None
             end
-            else Some (sweep_circle ~radius pts i))
+            else Some (sweep_circle_cols ~radius xs ys ws n i))
           ~reduce:(fun (i, bi, bangle, bv) r ->
             match r with
             | None -> (i + 1, bi, bangle, bv)
@@ -94,22 +153,34 @@ let solve ?domains ~budget ~radius pts =
     if bi < 0 then
       (* Every sweep was skipped: return a trivially achievable
          candidate, the depth at the first input point. *)
-      let x, y, _ = pts.(0) in
-      { x; y; value = depth_at ~radius pts x y }
+      let x = FA.get xs 0 and y = FA.get ys 0 in
+      { x; y; value = depth_at_cols ~radius xs ys ws n x y }
     else begin
-      let xi, yi, _ = pts.(bi) in
-      let c = Circle.make ~cx:xi ~cy:yi ~r:radius in
+      let c = Circle.make ~cx:(FA.get xs bi) ~cy:(FA.get ys bi) ~r:radius in
       let x, y = Circle.point_at c angle in
       (* Re-evaluate at the witness (cf. Output_sensitive): on
          ill-conditioned inputs the angular count can exceed what any
          concrete point achieves, and the reported value must be
          achievable at (x, y). Equal to the sweep count whenever the
          witness is representable. *)
-      { x; y; value = depth_at ~radius pts x y }
+      { x; y; value = depth_at_cols ~radius xs ys ws n x y }
     end
   in
   if Atomic.get skipped = 0 then Outcome.Complete result
   else Outcome.Partial result
+
+let solve ?domains ~budget ~radius pts =
+  (* Thin adapter: lift the boxed triples into flat columns once, then
+     run the columnar solve. *)
+  let store = Pstore.of_triples pts in
+  solve_cols ?domains ~budget ~radius (Pstore.col store 0) (Pstore.col store 1)
+    (Pstore.weights store) (Pstore.length store)
+
+let max_weight_store ?domains ?(budget = Budget.unlimited) ~radius store =
+  if Pstore.dims store <> 2 then
+    invalid_arg "Disk2d.max_weight_store: store must be planar";
+  solve_cols ?domains ~budget ~radius (Pstore.col store 0) (Pstore.col store 1)
+    (Pstore.weights store) (Pstore.length store)
 
 let max_weight_checked ?domains ?(budget = Budget.unlimited) ~radius pts =
   let open Guard in

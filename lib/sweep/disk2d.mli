@@ -50,5 +50,19 @@ val max_weight_checked :
     necessarily the maximum. Without skips the answer is [Complete] and
     equals {!max_weight}. *)
 
+val max_weight_store :
+  ?domains:int ->
+  ?budget:Maxrs_resilience.Budget.t ->
+  radius:float ->
+  Maxrs_geom.Pstore.t ->
+  result Maxrs_resilience.Outcome.t
+(** Columnar entry: solve directly over a planar {!Maxrs_geom.Pstore}
+    (dims = 2; weights column used as-is). Bit-identical to
+    {!max_weight_checked} on the equivalent triple array — the array
+    entries are thin adapters over this path. Trusted input: no guard
+    validation beyond the planarity check.
+
+    Raises [Invalid_argument] if the store is not planar. *)
+
 val depth_at : radius:float -> (float * float * float) array -> float -> float -> float
 (** Weighted depth of a query point: total weight of disks containing it. *)

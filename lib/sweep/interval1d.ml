@@ -1,6 +1,7 @@
 module Obs = Maxrs_obs.Obs
 module Parallel = Maxrs_parallel.Parallel
 module Guard = Maxrs_resilience.Guard
+module FA = Float.Array
 
 (* Each query merges two implicit streams of n endpoints each; the 2n
    events are recorded in one [add] per query (not per event) to keep
@@ -28,10 +29,14 @@ let preprocess pts =
   done;
   { points_sorted = sorted; prefix }
 
-let query b ~len =
+(* Allocation-free core of [query] over sorted coordinate/weight
+   columns. The two event streams are peeked with an [infinity] sentinel
+   for an exhausted stream — [Float.min v infinity = v] for the finite
+   coordinates the guards admit, so the merge order is exactly the old
+   option-based peek's; exhaustion itself is decided by the indices, not
+   the sentinel. *)
+let query_cols xs ws n ~len =
   assert (len >= 0.);
-  let pts = b.points_sorted in
-  let n = Array.length pts in
   if n = 0 then { lo = 0.; value = 0. }
   else begin
     Obs.incr c_queries;
@@ -47,20 +52,14 @@ let query b ~len =
        the midpoint (or c + 1 past the last event). *)
     let si = ref 0 and ei = ref 0 in
     let active = ref 0. in
-    let best = ref 0. and best_lo = ref (fst pts.(0) -. len -. 1.) in
-    let peek () =
-      let s = if !si < n then Some (fst pts.(!si) -. len) else None in
-      let e = if !ei < n then Some (fst pts.(!ei)) else None in
-      match (s, e) with
-      | None, None -> None
-      | Some v, None | None, Some v -> Some v
-      | Some a, Some b -> Some (Float.min a b)
-    in
+    let best = ref 0. and best_lo = ref (FA.get xs 0 -. len -. 1.) in
     while !si < n || !ei < n do
-      let c = Option.get (peek ()) in
+      let s = if !si < n then FA.unsafe_get xs !si -. len else infinity in
+      let e = if !ei < n then FA.unsafe_get xs !ei else infinity in
+      let c = Float.min s e in
       (* all starts at coordinate c *)
-      while !si < n && fst pts.(!si) -. len <= c do
-        active := !active +. snd pts.(!si);
+      while !si < n && FA.unsafe_get xs !si -. len <= c do
+        active := !active +. FA.unsafe_get ws !si;
         incr si
       done;
       if !active > !best then begin
@@ -68,19 +67,40 @@ let query b ~len =
         best_lo := c
       end;
       (* all ends at coordinate c *)
-      let had_end = !ei < n && fst pts.(!ei) <= c in
-      while !ei < n && fst pts.(!ei) <= c do
-        active := !active -. snd pts.(!ei);
+      let had_end = !ei < n && FA.unsafe_get xs !ei <= c in
+      while !ei < n && FA.unsafe_get xs !ei <= c do
+        active := !active -. FA.unsafe_get ws !ei;
         incr ei
       done;
       if had_end && !active > !best then begin
         best := !active;
         best_lo :=
-          (match peek () with Some next -> (c +. next) /. 2. | None -> c +. 1.)
+          (if !si >= n && !ei >= n then c +. 1.
+           else
+             let s = if !si < n then FA.unsafe_get xs !si -. len else infinity in
+             let e = if !ei < n then FA.unsafe_get xs !ei else infinity in
+             (c +. Float.min s e) /. 2.)
       end
     done;
     { lo = !best_lo; value = !best }
   end
+
+(* One pass lifting the sorted pairs into unboxed columns; queries then
+   run allocation-free. [batched] shares one pair of columns across all
+   m queries (and all domains — the columns are read-only). *)
+let cols_of_sorted pts =
+  let n = Array.length pts in
+  let xs = FA.create n and ws = FA.create n in
+  for i = 0 to n - 1 do
+    let x, w = Array.unsafe_get pts i in
+    FA.unsafe_set xs i x;
+    FA.unsafe_set ws i w
+  done;
+  (xs, ws, n)
+
+let query b ~len =
+  let xs, ws, n = cols_of_sorted b.points_sorted in
+  query_cols xs ws n ~len
 
 let max_sum ~len pts = query (preprocess pts) ~len
 
@@ -126,17 +146,18 @@ let max_sum_checked ~len pts =
 
 let batched ?domains ~lens pts =
   let b = preprocess pts in
+  let xs, ws, nq = cols_of_sorted b.points_sorted in
   let m = Array.length lens in
   let n = Array.length pts in
   (* Each query costs O(n); below ~16k total work the queries are
      cheaper than spawning domains. *)
   let domains = if m < 2 || m * n < 16384 then 1 else Parallel.resolve domains in
-  if domains = 1 then Array.map (fun len -> query b ~len) lens
+  if domains = 1 then Array.map (fun len -> query_cols xs ws nq ~len) lens
   else
     (* The m queries are independent and only read the preprocessed
-       structure; slot i always holds query i's answer. *)
+       columns; slot i always holds query i's answer. *)
     Parallel.with_pool ~domains (fun pool ->
-        Parallel.map pool ~n:m (fun i -> query b ~len:lens.(i)))
+        Parallel.map pool ~n:m (fun i -> query_cols xs ws nq ~len:lens.(i)))
 
 let batched_checked ?domains ~lens pts =
   let open Guard in

@@ -1,0 +1,427 @@
+(* Tests for the flat-memory kernel pass: the monomorphic sort/select
+   kernels (lib/geom/kern.ml) against stdlib sorts, the kd-tree build on
+   duplicate-heavy coordinates (the Hoare-select build must not degrade
+   or misplace equal keys), and the Pstore-backed solver entries against
+   the legacy array paths — bit-identical results, at 1 and 4 domains. *)
+
+module Point = Maxrs_geom.Point
+module Ball = Maxrs_geom.Ball
+module Box = Maxrs_geom.Box
+module Rng = Maxrs_geom.Rng
+module Kern = Maxrs_geom.Kern
+module Kdtree = Maxrs_geom.Kdtree
+module Pstore = Maxrs_geom.Pstore
+module Disk2d = Maxrs_sweep.Disk2d
+module Colored_disk2d = Maxrs_sweep.Colored_disk2d
+module Config = Maxrs.Config
+module Static = Maxrs.Static
+module Colored = Maxrs.Colored
+module Output_sensitive = Maxrs.Output_sensitive
+module Outcome = Maxrs_resilience.Outcome
+module FA = Float.Array
+
+let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let point_eq p q =
+  Array.length p = Array.length q && Array.for_all2 feq p q
+
+let fa_of_list l =
+  let a = FA.create (List.length l) in
+  List.iteri (FA.set a) l;
+  a
+
+let is_permutation idx n =
+  let seen = Array.make n false in
+  Array.for_all
+    (fun i ->
+      i >= 0 && i < n
+      &&
+      if seen.(i) then false
+      else begin
+        seen.(i) <- true;
+        true
+      end)
+    idx
+
+(* ------------------------------------------------------------------ *)
+(* Kern: scratch buffers *)
+
+let test_fbuf_growth () =
+  let b = Kern.Fbuf.create 2 in
+  for i = 0 to 99 do
+    Kern.Fbuf.push b (float_of_int i)
+  done;
+  Alcotest.(check int) "length" 100 (Kern.Fbuf.length b);
+  Alcotest.(check bool) "roundtrip" true
+    (let ok = ref true in
+     for i = 0 to 99 do
+       if Kern.Fbuf.get b i <> float_of_int i then ok := false
+     done;
+     !ok);
+  Alcotest.(check bool) "data prefix" true
+    (FA.length (Kern.Fbuf.data b) >= 100 && FA.get (Kern.Fbuf.data b) 42 = 42.);
+  Kern.Fbuf.clear b;
+  Alcotest.(check int) "cleared" 0 (Kern.Fbuf.length b);
+  Kern.Fbuf.push b 7.;
+  Alcotest.(check (float 0.)) "reusable" 7. (Kern.Fbuf.get b 0)
+
+let test_ibuf_growth () =
+  let b = Kern.Ibuf.create 1 in
+  for i = 0 to 63 do
+    Kern.Ibuf.push b (i * i)
+  done;
+  Alcotest.(check int) "length" 64 (Kern.Ibuf.length b);
+  Alcotest.(check int) "get" 49 (Kern.Ibuf.get b 7);
+  Alcotest.(check int) "data" 2500 ((Kern.Ibuf.data b).(50));
+  Kern.Ibuf.clear b;
+  Alcotest.(check int) "cleared" 0 (Kern.Ibuf.length b)
+
+(* ------------------------------------------------------------------ *)
+(* Kern: sort/select kernels vs stdlib *)
+
+let prop_sort_idx =
+  QCheck.Test.make ~count:300 ~name:"sort_idx = stdlib sort of keys"
+    QCheck.(small_list (float_range (-50.) 50.))
+    (fun l ->
+      let n = List.length l in
+      let key = fa_of_list l in
+      let idx = Array.init n Fun.id in
+      Kern.sort_idx key idx;
+      let expected = List.sort Float.compare l in
+      is_permutation idx n
+      && List.for_all2
+           (fun e i -> FA.get key i = e)
+           expected (Array.to_list idx))
+
+let prop_sort_idx_range =
+  QCheck.Test.make ~count:300
+    ~name:"sort_idx_range sorts the slice, leaves the rest"
+    QCheck.(pair (small_list (float_range (-9.) 9.)) (pair small_nat small_nat))
+    (fun (l, (a, b)) ->
+      let n = List.length l in
+      QCheck.assume (n > 0);
+      let lo = min (a mod n) (b mod n) and hi = max (a mod n) (b mod n) in
+      let key = fa_of_list l in
+      let idx = Array.init n (fun i -> n - 1 - i) in
+      let orig = Array.copy idx in
+      Kern.sort_idx_range key idx ~lo ~hi;
+      let outside_ok = ref true in
+      Array.iteri
+        (fun i v -> if (i < lo || i > hi) && v <> orig.(i) then outside_ok := false)
+        idx;
+      let sorted_ok = ref true in
+      for i = lo to hi - 1 do
+        if FA.get key idx.(i) > FA.get key idx.(i + 1) then sorted_ok := false
+      done;
+      !outside_ok && !sorted_ok && is_permutation idx n)
+
+let prop_select_idx =
+  QCheck.Test.make ~count:400 ~name:"select_idx partitions around rank k"
+    QCheck.(pair (small_list (float_range (-20.) 20.)) small_nat)
+    (fun (l, ki) ->
+      let n = List.length l in
+      QCheck.assume (n > 0);
+      let k = ki mod n in
+      let key = fa_of_list l in
+      let idx = Array.init n Fun.id in
+      Kern.select_idx key idx ~lo:0 ~hi:(n - 1) ~k;
+      let pivot = FA.get key idx.(k) in
+      let expected = List.nth (List.sort Float.compare l) k in
+      let ok = ref (pivot = expected && is_permutation idx n) in
+      for i = 0 to k - 1 do
+        if FA.get key idx.(i) > pivot then ok := false
+      done;
+      for i = k + 1 to n - 1 do
+        if FA.get key idx.(i) < pivot then ok := false
+      done;
+      !ok)
+
+let prop_sort_ff =
+  QCheck.Test.make ~count:300
+    ~name:"sort_ff: keys ascending, ties payload descending"
+    QCheck.(small_list (pair (int_range (-4) 4) (int_range (-4) 4)))
+    (fun l ->
+      (* Small integer keys force plenty of ties. *)
+      let n = List.length l in
+      let key = fa_of_list (List.map (fun (k, _) -> float_of_int k) l) in
+      let pay = fa_of_list (List.map (fun (_, p) -> float_of_int p) l) in
+      Kern.sort_ff key pay n;
+      let expected =
+        List.sort
+          (fun (k1, p1) (k2, p2) ->
+            if k1 = k2 then compare p2 p1 else compare k1 k2)
+          l
+      in
+      List.for_all2
+        (fun (k, p) i ->
+          FA.get key i = float_of_int k && FA.get pay i = float_of_int p)
+        expected
+        (List.init n Fun.id))
+
+let prop_sort_fi =
+  QCheck.Test.make ~count:300
+    ~name:"sort_fi: keys ascending, ties payload ascending"
+    QCheck.(small_list (pair (int_range (-4) 4) (int_range 0 9)))
+    (fun l ->
+      let n = List.length l in
+      let key = fa_of_list (List.map (fun (k, _) -> float_of_int k) l) in
+      let pay = Array.of_list (List.map snd l) in
+      Kern.sort_fi key pay n;
+      let expected =
+        List.sort
+          (fun (k1, p1) (k2, p2) ->
+            if k1 = k2 then compare p1 p2 else compare k1 k2)
+          l
+      in
+      List.for_all2
+        (fun (k, p) i -> FA.get key i = float_of_int k && pay.(i) = p)
+        expected
+        (List.init n Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Kd-tree on duplicate-heavy coordinates: the index-permutation build
+   splits by Hoare select, and equal keys on the split axis must land
+   consistently on both sides of the median. *)
+
+let kd_linear_ball pts ball =
+  Array.fold_left (fun acc p -> if Ball.contains ball p then acc + 1 else acc) 0 pts
+
+let kd_linear_box pts box =
+  Array.fold_left (fun acc p -> if Box.contains box p then acc + 1 else acc) 0 pts
+
+let test_kd_duplicate_axis () =
+  (* Three interleaved families: constant x with few distinct ys, a
+     single repeated point, and few distinct xs with constant y — every
+     split axis sees long runs of equal keys. *)
+  let n = 300 in
+  let pts =
+    Array.init n (fun i ->
+        match i mod 3 with
+        | 0 -> [| 1.; float_of_int (i mod 7) |]
+        | 1 -> [| 1.; 3.5 |]
+        | _ -> [| float_of_int (i mod 4); 2. |])
+  in
+  let t = Kdtree.build pts in
+  Alcotest.(check int) "size" n (Kdtree.size t);
+  let rng = Rng.create 20240806 in
+  for q = 0 to 19 do
+    let c = [| Rng.uniform rng (-1.) 5.; Rng.uniform rng (-1.) 7. |] in
+    let ball = Ball.make c (Rng.uniform rng 0.3 3.) in
+    Alcotest.(check int)
+      (Printf.sprintf "ball count %d" q)
+      (kd_linear_ball pts ball)
+      (Kdtree.count_in_ball t ball);
+    let lo = [| Rng.uniform rng (-1.) 3.; Rng.uniform rng (-1.) 3. |] in
+    let box = Box.make lo [| lo.(0) +. 2.; lo.(1) +. 2.5 |] in
+    Alcotest.(check int)
+      (Printf.sprintf "box count %d" q)
+      (kd_linear_box pts box)
+      (Kdtree.count_in_box t box);
+    let _, _, d = Kdtree.nearest t c in
+    let dmin =
+      Array.fold_left
+        (fun acc p -> Float.min acc (sqrt (Point.dist2 p c)))
+        Float.infinity pts
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "nearest %d" q)
+      true
+      (Float.abs (d -. dmin) <= 1e-9)
+  done
+
+let test_kd_all_equal () =
+  let pts = Array.make 64 [| 5.; 5.; 5. |] in
+  let t = Kdtree.build pts in
+  Alcotest.(check int) "ball" 64 (Kdtree.count_in_ball t (Ball.unit [| 5.; 5.; 5. |]));
+  Alcotest.(check int) "box" 64
+    (Kdtree.count_in_box t (Box.make [| 4.; 4.; 4. |] [| 6.; 6.; 6. |]));
+  let _, p, d = Kdtree.nearest t [| 5.; 5.; 6. |] in
+  Alcotest.(check bool) "nearest point" true (Point.equal p [| 5.; 5.; 5. |]);
+  Alcotest.(check bool) "nearest dist" true (Float.abs (d -. 1.) <= 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Pstore-backed solves ≡ legacy array paths, bit for bit, at 1 and 4
+   domains (the columnar entries share the parallel layer's bit-identity
+   contract, so the domain count must not matter either). *)
+
+let disk_result_eq (a : Disk2d.result) (b : Disk2d.result) =
+  feq a.Disk2d.x b.Disk2d.x
+  && feq a.Disk2d.y b.Disk2d.y
+  && feq a.Disk2d.value b.Disk2d.value
+
+let outcome_eq eq a b =
+  match (a, b) with
+  | Outcome.Complete x, Outcome.Complete y | Outcome.Partial x, Outcome.Partial y
+    ->
+      eq x y
+  | _ -> false
+
+let prop_disk_store ~domains =
+  QCheck.Test.make ~count:50
+    ~name:(Printf.sprintf "Disk2d: store = array path (domains=%d)" domains)
+    QCheck.(pair (int_range 0 999) (int_range 1 40))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let tri =
+        Array.init n (fun _ ->
+            ( Rng.uniform rng (-5.) 5.,
+              Rng.uniform rng (-5.) 5.,
+              Rng.uniform rng 0.1 3. ))
+      in
+      let arr =
+        match Disk2d.max_weight_checked ~domains ~radius:1.2 tri with
+        | Ok o -> o
+        | Error _ -> assert false
+      in
+      let st =
+        Disk2d.max_weight_store ~domains ~radius:1.2 (Pstore.of_triples tri)
+      in
+      outcome_eq disk_result_eq arr st)
+
+let colored_result_eq (a : Colored_disk2d.result) (b : Colored_disk2d.result) =
+  feq a.Colored_disk2d.x b.Colored_disk2d.x
+  && feq a.Colored_disk2d.y b.Colored_disk2d.y
+  && a.Colored_disk2d.value = b.Colored_disk2d.value
+
+let prop_colored_disk_store ~domains =
+  QCheck.Test.make ~count:50
+    ~name:
+      (Printf.sprintf "Colored_disk2d: store = array path (domains=%d)" domains)
+    QCheck.(pair (int_range 0 999) (int_range 1 40))
+    (fun (seed, n) ->
+      let rng = Rng.create (seed + 5000) in
+      let pts =
+        Array.init n (fun _ ->
+            (Rng.uniform rng (-4.) 4., Rng.uniform rng (-4.) 4.))
+      in
+      let colors = Array.init n (fun _ -> Rng.int rng 5) in
+      let arr =
+        match
+          Colored_disk2d.max_colored_checked ~domains ~radius:1.1 pts ~colors
+        with
+        | Ok o -> o
+        | Error _ -> assert false
+      in
+      let st =
+        Colored_disk2d.max_colored_store ~domains ~radius:1.1
+          (Pstore.of_planar_colored pts ~colors)
+      in
+      outcome_eq colored_result_eq arr st)
+
+let solver_cfg ~domains ~seed =
+  Config.make ~epsilon:0.4 ~sample_constant:0.25 ~max_grid_shifts:(Some 3)
+    ~seed ~domains:(Some domains) ()
+
+let prop_static_store ~domains =
+  QCheck.Test.make ~count:30
+    ~name:(Printf.sprintf "Static: store = array path (domains=%d)" domains)
+    QCheck.(pair (int_range 0 999) (int_range 1 32))
+    (fun (seed, n) ->
+      let rng = Rng.create (seed + 11000) in
+      let pts =
+        Array.init n (fun _ ->
+            ( [| Rng.uniform rng 0. 8.; Rng.uniform rng 0. 8. |],
+              Rng.uniform rng 0.1 2. ))
+      in
+      let cfg = solver_cfg ~domains ~seed in
+      let arr = Static.solve_unchecked ~cfg ~radius:1.5 ~dim:2 pts in
+      let st = Static.solve_store ~cfg ~radius:1.5 (Pstore.of_weighted pts) in
+      match (arr, st) with
+      | None, None -> true
+      | Some a, Some s ->
+          feq a.Static.value s.Static.value
+          && point_eq a.Static.center s.Static.center
+      | _ -> false)
+
+let prop_colored_solver_store ~domains =
+  QCheck.Test.make ~count:30
+    ~name:(Printf.sprintf "Colored: store = array path (domains=%d)" domains)
+    QCheck.(pair (int_range 0 999) (int_range 1 32))
+    (fun (seed, n) ->
+      let rng = Rng.create (seed + 17000) in
+      let pts =
+        Array.init n (fun _ ->
+            [| Rng.uniform rng 0. 8.; Rng.uniform rng 0. 8. |])
+      in
+      let colors = Array.init n (fun _ -> Rng.int rng 4) in
+      let cfg = solver_cfg ~domains ~seed in
+      let arr = Colored.solve ~cfg ~radius:1.5 ~dim:2 pts ~colors in
+      let st =
+        Colored.solve_store ~cfg ~radius:1.5 (Pstore.of_colored pts ~colors)
+      in
+      match (arr, st) with
+      | None, None -> true
+      | Some a, Some s ->
+          a.Colored.value = s.Colored.value
+          && point_eq a.Colored.center s.Colored.center
+      | _ -> false)
+
+let os_result_eq (a : Output_sensitive.result) (b : Output_sensitive.result) =
+  feq a.Output_sensitive.x b.Output_sensitive.x
+  && feq a.Output_sensitive.y b.Output_sensitive.y
+  && a.Output_sensitive.depth = b.Output_sensitive.depth
+  && a.Output_sensitive.stats = b.Output_sensitive.stats
+
+let prop_output_sensitive_store ~domains =
+  QCheck.Test.make ~count:25
+    ~name:
+      (Printf.sprintf "Output_sensitive: store = array path (domains=%d)"
+         domains)
+    QCheck.(pair (int_range 0 999) (int_range 1 28))
+    (fun (seed, n) ->
+      let rng = Rng.create (seed + 23000) in
+      let pts =
+        Array.init n (fun _ ->
+            (Rng.uniform rng 0. 6., Rng.uniform rng 0. 6.))
+      in
+      let colors = Array.init n (fun _ -> Rng.int rng 4) in
+      let arr =
+        Output_sensitive.solve_unchecked ~max_shifts:4 ~seed:7 ~domains pts
+          ~colors
+      in
+      let st =
+        Output_sensitive.solve_store ~max_shifts:4 ~seed:7 ~domains
+          (Pstore.of_planar_colored pts ~colors)
+      in
+      outcome_eq os_result_eq arr st)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck group tests = (group, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ( "scratch-buffers",
+        [
+          Alcotest.test_case "Fbuf growth and reuse" `Quick test_fbuf_growth;
+          Alcotest.test_case "Ibuf growth and reuse" `Quick test_ibuf_growth;
+        ] );
+      qcheck "sort-kernels"
+        [
+          prop_sort_idx;
+          prop_sort_idx_range;
+          prop_select_idx;
+          prop_sort_ff;
+          prop_sort_fi;
+        ];
+      ( "kdtree-duplicates",
+        [
+          Alcotest.test_case "duplicate-heavy axes" `Quick
+            test_kd_duplicate_axis;
+          Alcotest.test_case "all points equal" `Quick test_kd_all_equal;
+        ] );
+      qcheck "store-identity"
+        [
+          prop_disk_store ~domains:1;
+          prop_disk_store ~domains:4;
+          prop_colored_disk_store ~domains:1;
+          prop_colored_disk_store ~domains:4;
+          prop_static_store ~domains:1;
+          prop_static_store ~domains:4;
+          prop_colored_solver_store ~domains:1;
+          prop_colored_solver_store ~domains:4;
+          prop_output_sensitive_store ~domains:1;
+          prop_output_sensitive_store ~domains:4;
+        ];
+    ]
