@@ -618,9 +618,46 @@ let e10 () =
             Output_sensitive.solve ~max_shifts:6 ~domains:d pts ~colors))
   in
   let entries = [ e2_entry; e3_entry; e6_entry ] in
+  (* The recommendation is what the run actually measured: the domain
+     count minimizing total wall time across the three workloads —
+     never a silent echo of the core count. On a machine with fewer
+     cores than the largest tested count the oversubscribed points say
+     nothing about real multicore behaviour, so the JSON carries an
+     explicit caveat; with a single core the whole curve is
+     flat-or-worse by construction and the recommendation is withheld
+     ([null]) rather than reported as 1. *)
+  let total_at d =
+    List.fold_left
+      (fun acc (_, runs, _) -> acc +. List.assoc d runs)
+      0. entries
+  in
+  let best_domains =
+    List.fold_left
+      (fun best d -> if total_at d < total_at best then d else best)
+      (List.hd counts) counts
+  in
+  let caveat =
+    if cores = 1 then
+      Some
+        "only 1 core available: every domain count above 1 is \
+         oversubscribed and the scaling curve is not meaningful on this \
+         machine; recommendation withheld"
+    else if cores < List.fold_left Int.max 1 counts then
+      Some
+        (Printf.sprintf
+           "%d cores available: domain counts above %d are oversubscribed \
+            and understate real multicore scaling"
+           cores cores)
+    else None
+  in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"experiment\": \"E10\",\n";
-  Printf.bprintf buf "  \"recommended_domains\": %d,\n" cores;
+  Printf.bprintf buf "  \"cores_available\": %d,\n" cores;
+  (if cores = 1 then Buffer.add_string buf "  \"recommended_domains\": null,\n"
+   else Printf.bprintf buf "  \"recommended_domains\": %d,\n" best_domains);
+  (match caveat with
+  | Some c -> Printf.bprintf buf "  \"measurement_caveat\": %S,\n" c
+  | None -> ());
   Buffer.add_string buf "  \"workloads\": [\n";
   List.iteri
     (fun i (name, runs, identical) ->

@@ -153,6 +153,15 @@ let () =
       "recovery.truncated_bytes";
     ]
 
+(* Allocation pressure of the timed region, sampled from the GC rather
+   than accumulated by the code under test: [with_stats] records the
+   [Gc.quick_stat] word-count deltas across the solve so a snapshot
+   shows how much minor-heap traffic (and promotion out of it) the run
+   caused. Word counts are exact for the minor heap, so a regression in
+   an allocation-free kernel shows up as a jump in these two keys. *)
+let c_gc_minor = Obs.counter "gc.minor_words"
+let c_gc_promoted = Obs.counter "gc.promoted_words"
+
 let stats_arg =
   Arg.(
     value
@@ -169,7 +178,13 @@ let with_stats stats f =
   | None -> f ()
   | Some dest ->
       Obs.set_enabled true;
+      let g0 = Gc.quick_stat () in
       let code = f () in
+      let g1 = Gc.quick_stat () in
+      Obs.add c_gc_minor
+        (int_of_float (g1.Gc.minor_words -. g0.Gc.minor_words));
+      Obs.add c_gc_promoted
+        (int_of_float (g1.Gc.promoted_words -. g0.Gc.promoted_words));
       let json = Obs.Snapshot.to_json (Obs.Snapshot.capture ()) in
       (if dest = "-" then print_endline json
        else

@@ -3,7 +3,7 @@ module Pstore = Maxrs_geom.Pstore
 module Obs = Maxrs_obs.Obs
 module Parallel = Maxrs_parallel.Parallel
 module Guard = Maxrs_resilience.Guard
-module FA = Float.Array
+module Fvec = Maxrs_geom.Fvec
 
 type result = { center : Point.t; value : int }
 
@@ -33,7 +33,7 @@ let solve_core ~cfg ~radius ~dim store =
               (fun i ->
                 for k = 0 to dim - 1 do
                   Array.unsafe_set buf k
-                    (inv *. FA.unsafe_get (Array.unsafe_get cols k) i)
+                    (inv *. Fvec.unsafe_get (Array.unsafe_get cols k) i)
                 done;
                 Sample_space.touch_colored_in_grid space ~grid:gi ~center:buf
                   ~color:(Array.unsafe_get colors i))

@@ -224,7 +224,7 @@ let solve_store ?radius ?max_shifts ?seed ?domains ?budget store =
   let xs = Pstore.col store 0 and ys = Pstore.col store 1 in
   let centers =
     Array.init (Pstore.length store) (fun i ->
-        (Float.Array.get xs i, Float.Array.get ys i))
+        (Maxrs_geom.Fvec.get xs i, Maxrs_geom.Fvec.get ys i))
   in
   solve_unchecked ?radius ?max_shifts ?seed ?domains ?budget centers
     ~colors:(Pstore.colors store)

@@ -14,6 +14,11 @@ let c_cells = Obs.counter "grid.cells"
 let c_drawn = Obs.counter "samples.drawn"
 let c_visited = Obs.counter "samples.visited"
 
+(* The public [sample] record is a materialized snapshot view; the
+   working representation is columnar (below). A mixed int/float record
+   stores its float field boxed, so the old per-sample records made
+   every [depth <- depth +. delta] on the update path allocate a fresh
+   boxed float — the dominant allocation of the static solvers. *)
 type sample = {
   id : int;
   pos : Point.t;
@@ -22,19 +27,43 @@ type sample = {
   mutable version : int;
 }
 
+(* Struct-of-arrays cell: every per-sample field lives in its own flat
+   column, so the per-update scan reads and writes unboxed floats and
+   machine ints only — zero allocation per ball update. Per-cell columns
+   are [floatarray] (not Bigarray): cells are created in bulk during a
+   solve and the columns are small, so minor-heap allocation beats a
+   malloc per column. *)
 type cell = {
-  samples : sample array;
+  ids : int array;
   posf : floatarray;
-      (** the samples' positions flattened row-major (sample, axis):
-          the per-update containment scan streams this unboxed column
-          instead of chasing one [Point.t] block per sample. Derived
-          from [samples] (whose [pos] is immutable), so serialization
-          ignores it and [restore] rebuilds it. *)
+      (** the samples' positions flattened row-major (sample, axis),
+          immutable after creation: the per-update containment scan
+          streams this unboxed column instead of chasing one [Point.t]
+          block per sample. This is the only copy of the positions —
+          {!Sphere.fill_on} draws straight into it, and the snapshot
+          view materializes points from it on demand. *)
+  depth : floatarray;
+  flag : int array;
+  sver : int array;
   mutable nballs : int;
-  mutable max_depth : float;  (** cached max over [samples] *)
-  mutable best : sample;  (** a sample attaining [max_depth] *)
+  mutable max_depth : float;  (** cached max over [depth] *)
+  mutable best : int;  (** index of a sample attaining [max_depth] *)
   mutable cversion : int;  (** bumped whenever [max_depth]/[best] change *)
 }
+
+(* Materialize the snapshot view of sample [si]: every field is a copy
+   ([pos] is rebuilt from the flat position column), so mutating the
+   view does not write back. *)
+let sample_of c si =
+  let n = Array.length c.ids in
+  let dim = FA.length c.posf / n in
+  {
+    id = Array.unsafe_get c.ids si;
+    pos = Array.init dim (fun k -> FA.unsafe_get c.posf ((si * dim) + k));
+    depth = FA.unsafe_get c.depth si;
+    flag = Array.unsafe_get c.flag si;
+    version = Array.unsafe_get c.sver si;
+  }
 
 (* All per-grid state lives in per-grid array slots (table, rng stream,
    id counter, cell counter): work sharded by grid index touches disjoint
@@ -110,42 +139,45 @@ let sample_count t = cell_count t * t.t_samples
 let on_cell_change t f = t.hook <- f
 
 let cell_max c = c.max_depth
-let cell_best c = c.best
+let cell_best c = sample_of c c.best
 let cell_version c = c.cversion
 
 (* The first sample's id doubles as a cell identifier: ids are unique
    across the structure and assigned at materialization, so the uid is a
    deterministic function of the per-grid operation history — a stable
    tie-breaking key that survives serialization. *)
-let cell_uid c = c.samples.(0).id
+let cell_uid c = c.ids.(0)
 
 let new_cell t gi grid key =
   let center = Grid.cell_center grid key in
   let radius = Grid.cell_circumradius grid in
   let rng = t.rngs.(gi) in
-  let samples =
-    Array.init t.t_samples (fun _ ->
-        let local = t.next_ids.(gi) in
-        t.next_ids.(gi) <- local + 1;
-        {
-          id = (local * t.stride) + gi;
-          pos = Sphere.sample_on rng ~center ~radius;
-          depth = 0.;
-          flag = -1;
-          version = 0;
-        })
-  in
+  let m = t.t_samples in
+  let ids = Array.make m 0 in
+  for si = 0 to m - 1 do
+    let local = t.next_ids.(gi) in
+    t.next_ids.(gi) <- local + 1;
+    Array.unsafe_set ids si ((local * t.stride) + gi)
+  done;
   t.n_cells.(gi) <- t.n_cells.(gi) + 1;
   Obs.incr c_cells;
-  Obs.add c_drawn t.t_samples;
-  let posf = FA.create (t.t_samples * t.dim) in
-  Array.iteri
-    (fun si s ->
-      for k = 0 to t.dim - 1 do
-        FA.unsafe_set posf ((si * t.dim) + k) s.pos.(k)
-      done)
-    samples;
-  { samples; posf; nballs = 0; max_depth = 0.; best = samples.(0); cversion = 0 }
+  Obs.add c_drawn m;
+  (* [fill_on] draws ascending, one draw per sample — the exact stream
+     and coordinate bits of the old per-sample [Sphere.sample_on] loop,
+     written straight into the flat column. *)
+  let posf = FA.create (m * t.dim) in
+  Sphere.fill_on rng ~center ~radius posf;
+  {
+    ids;
+    posf;
+    depth = FA.make m 0.;
+    flag = Array.make m (-1);
+    sver = Array.make m 0;
+    nballs = 0;
+    max_depth = 0.;
+    best = 0;
+    cversion = 0;
+  }
 
 (* Visit every cell of grid [gi] intersected by the unit ball at
    [center], materializing absent cells. Uses the grid's odometer
@@ -172,21 +204,17 @@ let iter_cells t ~center f =
     iter_cells_in_grid t gi ~center f
   done
 
-(* Squared distance from sample [si] of [cell] to [center], streamed
-   from the flat position column in ascending axis order — bit-identical
-   to [Point.dist2 samples.(si).pos center]. *)
-let sample_dist2 cell ~dim si center =
-  let base = si * dim in
-  let acc = ref 0. in
-  for k = 0 to dim - 1 do
-    let d = FA.unsafe_get cell.posf (base + k) -. Array.unsafe_get center k in
-    acc := !acc +. (d *. d)
-  done;
-  !acc
+(* The three update loops below each inline the same squared-distance
+   scan over [posf] — accumulated in ascending axis order, bit-identical
+   to [Point.dist2 spos.(si) center] — rather than calling a shared
+   helper: the backend never inlines a function containing a loop, and
+   a real call would box its float result once per sample visit, on the
+   hottest path of the static solvers. The local float refs compile to
+   unboxed mutable registers. *)
 
 (* Refresh the cached max/argmax after a sample scan marked changes. *)
 let refresh_cell t cell changed mx arg =
-  if changed && (mx <> cell.max_depth || arg != cell.best) then begin
+  if changed && (mx <> cell.max_depth || arg <> cell.best) then begin
     cell.max_depth <- mx;
     cell.best <- arg;
     cell.cversion <- cell.cversion + 1;
@@ -196,77 +224,158 @@ let refresh_cell t cell changed mx arg =
 (* Apply [update] to every sample of [cell] inside the unit ball at
    [center], then refresh the cell's cached max/argmax in the same pass
    and fire the hook if it moved. Generic (closure-driven) variant for
-   custom depth notions; the weighted/colored hot paths below are
-   hand-specialized copies of the same loop. *)
+   custom depth notions — [update si] may rewrite [cell.depth.(si)] and
+   reports whether it did; the weighted/colored hot paths below are
+   hand-specialized copies of the same loop. The argmax scan takes the
+   first maximum (strict [>]), matching the old record scan. *)
 let update_cell t cell ~center update =
-  Obs.add c_visited (Array.length cell.samples);
+  let n = Array.length cell.ids in
+  Obs.add c_visited n;
   let dim = t.dim in
+  let posf = cell.posf and depth = cell.depth and sver = cell.sver in
   let changed = ref false in
-  let mx = ref Float.neg_infinity and arg = ref cell.samples.(0) in
-  Array.iteri
-    (fun si s ->
-      if sample_dist2 cell ~dim si center <= 1. +. 1e-12 && update s then begin
-        s.version <- s.version + 1;
-        changed := true
-      end;
-      if s.depth > !mx then begin
-        mx := s.depth;
-        arg := s
-      end)
-    cell.samples;
+  let mx = ref Float.neg_infinity and arg = ref 0 in
+  for si = 0 to n - 1 do
+    let d2 = ref 0. in
+    for k = 0 to dim - 1 do
+      let d =
+        FA.unsafe_get posf ((si * dim) + k) -. Array.unsafe_get center k
+      in
+      d2 := !d2 +. (d *. d)
+    done;
+    if !d2 <= 1. +. 1e-12 && update si then begin
+      Array.unsafe_set sver si (Array.unsafe_get sver si + 1);
+      changed := true
+    end;
+    let d = FA.unsafe_get depth si in
+    if d > !mx then begin
+      mx := d;
+      arg := si
+    end
+  done;
   refresh_cell t cell !changed !mx !arg
 
 (* [update_cell] specialized to an unconditional depth delta: no update
-   closure, no per-sample indirection. Deletion passes a negated weight
+   closure, no per-sample indirection, and — with the depth column
+   unboxed — no allocation. Deletion passes a negated weight
    ([x +. (-.w)] and [x -. w] are the same IEEE operation, so the result
    is bit-identical to the old subtracting closure). *)
 let update_cell_add t cell ~center ~delta =
-  Obs.add c_visited (Array.length cell.samples);
+  let n = Array.length cell.ids in
+  Obs.add c_visited n;
   let dim = t.dim in
-  let samples = cell.samples in
+  let posf = cell.posf and depth = cell.depth and sver = cell.sver in
   let changed = ref false in
-  let mx = ref Float.neg_infinity and arg = ref samples.(0) in
-  for si = 0 to Array.length samples - 1 do
-    let s = Array.unsafe_get samples si in
-    if sample_dist2 cell ~dim si center <= 1. +. 1e-12 then begin
-      s.depth <- s.depth +. delta;
-      s.version <- s.version + 1;
+  let mx = ref Float.neg_infinity and arg = ref 0 in
+  for si = 0 to n - 1 do
+    let d2 = ref 0. in
+    for k = 0 to dim - 1 do
+      let d =
+        FA.unsafe_get posf ((si * dim) + k) -. Array.unsafe_get center k
+      in
+      d2 := !d2 +. (d *. d)
+    done;
+    if !d2 <= 1. +. 1e-12 then begin
+      FA.unsafe_set depth si (FA.unsafe_get depth si +. delta);
+      Array.unsafe_set sver si (Array.unsafe_get sver si + 1);
       changed := true
     end;
-    if s.depth > !mx then begin
-      mx := s.depth;
-      arg := s
+    let d = FA.unsafe_get depth si in
+    if d > !mx then begin
+      mx := d;
+      arg := si
     end
   done;
   refresh_cell t cell !changed !mx !arg
 
 (* [update_cell] specialized to the colored flag test. *)
 let update_cell_color t cell ~center ~color =
-  Obs.add c_visited (Array.length cell.samples);
+  let n = Array.length cell.ids in
+  Obs.add c_visited n;
   let dim = t.dim in
-  let samples = cell.samples in
+  let posf = cell.posf
+  and depth = cell.depth
+  and sver = cell.sver
+  and flag = cell.flag in
   let changed = ref false in
-  let mx = ref Float.neg_infinity and arg = ref samples.(0) in
-  for si = 0 to Array.length samples - 1 do
-    let s = Array.unsafe_get samples si in
-    if sample_dist2 cell ~dim si center <= 1. +. 1e-12 && s.flag <> color then begin
-      s.flag <- color;
-      s.depth <- s.depth +. 1.;
-      s.version <- s.version + 1;
+  let mx = ref Float.neg_infinity and arg = ref 0 in
+  for si = 0 to n - 1 do
+    let d2 = ref 0. in
+    for k = 0 to dim - 1 do
+      let d =
+        FA.unsafe_get posf ((si * dim) + k) -. Array.unsafe_get center k
+      in
+      d2 := !d2 +. (d *. d)
+    done;
+    if !d2 <= 1. +. 1e-12 && Array.unsafe_get flag si <> color then begin
+      Array.unsafe_set flag si color;
+      FA.unsafe_set depth si (FA.unsafe_get depth si +. 1.);
+      Array.unsafe_set sver si (Array.unsafe_get sver si + 1);
       changed := true
     end;
-    if s.depth > !mx then begin
-      mx := s.depth;
-      arg := s
+    let d = FA.unsafe_get depth si in
+    if d > !mx then begin
+      mx := d;
+      arg := si
     end
   done;
   refresh_cell t cell !changed !mx !arg
 
-let insert_in_grid t ~grid ~center ~weight =
+(* The insertion hot path, hand-fused: cell lookup/materialization and
+   the [update_cell_add] scan in one closure, no per-cell calls. The
+   generic composition ([iter_cells_in_grid] + [update_cell_add]) costs
+   two boxed floats per visited cell — the [~delta] argument and the
+   [refresh_cell] max — because the backend boxes float arguments of
+   non-inlined calls; at O(1) cells per grid per ball that was the
+   largest remaining per-insert allocation. Deletion and the generic/
+   colored updates keep the composable path. *)
+let insert_in_grid t ~grid:gi ~center ~weight =
   assert (Point.dim center = t.dim);
-  iter_cells_in_grid t grid ~center (fun _table _key cell ->
+  let table = t.tables.(gi) in
+  let grid = t.grids.Shifted_grids.grids.(gi) in
+  let sc = t.scratch.(gi) in
+  let dim = t.dim in
+  Grid.iter_keys_intersecting_into grid ~lo:sc.sc_lo ~hi:sc.sc_hi
+    ~key:sc.sc_key ~center ~radius:1. (fun key ->
+      let cell =
+        match Grid.Tbl.find table key with
+        | c -> c
+        | exception Not_found ->
+            let c = new_cell t gi grid key in
+            Grid.Tbl.add table (Array.copy key) c;
+            c
+      in
       cell.nballs <- cell.nballs + 1;
-      update_cell_add t cell ~center ~delta:weight)
+      let n = Array.length cell.ids in
+      Obs.add c_visited n;
+      let posf = cell.posf and depth = cell.depth and sver = cell.sver in
+      let changed = ref false in
+      let mx = ref Float.neg_infinity and arg = ref 0 in
+      for si = 0 to n - 1 do
+        let d2 = ref 0. in
+        for k = 0 to dim - 1 do
+          let d =
+            FA.unsafe_get posf ((si * dim) + k) -. Array.unsafe_get center k
+          in
+          d2 := !d2 +. (d *. d)
+        done;
+        if !d2 <= 1. +. 1e-12 then begin
+          FA.unsafe_set depth si (FA.unsafe_get depth si +. weight);
+          Array.unsafe_set sver si (Array.unsafe_get sver si + 1);
+          changed := true
+        end;
+        let d = FA.unsafe_get depth si in
+        if d > !mx then begin
+          mx := d;
+          arg := si
+        end
+      done;
+      if !changed && (!mx <> cell.max_depth || !arg <> cell.best) then begin
+        cell.max_depth <- !mx;
+        cell.best <- !arg;
+        cell.cversion <- cell.cversion + 1;
+        t.hook cell
+      end)
 
 let insert t ~center ~weight =
   assert (Point.dim center = t.dim);
@@ -286,11 +395,10 @@ let delete t ~center ~weight =
             (* Invalidate so stale heap entries are detectable. *)
             cell.max_depth <- Float.neg_infinity;
             cell.cversion <- cell.cversion + 1;
-            Array.iter
-              (fun s ->
-                s.version <- s.version + 1;
-                s.depth <- Float.neg_infinity)
-              cell.samples;
+            for si = 0 to Array.length cell.ids - 1 do
+              Array.unsafe_set cell.sver si (Array.unsafe_get cell.sver si + 1);
+              FA.unsafe_set cell.depth si Float.neg_infinity
+            done;
             t.hook cell;
             Grid.Tbl.remove table key;
             t.n_cells.(gi) <- t.n_cells.(gi) - 1
@@ -299,15 +407,17 @@ let delete t ~center ~weight =
 
 (* Generic insertion: [f] returns the depth delta for each sample of an
    intersected cell lying inside the ball (0 = unchanged). Counts as a
-   ball insertion for cell reference counting. *)
+   ball insertion for cell reference counting. [f] receives a snapshot
+   view of the sample (materialized per visited in-ball sample). *)
 let insert_with t ~center ~f =
   assert (Point.dim center = t.dim);
   iter_cells t ~center (fun _table _key cell ->
       cell.nballs <- cell.nballs + 1;
-      update_cell t cell ~center (fun s ->
-          let delta = f s in
+      update_cell t cell ~center (fun si ->
+          let delta = f (sample_of cell si) in
           if delta <> 0. then begin
-            s.depth <- s.depth +. delta;
+            FA.unsafe_set cell.depth si
+              (FA.unsafe_get cell.depth si +. delta);
             true
           end
           else false))
@@ -326,7 +436,13 @@ let touch_colored t ~center ~color =
 
 let iter_samples t f =
   Array.iter
-    (fun table -> Grid.Tbl.iter (fun _ cell -> Array.iter f cell.samples) table)
+    (fun table ->
+      Grid.Tbl.iter
+        (fun _ cell ->
+          for si = 0 to Array.length cell.ids - 1 do
+            f (sample_of cell si)
+          done)
+        table)
     t.tables
 
 let iter_live_cells t f =
@@ -363,8 +479,11 @@ let validate t ~live =
           (match Grid.Tbl.find_opt exp key with
           | Some count when count = cell.nballs -> ()
           | _ -> ok := false);
-          let mx = Array.fold_left (fun a s -> Float.max a s.depth) Float.neg_infinity cell.samples in
-          if Float.abs (mx -. cell.max_depth) > 1e-9 then ok := false)
+          let mx = ref Float.neg_infinity in
+          for si = 0 to Array.length cell.ids - 1 do
+            mx := Float.max !mx (FA.get cell.depth si)
+          done;
+          if Float.abs (!mx -. cell.max_depth) > 1e-9 then ok := false)
         tbl)
     t.tables;
   !ok
@@ -384,7 +503,7 @@ let best_cell_in_grid t gi =
 
 let best_in_grid t ~grid =
   match best_cell_in_grid t grid with
-  | Some c when c.max_depth > Float.neg_infinity -> Some c.best
+  | Some c when c.max_depth > Float.neg_infinity -> Some (cell_best c)
   | _ -> None
 
 let best t =
@@ -398,7 +517,7 @@ let best t =
     | None -> ()
   done;
   match !best with
-  | Some c when c.max_depth > Float.neg_infinity -> Some c.best
+  | Some c when c.max_depth > Float.neg_infinity -> Some (cell_best c)
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -444,25 +563,23 @@ let state t =
     let cells =
       Grid.Tbl.fold
         (fun key c acc ->
-          let best = ref 0 in
-          Array.iteri (fun i s -> if s == c.best then best := i) c.samples;
           {
             State.cs_key = Array.copy key;
             cs_nballs = c.nballs;
             cs_version = c.cversion;
             cs_max = c.max_depth;
-            cs_best = !best;
+            cs_best = c.best;
             cs_samples =
-              Array.map
-                (fun s ->
-                  {
-                    State.s_id = s.id;
-                    s_pos = Array.copy s.pos;
-                    s_depth = s.depth;
-                    s_flag = s.flag;
-                    s_version = s.version;
-                  })
-                c.samples;
+              (let dim = t.dim in
+               Array.init (Array.length c.ids) (fun si ->
+                   {
+                     State.s_id = c.ids.(si);
+                     s_pos =
+                       Array.init dim (fun k -> FA.get c.posf ((si * dim) + k));
+                     s_depth = FA.get c.depth si;
+                     s_flag = c.flag.(si);
+                     s_version = c.sver.(si);
+                   }));
           }
           :: acc)
         t.tables.(gi) []
@@ -516,34 +633,33 @@ let restore ~cfg (st : State.t) =
             invalid_arg "Sample_space.restore: cell sample count mismatch";
           if c.State.cs_best < 0 || c.State.cs_best >= n then
             invalid_arg "Sample_space.restore: best index out of range";
-          let samples =
-            Array.map
-              (fun (s : State.sample_s) ->
-                if Array.length s.State.s_pos <> dim then
-                  invalid_arg "Sample_space.restore: sample dimension mismatch";
-                {
-                  id = s.State.s_id;
-                  pos = Array.copy s.State.s_pos;
-                  depth = s.State.s_depth;
-                  flag = s.State.s_flag;
-                  version = s.State.s_version;
-                })
-              c.State.cs_samples
-          in
-          let posf = FA.create (t.t_samples * dim) in
+          let ids = Array.make n 0 in
+          let posf = FA.create (n * dim) in
+          let depth = FA.create n in
+          let flag = Array.make n 0 in
+          let sver = Array.make n 0 in
           Array.iteri
-            (fun si s ->
+            (fun si (s : State.sample_s) ->
+              if Array.length s.State.s_pos <> dim then
+                invalid_arg "Sample_space.restore: sample dimension mismatch";
+              ids.(si) <- s.State.s_id;
               for k = 0 to dim - 1 do
-                FA.unsafe_set posf ((si * dim) + k) s.pos.(k)
-              done)
-            samples;
+                FA.set posf ((si * dim) + k) s.State.s_pos.(k)
+              done;
+              FA.set depth si s.State.s_depth;
+              flag.(si) <- s.State.s_flag;
+              sver.(si) <- s.State.s_version)
+            c.State.cs_samples;
           let cell =
             {
-              samples;
+              ids;
               posf;
+              depth;
+              flag;
+              sver;
               nballs = c.State.cs_nballs;
               max_depth = c.State.cs_max;
-              best = samples.(c.State.cs_best);
+              best = c.State.cs_best;
               cversion = c.State.cs_version;
             }
           in

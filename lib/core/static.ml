@@ -3,7 +3,7 @@ module Pstore = Maxrs_geom.Pstore
 module Obs = Maxrs_obs.Obs
 module Parallel = Maxrs_parallel.Parallel
 module Guard = Maxrs_resilience.Guard
-module FA = Float.Array
+module Fvec = Maxrs_geom.Fvec
 
 type result = { center : Point.t; value : float }
 
@@ -34,10 +34,10 @@ let solve_core ~cfg ~radius ~dim store =
             for i = 0 to n - 1 do
               for k = 0 to dim - 1 do
                 Array.unsafe_set buf k
-                  (inv *. FA.unsafe_get (Array.unsafe_get cols k) i)
+                  (inv *. Fvec.unsafe_get (Array.unsafe_get cols k) i)
               done;
               Sample_space.insert_in_grid space ~grid:gi ~center:buf
-                ~weight:(FA.unsafe_get ws i)
+                ~weight:(Fvec.unsafe_get ws i)
             done));
     match Sample_space.best space with
     | Some s when s.Sample_space.depth > 0. ->

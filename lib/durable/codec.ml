@@ -12,6 +12,7 @@
 module Config = Maxrs.Config
 module Dynamic = Maxrs.Dynamic
 module Sample_space = Maxrs.Sample_space
+module Fvec = Maxrs_geom.Fvec
 
 exception Malformed of string
 
@@ -45,6 +46,19 @@ let list_ enc b l =
 
 let float_array b a = array_ f64 b a
 let int_array b a = array_ int_ b a
+
+(* Same wire format as [float_array] (length, then one LE f64 bit
+   pattern per slot), but written as a single byte run filled straight
+   from the Bigarray column — the flat-column analogue of a blit. The
+   two encoders are interchangeable on the wire. *)
+let fvec b (v : Fvec.t) =
+  let n = Fvec.length v in
+  int_ b n;
+  let raw = Bytes.create (8 * n) in
+  for i = 0 to n - 1 do
+    Bytes.set_int64_le raw (8 * i) (Int64.bits_of_float (Fvec.unsafe_get v i))
+  done;
+  Buffer.add_bytes b raw
 
 (* {1 Decoding} *)
 
@@ -104,6 +118,19 @@ let r_list dec r what =
 
 let r_float_array r what = r_array r_f64 r what
 let r_int_array r what = r_array r_int r what
+
+(* Inverse of [fvec]: one bounds check for the whole run, then a
+   straight fill of the fresh column. *)
+let r_fvec r what =
+  let n = r_len r what in
+  need r (8 * n) what;
+  let v = Fvec.create n in
+  for i = 0 to n - 1 do
+    Fvec.unsafe_set v i
+      (Int64.float_of_bits (String.get_int64_le r.data (r.pos + (8 * i))))
+  done;
+  r.pos <- r.pos + (8 * n);
+  v
 
 (* {1 Config} *)
 

@@ -23,6 +23,13 @@ val opt : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a option -> unit
 val float_array : Buffer.t -> float array -> unit
 val int_array : Buffer.t -> int array -> unit
 
+val fvec : Buffer.t -> Maxrs_geom.Fvec.t -> unit
+(** Same wire format as {!float_array} (length, then one little-endian
+    IEEE-754 bit pattern per slot), written as a single byte run filled
+    straight from the flat {!Maxrs_geom.Fvec.t} column. Interchangeable
+    with {!float_array} on the wire: either decoder reads either
+    encoder's output. *)
+
 (** {1 Primitive decoders} — consume from a cursor over a string. *)
 
 type reader = { data : string; mutable pos : int }
@@ -37,6 +44,7 @@ val r_bool : reader -> bool
 val r_opt : (reader -> 'a) -> reader -> 'a option
 val r_float_array : reader -> string -> float array
 val r_int_array : reader -> string -> int array
+val r_fvec : reader -> string -> Maxrs_geom.Fvec.t
 
 (** {1 Domain codecs} *)
 

@@ -28,7 +28,6 @@ let endpoints i = (i.start, norm (i.start +. i.len))
    (each one extends the open piece to the max end), so the in-place
    tandem sort reproduces the old [List.sort]-of-pairs result without
    consing a pair per piece. *)
-module FA = Float.Array
 
 (* Fills fresh columns (starts, ends) and returns (starts, ends, count). *)
 let flat_pieces ivls =
@@ -40,23 +39,23 @@ let flat_pieces ivls =
         else acc + 2)
       0 ivls
   in
-  let a = FA.create count and b = FA.create count in
+  let a = Fvec.create count and b = Fvec.create count in
   let k = ref 0 in
   List.iter
     (fun i ->
       if i.len > 0. then begin
         let s = i.start and e = i.start +. i.len in
         if e <= two_pi then begin
-          FA.set a !k s;
-          FA.set b !k e;
+          Fvec.set a !k s;
+          Fvec.set b !k e;
           incr k
         end
         else begin
-          FA.set a !k s;
-          FA.set b !k two_pi;
+          Fvec.set a !k s;
+          Fvec.set b !k two_pi;
           incr k;
-          FA.set a !k 0.;
-          FA.set b !k (e -. two_pi);
+          Fvec.set a !k 0.;
+          Fvec.set b !k (e -. two_pi);
           incr k
         end
       end)
@@ -72,12 +71,12 @@ let merge_pieces a b count =
     Kern.sort_ff a b count;
     let m = ref 0 in
     for i = 0 to count - 1 do
-      let ai = FA.get a i and bi = FA.get b i in
-      if !m > 0 && ai <= FA.get b (!m - 1) +. 1e-12 then
-        FA.set b (!m - 1) (Float.max (FA.get b (!m - 1)) bi)
+      let ai = Fvec.get a i and bi = Fvec.get b i in
+      if !m > 0 && ai <= Fvec.get b (!m - 1) +. 1e-12 then
+        Fvec.set b (!m - 1) (Float.max (Fvec.get b (!m - 1)) bi)
       else begin
-        FA.set a !m ai;
-        FA.set b !m bi;
+        Fvec.set a !m ai;
+        Fvec.set b !m bi;
         incr m
       end
     done;
@@ -91,7 +90,7 @@ let total_length ivls =
     let m = merge_pieces a b count in
     let acc = ref 0. in
     for i = 0 to m - 1 do
-      acc := !acc +. (FA.get b i -. FA.get a i)
+      acc := !acc +. (Fvec.get b i -. Fvec.get a i)
     done;
     !acc
   end
@@ -105,14 +104,14 @@ let complement ivls =
     else begin
       (* Gaps between consecutive covered pieces, plus the wrap-around gap
          from the last piece's end back to the first piece's start. *)
-      let first_a = FA.get a 0 in
+      let first_a = Fvec.get a 0 in
       let acc = ref [] in
       for i = 0 to m - 2 do
-        let b_i = FA.get b i and a' = FA.get a (i + 1) in
+        let b_i = Fvec.get b i and a' = Fvec.get a (i + 1) in
         if a' -. b_i > 1e-12 then
           acc := { start = b_i; len = a' -. b_i } :: !acc
       done;
-      let b_last = FA.get b (m - 1) in
+      let b_last = Fvec.get b (m - 1) in
       let wrap = { start = norm b_last; len = norm (first_a -. b_last) } in
       let acc =
         if

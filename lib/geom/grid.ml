@@ -37,7 +37,16 @@ let iter_keys_intersecting_into g ~lo ~hi ~key ~center ~radius f =
     key.(i) <- lo.(i)
   done;
   let r2 = r *. r in
-  let rec go i acc =
+  (* The accumulated squared distance at each odometer depth lives in a
+     small flat column instead of being a float parameter of [go]: a
+     float argument to the (never-inlined) local recursion would be
+     boxed at every call, on a path the insert loops hit per ball per
+     grid. [accs.(i)] is the partial sum over axes [0..i-1]; the prune
+     test and the per-axis [dx] math are unchanged. *)
+  let accs = Float.Array.create (d + 1) in
+  Float.Array.unsafe_set accs 0 0.;
+  let rec go i =
+    let acc = Float.Array.unsafe_get accs i in
     if acc <= r2 then
       if i = d then f key
       else
@@ -50,10 +59,11 @@ let iter_keys_intersecting_into g ~lo ~hi ~key ~center ~radius f =
             else if c.(i) > cell_hi then c.(i) -. cell_hi
             else 0.
           in
-          go (i + 1) (acc +. (dx *. dx))
+          Float.Array.unsafe_set accs (i + 1) (acc +. (dx *. dx));
+          go (i + 1)
         done
   in
-  go 0 0.
+  go 0
 
 let iter_keys_intersecting_ball g b f =
   let d = g.dim in
@@ -73,8 +83,13 @@ module Tbl = Hashtbl.Make (struct
 
   let hash k =
     (* FNV-style mix over coordinates; the polymorphic hash would also
-       work but this is faster and collision behaviour is predictable. *)
+       work but this is faster and collision behaviour is predictable.
+       A plain counted loop, not [Array.iter]: the iter closure capturing
+       [h] would heap-allocate on every hash — once per table lookup on
+       the insert path. *)
     let h = ref 0x811c9dc5 in
-    Array.iter (fun v -> h := (!h lxor v) * 0x01000193) k;
+    for i = 0 to Array.length k - 1 do
+      h := (!h lxor Array.unsafe_get k i) * 0x01000193
+    done;
     !h land max_int
 end)

@@ -1,5 +1,4 @@
 module Obs = Maxrs_obs.Obs
-module FA = Float.Array
 
 (* Node visits are the machine-independent cost of a kd-tree query:
    pruning quality shows up directly in [kd.visits] growth. *)
@@ -25,7 +24,7 @@ type node =
 type t = {
   root : node;
   pts : Point.t array;
-  cols : floatarray array;
+  cols : Fvec.t array;
   perm : int array;
   dims : int;
 }
@@ -34,12 +33,12 @@ let leaf_capacity = 12
 
 let bbox_of cols dims perm lo hi =
   let i0 = perm.(lo) in
-  let blo = Array.init dims (fun k -> FA.get cols.(k) i0) in
+  let blo = Array.init dims (fun k -> Fvec.get cols.(k) i0) in
   let bhi = Array.copy blo in
   for s = lo + 1 to hi do
     let i = Array.unsafe_get perm s in
     for k = 0 to dims - 1 do
-      let v = FA.unsafe_get cols.(k) i in
+      let v = Fvec.unsafe_get cols.(k) i in
       if v < blo.(k) then blo.(k) <- v;
       if v > bhi.(k) then bhi.(k) <- v
     done
@@ -51,11 +50,11 @@ let build pts =
   assert (n > 0);
   let dims = Point.dim pts.(0) in
   Array.iter (fun p -> assert (Point.dim p = dims)) pts;
-  let cols = Array.init dims (fun _ -> FA.create n) in
+  let cols = Array.init dims (fun _ -> Fvec.create n) in
   for i = 0 to n - 1 do
     let p = pts.(i) in
     for k = 0 to dims - 1 do
-      FA.unsafe_set cols.(k) i p.(k)
+      Fvec.unsafe_set cols.(k) i p.(k)
     done
   done;
   let perm = Array.init n Fun.id in
@@ -72,7 +71,7 @@ let build pts =
       let axis = depth mod dims in
       let mid = lo + (len / 2) in
       Kern.select_idx cols.(axis) perm ~lo ~hi ~k:mid;
-      let split = FA.get cols.(axis) perm.(mid) in
+      let split = Fvec.get cols.(axis) perm.(mid) in
       Node
         {
           axis;
@@ -93,7 +92,7 @@ let dim t = t.dims
 let dist2_to t i q =
   let acc = ref 0. in
   for k = 0 to t.dims - 1 do
-    let d = FA.unsafe_get t.cols.(k) i -. Array.unsafe_get q k in
+    let d = Fvec.unsafe_get t.cols.(k) i -. Array.unsafe_get q k in
     acc := !acc +. (d *. d)
   done;
   !acc

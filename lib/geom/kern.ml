@@ -1,19 +1,19 @@
-(* Monomorphic introsort / quickselect kernels over flat arrays.
+(* Monomorphic sort / select kernels over flat columns.
 
-   Three near-identical copies of the same introsort skeleton follow —
-   one per element layout (index array keyed by a float column, tandem
-   float/float, tandem float/int). Deliberate: a polymorphic version
-   would re-introduce the comparator closure and boxing these kernels
-   exist to remove. Keys must not be NaN (the [<] / [>] scans below
-   would run off the ends); the checked solver entries guarantee this.
+   Two sorting strategies share each tandem entry point:
 
-   Skeleton per copy: insertion sort below [small]; median-of-three
-   Hoare partition quicksort; heapsort once the depth budget (2 log2 n)
-   is exhausted, keeping the worst case O(n log n). The Hoare scans are
-   in-bounds without explicit checks because the pivot is a value taken
-   from the slice itself. *)
+   - an introsort (median-of-three Hoare quicksort, insertion sort below
+     [small], heapsort at the depth budget) — three near-identical
+     monomorphic copies, one per element layout, deliberate: a
+     polymorphic version would re-introduce the comparator closure and
+     boxing these kernels exist to remove;
+   - an LSD radix sort on the monotone-mapped float bit pattern, used by
+     [sort_ff]/[sort_fi] above [radix_threshold] elements, with reusable
+     per-domain scratch in [Domain.DLS].
 
-module FA = Float.Array
+   Keys must not be NaN (the [<] / [>] scans would run off the ends and
+   the bit mapping has no slot for unordered values); the checked solver
+   entries guarantee this upstream. *)
 
 let small = 16
 
@@ -28,7 +28,7 @@ let depth_budget n =
 
 (* ---------- sort_idx: permutation indices keyed by a float column - *)
 
-let ikey k a i = FA.unsafe_get k (Array.unsafe_get a i)
+let ikey k a i = Fvec.unsafe_get k (Array.unsafe_get a i)
 
 let iswap a i j =
   let t = Array.unsafe_get a i in
@@ -38,7 +38,7 @@ let iswap a i j =
 let idx_insertion k a lo hi =
   for i = lo + 1 to hi do
     let v = Array.unsafe_get a i in
-    let kv = FA.unsafe_get k v in
+    let kv = Fvec.unsafe_get k v in
     let j = ref (i - 1) in
     while !j >= lo && ikey k a !j > kv do
       Array.unsafe_set a (!j + 1) (Array.unsafe_get a !j);
@@ -135,36 +135,36 @@ let select_idx k a ~lo ~hi ~k:kth =
     end
   done
 
-(* ---------- sort_ff: tandem (float key, float payload) ------------ *)
+(* ---------- intro_ff: tandem (float key, float payload) ----------- *)
 (* Keys ascending; ties payload DESCENDING (sweep adds-before-removes). *)
 
 let ff_less_ij key pay i j =
-  let ki = FA.unsafe_get key i and kj = FA.unsafe_get key j in
-  ki < kj || (ki = kj && FA.unsafe_get pay i > FA.unsafe_get pay j)
+  let ki = Fvec.unsafe_get key i and kj = Fvec.unsafe_get key j in
+  ki < kj || (ki = kj && Fvec.unsafe_get pay i > Fvec.unsafe_get pay j)
 
 let ff_swap key pay i j =
-  let tk = FA.unsafe_get key i and tp = FA.unsafe_get pay i in
-  FA.unsafe_set key i (FA.unsafe_get key j);
-  FA.unsafe_set pay i (FA.unsafe_get pay j);
-  FA.unsafe_set key j tk;
-  FA.unsafe_set pay j tp
+  let tk = Fvec.unsafe_get key i and tp = Fvec.unsafe_get pay i in
+  Fvec.unsafe_set key i (Fvec.unsafe_get key j);
+  Fvec.unsafe_set pay i (Fvec.unsafe_get pay j);
+  Fvec.unsafe_set key j tk;
+  Fvec.unsafe_set pay j tp
 
 let ff_insertion key pay lo hi =
   for i = lo + 1 to hi do
-    let kv = FA.unsafe_get key i and pv = FA.unsafe_get pay i in
+    let kv = Fvec.unsafe_get key i and pv = Fvec.unsafe_get pay i in
     let j = ref (i - 1) in
     while
       !j >= lo
       &&
-      let kj = FA.unsafe_get key !j in
-      kj > kv || (kj = kv && FA.unsafe_get pay !j < pv)
+      let kj = Fvec.unsafe_get key !j in
+      kj > kv || (kj = kv && Fvec.unsafe_get pay !j < pv)
     do
-      FA.unsafe_set key (!j + 1) (FA.unsafe_get key !j);
-      FA.unsafe_set pay (!j + 1) (FA.unsafe_get pay !j);
+      Fvec.unsafe_set key (!j + 1) (Fvec.unsafe_get key !j);
+      Fvec.unsafe_set pay (!j + 1) (Fvec.unsafe_get pay !j);
       decr j
     done;
-    FA.unsafe_set key (!j + 1) kv;
-    FA.unsafe_set pay (!j + 1) pv
+    Fvec.unsafe_set key (!j + 1) kv;
+    Fvec.unsafe_set pay (!j + 1) pv
   done
 
 let ff_sift_down key pay lo root len =
@@ -200,22 +200,22 @@ let ff_partition key pay lo hi =
   if ff_less_ij key pay mid lo then ff_swap key pay mid lo;
   if ff_less_ij key pay hi lo then ff_swap key pay hi lo;
   if ff_less_ij key pay hi mid then ff_swap key pay hi mid;
-  let pk = FA.unsafe_get key mid and pp = FA.unsafe_get pay mid in
+  let pk = Fvec.unsafe_get key mid and pp = Fvec.unsafe_get pay mid in
   let i = ref (lo - 1) and j = ref (hi + 1) in
   let res = ref 0 in
   let live = ref true in
   while !live do
     incr i;
     while
-      let ki = FA.unsafe_get key !i in
-      ki < pk || (ki = pk && FA.unsafe_get pay !i > pp)
+      let ki = Fvec.unsafe_get key !i in
+      ki < pk || (ki = pk && Fvec.unsafe_get pay !i > pp)
     do
       incr i
     done;
     decr j;
     while
-      let kj = FA.unsafe_get key !j in
-      kj > pk || (kj = pk && FA.unsafe_get pay !j < pp)
+      let kj = Fvec.unsafe_get key !j in
+      kj > pk || (kj = pk && Fvec.unsafe_get pay !j < pp)
     do
       decr j
     done;
@@ -238,38 +238,38 @@ let rec ff_intro key pay lo hi depth =
     ff_intro key pay (j + 1) hi (depth - 1)
   end
 
-let sort_ff key pay n = if n > 1 then ff_intro key pay 0 (n - 1) (depth_budget n)
+let intro_ff key pay n =
+  if n > 1 then ff_intro key pay 0 (n - 1) (depth_budget n)
 
-(* ---------- sort_fi: tandem (float key, int payload) -------------- *)
+(* ---------- intro_fi: tandem (float key, int payload) ------------- *)
 (* Keys ascending; ties payload ASCENDING. *)
 
 let fi_less_ij key pay i j =
-  let ki = FA.unsafe_get key i and kj = FA.unsafe_get key j in
-  ki < kj
-  || (ki = kj && Array.unsafe_get pay i < Array.unsafe_get pay j)
+  let ki = Fvec.unsafe_get key i and kj = Fvec.unsafe_get key j in
+  ki < kj || (ki = kj && Array.unsafe_get pay i < Array.unsafe_get pay j)
 
 let fi_swap key pay i j =
-  let tk = FA.unsafe_get key i and tp = Array.unsafe_get pay i in
-  FA.unsafe_set key i (FA.unsafe_get key j);
+  let tk = Fvec.unsafe_get key i and tp = Array.unsafe_get pay i in
+  Fvec.unsafe_set key i (Fvec.unsafe_get key j);
   Array.unsafe_set pay i (Array.unsafe_get pay j);
-  FA.unsafe_set key j tk;
+  Fvec.unsafe_set key j tk;
   Array.unsafe_set pay j tp
 
 let fi_insertion key pay lo hi =
   for i = lo + 1 to hi do
-    let kv = FA.unsafe_get key i and pv = Array.unsafe_get pay i in
+    let kv = Fvec.unsafe_get key i and pv = Array.unsafe_get pay i in
     let j = ref (i - 1) in
     while
       !j >= lo
       &&
-      let kj = FA.unsafe_get key !j in
+      let kj = Fvec.unsafe_get key !j in
       kj > kv || (kj = kv && Array.unsafe_get pay !j > pv)
     do
-      FA.unsafe_set key (!j + 1) (FA.unsafe_get key !j);
+      Fvec.unsafe_set key (!j + 1) (Fvec.unsafe_get key !j);
       Array.unsafe_set pay (!j + 1) (Array.unsafe_get pay !j);
       decr j
     done;
-    FA.unsafe_set key (!j + 1) kv;
+    Fvec.unsafe_set key (!j + 1) kv;
     Array.unsafe_set pay (!j + 1) pv
   done
 
@@ -306,21 +306,21 @@ let fi_partition key pay lo hi =
   if fi_less_ij key pay mid lo then fi_swap key pay mid lo;
   if fi_less_ij key pay hi lo then fi_swap key pay hi lo;
   if fi_less_ij key pay hi mid then fi_swap key pay hi mid;
-  let pk = FA.unsafe_get key mid and pp = Array.unsafe_get pay mid in
+  let pk = Fvec.unsafe_get key mid and pp = Array.unsafe_get pay mid in
   let i = ref (lo - 1) and j = ref (hi + 1) in
   let res = ref 0 in
   let live = ref true in
   while !live do
     incr i;
     while
-      let ki = FA.unsafe_get key !i in
+      let ki = Fvec.unsafe_get key !i in
       ki < pk || (ki = pk && Array.unsafe_get pay !i < pp)
     do
       incr i
     done;
     decr j;
     while
-      let kj = FA.unsafe_get key !j in
+      let kj = Fvec.unsafe_get key !j in
       kj > pk || (kj = pk && Array.unsafe_get pay !j > pp)
     do
       decr j
@@ -344,28 +344,238 @@ let rec fi_intro key pay lo hi depth =
     fi_intro key pay (j + 1) hi (depth - 1)
   end
 
-let sort_fi key pay n = if n > 1 then fi_intro key pay 0 (n - 1) (depth_budget n)
+let intro_fi key pay n =
+  if n > 1 then fi_intro key pay 0 (n - 1) (depth_budget n)
+
+(* ---------- LSD radix sort on mapped float bits ------------------- *)
+(* A float's bit pattern, sign bit flipped for non-negatives and all
+   bits flipped for negatives, orders as an unsigned integer exactly
+   like the float orders under [<] — the classic monotone mapping. We
+   split the mapped 64-bit word into two 32-bit halves kept in plain
+   [int] arrays (Int64 locals below stay unboxed: every use is an
+   unboxing primitive), canonicalize -0.0 to +0.0 first ([x +. 0.0]) so
+   the mapping agrees with float comparison on zeros, and run a stable
+   byte-wise LSD counting sort over the composite
+   (key hi, key lo, payload hi, payload lo) — least significant digit
+   first, so 16 passes of 8 bits, each skipped outright when the
+   histogram shows the digit is constant. The sort permutes an index
+   array, not the data; one final gather materializes the order.
+
+   Because an element IS its (key, payload) pair, sorting by the
+   composite reproduces the introsort's output arrays bit for bit: ties
+   under float comparison are broken by payload in the documented
+   direction (payload halves are complemented for the descending [ff]
+   convention), and fully-equal pairs are interchangeable. *)
+
+type radix_scratch = {
+  mutable khi : int array;
+  mutable klo : int array;
+  mutable phi : int array;
+  mutable plo : int array;
+  mutable idx : int array;
+  mutable idx2 : int array;
+  mutable fscr : Fvec.t;  (* gather scratch for the float columns *)
+  hist : int array;  (* 16 digit positions x 256 counts *)
+}
+
+let radix_scratch_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        khi = [||];
+        klo = [||];
+        phi = [||];
+        plo = [||];
+        idx = [||];
+        idx2 = [||];
+        fscr = Fvec.create 0;
+        hist = Array.make (16 * 256) 0;
+      })
+
+let radix_ensure sc n =
+  if Array.length sc.khi < n then begin
+    let cap = ref (max 512 8) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let cap = !cap in
+    sc.khi <- Array.make cap 0;
+    sc.klo <- Array.make cap 0;
+    sc.phi <- Array.make cap 0;
+    sc.plo <- Array.make cap 0;
+    sc.idx <- Array.make cap 0;
+    sc.idx2 <- Array.make cap 0;
+    sc.fscr <- Fvec.create cap
+  end
+
+let mask32 = 0xFFFF_FFFF
+
+(* The 16 stable counting-sort passes over the permutation in [sc.idx],
+   least-significant composite byte first: payload lo, payload hi, key
+   lo, key hi. On return [sc.idx] holds the sorting permutation. *)
+let radix_passes sc n =
+  let khi = sc.khi and klo = sc.klo and phi = sc.phi and plo = sc.plo in
+  let hist = sc.hist in
+  Array.fill hist 0 (16 * 256) 0;
+  for i = 0 to n - 1 do
+    let v = Array.unsafe_get plo i in
+    let h0 = v land 0xff in
+    let h1 = (v lsr 8) land 0xff in
+    let h2 = (v lsr 16) land 0xff in
+    let h3 = (v lsr 24) land 0xff in
+    Array.unsafe_set hist h0 (Array.unsafe_get hist h0 + 1);
+    Array.unsafe_set hist (256 + h1) (Array.unsafe_get hist (256 + h1) + 1);
+    Array.unsafe_set hist (512 + h2) (Array.unsafe_get hist (512 + h2) + 1);
+    Array.unsafe_set hist (768 + h3) (Array.unsafe_get hist (768 + h3) + 1);
+    let v = Array.unsafe_get phi i in
+    for b = 0 to 3 do
+      let d = (1024 + (b * 256)) + ((v lsr (b * 8)) land 0xff) in
+      Array.unsafe_set hist d (Array.unsafe_get hist d + 1)
+    done;
+    let v = Array.unsafe_get klo i in
+    for b = 0 to 3 do
+      let d = (2048 + (b * 256)) + ((v lsr (b * 8)) land 0xff) in
+      Array.unsafe_set hist d (Array.unsafe_get hist d + 1)
+    done;
+    let v = Array.unsafe_get khi i in
+    for b = 0 to 3 do
+      let d = (3072 + (b * 256)) + ((v lsr (b * 8)) land 0xff) in
+      Array.unsafe_set hist d (Array.unsafe_get hist d + 1)
+    done
+  done;
+  let src = ref sc.idx and dst = ref sc.idx2 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set !src i i
+  done;
+  for p = 0 to 15 do
+    let arr =
+      match p lsr 2 with 0 -> plo | 1 -> phi | 2 -> klo | _ -> khi
+    in
+    let shift = (p land 3) * 8 in
+    let base = p * 256 in
+    (* constant digit => pass is the identity; skip it *)
+    let d0 = (Array.unsafe_get arr 0 lsr shift) land 0xff in
+    if Array.unsafe_get hist (base + d0) < n then begin
+      let sum = ref 0 in
+      for d = 0 to 255 do
+        let c = Array.unsafe_get hist (base + d) in
+        Array.unsafe_set hist (base + d) !sum;
+        sum := !sum + c
+      done;
+      let s = !src and t = !dst in
+      for i = 0 to n - 1 do
+        let e = Array.unsafe_get s i in
+        let d = base + ((Array.unsafe_get arr e lsr shift) land 0xff) in
+        Array.unsafe_set t (Array.unsafe_get hist d) e;
+        Array.unsafe_set hist d (Array.unsafe_get hist d + 1)
+      done;
+      src := t;
+      dst := s
+    end
+  done;
+  if !src != sc.idx then begin
+    sc.idx2 <- sc.idx;
+    sc.idx <- !src
+  end
+
+(* The monotone float mapping is written out inline in both entry
+   loops rather than shared through a helper: the backend does not
+   reliably inline a helper here, and a real call per element boxes the
+   float argument — while the [Int64] locals below stay unboxed only
+   because every use is itself an unboxing primitive. The mapping:
+   canonicalize -0.0 to +0.0 ([x +. 0.0]), take the IEEE bits, split
+   into 32-bit halves held in native ints, then flip the sign bit (for
+   non-negatives) or all bits (for negatives) so unsigned half-order is
+   the float order; [lxor mask32] on top inverts a half for the
+   descending payload convention. *)
+let radix_ff key pay n =
+  if n > 1 then begin
+    let sc = Domain.DLS.get radix_scratch_key in
+    radix_ensure sc n;
+    let khi = sc.khi and klo = sc.klo and phi = sc.phi and plo = sc.plo in
+    for i = 0 to n - 1 do
+      let b = Int64.bits_of_float (Fvec.unsafe_get key i +. 0.0) in
+      let hi = Int64.to_int (Int64.shift_right_logical b 32) in
+      let lo = Int64.to_int (Int64.logand b 0xFFFF_FFFFL) in
+      let s = -(hi lsr 31) land mask32 in
+      Array.unsafe_set khi i (hi lxor (s lor 0x8000_0000));
+      Array.unsafe_set klo i (lo lxor s);
+      let b = Int64.bits_of_float (Fvec.unsafe_get pay i +. 0.0) in
+      let hi = Int64.to_int (Int64.shift_right_logical b 32) in
+      let lo = Int64.to_int (Int64.logand b 0xFFFF_FFFFL) in
+      let s = -(hi lsr 31) land mask32 in
+      Array.unsafe_set phi i (hi lxor (s lor 0x8000_0000) lxor mask32);
+      Array.unsafe_set plo i (lo lxor s lxor mask32)
+    done;
+    radix_passes sc n;
+    let idx = sc.idx and fscr = sc.fscr in
+    for i = 0 to n - 1 do
+      Fvec.unsafe_set fscr i (Fvec.unsafe_get key (Array.unsafe_get idx i))
+    done;
+    Fvec.blit ~src:fscr ~src_pos:0 ~dst:key ~dst_pos:0 ~len:n;
+    for i = 0 to n - 1 do
+      Fvec.unsafe_set fscr i (Fvec.unsafe_get pay (Array.unsafe_get idx i))
+    done;
+    Fvec.blit ~src:fscr ~src_pos:0 ~dst:pay ~dst_pos:0 ~len:n
+  end
+
+let radix_fi key pay n =
+  if n > 1 then begin
+    let sc = Domain.DLS.get radix_scratch_key in
+    radix_ensure sc n;
+    let khi = sc.khi and klo = sc.klo and phi = sc.phi and plo = sc.plo in
+    for i = 0 to n - 1 do
+      let b = Int64.bits_of_float (Fvec.unsafe_get key i +. 0.0) in
+      let hi = Int64.to_int (Int64.shift_right_logical b 32) in
+      let lo = Int64.to_int (Int64.logand b 0xFFFF_FFFFL) in
+      let s = -(hi lsr 31) land mask32 in
+      Array.unsafe_set khi i (hi lxor (s lor 0x8000_0000));
+      Array.unsafe_set klo i (lo lxor s);
+      (* int payload, ascending: flip the sign bit so unsigned
+         half-order matches signed order *)
+      let m = Array.unsafe_get pay i lxor min_int in
+      Array.unsafe_set plo i (m land mask32);
+      Array.unsafe_set phi i ((m lsr 32) land mask32)
+    done;
+    radix_passes sc n;
+    let idx = sc.idx and fscr = sc.fscr and iscr = sc.idx2 in
+    for i = 0 to n - 1 do
+      Fvec.unsafe_set fscr i (Fvec.unsafe_get key (Array.unsafe_get idx i));
+      Array.unsafe_set iscr i (Array.unsafe_get pay i)
+    done;
+    Fvec.blit ~src:fscr ~src_pos:0 ~dst:key ~dst_pos:0 ~len:n;
+    for i = 0 to n - 1 do
+      Array.unsafe_set pay i (Array.unsafe_get iscr (Array.unsafe_get idx i))
+    done
+  end
+
+let radix_threshold = 512
+
+let sort_ff key pay n =
+  if n >= radix_threshold then radix_ff key pay n else intro_ff key pay n
+
+let sort_fi key pay n =
+  if n >= radix_threshold then radix_fi key pay n else intro_fi key pay n
 
 (* ---------- growable scratch buffers ------------------------------ *)
 
 module Fbuf = struct
-  type t = { mutable data : floatarray; mutable len : int }
+  type t = { mutable data : Fvec.t; mutable len : int }
 
-  let create cap = { data = FA.create (max cap 8); len = 0 }
+  let create cap = { data = Fvec.create (max cap 8); len = 0 }
   let clear b = b.len <- 0
   let length b = b.len
 
   let push b x =
-    let cap = FA.length b.data in
+    let cap = Fvec.length b.data in
     if b.len = cap then begin
-      let data = FA.create (2 * cap) in
-      FA.blit b.data 0 data 0 b.len;
+      let data = Fvec.create (2 * cap) in
+      Fvec.blit ~src:b.data ~src_pos:0 ~dst:data ~dst_pos:0 ~len:b.len;
       b.data <- data
     end;
-    FA.unsafe_set b.data b.len x;
+    Fvec.unsafe_set b.data b.len x;
     b.len <- b.len + 1
 
-  let get b i = FA.get b.data i
+  let get b i = Fvec.get b.data i
   let data b = b.data
 end
 

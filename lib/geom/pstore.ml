@@ -1,10 +1,8 @@
-module FA = Float.Array
-
 type t = {
   dims : int;
   n : int;
-  cols : floatarray array;
-  w : floatarray;
+  cols : Fvec.t array;
+  w : Fvec.t;
   colors : int array;  (** [[||]] when the store carries no colors *)
 }
 
@@ -18,8 +16,8 @@ let colors t =
   if has_colors t then t.colors
   else invalid_arg "Pstore.colors: store has no color column"
 
-let coord t i k = FA.get t.cols.(k) i
-let weight t i = FA.get t.w i
+let coord t i k = Fvec.get t.cols.(k) i
+let weight t i = Fvec.get t.w i
 let color t i = t.colors.(i)
 
 let alloc ~dims n =
@@ -28,8 +26,8 @@ let alloc ~dims n =
   {
     dims;
     n;
-    cols = Array.init dims (fun _ -> FA.create n);
-    w = FA.make n 1.;
+    cols = Array.init dims (fun _ -> Fvec.create n);
+    w = Fvec.make n 1.;
     colors = [||];
   }
 
@@ -43,7 +41,7 @@ let of_points pts =
     if Point.dim p <> dims then
       invalid_arg "Pstore.of_points: dimension mismatch";
     for k = 0 to dims - 1 do
-      FA.unsafe_set t.cols.(k) i p.(k)
+      Fvec.unsafe_set t.cols.(k) i p.(k)
     done
   done;
   t
@@ -58,9 +56,9 @@ let of_weighted pts =
     if Point.dim p <> dims then
       invalid_arg "Pstore.of_weighted: dimension mismatch";
     for k = 0 to dims - 1 do
-      FA.unsafe_set t.cols.(k) i p.(k)
+      Fvec.unsafe_set t.cols.(k) i p.(k)
     done;
-    FA.unsafe_set t.w i w
+    Fvec.unsafe_set t.w i w
   done;
   t
 
@@ -76,9 +74,9 @@ let of_triples pts =
   let t = alloc ~dims:2 n in
   for i = 0 to n - 1 do
     let x, y, w = pts.(i) in
-    FA.unsafe_set t.cols.(0) i x;
-    FA.unsafe_set t.cols.(1) i y;
-    FA.unsafe_set t.w i w
+    Fvec.unsafe_set t.cols.(0) i x;
+    Fvec.unsafe_set t.cols.(1) i y;
+    Fvec.unsafe_set t.w i w
   done;
   t
 
@@ -88,8 +86,8 @@ let of_planar pts =
   let t = alloc ~dims:2 n in
   for i = 0 to n - 1 do
     let x, y = pts.(i) in
-    FA.unsafe_set t.cols.(0) i x;
-    FA.unsafe_set t.cols.(1) i y
+    Fvec.unsafe_set t.cols.(0) i x;
+    Fvec.unsafe_set t.cols.(1) i y
   done;
   t
 
@@ -99,13 +97,13 @@ let of_planar_colored pts ~colors =
   let t = of_planar pts in
   { t with colors = Array.copy colors }
 
-let point t i = Array.init t.dims (fun k -> FA.get t.cols.(k) i)
+let point t i = Array.init t.dims (fun k -> Fvec.get t.cols.(k) i)
 
 let dist2 t i q =
   assert (Point.dim q = t.dims);
   let acc = ref 0. in
   for k = 0 to t.dims - 1 do
-    let d = FA.unsafe_get t.cols.(k) i -. q.(k) in
+    let d = Fvec.unsafe_get t.cols.(k) i -. q.(k) in
     acc := !acc +. (d *. d)
   done;
   !acc

@@ -3,10 +3,12 @@
     [Point.t = float array] keeps one heap block per point; a solver
     walking n points chases n pointers and the per-point blocks are
     scattered by whenever they were allocated. A [Pstore.t] keeps one
-    flat unboxed [floatarray] per coordinate (plus a weight column and
-    an optional color column), so the hot kernels — kd-tree builds,
-    arc sweeps, grid bucketing, sample evaluation — stream contiguous
-    float columns and index with plain ints.
+    flat unboxed {!Fvec.t} Bigarray per coordinate (plus a weight
+    column and an optional color column), so the hot kernels — kd-tree
+    builds, arc sweeps, grid bucketing, sample evaluation — stream
+    contiguous float columns and index with plain ints. The columns
+    live outside the OCaml heap: the GC never scans a store, and the
+    durable layer snapshots one as contiguous byte runs.
 
     Every coordinate is copied bit-for-bit from the source points, so a
     store-backed solve and the [Point.t array] path see the very same
@@ -45,11 +47,11 @@ val of_planar_colored : (float * float) array -> colors:int array -> t
 val dims : t -> int
 val length : t -> int
 
-val col : t -> int -> floatarray
+val col : t -> int -> Fvec.t
 (** [col t k] is coordinate column [k]; length [length t]. Callers must
     not mutate it. *)
 
-val weights : t -> floatarray
+val weights : t -> Fvec.t
 (** The weight column (all 1s when built without weights). *)
 
 val has_colors : t -> bool

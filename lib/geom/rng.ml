@@ -1,31 +1,57 @@
-type t = { mutable state : int64 }
+(* splitmix64: fast, passes BigCrush, trivially seedable.
 
-(* splitmix64: fast, passes BigCrush, trivially seedable. *)
+   The state is a one-element int64 Bigarray rather than a mutable
+   [int64] record field: a boxed-int64 field costs a fresh box on every
+   store, i.e. per draw — and the sampling step draws once per sample
+   per cell. Bigarray int64 loads/stores are unboxing primitives, so a
+   draw whose intermediates feed only int64 primitives allocates nothing
+   beyond its return value. The stream itself is unchanged bit for bit:
+   same constants, same mixing, same mapping to floats. *)
+
+module BA1 = Bigarray.Array1
+
+type t = (int64, Bigarray.int64_elt, Bigarray.c_layout) BA1.t
+
+external st_get : t -> int -> int64 = "%caml_ba_unsafe_ref_1"
+external st_set : t -> int -> int64 -> unit = "%caml_ba_unsafe_set_1"
+
 let golden = 0x9E3779B97F4A7C15L
 
 let mix z =
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create seed = { state = Int64.of_int seed }
-let state t = t.state
-let of_state state = { state }
+let of_state state =
+  let t : t = BA1.create Bigarray.Int64 Bigarray.c_layout 1 in
+  st_set t 0 state;
+  t
+
+let create seed = of_state (Int64.of_int seed)
+let state t = st_get t 0
 
 let bits64 t =
-  t.state <- Int64.add t.state golden;
-  mix t.state
+  let s = Int64.add (st_get t 0) golden in
+  st_set t 0 s;
+  mix s
 
-let split t =
-  let seed = bits64 t in
-  { state = seed }
+let split t = of_state (bits64 t)
 
 let split_at t i =
   assert (i >= 0);
   (* The i-th child stream: mix the state the generator would reach after
      i+1 steps, without advancing [t]. Children are keyed purely by index,
      so derivation order (or concurrency) cannot change them. *)
-  { state = mix (Int64.add t.state (Int64.mul golden (Int64.of_int (i + 1)))) }
+  of_state
+    (mix (Int64.add (st_get t 0) (Int64.mul golden (Int64.of_int (i + 1)))))
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
@@ -40,10 +66,26 @@ let int t bound =
   in
   draw ()
 
-(* 53 random mantissa bits mapped to [0, 1). *)
+(* 53 random mantissa bits mapped to [0, 1). The advance and mix are
+   written out inline (not [bits64]) so no boxed int64 crosses a call
+   boundary: every intermediate is consumed by an int64 primitive and
+   stays in registers, leaving the boxed float return as the only
+   allocation of a draw. *)
 let unit_float t =
-  let bits = Int64.shift_right_logical (bits64 t) 11 in
-  Int64.to_float bits /. 9007199254740992.
+  let s = Int64.add (st_get t 0) golden in
+  st_set t 0 s;
+  let z =
+    Int64.mul
+      (Int64.logxor s (Int64.shift_right_logical s 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.
 
 let float t bound = unit_float t *. bound
 let uniform t lo hi = lo +. (unit_float t *. (hi -. lo))

@@ -25,6 +25,41 @@ let sample_on rng ~center ~radius =
 let sample_on_many rng ~center ~radius t =
   Array.init t (fun _ -> sample_on rng ~center ~radius)
 
+(* Bulk variant of [sample_on] writing row-major into a flat column:
+   sample [si]'s coordinates land at [buf.(si*d + k)]. Draw order and
+   float expressions are exactly [sample_on]'s, applied for ascending
+   [si] — a caller that previously looped [sample_on] sees the same rng
+   stream and the same coordinate bit patterns, minus the per-sample
+   point allocation (the point of the exercise: the sample-space cell
+   builder fills its position column directly). *)
+let fill_on rng ~center ~radius (buf : floatarray) =
+  assert (radius >= 0.);
+  let d = Point.dim center in
+  let m = Float.Array.length buf / d in
+  assert (Float.Array.length buf = m * d);
+  match d with
+  | 1 ->
+      let c0 = center.(0) in
+      for si = 0 to m - 1 do
+        let s = if Rng.bool rng then radius else -.radius in
+        Float.Array.unsafe_set buf si (c0 +. s)
+      done
+  | 2 ->
+      let c0 = center.(0) and c1 = center.(1) in
+      for si = 0 to m - 1 do
+        let theta = Rng.float rng (2. *. Float.pi) in
+        Float.Array.unsafe_set buf (2 * si) (c0 +. (radius *. cos theta));
+        Float.Array.unsafe_set buf ((2 * si) + 1) (c1 +. (radius *. sin theta))
+      done
+  | d ->
+      for si = 0 to m - 1 do
+        let u = direction rng d in
+        for k = 0 to d - 1 do
+          Float.Array.unsafe_set buf ((si * d) + k)
+            (center.(k) +. (radius *. u.(k)))
+        done
+      done
+
 let sample_in rng ~center ~radius =
   let d = Point.dim center in
   let u = direction rng d in

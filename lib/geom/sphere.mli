@@ -8,6 +8,14 @@ val sample_on : Rng.t -> center:Point.t -> radius:float -> Point.t
 val sample_on_many : Rng.t -> center:Point.t -> radius:float -> int -> Point.t array
 (** [sample_on_many rng ~center ~radius t] draws [t] independent samples. *)
 
+val fill_on : Rng.t -> center:Point.t -> radius:float -> floatarray -> unit
+(** [fill_on rng ~center ~radius buf] fills [buf] with
+    [Float.Array.length buf / dim] samples row-major (sample, axis),
+    drawing and computing exactly as an ascending loop of {!sample_on}
+    would — same rng stream, bit-identical coordinates — without
+    allocating a point per sample. The buffer length must be a multiple
+    of the dimension. *)
+
 val sample_in : Rng.t -> center:Point.t -> radius:float -> Point.t
 (** A point distributed uniformly in the closed ball (direction by Muller,
     radius by the [u^{1/d}] inverse-CDF trick). *)

@@ -2,12 +2,12 @@ module Circle = Maxrs_geom.Circle
 module Angle = Maxrs_geom.Angle
 module Kern = Maxrs_geom.Kern
 module Pstore = Maxrs_geom.Pstore
+module Fvec = Maxrs_geom.Fvec
 module Obs = Maxrs_obs.Obs
 module Parallel = Maxrs_parallel.Parallel
 module Guard = Maxrs_resilience.Guard
 module Budget = Maxrs_resilience.Budget
 module Outcome = Maxrs_resilience.Outcome
-module FA = Float.Array
 
 (* Same event geometry as [Disk2d]; the counters are shared so that
    "sweep.events" means arc endpoints regardless of the payload. *)
@@ -32,7 +32,8 @@ let colored_depth_at_cols ~radius xs ys colors n qx qy =
   let seen = Hashtbl.create 16 in
   for i = 0 to n - 1 do
     let d2 =
-      ((FA.unsafe_get xs i -. qx) ** 2.) +. ((FA.unsafe_get ys i -. qy) ** 2.)
+      ((Fvec.unsafe_get xs i -. qx) ** 2.)
+      +. ((Fvec.unsafe_get ys i -. qy) ** 2.)
     in
     if d2 <= r2 then Hashtbl.replace seen (Array.unsafe_get colors i) ()
   done;
@@ -81,13 +82,13 @@ let scratch_key =
         add_c = Kern.Ibuf.create 256;
         rem_a = Kern.Fbuf.create 256;
         rem_c = Kern.Ibuf.create 256;
-        cov = FA.create 2;
+        cov = Float.Array.create 2;
         counter = Color_counter.create ();
       })
 
 let sweep_circle_cols ~radius xs ys colors n i =
   let sc = Domain.DLS.get scratch_key in
-  let xi = FA.get xs i and yi = FA.get ys i in
+  let xi = Fvec.get xs i and yi = Fvec.get ys i in
   let c = Circle.make ~cx:xi ~cy:yi ~r:radius in
   let counter = sc.counter in
   Color_counter.reset counter;
@@ -99,13 +100,14 @@ let sweep_circle_cols ~radius xs ys colors n i =
   for j = 0 to n - 1 do
     if j <> i then begin
       let code =
-        Circle.coverage_into c ~cx:(FA.unsafe_get xs j)
-          ~cy:(FA.unsafe_get ys j) ~r:radius sc.cov
+        Circle.coverage_into c ~cx:(Fvec.unsafe_get xs j)
+          ~cy:(Fvec.unsafe_get ys j) ~r:radius sc.cov
       in
       if code = Circle.cov_covered then
         Color_counter.add counter (Array.unsafe_get colors j)
       else if code = Circle.cov_arc then begin
-        let start = FA.get sc.cov 0 and len = FA.get sc.cov 1 in
+        let start = Float.Array.get sc.cov 0
+        and len = Float.Array.get sc.cov 1 in
         let col = Array.unsafe_get colors j in
         Kern.Fbuf.push sc.add_a start;
         Kern.Ibuf.push sc.add_c col;
@@ -132,12 +134,13 @@ let sweep_circle_cols ~radius xs ys colors n i =
      the order within the group, so the sort's tie order is free. *)
   while !ai < na || !ri < nr do
     if
-      !ai < na && (!ri >= nr || FA.unsafe_get aa !ai <= FA.unsafe_get ra !ri)
+      !ai < na
+      && (!ri >= nr || Fvec.unsafe_get aa !ai <= Fvec.unsafe_get ra !ri)
     then begin
       Color_counter.add counter (Array.unsafe_get ac !ai);
       if counter.Color_counter.distinct > !best then begin
         best := counter.Color_counter.distinct;
-        best_angle := FA.unsafe_get aa !ai
+        best_angle := Fvec.unsafe_get aa !ai
       end;
       incr ai
     end
@@ -176,10 +179,10 @@ let solve_cols ?domains ~budget ~radius xs ys colors n =
     if bi < 0 then
       (* Every sweep was skipped: return a trivially achievable
          candidate, the colored depth at the first center. *)
-      let x = FA.get xs 0 and y = FA.get ys 0 in
+      let x = Fvec.get xs 0 and y = Fvec.get ys 0 in
       { x; y; value = colored_depth_at_cols ~radius xs ys colors n x y }
     else begin
-      let c = Circle.make ~cx:(FA.get xs bi) ~cy:(FA.get ys bi) ~r:radius in
+      let c = Circle.make ~cx:(Fvec.get xs bi) ~cy:(Fvec.get ys bi) ~r:radius in
       let x, y = Circle.point_at c angle in
       (* Re-evaluate at the witness (cf. Output_sensitive): on
          ill-conditioned inputs the angular count can exceed what any

@@ -2,12 +2,12 @@ module Circle = Maxrs_geom.Circle
 module Angle = Maxrs_geom.Angle
 module Kern = Maxrs_geom.Kern
 module Pstore = Maxrs_geom.Pstore
+module Fvec = Maxrs_geom.Fvec
 module Obs = Maxrs_obs.Obs
 module Parallel = Maxrs_parallel.Parallel
 module Guard = Maxrs_resilience.Guard
 module Budget = Maxrs_resilience.Budget
 module Outcome = Maxrs_resilience.Outcome
-module FA = Float.Array
 
 (* Arc endpoints are the primitive operation of the Θ(n²) exact sweep
    (two per intersecting pair, per boundary circle); the counters are
@@ -31,9 +31,10 @@ let depth_at_cols ~radius xs ys ws n qx qy =
   let acc = ref 0. in
   for i = 0 to n - 1 do
     let d2 =
-      ((FA.unsafe_get xs i -. qx) ** 2.) +. ((FA.unsafe_get ys i -. qy) ** 2.)
+      ((Fvec.unsafe_get xs i -. qx) ** 2.)
+      +. ((Fvec.unsafe_get ys i -. qy) ** 2.)
     in
-    if d2 <= r2 then acc := !acc +. FA.unsafe_get ws i
+    if d2 <= r2 then acc := !acc +. Fvec.unsafe_get ws i
   done;
   !acc
 
@@ -60,7 +61,7 @@ let scratch_key =
         add_w = Kern.Fbuf.create 256;
         rem_a = Kern.Fbuf.create 256;
         rem_w = Kern.Fbuf.create 256;
-        cov = FA.create 2;
+        cov = Float.Array.create 2;
       })
 
 (* Sweep the boundary circle of disk [i]. Ties are resolved by
@@ -68,23 +69,24 @@ let scratch_key =
    covered. Returns (best angle, best depth). *)
 let sweep_circle_cols ~radius xs ys ws n i =
   let sc = Domain.DLS.get scratch_key in
-  let xi = FA.get xs i and yi = FA.get ys i in
+  let xi = Fvec.get xs i and yi = Fvec.get ys i in
   let c = Circle.make ~cx:xi ~cy:yi ~r:radius in
-  let base = ref (FA.get ws i) in
+  let base = ref (Fvec.get ws i) in
   Kern.Fbuf.clear sc.add_a;
   Kern.Fbuf.clear sc.add_w;
   Kern.Fbuf.clear sc.rem_a;
   Kern.Fbuf.clear sc.rem_w;
   for j = 0 to n - 1 do
     if j <> i then begin
-      let wj = FA.unsafe_get ws j in
+      let wj = Fvec.unsafe_get ws j in
       let code =
-        Circle.coverage_into c ~cx:(FA.unsafe_get xs j)
-          ~cy:(FA.unsafe_get ys j) ~r:radius sc.cov
+        Circle.coverage_into c ~cx:(Fvec.unsafe_get xs j)
+          ~cy:(Fvec.unsafe_get ys j) ~r:radius sc.cov
       in
       if code = Circle.cov_covered then base := !base +. wj
       else if code = Circle.cov_arc then begin
-        let start = FA.get sc.cov 0 and len = FA.get sc.cov 1 in
+        let start = Float.Array.get sc.cov 0
+        and len = Float.Array.get sc.cov 1 in
         Kern.Fbuf.push sc.add_a start;
         Kern.Fbuf.push sc.add_w wj;
         Kern.Fbuf.push sc.rem_a (Angle.norm (start +. len));
@@ -109,11 +111,12 @@ let sweep_circle_cols ~radius xs ys ws n i =
   let ai = ref 0 and ri = ref 0 in
   while !ai < na || !ri < nr do
     let take_add =
-      !ai < na && (!ri >= nr || FA.unsafe_get aa !ai <= FA.unsafe_get ra !ri)
+      !ai < na
+      && (!ri >= nr || Fvec.unsafe_get aa !ai <= Fvec.unsafe_get ra !ri)
     in
     let a, w =
-      if take_add then (FA.unsafe_get aa !ai, FA.unsafe_get aw !ai)
-      else (FA.unsafe_get ra !ri, FA.unsafe_get rw !ri)
+      if take_add then (Fvec.unsafe_get aa !ai, Fvec.unsafe_get aw !ai)
+      else (Fvec.unsafe_get ra !ri, Fvec.unsafe_get rw !ri)
     in
     if take_add then incr ai else incr ri;
     active := !active +. w;
@@ -153,10 +156,10 @@ let solve_cols ?domains ~budget ~radius xs ys ws n =
     if bi < 0 then
       (* Every sweep was skipped: return a trivially achievable
          candidate, the depth at the first input point. *)
-      let x = FA.get xs 0 and y = FA.get ys 0 in
+      let x = Fvec.get xs 0 and y = Fvec.get ys 0 in
       { x; y; value = depth_at_cols ~radius xs ys ws n x y }
     else begin
-      let c = Circle.make ~cx:(FA.get xs bi) ~cy:(FA.get ys bi) ~r:radius in
+      let c = Circle.make ~cx:(Fvec.get xs bi) ~cy:(Fvec.get ys bi) ~r:radius in
       let x, y = Circle.point_at c angle in
       (* Re-evaluate at the witness (cf. Output_sensitive): on
          ill-conditioned inputs the angular count can exceed what any

@@ -1,7 +1,8 @@
 module Obs = Maxrs_obs.Obs
 module Parallel = Maxrs_parallel.Parallel
 module Guard = Maxrs_resilience.Guard
-module FA = Float.Array
+module Kern = Maxrs_geom.Kern
+module Fvec = Maxrs_geom.Fvec
 
 (* Each query merges two implicit streams of n endpoints each; the 2n
    events are recorded in one [add] per query (not per event) to keep
@@ -19,10 +20,21 @@ type placement = { lo : float; value : float }
 
 type batched = { points_sorted : (float * float) array; prefix : float array }
 
+(* Sort by (coordinate, input index) on unboxed columns — the stable
+   order, radix-sorted above [Kern.radix_threshold] — then permute the
+   pairs once. Replaces the comparator-closure [Array.sort] over boxed
+   pairs; the query sweep only ever folds whole groups of equal
+   coordinates, so the stable tie order is as good as the old
+   unspecified one. *)
 let preprocess pts =
-  let sorted = Array.copy pts in
-  Array.sort (fun (a, _) (b, _) -> Float.compare a b) sorted;
-  let n = Array.length sorted in
+  let n = Array.length pts in
+  let xs = Fvec.create n in
+  let idx = Array.init n Fun.id in
+  for i = 0 to n - 1 do
+    Fvec.unsafe_set xs i (fst (Array.unsafe_get pts i))
+  done;
+  Kern.sort_fi xs idx n;
+  let sorted = Array.init n (fun i -> pts.(idx.(i))) in
   let prefix = Array.make (n + 1) 0. in
   for i = 0 to n - 1 do
     prefix.(i + 1) <- prefix.(i) +. snd sorted.(i)
@@ -52,14 +64,14 @@ let query_cols xs ws n ~len =
        the midpoint (or c + 1 past the last event). *)
     let si = ref 0 and ei = ref 0 in
     let active = ref 0. in
-    let best = ref 0. and best_lo = ref (FA.get xs 0 -. len -. 1.) in
+    let best = ref 0. and best_lo = ref (Fvec.get xs 0 -. len -. 1.) in
     while !si < n || !ei < n do
-      let s = if !si < n then FA.unsafe_get xs !si -. len else infinity in
-      let e = if !ei < n then FA.unsafe_get xs !ei else infinity in
+      let s = if !si < n then Fvec.unsafe_get xs !si -. len else infinity in
+      let e = if !ei < n then Fvec.unsafe_get xs !ei else infinity in
       let c = Float.min s e in
       (* all starts at coordinate c *)
-      while !si < n && FA.unsafe_get xs !si -. len <= c do
-        active := !active +. FA.unsafe_get ws !si;
+      while !si < n && Fvec.unsafe_get xs !si -. len <= c do
+        active := !active +. Fvec.unsafe_get ws !si;
         incr si
       done;
       if !active > !best then begin
@@ -67,9 +79,9 @@ let query_cols xs ws n ~len =
         best_lo := c
       end;
       (* all ends at coordinate c *)
-      let had_end = !ei < n && FA.unsafe_get xs !ei <= c in
-      while !ei < n && FA.unsafe_get xs !ei <= c do
-        active := !active -. FA.unsafe_get ws !ei;
+      let had_end = !ei < n && Fvec.unsafe_get xs !ei <= c in
+      while !ei < n && Fvec.unsafe_get xs !ei <= c do
+        active := !active -. Fvec.unsafe_get ws !ei;
         incr ei
       done;
       if had_end && !active > !best then begin
@@ -77,8 +89,10 @@ let query_cols xs ws n ~len =
         best_lo :=
           (if !si >= n && !ei >= n then c +. 1.
            else
-             let s = if !si < n then FA.unsafe_get xs !si -. len else infinity in
-             let e = if !ei < n then FA.unsafe_get xs !ei else infinity in
+             let s =
+               if !si < n then Fvec.unsafe_get xs !si -. len else infinity
+             in
+             let e = if !ei < n then Fvec.unsafe_get xs !ei else infinity in
              (c +. Float.min s e) /. 2.)
       end
     done;
@@ -90,11 +104,11 @@ let query_cols xs ws n ~len =
    m queries (and all domains — the columns are read-only). *)
 let cols_of_sorted pts =
   let n = Array.length pts in
-  let xs = FA.create n and ws = FA.create n in
+  let xs = Fvec.create n and ws = Fvec.create n in
   for i = 0 to n - 1 do
     let x, w = Array.unsafe_get pts i in
-    FA.unsafe_set xs i x;
-    FA.unsafe_set ws i w
+    Fvec.unsafe_set xs i x;
+    Fvec.unsafe_set ws i w
   done;
   (xs, ws, n)
 

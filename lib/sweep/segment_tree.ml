@@ -1,90 +1,125 @@
 module Obs = Maxrs_obs.Obs
+module Fvec = Maxrs_geom.Fvec
 
-(* Nodes touched per [range_add] is the O(log n) primitive of the
+(* Nodes written per [range_add] is the O(log n) primitive of the
    sweep-over-segment-tree solvers; accumulated locally and flushed in
-   one [add] per update to keep the recursion lean. *)
+   one [add] per update to keep the loop lean. *)
 let c_updates = Obs.counter "segment_tree.updates"
 let c_nodes = Obs.counter "segment_tree.nodes"
 
+(* Implicit-array tree in Eytzinger (1-indexed breadth-first) layout:
+   node [k]'s children are [2k] and [2k+1], leaves occupy
+   [base .. 2*base-1]. The float columns are flat {!Fvec.t} Bigarrays —
+   unboxed, GC-invisible — with max and pending-add in separate columns
+   so the apply loop streams two independent cache lines.
+
+   Because addition commutes with max ([max (x+v) (y+v) = max x y + v]),
+   range adds need no lazy push-down: an update applies [v] to the
+   O(log n) canonical cover bottom-up, then recomputes the strictly
+   partial ancestors children-first. Both loops are short iterative
+   walks over node indices — no recursion, no interval arithmetic. *)
 type t = {
   n : int;  (** number of leaves requested *)
   base : int;  (** power-of-two leaf count *)
-  maxv : float array;  (** max over segment, lazies at/below included *)
+  log : int;  (** log2 [base] *)
+  maxv : Fvec.t;  (** max over segment, lazies at/below included *)
   maxi : int array;  (** leaf attaining maxv *)
-  lzy : float array;  (** pending addition applying to the whole segment *)
+  lzy : Fvec.t;  (** pending addition applying to the whole segment *)
 }
+
+(* Recompute node [k] from its children. Ties keep the left child
+   ([>=]), so [argmax] always reports the leftmost maximal leaf of any
+   tied subtree — the invariant the bit-identity harness checks. *)
+let[@inline] pull t k =
+  let lc = 2 * k in
+  let vl = Fvec.unsafe_get t.maxv lc in
+  let vr = Fvec.unsafe_get t.maxv (lc + 1) in
+  let right = Bool.to_int (vl < vr) in
+  Fvec.unsafe_set t.maxv k
+    ((if right = 0 then vl else vr) +. Fvec.unsafe_get t.lzy k);
+  Array.unsafe_set t.maxi k (Array.unsafe_get t.maxi (lc + right))
 
 let create n =
   assert (n > 0);
-  let base = ref 1 in
+  let base = ref 1 and log = ref 0 in
   while !base < n do
-    base := !base * 2
+    base := !base * 2;
+    incr log
   done;
   let base = !base in
-  let maxv = Array.make (2 * base) 0. in
+  let maxv = Fvec.make (2 * base) 0. in
   let maxi = Array.make (2 * base) 0 in
-  let lzy = Array.make (2 * base) 0. in
+  let lzy = Fvec.make (2 * base) 0. in
   for i = 0 to base - 1 do
     maxi.(base + i) <- i;
     (* Padding leaves must never win the max, even against negatives. *)
-    if i >= n then maxv.(base + i) <- Float.neg_infinity
+    if i >= n then Fvec.set maxv (base + i) Float.neg_infinity
   done;
+  let t = { n; base; log = !log; maxv; maxi; lzy } in
   for node = base - 1 downto 1 do
-    if maxv.(2 * node) >= maxv.((2 * node) + 1) then begin
-      maxv.(node) <- maxv.(2 * node);
-      maxi.(node) <- maxi.(2 * node)
-    end
-    else begin
-      maxv.(node) <- maxv.((2 * node) + 1);
-      maxi.(node) <- maxi.((2 * node) + 1)
-    end
+    pull t node
   done;
-  { n; base; maxv; maxi; lzy }
+  t
 
 let size t = t.n
+
+let[@inline] apply t k v =
+  Fvec.unsafe_set t.maxv k (Fvec.unsafe_get t.maxv k +. v);
+  Fvec.unsafe_set t.lzy k (Fvec.unsafe_get t.lzy k +. v)
 
 let range_add t l r v =
   let l = Int.max 0 l and r = Int.min t.n r in
   if l < r then begin
     let touched = ref 0 in
-    let rec go node node_lo node_hi =
-      touched := !touched + 1;
-      if r <= node_lo || node_hi <= l then ()
-      else if l <= node_lo && node_hi <= r then begin
-        t.maxv.(node) <- t.maxv.(node) +. v;
-        t.lzy.(node) <- t.lzy.(node) +. v
+    let l = l + t.base and r = r + t.base in
+    (* Apply to the canonical cover: climb both boundaries, absorbing a
+       node whenever it is a right child of the left boundary or a left
+       child of the right one. *)
+    let ll = ref l and rr = ref r in
+    while !ll < !rr do
+      if !ll land 1 = 1 then begin
+        apply t !ll v;
+        incr ll;
+        incr touched
+      end;
+      if !rr land 1 = 1 then begin
+        decr rr;
+        apply t !rr v;
+        incr touched
+      end;
+      ll := !ll lsr 1;
+      rr := !rr lsr 1
+    done;
+    (* Recompute the partially covered ancestors, children first. A
+       node [b lsr i] is partial exactly when boundary [b] is not
+       aligned to its subtree; when both boundary chains have merged the
+       second pull recomputes the same node from unchanged children —
+       harmless and branch-free to allow. *)
+    for i = 1 to t.log do
+      if (l lsr i) lsl i <> l then begin
+        pull t (l lsr i);
+        incr touched
+      end;
+      if (r lsr i) lsl i <> r then begin
+        pull t ((r - 1) lsr i);
+        incr touched
       end
-      else begin
-        let mid = (node_lo + node_hi) / 2 in
-        go (2 * node) node_lo mid;
-        go ((2 * node) + 1) mid node_hi;
-        let lc = 2 * node and rc = (2 * node) + 1 in
-        if t.maxv.(lc) >= t.maxv.(rc) then begin
-          t.maxv.(node) <- t.maxv.(lc) +. t.lzy.(node);
-          t.maxi.(node) <- t.maxi.(lc)
-        end
-        else begin
-          t.maxv.(node) <- t.maxv.(rc) +. t.lzy.(node);
-          t.maxi.(node) <- t.maxi.(rc)
-        end
-      end
-    in
-    go 1 0 t.base;
+    done;
     Obs.incr c_updates;
     Obs.add c_nodes !touched
   end
 
-let max_all t = t.maxv.(1)
+let max_all t = Fvec.get t.maxv 1
 let argmax t = t.maxi.(1)
 
+(* One leaf's value: its stored slot plus every pending addition on the
+   root-to-leaf path, accumulated top-down — the same left-to-right
+   addition order as a recursive descent. *)
 let value_at t i =
   assert (0 <= i && i < t.n);
-  let rec go node node_lo node_hi acc =
-    if node_hi - node_lo = 1 then acc +. t.maxv.(node)
-    else
-      let mid = (node_lo + node_hi) / 2 in
-      let acc = acc +. t.lzy.(node) in
-      if i < mid then go (2 * node) node_lo mid acc
-      else go ((2 * node) + 1) mid node_hi acc
-  in
-  go 1 0 t.base 0.
+  let leaf = t.base + i in
+  let acc = ref 0. in
+  for s = t.log downto 1 do
+    acc := !acc +. Fvec.unsafe_get t.lzy (leaf lsr s)
+  done;
+  !acc +. Fvec.unsafe_get t.maxv leaf

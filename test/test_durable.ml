@@ -149,6 +149,32 @@ let qcheck_int_roundtrip =
       Codec.int_ b i;
       Codec.r_int (Codec.reader (Buffer.contents b)) = i)
 
+(* The bulk Fvec encoder must round trip bit-exactly AND emit the very
+   bytes of the per-element [float_array] encoder — the two formats are
+   documented as interchangeable on the wire. *)
+let qcheck_fvec_roundtrip =
+  QCheck.Test.make ~count:300
+    ~name:"codec: fvec round trip is bit-exact and matches float_array"
+    QCheck.(array_of_size Gen.(int_range 0 64) float)
+    (fun fa ->
+      let n = Array.length fa in
+      let v = Maxrs_geom.Fvec.init n (fun i -> fa.(i)) in
+      let b = Buffer.create 64 in
+      Codec.fvec b v;
+      let bytes = Buffer.contents b in
+      let b' = Buffer.create 64 in
+      Codec.float_array b' fa;
+      let v' = Codec.r_fvec (Codec.reader bytes) "fvec" in
+      let fa' = Codec.r_float_array (Codec.reader bytes) "fvec as array" in
+      String.equal bytes (Buffer.contents b')
+      && Maxrs_geom.Fvec.length v' = n
+      && Array.length fa' = n
+      && Array.for_all Fun.id
+           (Array.init n (fun i ->
+                Int64.bits_of_float fa.(i)
+                = Int64.bits_of_float (Maxrs_geom.Fvec.get v' i)
+                && Int64.bits_of_float fa.(i) = Int64.bits_of_float fa'.(i))))
+
 let record_gen =
   QCheck.Gen.(
     oneof
@@ -518,6 +544,7 @@ let qcheck_cases =
     [
       qcheck_f64_roundtrip;
       qcheck_int_roundtrip;
+      qcheck_fvec_roundtrip;
       qcheck_wal_roundtrip;
       qcheck_state_roundtrip;
     ]

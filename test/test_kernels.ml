@@ -18,7 +18,7 @@ module Static = Maxrs.Static
 module Colored = Maxrs.Colored
 module Output_sensitive = Maxrs.Output_sensitive
 module Outcome = Maxrs_resilience.Outcome
-module FA = Float.Array
+module Fvec = Maxrs_geom.Fvec
 
 let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
 
@@ -26,8 +26,8 @@ let point_eq p q =
   Array.length p = Array.length q && Array.for_all2 feq p q
 
 let fa_of_list l =
-  let a = FA.create (List.length l) in
-  List.iteri (FA.set a) l;
+  let a = Fvec.create (List.length l) in
+  List.iteri (Fvec.set a) l;
   a
 
 let is_permutation idx n =
@@ -59,7 +59,8 @@ let test_fbuf_growth () =
      done;
      !ok);
   Alcotest.(check bool) "data prefix" true
-    (FA.length (Kern.Fbuf.data b) >= 100 && FA.get (Kern.Fbuf.data b) 42 = 42.);
+    (Fvec.length (Kern.Fbuf.data b) >= 100
+    && Fvec.get (Kern.Fbuf.data b) 42 = 42.);
   Kern.Fbuf.clear b;
   Alcotest.(check int) "cleared" 0 (Kern.Fbuf.length b);
   Kern.Fbuf.push b 7.;
@@ -90,7 +91,7 @@ let prop_sort_idx =
       let expected = List.sort Float.compare l in
       is_permutation idx n
       && List.for_all2
-           (fun e i -> FA.get key i = e)
+           (fun e i -> Fvec.get key i = e)
            expected (Array.to_list idx))
 
 let prop_sort_idx_range =
@@ -111,7 +112,8 @@ let prop_sort_idx_range =
         idx;
       let sorted_ok = ref true in
       for i = lo to hi - 1 do
-        if FA.get key idx.(i) > FA.get key idx.(i + 1) then sorted_ok := false
+        if Fvec.get key idx.(i) > Fvec.get key idx.(i + 1) then
+          sorted_ok := false
       done;
       !outside_ok && !sorted_ok && is_permutation idx n)
 
@@ -125,14 +127,14 @@ let prop_select_idx =
       let key = fa_of_list l in
       let idx = Array.init n Fun.id in
       Kern.select_idx key idx ~lo:0 ~hi:(n - 1) ~k;
-      let pivot = FA.get key idx.(k) in
+      let pivot = Fvec.get key idx.(k) in
       let expected = List.nth (List.sort Float.compare l) k in
       let ok = ref (pivot = expected && is_permutation idx n) in
       for i = 0 to k - 1 do
-        if FA.get key idx.(i) > pivot then ok := false
+        if Fvec.get key idx.(i) > pivot then ok := false
       done;
       for i = k + 1 to n - 1 do
-        if FA.get key idx.(i) < pivot then ok := false
+        if Fvec.get key idx.(i) < pivot then ok := false
       done;
       !ok)
 
@@ -154,7 +156,7 @@ let prop_sort_ff =
       in
       List.for_all2
         (fun (k, p) i ->
-          FA.get key i = float_of_int k && FA.get pay i = float_of_int p)
+          Fvec.get key i = float_of_int k && Fvec.get pay i = float_of_int p)
         expected
         (List.init n Fun.id))
 
@@ -174,9 +176,119 @@ let prop_sort_fi =
           l
       in
       List.for_all2
-        (fun (k, p) i -> FA.get key i = float_of_int k && pay.(i) = p)
+        (fun (k, p) i -> Fvec.get key i = float_of_int k && pay.(i) = p)
         expected
         (List.init n Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Radix path vs introsort: the two strategies behind sort_ff/sort_fi
+   must produce the same arrays on every input, including adversarial
+   float shapes (negatives, both zeros, subnormals, huge magnitudes,
+   infinities). The position-wise comparison uses float equality, under
+   which -0.0 = +0.0 — the comparator cannot distinguish a tied zero
+   pair, so the strategies may legitimately place the two bit patterns
+   either way round; the bit-level multiset check then pins that the
+   output is exactly a permutation of the input, sign bits included. *)
+
+let adversarial_float_gen =
+  QCheck.Gen.(
+    let special =
+      oneofl
+        [
+          0.0;
+          -0.0;
+          Float.min_float;
+          -.Float.min_float;
+          4.9e-324 (* least subnormal *);
+          -4.9e-324;
+          1e308;
+          -1e308;
+          infinity;
+          neg_infinity;
+          1.5;
+          -1.5;
+        ]
+    in
+    let uniform = map (fun x -> if Float.is_nan x then 0. else x) float in
+    let smallint = map float_of_int (int_range (-6) 6) in
+    (* Small ints dominate so key ties are common. *)
+    frequency [ (2, special); (2, uniform); (3, smallint) ])
+
+(* Sizes range across [Kern.radix_threshold] so the dispatchers are
+   exercised on both strategies. *)
+let adversarial_arrays pay_gen =
+  QCheck.make
+    QCheck.Gen.(
+      array_size
+        (oneof [ int_range 0 40; int_range 500 1400 ])
+        (pair adversarial_float_gen pay_gen))
+
+let sorted_bits key n pay_bits =
+  List.sort compare
+    (List.init n (fun i -> (Int64.bits_of_float (Fvec.get key i), pay_bits i)))
+
+let prop_radix_ff =
+  QCheck.Test.make ~count:120
+    ~name:"radix_ff = intro_ff = sort_ff on adversarial floats"
+    (adversarial_arrays adversarial_float_gen)
+    (fun arr ->
+      let n = Array.length arr in
+      let mk f = Fvec.init n (fun i -> f arr.(i)) in
+      let k1 = mk fst and p1 = mk snd in
+      let k2 = mk fst and p2 = mk snd in
+      let k3 = mk fst and p3 = mk snd in
+      Kern.intro_ff k1 p1 n;
+      Kern.radix_ff k2 p2 n;
+      Kern.sort_ff k3 p3 n;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if
+          not
+            (Fvec.get k1 i = Fvec.get k2 i
+            && Fvec.get p1 i = Fvec.get p2 i
+            && Fvec.get k1 i = Fvec.get k3 i
+            && Fvec.get p1 i = Fvec.get p3 i)
+        then ok := false
+      done;
+      !ok
+      && sorted_bits k2 n (fun i -> Int64.bits_of_float (Fvec.get p2 i))
+         = List.sort compare
+             (List.init n (fun i ->
+                  ( Int64.bits_of_float (fst arr.(i)),
+                    Int64.bits_of_float (snd arr.(i)) ))))
+
+let prop_radix_fi =
+  QCheck.Test.make ~count:120
+    ~name:"radix_fi = intro_fi = sort_fi on adversarial floats"
+    (adversarial_arrays QCheck.Gen.(int_range (-9) 9))
+    (fun arr ->
+      let n = Array.length arr in
+      let mk_k () = Fvec.init n (fun i -> fst arr.(i)) in
+      let mk_p () = Array.init n (fun i -> snd arr.(i)) in
+      let k1 = mk_k () and p1 = mk_p () in
+      let k2 = mk_k () and p2 = mk_p () in
+      let k3 = mk_k () and p3 = mk_p () in
+      Kern.intro_fi k1 p1 n;
+      Kern.radix_fi k2 p2 n;
+      Kern.sort_fi k3 p3 n;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        (* Key-equal groups order payloads ascending, so the integer
+           payload sequence is fully determined: exact int equality. *)
+        if
+          not
+            (Fvec.get k1 i = Fvec.get k2 i
+            && p1.(i) = p2.(i)
+            && Fvec.get k1 i = Fvec.get k3 i
+            && p1.(i) = p3.(i))
+        then ok := false
+      done;
+      !ok
+      && sorted_bits k2 n (fun i -> Int64.of_int p2.(i))
+         = List.sort compare
+             (List.init n (fun i ->
+                  ( Int64.bits_of_float (fst arr.(i)),
+                    Int64.of_int (snd arr.(i)) ))))
 
 (* ------------------------------------------------------------------ *)
 (* Kd-tree on duplicate-heavy coordinates: the index-permutation build
@@ -404,6 +516,8 @@ let () =
           prop_select_idx;
           prop_sort_ff;
           prop_sort_fi;
+          prop_radix_ff;
+          prop_radix_fi;
         ];
       ( "kdtree-duplicates",
         [

@@ -74,6 +74,144 @@ let prop_segtree_vs_naive =
       ok_max && ok_arg && ok_vals)
 
 (* ------------------------------------------------------------------ *)
+(* Eytzinger tree vs the pointer-node reference. The reference below is
+   the classic recursive lazy tree with explicit child pointers, using
+   exactly the float operations of the original recursive
+   implementation — one [+. v] on each covered node, winner child
+   [+. lzy] on each partial node (ties to the left), top-down lazy
+   accumulation for leaf reads. The production tree must match it bit
+   for bit on random update/query interleavings, including stacked lazy
+   adds and full-range updates. *)
+
+module Ref_tree = struct
+  type node =
+    | Leaf of { leaf : int; mutable maxv : float }
+    | Node of {
+        lo : int;
+        hi : int;
+        left : node;
+        right : node;
+        mutable maxv : float;
+        mutable maxi : int;
+        mutable lzy : float;
+      }
+
+  type t = { n : int; root : node }
+
+  let maxv = function Leaf l -> l.maxv | Node nd -> nd.maxv
+  let maxi = function Leaf l -> l.leaf | Node nd -> nd.maxi
+
+  let create n =
+    let base = ref 1 in
+    while !base < n do
+      base := !base * 2
+    done;
+    let rec build lo hi =
+      if hi - lo = 1 then
+        Leaf { leaf = lo; maxv = (if lo >= n then Float.neg_infinity else 0.) }
+      else begin
+        let mid = (lo + hi) / 2 in
+        let left = build lo mid and right = build mid hi in
+        let m, i =
+          if maxv left >= maxv right then (maxv left, maxi left)
+          else (maxv right, maxi right)
+        in
+        Node { lo; hi; left; right; maxv = m; maxi = i; lzy = 0. }
+      end
+    in
+    { n; root = build 0 !base }
+
+  let range_add t l r v =
+    let l = Int.max 0 l and r = Int.min t.n r in
+    if l < r then
+      let rec go node =
+        match node with
+        | Leaf lf ->
+            if l <= lf.leaf && lf.leaf < r then lf.maxv <- lf.maxv +. v
+        | Node nd ->
+            if r <= nd.lo || nd.hi <= l then ()
+            else if l <= nd.lo && nd.hi <= r then begin
+              nd.maxv <- nd.maxv +. v;
+              nd.lzy <- nd.lzy +. v
+            end
+            else begin
+              go nd.left;
+              go nd.right;
+              if maxv nd.left >= maxv nd.right then begin
+                nd.maxv <- maxv nd.left +. nd.lzy;
+                nd.maxi <- maxi nd.left
+              end
+              else begin
+                nd.maxv <- maxv nd.right +. nd.lzy;
+                nd.maxi <- maxi nd.right
+              end
+            end
+      in
+      go t.root
+
+  let max_all t = maxv t.root
+  let argmax t = maxi t.root
+
+  let value_at t i =
+    let rec go node acc =
+      match node with
+      | Leaf lf -> acc +. lf.maxv
+      | Node nd ->
+          let acc = acc +. nd.lzy in
+          if i < (nd.lo + nd.hi) / 2 then go nd.left acc else go nd.right acc
+    in
+    go t.root 0.
+end
+
+(* One random interleaving: sizes that are not powers of two (padding
+   leaves), adds that stack lazies on the same ranges, full-range adds
+   (covering the root), and a value read + global max check after every
+   operation. All comparisons are on IEEE bit patterns. *)
+let segtree_matches_reference (n, ops) =
+  let t = Segment_tree.create n in
+  let r = Ref_tree.create n in
+  List.for_all
+    (fun (l0, r0, v, probe) ->
+      let l = min l0 r0 and rr = max l0 r0 in
+      Segment_tree.range_add t l rr v;
+      Ref_tree.range_add r l rr v;
+      let i = probe mod n in
+      Int64.bits_of_float (Segment_tree.max_all t)
+      = Int64.bits_of_float (Ref_tree.max_all r)
+      && Segment_tree.argmax t = Ref_tree.argmax r
+      && Int64.bits_of_float (Segment_tree.value_at t i)
+         = Int64.bits_of_float (Ref_tree.value_at r i))
+    ops
+
+let segtree_ops_arb =
+  QCheck.(
+    pair (int_range 1 67)
+      (small_list
+         (quad (int_range 0 70) (int_range 0 70)
+            (* Irrational-ish magnitudes so any reassociation of the
+               lazy sums would change the bits. *)
+            (float_range (-5.) 5.)
+            small_nat)))
+
+let prop_segtree_vs_reference =
+  QCheck.Test.make ~count:400
+    ~name:"Eytzinger tree = pointer tree, bit for bit" segtree_ops_arb
+    segtree_matches_reference
+
+(* The tree has no shared mutable state across instances: four domains
+   each driving their own interleavings must all observe bit-identical
+   behaviour (the Obs counters the trees bump are atomic). *)
+let prop_segtree_vs_reference_4dom =
+  QCheck.Test.make ~count:60
+    ~name:"Eytzinger tree = pointer tree across 4 domains" segtree_ops_arb
+    (fun case ->
+      let doms =
+        Array.init 4 (fun _ ->
+            Domain.spawn (fun () -> segtree_matches_reference case))
+      in
+      Array.for_all Fun.id (Array.map Domain.join doms))
+
+(* ------------------------------------------------------------------ *)
 (* Interval1d *)
 
 let test_interval1d_simple () =
@@ -413,11 +551,30 @@ let test_differential_colored_seed_sweep () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* The sort kernels assume non-NaN keys — the radix float-bit mapping is
+   only monotone over non-NaN values — so the Guard layer must reject
+   NaN anywhere in the input before any kernel runs. *)
+
+let test_nan_rejected_upstream () =
+  let reject what = function
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s must be rejected" what
+  in
+  reject "NaN coordinate"
+    (Interval1d.max_sum_checked ~len:1. [| (Float.nan, 1.); (0., 1.) |]);
+  reject "NaN weight"
+    (Interval1d.max_sum_checked ~len:1. [| (0., Float.nan); (1., 1.) |]);
+  reject "NaN interval length"
+    (Interval1d.max_sum_checked ~len:Float.nan [| (0., 1.) |]);
+  reject "NaN batched length"
+    (Interval1d.batched_checked ~lens:[| Float.nan |] [| (0., 1.) |])
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_segtree_vs_naive;
+      prop_segtree_vs_reference;
+      prop_segtree_vs_reference_4dom;
       prop_interval1d_vs_brute;
       prop_interval1d_batched_consistent;
       prop_rect2d_vs_brute;
@@ -452,6 +609,8 @@ let () =
             test_interval1d_zero_length;
           Alcotest.test_case "reported placement consistent" `Quick
             test_interval1d_placement_consistent;
+          Alcotest.test_case "NaN rejected before the kernels" `Quick
+            test_nan_rejected_upstream;
         ] );
       ( "rect2d",
         [
