@@ -43,6 +43,9 @@ module Batched2d = Maxrs_sweep.Batched2d
 module Obs = Maxrs_obs.Obs
 module Session = Maxrs_durable.Session
 module Wal = Maxrs_durable.Wal
+module Netio = Maxrs_server.Netio
+module Sproto = Maxrs_server.Proto
+module Sclient = Maxrs_server.Client
 
 (* ------------------------------------------------------------------ *)
 (* Failure model: distinct exit codes with one-line diagnostics *)
@@ -485,8 +488,73 @@ let approx_colored_cmd =
 (* ------------------------------------------------------------------ *)
 (* solve: unified resilient front door *)
 
+(* Same front door, served remotely: the input is parsed locally (parse
+   failures keep exit code 2 without a network round-trip), the solve
+   runs on a maxrs_serverd daemon, and output and exit codes match the
+   local path byte for byte — answers travel as IEEE-754 bit patterns,
+   so the printed floats are the solver's exact bits. *)
+
+let source_of_proto = function
+  | Sproto.Exact -> Resilient.Exact
+  | Sproto.Approx_fallback -> Resilient.Approx_fallback
+  | Sproto.Best_so_far -> Resilient.Best_so_far
+
+let remote_solve addr input radius shifts seed colored_in unweighted deadline
+    strict =
+  guarded (fun () ->
+      let client = Sclient.create addr in
+      let fail_remote e =
+        match e with
+        | Sclient.Server { code = Sproto.Invalid; msg; _ } ->
+            (* The server ran the same Guard checks the local path
+               would have: same message, same exit code. *)
+            Printf.eprintf "maxrs: %s\n" msg;
+            exit_invalid_input
+        | e ->
+            Printf.eprintf "maxrs: remote solve failed: %s\n"
+              (Sclient.error_to_string e);
+            1
+      in
+      if colored_in then begin
+        let pts, colors = Points_io.load_colored input in
+        match
+          Sclient.solve_colored ?deadline ?max_shifts:shifts ~seed client
+            ~radius pts ~colors
+        with
+        | Error e -> fail_remote e
+        | Ok outcome ->
+            let a = Outcome.value outcome in
+            Printf.printf
+              "center: (%g, %g)\ndistinct colors: %d (verified: %b)\n"
+              a.Sproto.x a.Sproto.y
+              (Float.to_int a.Sproto.value)
+              a.Sproto.verified;
+            finish_outcome ~strict
+              ~source:(source_of_proto a.Sproto.source)
+              outcome
+      end
+      else begin
+        let pts = load_weighted input ~unweighted in
+        let pts3 = Array.map (fun (p, w) -> (p.(0), p.(1), w)) pts in
+        match Sclient.solve_weighted ?deadline client ~radius pts3 with
+        | Error e -> fail_remote e
+        | Ok outcome ->
+            let a = Outcome.value outcome in
+            Printf.printf "center: (%g, %g)\nweight: %g\n" a.Sproto.x
+              a.Sproto.y a.Sproto.value;
+            finish_outcome ~strict
+              ~source:(source_of_proto a.Sproto.source)
+              outcome
+      end)
+
 let solve input radius shifts seed colored_in unweighted deadline strict stats
-    =
+    remote =
+  match remote with
+  | Some addr ->
+      with_stats stats @@ fun () ->
+      remote_solve addr input radius shifts seed colored_in unweighted deadline
+        strict
+  | None ->
   with_stats stats @@ fun () ->
   guarded (fun () ->
       if colored_in then begin
@@ -526,6 +594,24 @@ let solve_cmd =
              output-sensitive solver, Theorem 4.6) instead of the weighted \
              one.")
   in
+  let remote =
+    let addr_conv =
+      Arg.conv
+        ( (fun s ->
+            match Netio.addr_of_string s with
+            | Ok a -> Ok a
+            | Error m -> Error (`Msg m)),
+          fun ppf a -> Format.pp_print_string ppf (Netio.addr_to_string a) )
+    in
+    Arg.(
+      value
+      & opt (some addr_conv) None
+      & info [ "remote" ] ~docv:"ADDR"
+          ~doc:
+            "Solve on a running $(b,maxrs_serverd) at $(docv) \
+             ($(b,unix:/path) or $(b,host:port)) instead of in-process. \
+             Output and exit codes match the local path.")
+  in
   Cmd.v
     (Cmd.info "solve" ~exits:resilience_exits
        ~doc:
@@ -534,7 +620,7 @@ let solve_cmd =
           (weighted: Theorem 1.2 fallback; colored: Theorem 1.6 fallback).")
     Term.(
       const solve $ input_arg $ radius_arg $ shifts_arg $ seed_arg $ colored_in
-      $ unweighted_arg $ deadline_arg $ strict_arg $ stats_arg)
+      $ unweighted_arg $ deadline_arg $ strict_arg $ stats_arg $ remote)
 
 (* ------------------------------------------------------------------ *)
 (* batched (1-D) and bsei *)

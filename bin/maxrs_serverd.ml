@@ -1,0 +1,394 @@
+(* maxrs_serverd — the MaxRS network daemon and its load/chaos tooling.
+
+   Subcommands:
+     serve   run the daemon (SIGTERM/SIGINT = graceful drain, exit 0)
+     ping    round-trip check against a running daemon
+     stats   print a daemon's health counters and latency quantiles
+     load    open-loop load generator (JSON report on stdout)
+     proxy   deterministic fault-injecting proxy (chaos harness)
+
+   Try:
+     maxrs_serverd serve --addr unix:/tmp/maxrs.sock --wal /tmp/maxrs.wal &
+     maxrs_serverd ping --addr unix:/tmp/maxrs.sock
+     maxrs_serverd load --addr unix:/tmp/maxrs.sock --rate 200 --duration 5 *)
+
+open Cmdliner
+module Netio = Maxrs_server.Netio
+module Proto = Maxrs_server.Proto
+module Server = Maxrs_server.Server
+module Client = Maxrs_server.Client
+module Loadgen = Maxrs_server.Loadgen
+module Net_faults = Maxrs_server.Net_faults
+module Wal = Maxrs_durable.Wal
+module Session = Maxrs_durable.Session
+
+let exit_bad_addr = 2
+let exit_server_error = 3
+
+let addr_arg =
+  let parse s =
+    match Netio.addr_of_string s with
+    | Ok a -> Ok a
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf (Netio.addr_to_string a))
+
+let addr_t =
+  Arg.(
+    required
+    & opt (some addr_arg) None
+    & info [ "addr" ] ~docv:"ADDR"
+        ~doc:
+          "Listen/connect address: $(b,unix:/path/to.sock) or \
+           $(b,host:port).")
+
+(* ------------------------------------------------------------------ *)
+(* serve *)
+
+let serve addr workers queue_cap max_conns max_frame idle_timeout read_deadline
+    default_deadline drain_grace wal fsync_kind fsync_interval snapshot_every =
+  let fsync =
+    match fsync_kind with
+    | `Always -> Wal.Always
+    | `Never -> Wal.Never
+    | `Interval -> Wal.Interval (Int.max 1 fsync_interval)
+  in
+  let cfg =
+    {
+      (Server.default_config addr) with
+      Server.workers;
+      queue_cap;
+      max_conns;
+      max_frame;
+      idle_timeout;
+      read_deadline;
+      default_deadline;
+      drain_grace;
+      wal;
+      fsync;
+      snapshot_every;
+    }
+  in
+  match Server.start cfg with
+  | Error m ->
+      Printf.eprintf "maxrs_serverd: %s\n" m;
+      exit_server_error
+  | Ok t ->
+      (match Server.session t with
+      | Some sess ->
+          let recovered =
+            match Session.recovery sess with
+            | Some r ->
+                Printf.sprintf " (recovered: %s)"
+                  (if r.Session.wal_rewritten then "log rewritten" else "clean")
+            | None -> ""
+          in
+          Printf.printf "session: %s seq=%d size=%d%s\n"
+            (Session.wal_path sess) (Session.seq sess) (Session.size sess)
+            recovered
+      | None -> ());
+      (* The line tests and scripts poll for: the socket is live. *)
+      Printf.printf "listening on %s\n%!" (Netio.addr_to_string addr);
+      let drain = ref false in
+      let on_signal _ = drain := true in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ -> ());
+      (* Poll rather than block so signal handlers run on this thread
+         promptly; the daemon's own threads do the work. *)
+      while not !drain do
+        Thread.delay 0.05
+      done;
+      prerr_endline "maxrs_serverd: draining";
+      Server.begin_drain t;
+      Server.wait t;
+      let s = Server.stats t in
+      Printf.eprintf
+        "maxrs_serverd: drained (completed=%d degraded=%d rejected=%d)\n"
+        s.Proto.completed
+        (s.Proto.degraded + s.Proto.partial)
+        s.Proto.rejected;
+      0
+
+let serve_cmd =
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker threads executing solves.")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Admission-control bound: requests beyond $(docv) queued are \
+             rejected with a structured Overloaded reply.")
+  in
+  let max_conns =
+    Arg.(
+      value & opt int 64
+      & info [ "max-conns" ] ~docv:"N" ~doc:"Refuse connections beyond $(docv).")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int (1 lsl 23)
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Reject request frames larger than $(docv).")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close connections silent for $(docv).")
+  in
+  let read_deadline =
+    Arg.(
+      value & opt float 10.
+      & info [ "read-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "A started frame must complete within $(docv) (slow-loris \
+             guard).")
+  in
+  let default_deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "default-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Compute budget for requests that carry none; on expiry the \
+             answer degrades to the approximation and is marked Degraded.")
+  in
+  let drain_grace =
+    Arg.(
+      value & opt float 2.
+      & info [ "drain-grace" ] ~docv:"SECONDS"
+          ~doc:
+            "On SIGTERM, in-flight work gets $(docv) to finish before \
+             budgets force degradation.")
+  in
+  let wal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"FILE"
+          ~doc:
+            "Back insert/delete/query requests with the durable session at \
+             $(docv) (created or recovered).")
+  in
+  let fsync_kind =
+    Arg.(
+      value
+      & opt (enum [ ("always", `Always); ("interval", `Interval); ("never", `Never) ]) `Always
+      & info [ "fsync" ] ~docv:"POLICY"
+          ~doc:
+            "WAL durability: $(b,always) fsyncs every append (acked implies \
+             durable), $(b,interval) every $(b,--fsync-interval) appends, \
+             $(b,never) only on drain.")
+  in
+  let fsync_interval =
+    Arg.(
+      value & opt int 64
+      & info [ "fsync-interval" ] ~docv:"N" ~doc:"Appends between fsyncs.")
+  in
+  let snapshot_every =
+    Arg.(
+      value & opt int 1000
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:"Session ops between automatic snapshots (0 disables).")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the MaxRS daemon.")
+    Term.(
+      const serve $ addr_t $ workers $ queue_cap $ max_conns $ max_frame
+      $ idle_timeout $ read_deadline $ default_deadline $ drain_grace $ wal
+      $ fsync_kind $ fsync_interval $ snapshot_every)
+
+(* ------------------------------------------------------------------ *)
+(* ping / stats *)
+
+let ping addr =
+  let c = Client.create addr in
+  match Client.ping c with
+  | Ok () ->
+      print_endline "pong";
+      0
+  | Error e ->
+      Printf.eprintf "maxrs_serverd: %s\n" (Client.error_to_string e);
+      exit_server_error
+
+let ping_cmd =
+  Cmd.v
+    (Cmd.info "ping" ~doc:"Round-trip check against a running daemon.")
+    Term.(const ping $ addr_t)
+
+let stats addr =
+  let c = Client.create addr in
+  match Client.stats c with
+  | Error e ->
+      Printf.eprintf "maxrs_serverd: %s\n" (Client.error_to_string e);
+      exit_server_error
+  | Ok s ->
+      Printf.printf
+        "uptime_s: %.1f\n\
+         conns_active: %d\n\
+         queue_depth: %d\n\
+         inflight: %d\n\
+         accepted: %d\n\
+         rejected: %d\n\
+         completed: %d\n\
+         degraded: %d\n\
+         partial: %d\n\
+         invalid: %d\n\
+         protocol_errors: %d\n\
+         timeouts: %d\n\
+         disconnects: %d\n\
+         p50_us: %d\n\
+         p99_us: %d\n"
+        s.Proto.uptime_s s.Proto.conns_active s.Proto.queue_depth
+        s.Proto.inflight s.Proto.accepted s.Proto.rejected s.Proto.completed
+        s.Proto.degraded s.Proto.partial s.Proto.invalid
+        s.Proto.protocol_errors s.Proto.timeouts s.Proto.disconnects
+        s.Proto.p50_us s.Proto.p99_us;
+      0
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print a running daemon's health counters.")
+    Term.(const stats $ addr_t)
+
+(* ------------------------------------------------------------------ *)
+(* load *)
+
+let load addr rate duration senders seed q_weight i_weight s_weight solve_n =
+  let mix =
+    {
+      Loadgen.query = q_weight;
+      insert = i_weight;
+      solve = s_weight;
+      solve_n;
+    }
+  in
+  let r = Loadgen.run ~senders ~seed ~mix ~addr ~rate ~duration () in
+  print_endline (Loadgen.report_to_json r);
+  if r.Loadgen.net_errors > 0 then exit_server_error else 0
+
+let load_cmd =
+  let rate =
+    Arg.(
+      value & opt float 100.
+      & info [ "rate" ] ~docv:"RPS" ~doc:"Offered load (open loop).")
+  in
+  let duration =
+    Arg.(
+      value & opt float 5.
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Length of the run.")
+  in
+  let senders =
+    Arg.(
+      value & opt int 4
+      & info [ "senders" ] ~docv:"N" ~doc:"Concurrent sender threads.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Workload seed (arrivals and request mix).")
+  in
+  let q_weight =
+    Arg.(
+      value & opt float 0.6
+      & info [ "query-weight" ] ~docv:"W" ~doc:"Mix weight of query requests.")
+  in
+  let i_weight =
+    Arg.(
+      value & opt float 0.3
+      & info [ "insert-weight" ] ~docv:"W" ~doc:"Mix weight of inserts.")
+  in
+  let s_weight =
+    Arg.(
+      value & opt float 0.1
+      & info [ "solve-weight" ] ~docv:"W" ~doc:"Mix weight of solves.")
+  in
+  let solve_n =
+    Arg.(
+      value & opt int 400
+      & info [ "solve-n" ] ~docv:"N" ~doc:"Points per solve request.")
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Open-loop load generator; JSON report on stdout.")
+    Term.(
+      const load $ addr_t $ rate $ duration $ senders $ seed $ q_weight
+      $ i_weight $ s_weight $ solve_n)
+
+(* ------------------------------------------------------------------ *)
+(* proxy *)
+
+let proxy listen upstream faults =
+  let cfg =
+    match faults with
+    | Some s -> Net_faults.of_string s
+    | None -> Net_faults.of_env ()
+  in
+  match cfg with
+  | None ->
+      Printf.eprintf
+        "maxrs_serverd: no fault config (--faults SEED:RATE or \
+         MAXRS_NET_FAULTS)\n";
+      exit_bad_addr
+  | Some cfg -> (
+      match Net_faults.start ~listen ~upstream cfg with
+      | Error m ->
+          Printf.eprintf "maxrs_serverd: %s\n" m;
+          exit_server_error
+      | Ok p ->
+          Printf.printf "proxy listening on %s (upstream %s, seed=%d rate=%g)\n%!"
+            (Netio.addr_to_string listen)
+            (Netio.addr_to_string upstream)
+            cfg.Net_faults.seed cfg.Net_faults.rate;
+          let stop = ref false in
+          let on_signal _ = stop := true in
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+          Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+          while not !stop do
+            Thread.delay 0.05
+          done;
+          Net_faults.shutdown p;
+          Printf.eprintf "maxrs_serverd: proxy injected %d faults\n"
+            (Net_faults.injected_count p);
+          0)
+
+let proxy_cmd =
+  let listen =
+    Arg.(
+      required
+      & opt (some addr_arg) None
+      & info [ "listen" ] ~docv:"ADDR" ~doc:"Proxy listen address.")
+  in
+  let upstream =
+    Arg.(
+      required
+      & opt (some addr_arg) None
+      & info [ "upstream" ] ~docv:"ADDR" ~doc:"Daemon address to relay to.")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SEED:RATE"
+          ~doc:
+            "Deterministic fault schedule (default: $(b,MAXRS_NET_FAULTS)).")
+  in
+  Cmd.v
+    (Cmd.info "proxy" ~doc:"Deterministic fault-injecting proxy.")
+    Term.(const proxy $ listen $ upstream $ faults)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "maxrs_serverd" ~version:"%%VERSION%%"
+      ~doc:"Fault-tolerant MaxRS network daemon and load/chaos tooling."
+  in
+  exit (Cmd.eval' (Cmd.group info [ serve_cmd; ping_cmd; stats_cmd; load_cmd; proxy_cmd ]))

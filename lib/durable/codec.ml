@@ -103,26 +103,34 @@ let r_opt dec r =
   | 1 -> Some (dec r)
   | v -> malformed "bad option byte %d" v
 
-let r_len r what =
+(* Length fields are validated against the bytes actually remaining in
+   the input before anything is allocated: every element of a decoded
+   collection consumes at least [elem_bytes] bytes, so a corrupt (or
+   adversarial — these readers also parse network frames) length field
+   fails here instead of triggering a multi-gigabyte [Array.init]. *)
+let r_len ?(elem_bytes = 1) r what =
   let n = r_int r in
   if n < 0 || n > max_seq_len then malformed "bad %s length %d" what n;
+  let remaining = String.length r.data - r.pos in
+  if n * elem_bytes > remaining then
+    malformed "%s length %d exceeds remaining %d bytes" what n remaining;
   n
 
-let r_array dec r what =
-  let n = r_len r what in
+let r_array ?elem_bytes dec r what =
+  let n = r_len ?elem_bytes r what in
   Array.init n (fun _ -> dec r)
 
-let r_list dec r what =
-  let n = r_len r what in
+let r_list ?elem_bytes dec r what =
+  let n = r_len ?elem_bytes r what in
   List.init n (fun _ -> dec r)
 
-let r_float_array r what = r_array r_f64 r what
-let r_int_array r what = r_array r_int r what
+let r_float_array r what = r_array ~elem_bytes:8 r_f64 r what
+let r_int_array r what = r_array ~elem_bytes:8 r_int r what
 
 (* Inverse of [fvec]: one bounds check for the whole run, then a
    straight fill of the fresh column. *)
 let r_fvec r what =
-  let n = r_len r what in
+  let n = r_len ~elem_bytes:8 r what in
   need r (8 * n) what;
   let v = Fvec.create n in
   for i = 0 to n - 1 do
@@ -263,3 +271,30 @@ let decode_state data =
     malformed "trailing bytes after state (%d of %d consumed)" r.pos
       (String.length data);
   s
+
+(* {1 Total decoding}
+
+   Once frames arrive from the network rather than from our own WAL,
+   "raises only [Malformed]" is not a strong enough contract: a decode
+   of adversarial bytes must be an ordinary [Error] value. [protect]
+   is the single funnel — it maps [Malformed] to [Error] and, as a
+   last line of defence, any other exception too (an escape of, say,
+   [Invalid_argument] would be a codec bug; the fuzz suite exists to
+   keep that arm dead, but a daemon must not crash while we look). *)
+
+let protect dec data =
+  match dec (reader data) with
+  | v -> Ok v
+  | exception Malformed m -> Error m
+  | exception e ->
+      Error (Printf.sprintf "decoder bug: %s" (Printexc.to_string e))
+
+let decode_state_result data =
+  protect
+    (fun r ->
+      let s = r_state r in
+      if not (at_end r) then
+        malformed "trailing bytes after state (%d of %d consumed)" r.pos
+          (String.length data);
+      s)
+    data

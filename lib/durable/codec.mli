@@ -46,6 +46,13 @@ val r_float_array : reader -> string -> float array
 val r_int_array : reader -> string -> int array
 val r_fvec : reader -> string -> Maxrs_geom.Fvec.t
 
+val r_len : ?elem_bytes:int -> reader -> string -> int
+(** Read and validate a collection length: non-negative, below the
+    global cap, and small enough that [n * elem_bytes] (default 1, the
+    minimum encoded size of one element) still fits in the remaining
+    input. Rejecting here means a corrupt or adversarial length field
+    fails cleanly {e before} any allocation proportional to it. *)
+
 (** {1 Domain codecs} *)
 
 val config : Buffer.t -> Maxrs.Config.t -> unit
@@ -61,3 +68,16 @@ val encode_state : Maxrs.Dynamic.State.t -> string
 
 val decode_state : string -> Maxrs.Dynamic.State.t
 (** Inverse of {!encode_state}; raises {!Malformed} on trailing bytes. *)
+
+(** {1 Total decoding}
+
+    Network-facing entry points: decoding arbitrary garbage returns
+    [Error], never an exception (fuzzed in the test suite). *)
+
+val protect : (reader -> 'a) -> string -> ('a, string) result
+(** [protect dec data] runs [dec] over a fresh cursor on [data],
+    mapping {!Malformed} (and, defensively, any other exception — which
+    would be a codec bug) to [Error]. *)
+
+val decode_state_result : string -> (Maxrs.Dynamic.State.t, string) result
+(** Total version of {!decode_state}. *)

@@ -232,11 +232,21 @@ let do_fsync w =
     w.unsynced <- 0
   end
 
+(* Complete the whole buffer even when [write(2)] returns short: a
+   single [write] is only guaranteed atomic for small pipe writes, and
+   this helper is also the transmit path for sockets (the network
+   server), where short writes are routine. [EINTR] retries
+   immediately; [EAGAIN]/[EWOULDBLOCK] (non-blocking fds) waits for
+   writability before retrying, so the loop never spins. *)
 let write_all fd b =
   let len = Bytes.length b in
   let n = ref 0 in
   while !n < len do
-    n := !n + Unix.write fd b !n (len - !n)
+    match Unix.write fd b !n (len - !n) with
+    | k -> n := !n + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ignore (Unix.select [] [ fd ] [] 0.05)
   done
 
 let create path params ~fsync =

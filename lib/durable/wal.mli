@@ -85,3 +85,9 @@ val records_written : writer -> int
 
 val record_size : record -> int
 (** On-disk frame size of a record, in bytes. *)
+
+val write_all : Unix.file_descr -> bytes -> unit
+(** Write the entire buffer, looping on short [write(2)] returns,
+    retrying [EINTR], and waiting for writability on [EAGAIN] (so it is
+    safe on non-blocking fds). Every WAL append goes through this; the
+    network layer reuses it for socket sends. *)

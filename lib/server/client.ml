@@ -1,0 +1,195 @@
+(* Client side of the MaxRS wire protocol.
+
+   [request] is one framed round-trip with no policy. [call] layers the
+   retry discipline on top: [Overloaded] replies are retried after the
+   server's Retry-After hint (never sooner — the hint is the server's
+   backpressure signal), transport failures after jittered exponential
+   backoff with a fresh connection. Mutating requests (insert/delete)
+   are never retried across a transport failure: the WAL journals
+   before the ack, so a lost reply leaves the client unable to tell
+   applied from dropped, and blind replay would double-apply. *)
+
+module Rng = Maxrs_geom.Rng
+
+type t = {
+  addr : Netio.addr;
+  mutable fd : Unix.file_descr option;
+  mutable next_id : int;
+  max_frame : int;
+  recv_timeout : float;
+  send_timeout : float;
+  rng : Rng.t;
+}
+
+type error =
+  | Net of string  (** transport failure; reply state unknown *)
+  | Server of { code : Proto.err_code; retry_after_ms : int; msg : string }
+      (** structured refusal from the server *)
+
+let error_to_string = function
+  | Net m -> "network error: " ^ m
+  | Server { code; msg; _ } ->
+      Printf.sprintf "server error (%s): %s" (Proto.err_code_to_string code)
+        msg
+
+let create ?(max_frame = 1 lsl 23) ?(recv_timeout = 60.) ?(send_timeout = 10.)
+    ?(seed = 0) addr =
+  {
+    addr;
+    fd = None;
+    next_id = 1;
+    max_frame;
+    recv_timeout;
+    send_timeout;
+    rng = Rng.create seed;
+  }
+
+let disconnect t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+      Netio.close_noerr fd;
+      t.fd <- None
+
+let close = disconnect
+
+let fd_of t =
+  match t.fd with
+  | Some fd -> Ok fd
+  | None -> (
+      match Netio.connect t.addr with
+      | Ok fd ->
+          t.fd <- Some fd;
+          Ok fd
+      | Error m -> Error (Net m))
+
+(* One round-trip: no retries, no reconnection. Replies are matched by
+   id; a reply to an older (abandoned) request is skipped, and the
+   server's connection-level errors (id 0) surface for this call. *)
+let request t req =
+  match fd_of t with
+  | Error _ as e -> e
+  | Ok fd -> (
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      match
+        Netio.send ~deadline:t.send_timeout fd (Proto.encode_request ~id req)
+      with
+      | Error e ->
+          disconnect t;
+          Error (Net (Netio.error_to_string e))
+      | Ok () ->
+          let rec await () =
+            match
+              Netio.recv ~idle:t.recv_timeout ~frame:t.recv_timeout
+                ~max_frame:t.max_frame fd
+            with
+            | Error e ->
+                disconnect t;
+                Error (Net (Netio.error_to_string e))
+            | Ok payload -> (
+                match Proto.decode_reply payload with
+                | Error m ->
+                    disconnect t;
+                    Error (Net ("undecodable reply: " ^ m))
+                | Ok (rid, reply) ->
+                    if rid <> id && rid <> 0 then await ()
+                    else (
+                      (match reply with
+                      | Proto.Error_reply { code = Proto.Shutting_down; _ } ->
+                          (* The server is draining: this connection
+                             will not serve further requests. *)
+                          disconnect t
+                      | _ -> ());
+                      match reply with
+                      | Proto.Error_reply { code; retry_after_ms; msg } ->
+                          Error (Server { code; retry_after_ms; msg })
+                      | reply -> Ok reply))
+          in
+          await ())
+
+let mutating = function
+  | Proto.Insert _ | Proto.Delete _ -> true
+  | Proto.Ping | Proto.Solve_weighted _ | Proto.Solve_colored _
+  | Proto.Solve_static _ | Proto.Solve_interval _ | Proto.Query | Proto.Stats
+    ->
+      false
+
+(* Full-jitter exponential backoff, floored at the server's hint when
+   one was given. *)
+let backoff_s t ~attempt ~hint_ms =
+  let base = 0.025 *. Float.of_int (1 lsl Int.min attempt 7) in
+  let jittered = Rng.float t.rng base +. (0.5 *. base) in
+  Float.max jittered (Float.of_int hint_ms /. 1000.)
+
+let call ?(retries = 5) t req =
+  let rec go attempt =
+    match request t req with
+    | Ok _ as ok -> ok
+    | Error (Server { code = Proto.Overloaded; retry_after_ms; _ }) as e
+      when attempt < retries ->
+        (* Shed load is retryable by definition: the request was never
+           admitted. Honor the server's hint. *)
+        ignore (e : (Proto.reply, error) result);
+        Thread.delay (backoff_s t ~attempt ~hint_ms:retry_after_ms);
+        go (attempt + 1)
+    | Error (Net _) as e when attempt < retries && not (mutating req) ->
+        (* Transport failure: safe to replay only when the request
+           cannot double-apply. *)
+        ignore (e : (Proto.reply, error) result);
+        disconnect t;
+        Thread.delay (backoff_s t ~attempt ~hint_ms:0);
+        go (attempt + 1)
+    | Error _ as e -> e
+  in
+  go 0
+
+(* {1 Typed wrappers} *)
+
+let unexpected what = Error (Net ("unexpected reply to " ^ what))
+
+let ping t =
+  match call t Proto.Ping with
+  | Ok Proto.Pong -> Ok ()
+  | Ok _ -> unexpected "ping"
+  | Error _ as e -> e
+
+let solve_weighted ?deadline ?retries t ~radius points =
+  match call ?retries t (Proto.Solve_weighted { radius; deadline; points }) with
+  | Ok (Proto.Solved o) -> Ok o
+  | Ok _ -> unexpected "solve"
+  | Error _ as e -> e
+
+let solve_colored ?deadline ?max_shifts ?retries ~seed t ~radius points ~colors
+    =
+  match
+    call ?retries t
+      (Proto.Solve_colored { radius; deadline; seed; max_shifts; points; colors })
+  with
+  | Ok (Proto.Solved o) -> Ok o
+  | Ok _ -> unexpected "solve"
+  | Error _ as e -> e
+
+let insert t ~x ~y ~weight =
+  match call t (Proto.Insert { x; y; weight }) with
+  | Ok (Proto.Inserted { handle; seq }) -> Ok (handle, seq)
+  | Ok _ -> unexpected "insert"
+  | Error _ as e -> e
+
+let delete t ~handle =
+  match call t (Proto.Delete { handle }) with
+  | Ok (Proto.Deleted { seq }) -> Ok seq
+  | Ok _ -> unexpected "delete"
+  | Error _ as e -> e
+
+let query t =
+  match call t Proto.Query with
+  | Ok (Proto.Best b) -> Ok b
+  | Ok _ -> unexpected "query"
+  | Error _ as e -> e
+
+let stats t =
+  match call t Proto.Stats with
+  | Ok (Proto.Stats_reply s) -> Ok s
+  | Ok _ -> unexpected "stats"
+  | Error _ as e -> e

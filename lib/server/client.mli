@@ -1,0 +1,65 @@
+(** Client for the MaxRS daemon: framed round-trips plus the retry
+    discipline — [Overloaded] replies are retried after the server's
+    Retry-After hint, transport failures with jittered exponential
+    backoff on a fresh connection. Mutating requests (insert/delete)
+    are never replayed across a transport failure: a lost ack leaves
+    applied-vs-dropped unknowable, and replay would double-apply. *)
+
+type t
+
+type error =
+  | Net of string  (** transport failure; reply state unknown *)
+  | Server of { code : Proto.err_code; retry_after_ms : int; msg : string }
+
+val error_to_string : error -> string
+
+val create :
+  ?max_frame:int ->
+  ?recv_timeout:float ->
+  ?send_timeout:float ->
+  ?seed:int ->
+  Netio.addr ->
+  t
+(** Lazy handle — the connection opens on first use and reopens after
+    transport failures. [seed] drives backoff jitter (deterministic). *)
+
+val request : t -> Proto.request -> (Proto.reply, error) result
+(** One round-trip, no retries. Server [Error_reply]s surface as
+    [Error (Server _)]; the reply is never [Error_reply]. *)
+
+val call : ?retries:int -> t -> Proto.request -> (Proto.reply, error) result
+(** [request] plus the retry policy (default 5 attempts). *)
+
+val close : t -> unit
+
+(** {1 Typed wrappers} — all through {!call}. *)
+
+val ping : t -> (unit, error) result
+
+val solve_weighted :
+  ?deadline:float ->
+  ?retries:int ->
+  t ->
+  radius:float ->
+  (float * float * float) array ->
+  (Proto.answer Maxrs_resilience.Outcome.t, error) result
+
+val solve_colored :
+  ?deadline:float ->
+  ?max_shifts:int ->
+  ?retries:int ->
+  seed:int ->
+  t ->
+  radius:float ->
+  (float * float) array ->
+  colors:int array ->
+  (Proto.answer Maxrs_resilience.Outcome.t, error) result
+
+val insert : t -> x:float -> y:float -> weight:float -> (int * int, error) result
+(** [Ok (handle, seq)]. *)
+
+val delete : t -> handle:int -> (int, error) result
+(** [Ok seq]. *)
+
+val query : t -> ((float * float * float) option, error) result
+val stats : t -> (Proto.server_stats, error) result

@@ -1,0 +1,215 @@
+(* Open-loop load generator. Arrival times are drawn up front from a
+   Poisson process at the offered rate (deterministic per seed); sender
+   threads consume the shared schedule and fire each request at its
+   scheduled instant whether or not earlier replies have come back —
+   unlike closed-loop clients, an overloaded server cannot slow the
+   offered load down, which is exactly what exposes admission-control
+   behavior. Latency is measured from the {e scheduled} arrival, so
+   queueing delay inside a falling-behind sender counts against the
+   server, not the harness. No retries: a shed request is recorded as
+   rejected, which is the statistic load-shedding experiments need. *)
+
+module Rng = Maxrs_geom.Rng
+
+type mix = { query : float; insert : float; solve : float; solve_n : int }
+
+let default_mix = { query = 0.6; insert = 0.3; solve = 0.1; solve_n = 400 }
+
+type report = {
+  offered_rps : float;
+  duration_s : float;
+  sent : int;
+  ok : int;
+  rejected : int;  (** [Overloaded] refusals — shed load *)
+  net_errors : int;
+  invalid : int;  (** other server-side error replies *)
+  degraded : int;  (** [Degraded]/[Partial] solve outcomes *)
+  achieved_rps : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+let report_to_json r =
+  Printf.sprintf
+    {|{"offered_rps": %.2f, "duration_s": %.3f, "sent": %d, "ok": %d, "rejected": %d, "net_errors": %d, "invalid": %d, "degraded": %d, "achieved_rps": %.2f, "p50_ms": %.3f, "p90_ms": %.3f, "p99_ms": %.3f, "max_ms": %.3f}|}
+    r.offered_rps r.duration_s r.sent r.ok r.rejected r.net_errors r.invalid
+    r.degraded r.achieved_rps r.p50_ms r.p90_ms r.p99_ms r.max_ms
+
+(* Exact quantile of accepted-request latencies (sorted array). *)
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(Int.min (n - 1) (Float.to_int (q *. Float.of_int n)))
+
+type outcome = Ok_reply | Rejected | Net_error | Invalid_reply
+
+let classify_reply = function
+  | Proto.Solved (Maxrs_resilience.Outcome.Complete _)
+  | Proto.Pong | Proto.Inserted _ | Proto.Deleted _ | Proto.Best _
+  | Proto.Stats_reply _ ->
+      (Ok_reply, false)
+  | Proto.Solved _ -> (Ok_reply, true)
+  | Proto.Error_reply { code = Proto.Overloaded; _ } -> (Rejected, false)
+  | Proto.Error_reply _ -> (Invalid_reply, false)
+
+let pick_request rng mix ~solve_points =
+  let total = mix.query +. mix.insert +. mix.solve in
+  let r = Rng.float rng (Float.max total 1e-9) in
+  if r < mix.query then Proto.Query
+  else if r < mix.query +. mix.insert then
+    Proto.Insert
+      {
+        x = Rng.uniform rng (-10.) 10.;
+        y = Rng.uniform rng (-10.) 10.;
+        weight = Rng.float rng 1.;
+      }
+  else
+    Proto.Solve_weighted { radius = 1.; deadline = None; points = solve_points }
+
+let run ?(senders = 4) ?(seed = 42) ?(mix = default_mix) ~addr ~rate ~duration
+    () =
+  let rng = Rng.create seed in
+  let n = Int.max 1 (Float.to_int (rate *. duration)) in
+  (* Poisson arrivals: exponential gaps at the offered rate. *)
+  let arrivals = Array.make n 0. in
+  let t = ref 0. in
+  for i = 0 to n - 1 do
+    let u = Float.max 1e-12 (Rng.float rng 1.) in
+    t := !t +. (-.Float.log u /. rate);
+    arrivals.(i) <- !t
+  done;
+  let solve_points =
+    let prng = Rng.split rng in
+    Array.init mix.solve_n (fun _ ->
+        (Rng.uniform prng (-5.) 5., Rng.uniform prng (-5.) 5., Rng.float prng 1.))
+  in
+  (* Pre-draw each request kind so the workload is a pure function of
+     the seed, independent of sender interleaving. *)
+  let requests =
+    Array.init n (fun i ->
+        pick_request (Rng.split_at rng i) mix ~solve_points)
+  in
+  let next = Atomic.make 0 in
+  let lat_ms = Array.make n Float.nan in
+  let outcomes = Array.make n Net_error in
+  let degr = Array.make n false in
+  let start = Unix.gettimeofday () +. 0.05 in
+  (* Each sender is one pipelined connection: a paced writer firing at
+     the scheduled instants whether or not earlier replies are back
+     (the open-loop property — a synchronous request/reply loop would
+     cap concurrency at [senders] and the server's admission queue
+     would never fill), and a reader matching replies to requests by
+     protocol id. Unmatched requests keep the [Net_error] default. *)
+  let sender _k =
+    match Netio.connect addr with
+    | Error _ ->
+        (* claim our share anyway so the run terminates; it stays
+           recorded as net errors *)
+        while Atomic.fetch_and_add next 1 < n do
+          ()
+        done
+    | Ok fd ->
+        let m = Mutex.create () in
+        let outstanding = Hashtbl.create 64 in
+        let writer_done = ref false in
+        (* replies lost to a wedged server still terminate the run *)
+        let overall_deadline = start +. arrivals.(n - 1) +. 30. in
+        let reader () =
+          let stop = ref false in
+          while not !stop do
+            let idle_done =
+              Mutex.lock m;
+              let e = !writer_done && Hashtbl.length outstanding = 0 in
+              Mutex.unlock m;
+              e
+            in
+            if idle_done || Unix.gettimeofday () > overall_deadline then
+              stop := true
+            else
+              (* short idle poll: recv cannot be interrupted, so a long
+                 idle window would stall the run after the last reply *)
+              match
+                Netio.recv ~idle:0.25 ~frame:30. ~max_frame:(1 lsl 23) fd
+              with
+              | Ok payload -> (
+                  match Proto.decode_reply payload with
+                  | Ok (id, reply) when id >= 0 && id < n ->
+                      let fin = Unix.gettimeofday () in
+                      let o, d = classify_reply reply in
+                      outcomes.(id) <- o;
+                      degr.(id) <- d;
+                      lat_ms.(id) <- (fin -. (start +. arrivals.(id))) *. 1000.;
+                      Mutex.lock m;
+                      Hashtbl.remove outstanding id;
+                      Mutex.unlock m
+                  | Ok _ | Error _ -> ())
+              | Error Netio.Timeout -> ()
+              | Error _ ->
+                  (* connection cut: everything still outstanding stays
+                     a net error *)
+                  Mutex.lock m;
+                  Hashtbl.reset outstanding;
+                  Mutex.unlock m;
+                  stop := true
+          done
+        in
+        let rthread = Thread.create reader () in
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else begin
+            let due = start +. arrivals.(i) in
+            let now = Unix.gettimeofday () in
+            if due > now then Thread.delay (due -. now);
+            Mutex.lock m;
+            Hashtbl.replace outstanding i ();
+            Mutex.unlock m;
+            match Netio.send fd (Proto.encode_request ~id:i requests.(i)) with
+            | Ok () -> ()
+            | Error _ ->
+                (* dead connection: stop claiming; remaining schedule
+                   indexes go to the other senders *)
+                Mutex.lock m;
+                Hashtbl.remove outstanding i;
+                Mutex.unlock m;
+                continue := false
+          end
+        done;
+        Mutex.lock m;
+        writer_done := true;
+        Mutex.unlock m;
+        Thread.join rthread;
+        Netio.close_noerr fd
+  in
+  let threads =
+    List.init (Int.max 1 senders) (fun k -> Thread.create sender k)
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. start in
+  let count p = Array.fold_left (fun a o -> if p o then a + 1 else a) 0 outcomes in
+  let ok = count (( = ) Ok_reply) in
+  let oks =
+    let l = ref [] in
+    Array.iteri (fun i o -> if o = Ok_reply then l := lat_ms.(i) :: !l) outcomes;
+    let a = Array.of_list !l in
+    Array.sort compare a;
+    a
+  in
+  {
+    offered_rps = rate;
+    duration_s = wall;
+    sent = n;
+    ok;
+    rejected = count (( = ) Rejected);
+    net_errors = count (( = ) Net_error);
+    invalid = count (( = ) Invalid_reply);
+    degraded = Array.fold_left (fun a d -> if d then a + 1 else a) 0 degr;
+    achieved_rps = (if wall > 0. then Float.of_int ok /. wall else 0.);
+    p50_ms = quantile oks 0.50;
+    p90_ms = quantile oks 0.90;
+    p99_ms = quantile oks 0.99;
+    max_ms = (if Array.length oks = 0 then 0. else oks.(Array.length oks - 1));
+  }

@@ -1,0 +1,46 @@
+(** Open-loop load generator for the MaxRS daemon.
+
+    Arrivals are a deterministic Poisson schedule at the offered rate;
+    senders fire at the scheduled instants regardless of outstanding
+    replies, so an overloaded server cannot slow the offered load —
+    the harness for observing admission control. Latency counts from
+    the scheduled arrival; [Overloaded] refusals are recorded as
+    [rejected], never retried. *)
+
+type mix = {
+  query : float;
+  insert : float;
+  solve : float;  (** relative weights of the request kinds *)
+  solve_n : int;  (** points per solve request *)
+}
+
+val default_mix : mix
+
+type report = {
+  offered_rps : float;
+  duration_s : float;
+  sent : int;
+  ok : int;
+  rejected : int;  (** [Overloaded] refusals — shed load *)
+  net_errors : int;
+  invalid : int;
+  degraded : int;  (** solve outcomes marked [Degraded]/[Partial] *)
+  achieved_rps : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+val report_to_json : report -> string
+
+val run :
+  ?senders:int ->
+  ?seed:int ->
+  ?mix:mix ->
+  addr:Netio.addr ->
+  rate:float ->
+  duration:float ->
+  unit ->
+  report
+(** Offer [rate] requests/s for [duration] seconds. *)

@@ -1,0 +1,228 @@
+(* Socket plumbing for the MaxRS daemon: addresses, connection setup,
+   and deadline-bounded transmission of length-prefixed CRC-framed
+   messages (the same [u32le len | u32le crc32 | payload] frame the WAL
+   uses on disk).
+
+   Everything here is total: a torn frame, a checksum mismatch, an
+   absurd length field, a stalled peer or a mid-frame disconnect each
+   come back as a structured {!error}, never an exception — the
+   connection path of a daemon must not be crashable from the wire. *)
+
+module Crc32 = Maxrs_durable.Crc32
+
+(* {1 Addresses} *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+let addr_to_string = function
+  | Unix_sock p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+let addr_of_string s =
+  let s = String.trim s in
+  let strip prefix =
+    let n = String.length prefix in
+    if String.length s > n && String.sub s 0 n = prefix then
+      Some (String.sub s n (String.length s - n))
+    else None
+  in
+  match strip "unix:" with
+  | Some p when p <> "" -> Ok (Unix_sock p)
+  | Some _ -> Error "empty unix socket path"
+  | None -> (
+      if String.contains s '/' then Ok (Unix_sock s)
+      else
+        match String.rindex_opt s ':' with
+        | None -> Error (Printf.sprintf "address %S: expected unix:PATH or HOST:PORT" s)
+        | Some i -> (
+            let host = String.sub s 0 i in
+            let port = String.sub s (i + 1) (String.length s - i - 1) in
+            match int_of_string_opt port with
+            | Some p when p > 0 && p < 65536 ->
+                Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+            | _ -> Error (Printf.sprintf "address %S: bad port %S" s port)))
+
+let sockaddr_of = function
+  | Unix_sock p -> Unix.ADDR_UNIX p
+  | Tcp (host, port) ->
+      let ip =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found | Invalid_argument _ -> Unix.inet_addr_loopback
+      in
+      Unix.ADDR_INET (ip, port)
+
+let listen ?(backlog = 64) addr =
+  match
+    let domain =
+      match addr with Unix_sock _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+    in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    (try
+       (match addr with
+       | Unix_sock p -> if Sys.file_exists p then Sys.remove p
+       | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+       Unix.bind fd (sockaddr_of addr);
+       Unix.listen fd backlog
+     with e ->
+       Unix.close fd;
+       raise e);
+    fd
+  with
+  | fd -> Ok fd
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error
+        (Printf.sprintf "cannot listen on %s: %s (%s)" (addr_to_string addr)
+           (Unix.error_message e) fn)
+  | exception Sys_error m -> Error m
+
+let connect addr =
+  match
+    let domain =
+      match addr with Unix_sock _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+    in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (sockaddr_of addr)
+     with e ->
+       Unix.close fd;
+       raise e);
+    fd
+  with
+  | fd -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" (addr_to_string addr)
+           (Unix.error_message e))
+
+(* {1 Errors} *)
+
+type error =
+  | Timeout  (** the peer did not produce/accept bytes within the deadline *)
+  | Closed  (** clean EOF at a frame boundary *)
+  | Torn  (** EOF mid-frame: the peer disconnected while transmitting *)
+  | Oversized of int  (** advertised payload length above the cap *)
+  | Crc_mismatch  (** frame arrived complete but corrupt *)
+  | Sys of string  (** unexpected socket-level error *)
+
+let error_to_string = function
+  | Timeout -> "timeout"
+  | Closed -> "connection closed"
+  | Torn -> "torn frame (peer disconnected mid-frame)"
+  | Oversized n -> Printf.sprintf "oversized frame (%d bytes advertised)" n
+  | Crc_mismatch -> "frame checksum mismatch"
+  | Sys m -> "socket error: " ^ m
+
+let now () = Unix.gettimeofday ()
+
+(* {1 Receiving} *)
+
+(* Fill [buf.[off .. off+len)] from [fd] before [deadline], waiting for
+   readability in short slices so a stalled peer (slow-loris) is cut
+   off even when it trickles nothing. Returns [`Eof got] on EOF with
+   [got < len] bytes read. *)
+let read_exact fd buf ~off ~len ~deadline =
+  let got = ref 0 in
+  let result = ref `Ok in
+  while !result = `Ok && !got < len do
+    let remaining = deadline -. now () in
+    if remaining <= 0. then result := `Timeout
+    else
+      let ready =
+        try
+          match Unix.select [ fd ] [] [] (Float.min remaining 0.25) with
+          | [], _, _ -> false
+          | _ -> true
+        with Unix.Unix_error (Unix.EINTR, _, _) -> false
+      in
+      if ready then
+        match Unix.read fd buf (off + !got) (len - !got) with
+        | 0 -> result := `Eof !got
+        | k -> got := !got + k
+        | exception
+            Unix.Unix_error
+              ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            ()
+        | exception Unix.Unix_error (e, _, _) ->
+            result := `Sys (Unix.error_message e)
+  done;
+  !result
+
+(* Receive one frame. [idle] bounds the wait for the frame's first
+   byte (how long a connection may sit silent); once bytes start
+   flowing, the rest of the frame must complete within [frame]
+   seconds. *)
+let recv ?(idle = 30.) ?(frame = 10.) ~max_frame fd =
+  let hdr = Bytes.create 8 in
+  (* First byte under the idle budget, the other 7 header bytes under
+     the frame budget: split so a silent-but-connected client is not
+     confused with a slow-loris writer. *)
+  match read_exact fd hdr ~off:0 ~len:1 ~deadline:(now () +. idle) with
+  | `Timeout -> Error Timeout
+  | `Sys m -> Error (Sys m)
+  | `Eof 0 -> Error Closed
+  | `Eof _ -> Error Torn
+  | `Ok -> (
+      let deadline = now () +. frame in
+      match read_exact fd hdr ~off:1 ~len:7 ~deadline with
+      | `Timeout -> Error Timeout
+      | `Sys m -> Error (Sys m)
+      | `Eof _ -> Error Torn
+      | `Ok -> (
+          let plen =
+            Int32.to_int (Bytes.get_int32_le hdr 0) land 0xFFFFFFFF
+          in
+          let crc = Int32.to_int (Bytes.get_int32_le hdr 4) land 0xFFFFFFFF in
+          if plen > max_frame then Error (Oversized plen)
+          else
+            let payload = Bytes.create plen in
+            match read_exact fd payload ~off:0 ~len:plen ~deadline with
+            | `Timeout -> Error Timeout
+            | `Sys m -> Error (Sys m)
+            | `Eof _ -> Error Torn
+            | `Ok ->
+                let payload = Bytes.unsafe_to_string payload in
+                if Crc32.of_string payload <> crc then Error Crc_mismatch
+                else Ok payload))
+
+(* {1 Sending} *)
+
+let frame_bytes payload =
+  let n = String.length payload in
+  let b = Bytes.create (8 + n) in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.set_int32_le b 4 (Int32.of_int (Crc32.of_string payload));
+  Bytes.blit_string payload 0 b 8 n;
+  b
+
+(* Send one frame before [deadline]. The fd is put in non-blocking
+   mode for the duration so a peer that stops draining its socket
+   (slow-loris on the write side) cannot pin the sender. *)
+let send ?(deadline = 10.) fd payload =
+  let b = frame_bytes payload in
+  let len = Bytes.length b in
+  let finish = now () +. deadline in
+  (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+  let sent = ref 0 in
+  let result = ref `Ok in
+  while !result = `Ok && !sent < len do
+    let remaining = finish -. now () in
+    if remaining <= 0. then result := `Timeout
+    else
+      match Unix.write fd b !sent (len - !sent) with
+      | k -> sent := !sent + k
+      | exception
+          Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        -> (
+          try ignore (Unix.select [] [ fd ] [] (Float.min remaining 0.25))
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      | exception Unix.Unix_error (Unix.EPIPE, _, _) -> result := `Closed
+      | exception Unix.Unix_error (e, _, _) ->
+          result := `Sys (Unix.error_message e)
+  done;
+  (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
+  match !result with
+  | `Ok -> Ok ()
+  | `Timeout -> Error Timeout
+  | `Closed -> Error Closed
+  | `Sys m -> Error (Sys m)
+
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,58 @@
+(** Socket plumbing for the MaxRS daemon: addresses, connection setup,
+    and deadline-bounded transmission of length-prefixed, CRC-framed
+    messages — the WAL's [u32le len | u32le crc32 | payload] frame,
+    reused on the wire.
+
+    Total by construction: torn frames, checksum mismatches, oversized
+    length fields, stalled peers and mid-frame disconnects all come
+    back as a structured {!error}, never an exception. *)
+
+(** {1 Addresses} *)
+
+type addr =
+  | Unix_sock of string  (** Unix-domain socket path *)
+  | Tcp of string * int  (** host, port *)
+
+val addr_of_string : string -> (addr, string) result
+(** Parse ["unix:/path"] (or any string containing ['/']) as a Unix
+    socket, ["host:port"] as TCP (empty host means loopback). *)
+
+val addr_to_string : addr -> string
+
+val listen : ?backlog:int -> addr -> (Unix.file_descr, string) result
+(** Bind and listen. An existing Unix-socket file is removed first;
+    TCP sockets get [SO_REUSEADDR]. *)
+
+val connect : addr -> (Unix.file_descr, string) result
+
+(** {1 Framed transmission} *)
+
+type error =
+  | Timeout  (** deadline elapsed before the frame completed *)
+  | Closed  (** clean EOF at a frame boundary *)
+  | Torn  (** EOF mid-frame *)
+  | Oversized of int  (** advertised length above [max_frame] *)
+  | Crc_mismatch  (** complete but corrupt frame *)
+  | Sys of string  (** unexpected socket error *)
+
+val error_to_string : error -> string
+
+val recv :
+  ?idle:float ->
+  ?frame:float ->
+  max_frame:int ->
+  Unix.file_descr ->
+  (string, error) result
+(** Receive one frame payload. [idle] (default 30s) bounds the wait
+    for the first byte; once bytes flow, the whole frame must complete
+    within [frame] (default 10s) — the slow-loris guard. A length
+    field above [max_frame] is rejected {e before} any allocation. *)
+
+val send : ?deadline:float -> Unix.file_descr -> string -> (unit, error) result
+(** Frame and send a payload, completing within [deadline] (default
+    10s) even against a peer that stops draining its socket. *)
+
+val frame_bytes : string -> bytes
+(** The raw frame for a payload — for tests crafting corrupt frames. *)
+
+val close_noerr : Unix.file_descr -> unit

@@ -1,0 +1,417 @@
+(* Request/reply bodies of the MaxRS wire protocol, and their binary
+   codec (little-endian, floats as IEEE-754 bit patterns — the same
+   conventions as the WAL codec, so a solve shipped over the wire and
+   solved locally print bit-identical answers).
+
+   Every message travels as one CRC frame (see {!Netio}); this module
+   only encodes/decodes the payload. Decoding is total: arbitrary
+   bytes yield [Error], never an exception. *)
+
+module Codec = Maxrs_durable.Codec
+module Outcome = Maxrs_resilience.Outcome
+
+let version = 1
+
+(* Collection caps, over and above the frame-size cap: a single
+   request may not smuggle more than ~4M points. *)
+let max_points = 1 lsl 22
+let max_string = 1 lsl 16
+
+type request =
+  | Ping
+  | Solve_weighted of {
+      radius : float;
+      deadline : float option;  (* seconds of budget; None = server default *)
+      points : (float * float * float) array;  (* x, y, weight *)
+    }
+  | Solve_colored of {
+      radius : float;
+      deadline : float option;
+      seed : int;
+      max_shifts : int option;
+      points : (float * float) array;
+      colors : int array;
+    }
+  | Solve_static of {
+      radius : float;
+      epsilon : float;
+      seed : int;
+      max_shifts : int option;
+      points : (float * float * float) array;
+    }
+  | Solve_interval of { len : float; points : (float * float) array }
+  | Insert of { x : float; y : float; weight : float }
+  | Delete of { handle : int }
+  | Query
+  | Stats
+
+type source = Exact | Approx_fallback | Best_so_far
+
+type answer = {
+  x : float;
+  y : float;
+  value : float;  (* weighted depth, colored depth, or interval sum *)
+  verified : bool;
+  source : source;
+}
+
+type err_code =
+  | Overloaded  (** admission control rejected the request; retry later *)
+  | Invalid  (** structurally valid request, semantically bad input *)
+  | Malformed_request  (** the frame's payload did not decode *)
+  | Shutting_down  (** the server is draining *)
+  | Too_large  (** request exceeded the frame/point caps *)
+  | Internal  (** unexpected server-side failure *)
+
+type server_stats = {
+  uptime_s : float;
+  conns_active : int;
+  queue_depth : int;
+  inflight : int;
+  accepted : int;
+  rejected : int;
+  completed : int;
+  degraded : int;
+  partial : int;
+  invalid : int;
+  protocol_errors : int;
+  timeouts : int;
+  disconnects : int;
+  p50_us : int;  (** power-of-two-bucket upper bound *)
+  p99_us : int;
+  latency_buckets : (int * int) array;  (** (bucket index, count) *)
+}
+
+type reply =
+  | Pong
+  | Solved of answer Outcome.t
+  | Inserted of { handle : int; seq : int }
+  | Deleted of { seq : int }
+  | Best of (float * float * float) option  (** x, y, value *)
+  | Stats_reply of server_stats
+  | Error_reply of { code : err_code; retry_after_ms : int; msg : string }
+
+(* {1 Small helpers} *)
+
+let source_to_u8 = function
+  | Exact -> 0
+  | Approx_fallback -> 1
+  | Best_so_far -> 2
+
+let source_of_u8 = function
+  | 0 -> Exact
+  | 1 -> Approx_fallback
+  | 2 -> Best_so_far
+  | v -> Codec.malformed "bad source byte %d" v
+
+let err_code_to_u8 = function
+  | Overloaded -> 0
+  | Invalid -> 1
+  | Malformed_request -> 2
+  | Shutting_down -> 3
+  | Too_large -> 4
+  | Internal -> 5
+
+let err_code_of_u8 = function
+  | 0 -> Overloaded
+  | 1 -> Invalid
+  | 2 -> Malformed_request
+  | 3 -> Shutting_down
+  | 4 -> Too_large
+  | 5 -> Internal
+  | v -> Codec.malformed "bad error code byte %d" v
+
+let err_code_to_string = function
+  | Overloaded -> "overloaded"
+  | Invalid -> "invalid input"
+  | Malformed_request -> "malformed request"
+  | Shutting_down -> "shutting down"
+  | Too_large -> "request too large"
+  | Internal -> "internal error"
+
+let string_ b s =
+  Codec.int_ b (String.length s);
+  Buffer.add_string b s
+
+let r_string (r : Codec.reader) what =
+  let n = Codec.r_len r what in
+  if n > max_string then Codec.malformed "%s too long (%d bytes)" what n;
+  let s = String.sub r.Codec.data r.Codec.pos n in
+  r.Codec.pos <- r.Codec.pos + n;
+  s
+
+let r_points_len r what =
+  let n = Codec.r_len ~elem_bytes:8 r what in
+  if n > max_points then Codec.malformed "%s: %d points exceed cap" what n;
+  n
+
+let xyw b (x, y, w) =
+  Codec.f64 b x;
+  Codec.f64 b y;
+  Codec.f64 b w
+
+let r_xyw r =
+  let x = Codec.r_f64 r in
+  let y = Codec.r_f64 r in
+  let w = Codec.r_f64 r in
+  (x, y, w)
+
+let xy b (x, y) =
+  Codec.f64 b x;
+  Codec.f64 b y
+
+let r_xy r =
+  let x = Codec.r_f64 r in
+  let y = Codec.r_f64 r in
+  (x, y)
+
+let array_ enc b a =
+  Codec.int_ b (Array.length a);
+  Array.iter (enc b) a
+
+let r_points r what =
+  let n = r_points_len r what in
+  Array.init n (fun _ -> r_xyw r)
+
+let r_pairs r what =
+  let n = r_points_len r what in
+  Array.init n (fun _ -> r_xy r)
+
+let r_colors r what =
+  let n = r_points_len r what in
+  Array.init n (fun _ -> Codec.r_int r)
+
+(* {1 Requests} *)
+
+let encode_request ~id req =
+  let b = Buffer.create 64 in
+  Codec.u8 b version;
+  Codec.int_ b id;
+  (match req with
+  | Ping -> Codec.u8 b 0
+  | Solve_weighted { radius; deadline; points } ->
+      Codec.u8 b 1;
+      Codec.f64 b radius;
+      Codec.opt Codec.f64 b deadline;
+      array_ xyw b points
+  | Solve_colored { radius; deadline; seed; max_shifts; points; colors } ->
+      Codec.u8 b 2;
+      Codec.f64 b radius;
+      Codec.opt Codec.f64 b deadline;
+      Codec.int_ b seed;
+      Codec.opt Codec.int_ b max_shifts;
+      array_ xy b points;
+      Codec.int_array b colors
+  | Solve_static { radius; epsilon; seed; max_shifts; points } ->
+      Codec.u8 b 3;
+      Codec.f64 b radius;
+      Codec.f64 b epsilon;
+      Codec.int_ b seed;
+      Codec.opt Codec.int_ b max_shifts;
+      array_ xyw b points
+  | Solve_interval { len; points } ->
+      Codec.u8 b 4;
+      Codec.f64 b len;
+      array_ xy b points
+  | Insert { x; y; weight } ->
+      Codec.u8 b 5;
+      Codec.f64 b x;
+      Codec.f64 b y;
+      Codec.f64 b weight
+  | Delete { handle } ->
+      Codec.u8 b 6;
+      Codec.int_ b handle
+  | Query -> Codec.u8 b 7
+  | Stats -> Codec.u8 b 8);
+  Buffer.contents b
+
+let r_request r =
+  let v = Codec.r_u8 r in
+  if v <> version then Codec.malformed "protocol version %d (expected %d)" v version;
+  let id = Codec.r_int r in
+  let req =
+    match Codec.r_u8 r with
+    | 0 -> Ping
+    | 1 ->
+        let radius = Codec.r_f64 r in
+        let deadline = Codec.r_opt Codec.r_f64 r in
+        let points = r_points r "points" in
+        Solve_weighted { radius; deadline; points }
+    | 2 ->
+        let radius = Codec.r_f64 r in
+        let deadline = Codec.r_opt Codec.r_f64 r in
+        let seed = Codec.r_int r in
+        let max_shifts = Codec.r_opt Codec.r_int r in
+        let points = r_pairs r "points" in
+        let colors = r_colors r "colors" in
+        Solve_colored { radius; deadline; seed; max_shifts; points; colors }
+    | 3 ->
+        let radius = Codec.r_f64 r in
+        let epsilon = Codec.r_f64 r in
+        let seed = Codec.r_int r in
+        let max_shifts = Codec.r_opt Codec.r_int r in
+        let points = r_points r "points" in
+        Solve_static { radius; epsilon; seed; max_shifts; points }
+    | 4 ->
+        let len = Codec.r_f64 r in
+        let points = r_pairs r "points" in
+        Solve_interval { len; points }
+    | 5 ->
+        let x = Codec.r_f64 r in
+        let y = Codec.r_f64 r in
+        let weight = Codec.r_f64 r in
+        Insert { x; y; weight }
+    | 6 -> Delete { handle = Codec.r_int r }
+    | 7 -> Query
+    | 8 -> Stats
+    | t -> Codec.malformed "unknown request tag %d" t
+  in
+  if not (Codec.at_end r) then Codec.malformed "trailing bytes after request";
+  (id, req)
+
+let decode_request payload = Codec.protect r_request payload
+
+(* {1 Replies} *)
+
+let answer_ b a =
+  Codec.f64 b a.x;
+  Codec.f64 b a.y;
+  Codec.f64 b a.value;
+  Codec.bool_ b a.verified;
+  Codec.u8 b (source_to_u8 a.source)
+
+let r_answer r =
+  let x = Codec.r_f64 r in
+  let y = Codec.r_f64 r in
+  let value = Codec.r_f64 r in
+  let verified = Codec.r_bool r in
+  let source = source_of_u8 (Codec.r_u8 r) in
+  { x; y; value; verified; source }
+
+let encode_reply ~id reply =
+  let b = Buffer.create 64 in
+  Codec.u8 b version;
+  Codec.int_ b id;
+  (match reply with
+  | Pong -> Codec.u8 b 0
+  | Solved outcome ->
+      Codec.u8 b 1;
+      Codec.u8 b
+        (match outcome with
+        | Outcome.Complete _ -> 0
+        | Outcome.Degraded _ -> 1
+        | Outcome.Partial _ -> 2);
+      answer_ b (Outcome.value outcome)
+  | Inserted { handle; seq } ->
+      Codec.u8 b 2;
+      Codec.int_ b handle;
+      Codec.int_ b seq
+  | Deleted { seq } ->
+      Codec.u8 b 3;
+      Codec.int_ b seq
+  | Best best ->
+      Codec.u8 b 4;
+      Codec.opt xyw b best
+  | Stats_reply s ->
+      Codec.u8 b 5;
+      Codec.f64 b s.uptime_s;
+      Codec.int_ b s.conns_active;
+      Codec.int_ b s.queue_depth;
+      Codec.int_ b s.inflight;
+      Codec.int_ b s.accepted;
+      Codec.int_ b s.rejected;
+      Codec.int_ b s.completed;
+      Codec.int_ b s.degraded;
+      Codec.int_ b s.partial;
+      Codec.int_ b s.invalid;
+      Codec.int_ b s.protocol_errors;
+      Codec.int_ b s.timeouts;
+      Codec.int_ b s.disconnects;
+      Codec.int_ b s.p50_us;
+      Codec.int_ b s.p99_us;
+      array_
+        (fun b (i, c) ->
+          Codec.int_ b i;
+          Codec.int_ b c)
+        b s.latency_buckets
+  | Error_reply { code; retry_after_ms; msg } ->
+      Codec.u8 b 6;
+      Codec.u8 b (err_code_to_u8 code);
+      Codec.int_ b retry_after_ms;
+      string_ b msg);
+  Buffer.contents b
+
+let r_reply r =
+  let v = Codec.r_u8 r in
+  if v <> version then Codec.malformed "protocol version %d (expected %d)" v version;
+  let id = Codec.r_int r in
+  let reply =
+    match Codec.r_u8 r with
+    | 0 -> Pong
+    | 1 -> (
+        let tag = Codec.r_u8 r in
+        let a = r_answer r in
+        match tag with
+        | 0 -> Solved (Outcome.Complete a)
+        | 1 -> Solved (Outcome.Degraded a)
+        | 2 -> Solved (Outcome.Partial a)
+        | t -> Codec.malformed "bad outcome tag %d" t)
+    | 2 ->
+        let handle = Codec.r_int r in
+        let seq = Codec.r_int r in
+        Inserted { handle; seq }
+    | 3 -> Deleted { seq = Codec.r_int r }
+    | 4 -> Best (Codec.r_opt r_xyw r)
+    | 5 ->
+        let uptime_s = Codec.r_f64 r in
+        let conns_active = Codec.r_int r in
+        let queue_depth = Codec.r_int r in
+        let inflight = Codec.r_int r in
+        let accepted = Codec.r_int r in
+        let rejected = Codec.r_int r in
+        let completed = Codec.r_int r in
+        let degraded = Codec.r_int r in
+        let partial = Codec.r_int r in
+        let invalid = Codec.r_int r in
+        let protocol_errors = Codec.r_int r in
+        let timeouts = Codec.r_int r in
+        let disconnects = Codec.r_int r in
+        let p50_us = Codec.r_int r in
+        let p99_us = Codec.r_int r in
+        let latency_buckets =
+          let n = Codec.r_len ~elem_bytes:16 r "latency buckets" in
+          Array.init n (fun _ ->
+              let i = Codec.r_int r in
+              let c = Codec.r_int r in
+              (i, c))
+        in
+        Stats_reply
+          {
+            uptime_s;
+            conns_active;
+            queue_depth;
+            inflight;
+            accepted;
+            rejected;
+            completed;
+            degraded;
+            partial;
+            invalid;
+            protocol_errors;
+            timeouts;
+            disconnects;
+            p50_us;
+            p99_us;
+            latency_buckets;
+          }
+    | 6 ->
+        let code = err_code_of_u8 (Codec.r_u8 r) in
+        let retry_after_ms = Codec.r_int r in
+        let msg = r_string r "error message" in
+        Error_reply { code; retry_after_ms; msg }
+    | t -> Codec.malformed "unknown reply tag %d" t
+  in
+  if not (Codec.at_end r) then Codec.malformed "trailing bytes after reply";
+  (id, reply)
+
+let decode_reply payload = Codec.protect r_reply payload

@@ -1,0 +1,105 @@
+(** Request/reply bodies of the MaxRS wire protocol.
+
+    Each message travels as one CRC-checksummed frame ({!Netio}); this
+    module encodes/decodes the payload with the WAL codec conventions
+    (little-endian, floats as IEEE-754 bit patterns — answers shipped
+    over the wire carry the exact bits the solver produced). Decoding
+    is total: arbitrary bytes yield [Error], never an exception. *)
+
+val version : int
+
+val max_points : int
+(** Per-request point-count cap, over and above the frame-size cap. *)
+
+type request =
+  | Ping
+  | Solve_weighted of {
+      radius : float;
+      deadline : float option;
+          (** seconds of compute budget; [None] = server default *)
+      points : (float * float * float) array;  (** x, y, weight *)
+    }
+      (** Exact weighted disk MaxRS, degrading to the Theorem-1.2
+          approximation on budget expiry. *)
+  | Solve_colored of {
+      radius : float;
+      deadline : float option;
+      seed : int;
+      max_shifts : int option;
+      points : (float * float) array;
+      colors : int array;
+    }
+      (** Exact colored disk MaxRS (Theorem 4.6), degrading to the
+          Theorem-1.6 approximation on budget expiry. *)
+  | Solve_static of {
+      radius : float;
+      epsilon : float;
+      seed : int;
+      max_shifts : int option;
+      points : (float * float * float) array;
+    }  (** The Theorem-1.2 (1/2-eps)-approximation directly. *)
+  | Solve_interval of { len : float; points : (float * float) array }
+      (** Exact 1-D interval MaxRS. *)
+  | Insert of { x : float; y : float; weight : float }
+      (** Durable dynamic-session insert (WAL-journaled before ack). *)
+  | Delete of { handle : int }
+  | Query  (** Best placement of the dynamic session. *)
+  | Stats  (** Server health and latency quantiles. *)
+
+type source = Exact | Approx_fallback | Best_so_far
+
+type answer = {
+  x : float;
+  y : float;
+  value : float;
+  verified : bool;
+  source : source;
+}
+
+type err_code =
+  | Overloaded
+  | Invalid
+  | Malformed_request
+  | Shutting_down
+  | Too_large
+  | Internal
+
+val err_code_to_string : err_code -> string
+
+type server_stats = {
+  uptime_s : float;
+  conns_active : int;
+  queue_depth : int;
+  inflight : int;
+  accepted : int;
+  rejected : int;
+  completed : int;
+  degraded : int;
+  partial : int;
+  invalid : int;
+  protocol_errors : int;
+  timeouts : int;
+  disconnects : int;
+  p50_us : int;
+  p99_us : int;
+  latency_buckets : (int * int) array;
+}
+
+type reply =
+  | Pong
+  | Solved of answer Maxrs_resilience.Outcome.t
+      (** The degradation status travels on the wire: [Degraded] and
+          [Partial] answers are marked as such, exactly as the local
+          {!Maxrs_resilience.Outcome} reports them. *)
+  | Inserted of { handle : int; seq : int }
+  | Deleted of { seq : int }
+  | Best of (float * float * float) option
+  | Stats_reply of server_stats
+  | Error_reply of { code : err_code; retry_after_ms : int; msg : string }
+      (** [retry_after_ms > 0] only with [Overloaded]: the server's
+          backpressure hint, honored by the client's backoff. *)
+
+val encode_request : id:int -> request -> string
+val decode_request : string -> (int * request, string) result
+val encode_reply : id:int -> reply -> string
+val decode_reply : string -> (int * reply, string) result

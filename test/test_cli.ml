@@ -328,6 +328,131 @@ let test_session_sigterm_flushes_and_exits_5 () =
           Alcotest.(check bool) "post-signal recovery" true
             (contains ~needle:"session: recovered" out2)))
 
+(* ------------------------------------------------------------------ *)
+(* solve --remote: same answers, same failure model, over the wire *)
+
+let serverd =
+  match Sys.getenv_opt "MAXRS_SERVERD" with
+  | Some p -> p
+  | None -> Filename.concat test_dir "../bin/maxrs_serverd.exe"
+
+(* Spawn the daemon on a fresh Unix socket and run [f addr] against it;
+   always drains it with SIGTERM afterwards. *)
+let with_daemon f =
+  let sock = Filename.temp_file "maxrs_cli_srv" ".sock" in
+  Sys.remove sock;
+  let log = Filename.temp_file "maxrs_cli_srv" ".log" in
+  let fd = Unix.openfile log [ Unix.O_WRONLY; O_TRUNC ] 0o644 in
+  let pid =
+    Unix.create_process serverd
+      [| serverd; "serve"; "--addr"; "unix:" ^ sock |]
+      Unix.stdin fd fd
+  in
+  Unix.close fd;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ -> (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()));
+      (try Sys.remove sock with Sys_error _ -> ());
+      Sys.remove log)
+    (fun () ->
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec wait_up () =
+        if Unix.gettimeofday () > deadline then
+          Alcotest.failf "daemon never came up:\n%s" (read_file log)
+        else if not (contains ~needle:"listening on" (read_file log)) then begin
+          Unix.sleepf 0.05;
+          wait_up ()
+        end
+      in
+      wait_up ();
+      f ("unix:" ^ sock))
+
+let test_remote_matches_local () =
+  with_input (weighted_instance 120) (fun input ->
+      with_daemon (fun addr ->
+          let lc, lout, _ = run (Printf.sprintf "solve -i %s" input) in
+          let rc, rout, _ =
+            run (Printf.sprintf "solve -i %s --remote %s" input addr)
+          in
+          Alcotest.(check int) "local exits 0" 0 lc;
+          Alcotest.(check int) "remote exits 0" 0 rc;
+          Alcotest.(check string) "remote output byte-identical to local"
+            lout rout))
+
+let test_remote_colored_matches_local () =
+  let colored =
+    List.init 90 (fun i ->
+        Printf.sprintf "%g,%g,%d"
+          (float_of_int (i mod 11) *. 0.5)
+          (float_of_int (i mod 8) *. 0.5)
+          (i mod 4))
+  in
+  with_input colored (fun input ->
+      with_daemon (fun addr ->
+          let lc, lout, _ =
+            run (Printf.sprintf "solve -i %s --colored --seed 7" input)
+          in
+          let rc, rout, _ =
+            run
+              (Printf.sprintf "solve -i %s --colored --seed 7 --remote %s"
+                 input addr)
+          in
+          Alcotest.(check int) "local exits 0" 0 lc;
+          Alcotest.(check int) "remote exits 0" 0 rc;
+          Alcotest.(check string) "remote colored output identical" lout rout))
+
+let test_remote_exit_codes () =
+  with_daemon (fun addr ->
+      (* parse errors stay local: same exit 2 *)
+      with_input [ "definitely,not,numbers" ] (fun input ->
+          let code, _, _ =
+            run (Printf.sprintf "solve -i %s --remote %s" input addr)
+          in
+          Alcotest.(check int) "exit 2 on parse error" 2 code);
+      (* invalid input is rejected by the server's guard: same exit 3 *)
+      with_input [ "0,0,-5"; "1,1,2" ] (fun input ->
+          let code, _, err =
+            run (Printf.sprintf "solve -i %s --remote %s" input addr)
+          in
+          Alcotest.(check int) "exit 3 on negative weight" 3 code;
+          Alcotest.(check bool) "diagnostic is non-empty" true
+            (String.length err > 0));
+      (* strict deadline: the server degrades, the CLI maps it to 4 *)
+      with_input (weighted_instance 4000) (fun input ->
+          let code, _, err =
+            run
+              (Printf.sprintf
+                 "solve -i %s --deadline 0.000001 --strict --remote %s" input
+                 addr)
+          in
+          Alcotest.(check int) "exit 4 on strict deadline" 4 code;
+          Alcotest.(check bool) "diagnostic mentions deadline" true
+            (contains ~needle:"deadline" err));
+      (* lenient deadline still answers, exit 0 *)
+      with_input (weighted_instance 4000) (fun input ->
+          let code, out, _ =
+            run
+              (Printf.sprintf "solve -i %s --deadline 0.000001 --remote %s"
+                 input addr)
+          in
+          Alcotest.(check int) "lenient expiry still exits 0" 0 code;
+          Alcotest.(check bool) "answer still printed" true
+            (contains ~needle:"weight:" out)))
+
+let test_remote_connection_refused () =
+  with_input (weighted_instance 10) (fun input ->
+      let code, _, err =
+        run
+          (Printf.sprintf "solve -i %s --remote unix:/nonexistent/maxrs.sock"
+             input)
+      in
+      Alcotest.(check bool) "nonzero exit" true (code <> 0);
+      Alcotest.(check bool) "mentions the remote failure" true
+        (contains ~needle:"remote" err))
+
 let () =
   Alcotest.run "cli"
     [
@@ -358,5 +483,16 @@ let () =
             test_session_recovers_truncated_wal;
           Alcotest.test_case "SIGTERM flushes and exits 5" `Quick
             test_session_sigterm_flushes_and_exits_5;
+        ] );
+      ( "remote",
+        [
+          Alcotest.test_case "weighted output identical to local" `Quick
+            test_remote_matches_local;
+          Alcotest.test_case "colored output identical to local" `Quick
+            test_remote_colored_matches_local;
+          Alcotest.test_case "exit codes 2/3/4 carry over the wire" `Quick
+            test_remote_exit_codes;
+          Alcotest.test_case "connection refused is a clean failure" `Quick
+            test_remote_connection_refused;
         ] );
     ]

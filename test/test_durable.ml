@@ -538,6 +538,106 @@ let test_crash_storm_wal_only () =
         ~seed:2002)
 
 (* ------------------------------------------------------------------ *)
+(* Wal.write_all under short writes: a non-blocking pipe (64 KiB
+   kernel buffer) against a 1 MiB payload forces the kernel to return
+   short counts and EAGAIN; the loop must still deliver every byte in
+   order. *)
+
+let test_wal_short_writes () =
+  let r, w = Unix.pipe () in
+  Unix.set_nonblock w;
+  let n = 1 lsl 20 in
+  let data = Bytes.init n (fun i -> Char.chr ((i * 131) land 0xff)) in
+  let received = Buffer.create n in
+  let reader_t =
+    Thread.create
+      (fun () ->
+        let buf = Bytes.create 8192 in
+        let continue = ref true in
+        while !continue do
+          match Unix.read r buf 0 8192 with
+          | 0 -> continue := false
+          | k ->
+              Buffer.add_subbytes received buf 0 k;
+              (* drain slower than the writer fills, so the pipe stays
+                 full and the writer keeps seeing partial progress *)
+              Thread.delay 0.0002
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done)
+      ()
+  in
+  Wal.write_all w data;
+  Unix.close w;
+  Thread.join reader_t;
+  Unix.close r;
+  Alcotest.(check int) "all bytes arrive" n (Buffer.length received);
+  Alcotest.(check bool)
+    "bytes identical" true
+    (String.equal (Buffer.contents received) (Bytes.to_string data))
+
+(* ------------------------------------------------------------------ *)
+(* Decoder totality: adversarial bytes must come back as [Error],
+   never as an exception and never via an allocation proportional to a
+   corrupt length field. *)
+
+let reference_encoding =
+  lazy
+    (let cfg = test_cfg 0.4 7 in
+     let dyn = Dynamic.create ~cfg ~radius:1.0 ~dim:2 () in
+     List.iter (apply_dyn dyn) (gen_ops ~n:40 ~seed:11 ~extent:8.);
+     Codec.encode_state (Dynamic.state dyn))
+
+let qcheck_decode_garbage_total =
+  QCheck.Test.make ~count:500
+    ~name:"codec: decode_state_result of garbage is Error, never raises"
+    QCheck.(string_gen Gen.char)
+    (fun s ->
+      match Codec.decode_state_result s with
+      | Ok _ -> true
+      | Error m -> String.length m > 0)
+
+let qcheck_decode_flip_total =
+  QCheck.Test.make ~count:500
+    ~name:"codec: bit-flipped state encodings decode totally"
+    QCheck.(pair small_nat small_nat)
+    (fun (i, b) ->
+      let s = Lazy.force reference_encoding in
+      let by = Bytes.of_string s in
+      let i = i mod Bytes.length by in
+      Bytes.set by i
+        (Char.chr (Char.code (Bytes.get by i) lxor (1 + (b mod 255))));
+      match Codec.decode_state_result (Bytes.unsafe_to_string by) with
+      | Ok _ -> true
+      | Error m -> String.length m > 0)
+
+let qcheck_decode_truncated_total =
+  QCheck.Test.make ~count:200
+    ~name:"codec: truncated state encodings decode totally"
+    QCheck.small_nat
+    (fun k ->
+      let s = Lazy.force reference_encoding in
+      let k = k mod (String.length s + 1) in
+      match Codec.decode_state_result (String.sub s 0 k) with
+      | Ok _ -> k = String.length s
+      | Error m -> String.length m > 0)
+
+(* An 8-byte message advertising a 2^27-element array: [r_len] must
+   reject it against the remaining-byte count before allocating. *)
+let test_codec_huge_length () =
+  let b = Buffer.create 16 in
+  Codec.int_ b (1 lsl 27);
+  let data = Buffer.contents b in
+  (match Codec.r_float_array (Codec.reader data) "arr" with
+  | exception Codec.Malformed _ -> ()
+  | _ -> Alcotest.fail "huge float-array length accepted");
+  (match Codec.r_int_array (Codec.reader data) "arr" with
+  | exception Codec.Malformed _ -> ()
+  | _ -> Alcotest.fail "huge int-array length accepted");
+  match Codec.decode_state_result data with
+  | Ok _ -> Alcotest.fail "huge state length accepted"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
@@ -561,7 +661,20 @@ let () =
       ( "codec",
         Alcotest.test_case "garbage raises Malformed" `Quick
           test_codec_rejects_garbage
-        :: qcheck_cases );
+        :: Alcotest.test_case "adversarial length fails before allocation"
+             `Quick test_codec_huge_length
+        :: qcheck_cases
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              qcheck_decode_garbage_total;
+              qcheck_decode_flip_total;
+              qcheck_decode_truncated_total;
+            ] );
+      ( "wal-io",
+        [
+          Alcotest.test_case "write_all survives short writes" `Quick
+            test_wal_short_writes;
+        ] );
       ( "session",
         [
           Alcotest.test_case "clean restart is bit-identical" `Quick
