@@ -631,10 +631,19 @@ let e10 () =
       (fun acc (_, runs, _) -> acc +. List.assoc d runs)
       0. entries
   in
+  (* Oversubscribed points (d > cores) can win the argmin by scheduler
+     accident without saying anything about real scaling, so only
+     counts the machine can actually run in parallel are eligible for
+     the recommendation. The full curve is still reported. *)
+  let eligible =
+    match List.filter (fun d -> d <= cores) counts with
+    | [] -> counts
+    | l -> l
+  in
   let best_domains =
     List.fold_left
       (fun best d -> if total_at d < total_at best then d else best)
-      (List.hd counts) counts
+      (List.hd eligible) eligible
   in
   let caveat =
     if cores = 1 then
@@ -1779,6 +1788,360 @@ let e15 () =
   row "\nwrote BENCH_serving.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* E16 — sharded dynamic session: a kill -9 recovery row plus a
+   scaling curve with shards = domains in {1,2,4,8}. The hard claims
+   are bit-identity claims — every shard count produces the same state
+   encoding as a solo replay, parallel recovery equals sequential
+   recovery byte for byte, and a SIGKILL mid-traffic loses at most the
+   unacked suffix — so they are asserted (exit 1) rather than
+   reported. Wall-clock rows are advisory: on a machine with fewer
+   cores than shards they measure scheduling, not scaling. Results
+   extend BENCH_parallel.json under an "e16" key. Dials:
+   MAXRS_E16_OPS (op-script length, default 1500). *)
+
+module Dsession = Maxrs_durable.Session
+module Dcodec = Maxrs_durable.Codec
+module Dwal = Maxrs_durable.Wal
+
+type e16_op = E16_ins of float array * float | E16_del of int
+
+(* Handles are dense and assigned in insert order, so the script can
+   predict them without running anything (same scheme as the durable
+   test suite's differential scripts). *)
+let e16_ops ~n ~seed =
+  let rng = Rng.create seed in
+  let live = ref [] and nlive = ref 0 and inserts = ref 0 in
+  List.init n (fun _ ->
+      if !nlive > 1 && Rng.bernoulli rng 0.25 then begin
+        let k = Rng.int rng !nlive in
+        let h = List.nth !live k in
+        live := List.filteri (fun i _ -> i <> k) !live;
+        decr nlive;
+        E16_del h
+      end
+      else begin
+        let p = [| Rng.float rng 30.; Rng.float rng 30. |] in
+        let w = 1. +. Rng.float rng 2. in
+        live := !inserts :: !live;
+        incr inserts;
+        incr nlive;
+        E16_ins (p, w)
+      end)
+
+let e16_apply s = function
+  | E16_ins (p, w) -> ignore (Dsession.insert s ~weight:w p : Dynamic.handle)
+  | E16_del h -> Dsession.delete s (Dynamic.handle_of_id h)
+
+(* Bit-identical oracle: the state an unsharded, undurable Dynamic
+   reaches by replaying the first [prefix] ops from scratch. *)
+let e16_reference ops ~prefix =
+  let dyn = Dynamic.create ~cfg:Config.default ~radius:1. ~dim:2 () in
+  List.iteri
+    (fun i op ->
+      if i < prefix then
+        match op with
+        | E16_ins (p, w) ->
+            ignore (Dynamic.insert dyn ~weight:w p : Dynamic.handle)
+        | E16_del h -> Dynamic.delete dyn (Dynamic.handle_of_id h))
+    ops;
+  (Dcodec.encode_state (Dynamic.state dyn), Dynamic.best dyn)
+
+let e16_session_fp s =
+  (Dcodec.encode_state (Dsession.state s), Dsession.best s)
+
+let e16_fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "E16: FAIL %s\n" msg;
+      exit 1)
+    fmt
+
+let e16_fresh_wal tag =
+  let p = Filename.temp_file ("maxrs_e16_" ^ tag) ".wal" in
+  Sys.remove p;
+  p
+
+let e16_prefixed wal =
+  let dir = Filename.dirname wal and base = Filename.basename wal in
+  Array.to_list (Sys.readdir dir)
+  |> List.filter_map (fun name ->
+         if
+           String.length name >= String.length base
+           && String.sub name 0 (String.length base) = base
+         then
+           Some
+             ( Filename.concat dir name,
+               String.sub name (String.length base)
+                 (String.length name - String.length base) )
+         else None)
+
+let e16_cleanup_wal wal =
+  List.iter
+    (fun (path, _) -> try Sys.remove path with Sys_error _ -> ())
+    (e16_prefixed wal)
+
+(* Duplicate every file of a (possibly sharded) WAL layout —
+   manifest, shard logs, snapshots — under a second base path, so two
+   recoveries can start from the same crashed bytes. *)
+let e16_copy_layout ~from_wal ~to_wal =
+  List.iter
+    (fun (path, suffix) ->
+      let data = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin (to_wal ^ suffix) (fun oc ->
+          Out_channel.output_string oc data))
+    (e16_prefixed from_wal)
+
+(* The crash victim runs as a re-exec of this binary ([--e16-child],
+   intercepted in the main entry point below): [Unix.fork] is
+   forbidden once any domain has ever been created in the process, and
+   earlier experiments (or the scaling rows) spin pools up. The child
+   regenerates the op script from [seed], opens sharded, applies
+   traffic under fsync=Always, and never closes — if the script
+   finishes before the SIGKILL lands it parks, so the kill always hits
+   an open session. *)
+let e16_child_main wal shards n seed =
+  (match
+     Dsession.open_ ~wal ~shards ~snapshot_every:64 ~fsync:Dwal.Always ()
+   with
+  | Error e ->
+      Printf.eprintf "E16 child: %s\n%!" e;
+      exit 1
+  | Ok s ->
+      let ready = wal ^ ".e16ready" in
+      List.iteri
+        (fun i op ->
+          e16_apply s op;
+          if i = 40 then
+            Out_channel.with_open_bin ready (fun oc ->
+                Out_channel.output_string oc "r"))
+        (e16_ops ~n ~seed);
+      while true do
+        Unix.sleepf 3600.
+      done);
+  exit 0
+
+let e16_recovery_row ~ops ~seed ~shards =
+  let total = List.length ops in
+  let wal = e16_fresh_wal "kill" in
+  let ready = wal ^ ".e16ready" in
+  (* The sentinel is written after op index 40 has been applied under
+     fsync=Always, so at least 41 acked ops are durable before the
+     parent is allowed to shoot the child. *)
+  flush stdout;
+  flush stderr;
+  let exe = Sys.executable_name in
+  let pid =
+    Unix.create_process exe
+      [|
+        exe; "--e16-child"; wal; string_of_int shards; string_of_int total;
+        string_of_int seed;
+      |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let deadline = Unix.gettimeofday () +. 30. in
+      while
+        (not (Sys.file_exists ready)) && Unix.gettimeofday () < deadline
+      do
+        Unix.sleepf 0.01
+      done;
+      if not (Sys.file_exists ready) then begin
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid);
+        e16_fail "child made no progress before the deadline"
+      end;
+      (* let some more traffic land mid-flight, then kill -9 *)
+      Unix.sleepf 0.25;
+      Unix.kill pid Sys.sigkill;
+      (match Unix.waitpid [] pid with
+      | _, Unix.WSIGNALED s when s = Sys.sigkill -> ()
+      | _ -> e16_fail "child did not die from SIGKILL");
+      (try Sys.remove ready with Sys_error _ -> ());
+      let wal2 = e16_fresh_wal "kill2" in
+      e16_copy_layout ~from_wal:wal ~to_wal:wal2;
+      let rec_ms = Obs.counter "shard.recovery_ms" in
+      let ms_before = Obs.value rec_ms in
+      let t0 = Unix.gettimeofday () in
+      let s =
+        Obs.with_enabled true (fun () ->
+            match Dsession.open_ ~wal () with
+            | Ok s -> s
+            | Error e -> e16_fail "parallel recovery failed: %s" e)
+      in
+      let t_par = Unix.gettimeofday () -. t0 in
+      let counter_ms = Obs.value rec_ms - ms_before in
+      if Dsession.shards s <> shards then
+        e16_fail "recovered %d shards, expected %d" (Dsession.shards s) shards;
+      let seq = Dsession.seq s in
+      if seq < 41 || seq > total then
+        e16_fail "recovered seq %d outside acked window [41, %d]" seq total;
+      let fp_par = e16_session_fp s in
+      Dsession.close s;
+      let t1 = Unix.gettimeofday () in
+      let s2 =
+        match Dsession.open_ ~wal:wal2 ~domains:1 () with
+        | Ok s -> s
+        | Error e -> e16_fail "sequential recovery failed: %s" e
+      in
+      let t_seq = Unix.gettimeofday () -. t1 in
+      if Dsession.seq s2 <> seq then
+        e16_fail "sequential recovery reached seq %d, parallel reached %d"
+          (Dsession.seq s2) seq;
+      let fp_seq = e16_session_fp s2 in
+      Dsession.close s2;
+      if fp_par <> fp_seq then
+        e16_fail "parallel and sequential recovery disagree at seq %d" seq;
+      let fp_ref = e16_reference ops ~prefix:seq in
+      if fp_par <> fp_ref then
+        e16_fail "recovered state diverges from solo replay of %d acked ops"
+          seq;
+      e16_cleanup_wal wal;
+      e16_cleanup_wal wal2;
+      row
+        "kill -9: shards=%d, recovered seq %d of %d scripted ops \
+         (parallel %.3fs, sequential %.3fs, bit-identical)\n"
+        shards seq total t_par t_seq;
+      (seq, total, t_par, t_seq, counter_ms)
+
+let e16_scale_row ~ops k =
+  let total = List.length ops in
+  let wal = e16_fresh_wal "scale" in
+  let s =
+    match
+      Dsession.open_ ~wal ~shards:k ~domains:k ~snapshot_every:500
+        ~fsync:(Dwal.Interval 64) ()
+    with
+    | Ok s -> s
+    | Error e -> e16_fail "open shards=%d: %s" k e
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter (e16_apply s) ops;
+  let t_apply = Unix.gettimeofday () -. t0 in
+  let fp_live = e16_session_fp s in
+  Dsession.close s;
+  let t1 = Unix.gettimeofday () in
+  let s2 =
+    match Dsession.open_ ~wal:wal ~domains:k () with
+    | Ok s -> s
+    | Error e -> e16_fail "reopen shards=%d: %s" k e
+  in
+  let t_rec = Unix.gettimeofday () -. t1 in
+  if Dsession.shards s2 <> k then
+    e16_fail "reopen shards=%d came back with %d shards" k
+      (Dsession.shards s2);
+  if Dsession.seq s2 <> total then
+    e16_fail "reopen shards=%d lost ops: seq %d of %d" k (Dsession.seq s2)
+      total;
+  let fp_rec = e16_session_fp s2 in
+  Dsession.close s2;
+  if fp_rec <> fp_live then
+    e16_fail "shards=%d: recovered state differs from pre-close state" k;
+  e16_cleanup_wal wal;
+  row "%8d %10d %12.3f %12.3f\n" k total t_apply t_rec;
+  (k, t_apply, t_rec, fp_rec)
+
+(* Splice an "e16" object into BENCH_parallel.json without disturbing
+   the E10 content (replacing any previous e16 section). *)
+let e16_extend_bench_parallel obj =
+  let path = "BENCH_parallel.json" in
+  let base =
+    if Sys.file_exists path then
+      In_channel.with_open_bin path In_channel.input_all
+    else "{\n  \"experiment\": \"E16\"\n}\n"
+  in
+  let marker = ",\n  \"e16\":" in
+  let find_sub hay needle =
+    let n = String.length needle and m = String.length hay in
+    let rec go i =
+      if i + n > m then None
+      else if String.sub hay i n = needle then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let prefix =
+    match find_sub base marker with
+    | Some i -> String.sub base 0 i
+    | None ->
+        let n = ref (String.length base) in
+        let ws c = c = '\n' || c = '\r' || c = ' ' || c = '\t' in
+        while !n > 0 && ws base.[!n - 1] do
+          decr n
+        done;
+        if !n > 0 && base.[!n - 1] = '}' then decr n;
+        while !n > 0 && ws base.[!n - 1] do
+          decr n
+        done;
+        String.sub base 0 !n
+  in
+  let oc = open_out path in
+  output_string oc (prefix ^ marker ^ " " ^ obj ^ "\n}\n");
+  close_out oc
+
+let e16 () =
+  header "E16 — sharded session: kill -9 recovery and shard scaling";
+  let total_ops =
+    match Sys.getenv_opt "MAXRS_E16_OPS" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some v when v >= 200 -> Int.min v 200_000
+        | _ -> 1500)
+    | None -> 1500
+  in
+  let cores = Domain.recommended_domain_count () in
+  let shard_counts = [ 1; 2; 4; 8 ] in
+  row "cores: %d  ops: %d\n" cores total_ops;
+  let ops = e16_ops ~n:total_ops ~seed:160016 in
+  let kseq, ktotal, kt_par, kt_seq, kms =
+    e16_recovery_row ~ops ~seed:160016 ~shards:4
+  in
+  row "%8s %10s %12s %12s\n" "shards" "ops" "apply(s)" "recover(s)";
+  let scale = List.map (e16_scale_row ~ops) shard_counts in
+  (* determinism across shard counts, against the solo oracle *)
+  let fp_ref = e16_reference ops ~prefix:total_ops in
+  List.iter
+    (fun (k, _, _, fp) ->
+      if fp <> fp_ref then
+        e16_fail "shards=%d state diverges from the solo oracle" k)
+    scale;
+  row "determinism: all shard counts bit-identical to solo oracle: true\n";
+  let caveat =
+    if cores < List.fold_left Int.max 1 shard_counts then
+      Printf.sprintf
+        "%d cores available: wall rows for shard counts above %d are \
+         oversubscribed and advisory; only bit-identity and recovery \
+         success are gated"
+        cores cores
+    else ""
+  in
+  if caveat <> "" then row "caveat: %s\n" caveat;
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "{\n\
+    \    \"total_ops\": %d,\n\
+    \    \"cores_available\": %d,\n"
+    total_ops cores;
+  if caveat <> "" then
+    Printf.bprintf buf "    \"measurement_caveat\": %S,\n" caveat;
+  Printf.bprintf buf
+    "    \"recovery\": { \"shards\": 4, \"recovered_seq\": %d, \
+     \"script_ops\": %d, \"parallel_seconds\": %.6f, \
+     \"sequential_seconds\": %.6f, \"recovery_ms_counter\": %d, \
+     \"bit_identical\": true, \"parallel_matches_sequential\": true },\n"
+    kseq ktotal kt_par kt_seq kms;
+  Buffer.add_string buf "    \"scaling\": [\n";
+  List.iteri
+    (fun i (k, t_apply, t_rec, _) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf
+        "      { \"shards\": %d, \"domains\": %d, \"apply_seconds\": %.6f, \
+         \"recovery_seconds\": %.6f, \"bit_identical\": true }"
+        k k t_apply t_rec)
+    scale;
+  Buffer.add_string buf "\n    ]\n  }";
+  e16_extend_bench_parallel (Buffer.contents buf);
+  row "\nextended BENCH_parallel.json (e16 section)\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1797,11 +2160,26 @@ let experiments =
     ("e13", e13);
     ("e14", e14);
     ("e15", e15);
+    ("e16", e16);
     ("ablation", ablation);
     ("micro", micro);
   ]
 
 let () =
+  (* hidden mode: crash victim for the E16 kill -9 row (see
+     [e16_child_main]) — handled before normal experiment dispatch *)
+  if Array.length Sys.argv = 6 && Sys.argv.(1) = "--e16-child" then begin
+    match
+      ( int_of_string_opt Sys.argv.(3),
+        int_of_string_opt Sys.argv.(4),
+        int_of_string_opt Sys.argv.(5) )
+    with
+    | Some shards, Some n, Some seed ->
+        e16_child_main Sys.argv.(2) shards n seed
+    | _ ->
+        prerr_endline "--e16-child expects <wal> <shards> <ops> <seed>";
+        exit 1
+  end;
   let rec strip_flags acc = function
     | [] -> List.rev acc
     | "--domains" :: v :: rest -> (

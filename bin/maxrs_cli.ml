@@ -849,7 +849,7 @@ let dynamic_cmd =
 (* session: crash-safe dynamic structure (WAL + snapshots + recovery) *)
 
 let session wal input snapshot_every fsync_kind fsync_interval linger
-    final_snapshot radius epsilon shifts seed dim stats =
+    final_snapshot radius epsilon shifts seed dim shards domains stats =
   with_stats stats @@ fun () ->
   guarded (fun () ->
       let fsync =
@@ -859,7 +859,10 @@ let session wal input snapshot_every fsync_kind fsync_interval linger
         | `Interval -> Wal.Interval (Int.max 1 fsync_interval)
       in
       let cfg = Config.make ~epsilon ~max_grid_shifts:shifts ~seed () in
-      match Session.open_ ~wal ~snapshot_every ~fsync ~dim ~radius ~cfg () with
+      match
+        Session.open_ ~wal ?shards ?domains ~snapshot_every ~fsync ~dim ~radius
+          ~cfg ()
+      with
       | Error msg ->
           Printf.eprintf "maxrs: %s\n" msg;
           exit_invalid_input
@@ -879,6 +882,9 @@ let session wal input snapshot_every fsync_kind fsync_interval linger
             (fun () ->
               (* Flushed eagerly so a supervisor watching the stream sees
                  the session come up before it starts lingering. *)
+              (match Session.shards sess with
+              | 1 -> ()
+              | k -> Printf.printf "session: sharded over %d WALs\n" k);
               (match Session.recovery sess with
               | None -> Printf.printf "session: fresh log at %s\n%!" wal
               | Some r ->
@@ -1007,6 +1013,24 @@ let session_cmd =
   let dim =
     Arg.(value & opt int 2 & info [ "dim" ] ~docv:"D" ~doc:"Dimension.")
   in
+  let shards =
+    Arg.(
+      value & opt (some int) None
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Shard the session over $(docv) per-shard WALs (answers stay \
+             bit-identical to a solo session; recovery scans the shard logs \
+             in parallel). An existing layout at $(b,--wal) reopens with its \
+             on-disk shard count regardless of this flag.")
+  in
+  let domains =
+    Arg.(
+      value & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker-pool bound for a sharded session (default: \
+             $(b,MAXRS_DOMAINS) or the core count).")
+  in
   Cmd.v
     (Cmd.info "session" ~exits:resilience_exits
        ~doc:
@@ -1017,7 +1041,7 @@ let session_cmd =
     Term.(
       const session $ wal $ input $ snapshot_every $ fsync_kind
       $ fsync_interval $ linger $ final_snapshot $ radius_arg $ epsilon_arg
-      $ shifts_arg $ seed_arg $ dim $ stats_arg)
+      $ shifts_arg $ seed_arg $ dim $ shards $ domains $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* depth-map: rasterize the (weighted or colored) depth function *)

@@ -46,7 +46,8 @@ let addr_t =
 (* serve *)
 
 let serve addr workers queue_cap max_conns max_frame idle_timeout read_deadline
-    default_deadline drain_grace wal fsync_kind fsync_interval snapshot_every =
+    default_deadline drain_grace wal fsync_kind fsync_interval snapshot_every
+    shards domains =
   let fsync =
     match fsync_kind with
     | `Always -> Wal.Always
@@ -67,6 +68,8 @@ let serve addr workers queue_cap max_conns max_frame idle_timeout read_deadline
       wal;
       fsync;
       snapshot_every;
+      shards;
+      domains;
     }
   in
   match Server.start cfg with
@@ -83,9 +86,14 @@ let serve addr workers queue_cap max_conns max_frame idle_timeout read_deadline
                   (if r.Session.wal_rewritten then "log rewritten" else "clean")
             | None -> ""
           in
-          Printf.printf "session: %s seq=%d size=%d%s\n"
+          let sharded =
+            match Session.shards sess with
+            | 1 -> ""
+            | k -> Printf.sprintf " shards=%d" k
+          in
+          Printf.printf "session: %s seq=%d size=%d%s%s\n"
             (Session.wal_path sess) (Session.seq sess) (Session.size sess)
-            recovered
+            sharded recovered
       | None -> ());
       (* The line tests and scripts poll for: the socket is live. *)
       Printf.printf "listening on %s\n%!" (Netio.addr_to_string addr);
@@ -198,12 +206,29 @@ let serve_cmd =
       & info [ "snapshot-every" ] ~docv:"N"
           ~doc:"Session ops between automatic snapshots (0 disables).")
   in
+  let shards =
+    Arg.(
+      value & opt (some int) None
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Shard the session over $(docv) per-shard WALs with parallel \
+             recovery. An existing layout at $(b,--wal) reopens with its \
+             on-disk shard count regardless of this flag.")
+  in
+  let domains =
+    Arg.(
+      value & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker-pool bound for a sharded session (default: \
+             $(b,MAXRS_DOMAINS) or the core count).")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the MaxRS daemon.")
     Term.(
       const serve $ addr_t $ workers $ queue_cap $ max_conns $ max_frame
       $ idle_timeout $ read_deadline $ default_deadline $ drain_grace $ wal
-      $ fsync_kind $ fsync_interval $ snapshot_every)
+      $ fsync_kind $ fsync_interval $ snapshot_every $ shards $ domains)
 
 (* ------------------------------------------------------------------ *)
 (* ping / stats *)

@@ -12,7 +12,42 @@ type op_event =
   | Op_delete of handle
   | Op_epoch of { epochs : int; n0 : int }
 
-type entry = { depth : float; version : int; cell : Sample_space.cell }
+(* A strict total order: depth first, then the cell's stable uid, then
+   the entry version (freshest first). With no ties between
+   distinguishable entries, a heap's top — and hence every query
+   answer — is independent of the heap's internal layout, so a
+   crash-recovered structure (whose heap is rebuilt by compaction)
+   answers exactly like one that never stopped. Exposed as a module so
+   the sharded store's per-shard heaps use the very same order and its
+   shard-index merge returns exactly this structure's answer. *)
+module Entry = struct
+  type t = { depth : float; version : int; cell : Sample_space.cell }
+
+  let cmp a b =
+    let c = Float.compare a.depth b.depth in
+    if c <> 0 then c
+    else
+      let c =
+        Int.compare
+          (Sample_space.cell_uid b.cell)
+          (Sample_space.cell_uid a.cell)
+      in
+      if c <> 0 then c else Int.compare a.version b.version
+
+  (* The current entry for a cell, [None] when the cell witnesses no
+     ball (such cells never enter a heap). *)
+  let of_cell c =
+    let depth = Sample_space.cell_max c in
+    if depth > 0. then
+      Some { depth; version = Sample_space.cell_version c; cell = c }
+    else None
+
+  let live e =
+    e.version = Sample_space.cell_version e.cell
+    && Sample_space.cell_max e.cell > 0.
+end
+
+type entry = Entry.t
 
 type t = {
   dim : int;
@@ -28,20 +63,7 @@ type t = {
   mutable journal : op_event -> unit;  (** op-journaling hook *)
 }
 
-(* A strict total order: depth first, then the cell's stable uid, then
-   the entry version (freshest first). With no ties between
-   distinguishable entries, the heap's top — and hence every query
-   answer — is independent of the heap's internal layout, so a
-   crash-recovered structure (whose heap is rebuilt by compaction)
-   answers exactly like one that never stopped. *)
-let entry_cmp a b =
-  let c = Float.compare a.depth b.depth in
-  if c <> 0 then c
-  else
-    let c =
-      Int.compare (Sample_space.cell_uid b.cell) (Sample_space.cell_uid a.cell)
-    in
-    if c <> 0 then c else Int.compare a.version b.version
+let entry_cmp = Entry.cmp
 
 (* The heap is lazy: every cell-max change pushes a fresh entry and stale
    ones are discarded at query time. Unchecked, that grows without bound,
@@ -55,29 +77,25 @@ let compact t =
   t.heap <- Heap.create ~cmp:entry_cmp;
   t.pushes <- 0;
   Sample_space.iter_live_cells t.space (fun c ->
-      if Sample_space.cell_max c > 0. then
-        Heap.push t.heap
-          {
-            depth = Sample_space.cell_max c;
-            version = Sample_space.cell_version c;
-            cell = c;
-          })
+      match Entry.of_cell c with
+      | Some e -> Heap.push t.heap e
+      | None -> ())
 
 let attach_hook t =
   Sample_space.on_cell_change t.space (fun c ->
-      if Sample_space.cell_max c > 0. then begin
-        Heap.push t.heap
-          {
-            depth = Sample_space.cell_max c;
-            version = Sample_space.cell_version c;
-            cell = c;
-          };
-        t.pushes <- t.pushes + 1
-      end)
+      match Entry.of_cell c with
+      | Some e ->
+          Heap.push t.heap e;
+          t.pushes <- t.pushes + 1
+      | None -> ())
+
+(* Shared with the sharded store so both compaction policies amortize
+   identically (policy only — compaction never changes answers). *)
+let heap_budget ~cells = Int.max 50_000 (4 * cells)
 
 let maybe_compact t =
-  let budget = Int.max 50_000 (4 * Sample_space.cell_count t.space) in
-  if t.pushes > budget then compact t
+  if t.pushes > heap_budget ~cells:(Sample_space.cell_count t.space) then
+    compact t
 
 let create ?(cfg = Config.default) ?(radius = 1.) ~dim () =
   Config.validate cfg;
@@ -176,10 +194,7 @@ let best t =
     match Heap.peek t.heap with
     | None -> None
     | Some e ->
-        if
-          e.version = Sample_space.cell_version e.cell
-          && Sample_space.cell_max e.cell > 0.
-        then
+        if Entry.live e then
           Some (unscale t (Sample_space.cell_best e.cell).Sample_space.pos, e.depth)
         else begin
           ignore (Heap.pop t.heap);

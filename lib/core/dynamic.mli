@@ -61,6 +61,33 @@ val handle_id : handle -> int
 
 val handle_of_id : int -> handle
 
+(** {2 Lazy-heap entries (shared with the sharded store)}
+
+    The versioned heap entry and its strict total order (depth, then
+    cell uid, then version). Because the order is total and cell uids
+    are globally unique across all grids, the maximum over {e any}
+    partition of the live cells — in particular the per-shard heaps of
+    {!Sharded} — equals the maximum of one global heap, which is what
+    makes the sharded store answer bit-identically to this reference
+    structure. *)
+module Entry : sig
+  type t = { depth : float; version : int; cell : Sample_space.cell }
+
+  val cmp : t -> t -> int
+  (** Strict total order over distinguishable entries. *)
+
+  val of_cell : Sample_space.cell -> t option
+  (** Current entry for a cell; [None] when no sample witnesses a ball. *)
+
+  val live : t -> bool
+  (** The entry still describes its cell (lazy-deletion staleness
+      check). *)
+end
+
+val heap_budget : cells:int -> int
+(** Push budget before a lazy heap over [cells] live cells is rebuilt
+    (compaction policy; never affects answers). *)
+
 (** {2 Durability: op journaling and exact state capture}
 
     The building blocks of the [maxrs_durable] crash-safe session: a

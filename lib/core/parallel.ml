@@ -34,6 +34,13 @@ type pool = {
 
 let max_domains = 128
 
+(* Participant identity: 0 on the calling domain, 1..size-1 on the
+   workers (assigned at spawn). Purely observational — the sharded
+   store uses it to count chunks that ran away from their home
+   participant ("steals"); results never depend on it. *)
+let participant_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+let participant () = Domain.DLS.get participant_key
+
 let env_domains =
   lazy
     (match Sys.getenv_opt "MAXRS_DOMAINS" with
@@ -78,7 +85,10 @@ let create size =
     }
   in
   pool.workers <-
-    List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+    List.init (size - 1) (fun i ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set participant_key (i + 1);
+            worker_loop pool));
   pool
 
 let shutdown pool =

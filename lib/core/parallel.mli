@@ -39,6 +39,12 @@ val with_pool : domains:int -> (pool -> 'a) -> 'a
 val size : pool -> int
 (** Total participant count (workers + caller). *)
 
+val participant : unit -> int
+(** Identity of the participant running the calling domain: 0 on a
+    pool's caller (and outside any pool), [1..size-1] on its workers.
+    Observational only — chunk placement and results never depend on
+    it; the sharded store uses it to count off-home executions. *)
+
 (** {1 Fault tolerance}
 
     A chunk whose execution raises is retried once in place, and if it

@@ -148,6 +148,12 @@ let cell_version c = c.cversion
    tie-breaking key that survives serialization. *)
 let cell_uid c = c.ids.(0)
 
+(* Sample ids are [local * stride + grid], so the uid folds back to the
+   owning grid — the sharded dynamic store routes a changed cell to the
+   heap of the shard that owns its grid with this. *)
+let grid_of_cell t c = cell_uid c mod t.stride
+let cell_count_in_grid t ~grid = t.n_cells.(grid)
+
 let new_cell t gi grid key =
   let center = Grid.cell_center grid key in
   let radius = Grid.cell_circumradius grid in
@@ -383,27 +389,29 @@ let insert t ~center ~weight =
     insert_in_grid t ~grid:gi ~center ~weight
   done
 
-let delete t ~center ~weight =
+let delete_in_grid t ~grid:gi ~center ~weight =
   assert (Point.dim center = t.dim);
-  Array.iteri
-    (fun gi _ ->
-      iter_cells_in_grid t gi ~center (fun table key cell ->
-          cell.nballs <- cell.nballs - 1;
-          assert (cell.nballs >= 0);
-          update_cell_add t cell ~center ~delta:(-.weight);
-          if cell.nballs = 0 then begin
-            (* Invalidate so stale heap entries are detectable. *)
-            cell.max_depth <- Float.neg_infinity;
-            cell.cversion <- cell.cversion + 1;
-            for si = 0 to Array.length cell.ids - 1 do
-              Array.unsafe_set cell.sver si (Array.unsafe_get cell.sver si + 1);
-              FA.unsafe_set cell.depth si Float.neg_infinity
-            done;
-            t.hook cell;
-            Grid.Tbl.remove table key;
-            t.n_cells.(gi) <- t.n_cells.(gi) - 1
-          end))
-    t.tables
+  iter_cells_in_grid t gi ~center (fun table key cell ->
+      cell.nballs <- cell.nballs - 1;
+      assert (cell.nballs >= 0);
+      update_cell_add t cell ~center ~delta:(-.weight);
+      if cell.nballs = 0 then begin
+        (* Invalidate so stale heap entries are detectable. *)
+        cell.max_depth <- Float.neg_infinity;
+        cell.cversion <- cell.cversion + 1;
+        for si = 0 to Array.length cell.ids - 1 do
+          Array.unsafe_set cell.sver si (Array.unsafe_get cell.sver si + 1);
+          FA.unsafe_set cell.depth si Float.neg_infinity
+        done;
+        t.hook cell;
+        Grid.Tbl.remove table key;
+        t.n_cells.(gi) <- t.n_cells.(gi) - 1
+      end)
+
+let delete t ~center ~weight =
+  for gi = 0 to grid_count t - 1 do
+    delete_in_grid t ~grid:gi ~center ~weight
+  done
 
 (* Generic insertion: [f] returns the depth delta for each sample of an
    intersected cell lying inside the ball (0 = unchanged). Counts as a
@@ -447,6 +455,9 @@ let iter_samples t f =
 
 let iter_live_cells t f =
   Array.iter (fun table -> Grid.Tbl.iter (fun _ cell -> f cell) table) t.tables
+
+let iter_live_cells_in_grid t ~grid f =
+  Grid.Tbl.iter (fun _ cell -> f cell) t.tables.(grid)
 
 (* Test support: check the structural invariants against the caller's
    record of live balls — every materialized cell is intersected by

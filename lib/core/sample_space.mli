@@ -68,6 +68,14 @@ val cell_uid : cell -> int
     {!state}/{!restore} round trips. Used as a total-order tie-breaking
     key by the dynamic structure's heap. *)
 
+val grid_of_cell : t -> cell -> int
+(** Index of the grid the cell belongs to (recovered from its uid) —
+    lets a sharded owner route a changed cell to the heap of the shard
+    owning its grid. *)
+
+val cell_count_in_grid : t -> grid:int -> int
+(** Live cells materialized in one grid of the collection. *)
+
 val on_cell_change : t -> (cell -> unit) -> unit
 (** Register a hook invoked whenever a cell's cached max changes (or the
     cell is dropped). *)
@@ -97,6 +105,11 @@ val best_in_grid : t -> grid:int -> sample option
 val delete : t -> center:Maxrs_geom.Point.t -> weight:float -> unit
 (** Reverse of {!insert}; drops cells whose refcount reaches zero. *)
 
+val delete_in_grid :
+  t -> grid:int -> center:Maxrs_geom.Point.t -> weight:float -> unit
+(** {!delete} restricted to one grid (same disjoint-state contract as
+    {!insert_in_grid}). *)
+
 val insert_with : t -> center:Maxrs_geom.Point.t -> f:(sample -> float) -> unit
 (** Generic insertion: bump refcounts of the cells intersected by the
     unit ball at [center] and add [f sample] to the depth of every
@@ -116,6 +129,10 @@ val best : t -> sample option
 
 val iter_samples : t -> (sample -> unit) -> unit
 val iter_live_cells : t -> (cell -> unit) -> unit
+
+val iter_live_cells_in_grid : t -> grid:int -> (cell -> unit) -> unit
+(** {!iter_live_cells} restricted to one grid — per-shard lazy-heap
+    compaction walks only the cells of the grids the shard owns. *)
 
 val validate : t -> live:Maxrs_geom.Point.t list -> bool
 (** Test support: given the centers of the currently live balls, check

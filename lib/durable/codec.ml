@@ -264,6 +264,13 @@ let encode_state s =
   state b s;
   Buffer.contents b
 
+(* The state fingerprint journaled by [Check] records and compared by
+   sharded recovery: CRC-32 of the canonical encoding. Two structures
+   fingerprint equal iff their canonical states are byte-equal (modulo
+   CRC collisions, which the differential suite's full-string compares
+   would still catch). *)
+let state_crc s = Crc32.of_string (encode_state s)
+
 let decode_state data =
   let r = reader data in
   let s = r_state r in

@@ -66,6 +66,10 @@ val encode_state : Maxrs.Dynamic.State.t -> string
     observable state encode to equal strings — tests use this as a
     fingerprint for bit-identical recovery. *)
 
+val state_crc : Maxrs.Dynamic.State.t -> int
+(** CRC-32 of {!encode_state} — the compact state fingerprint carried
+    by WAL [Check] records and verified by sharded recovery. *)
+
 val decode_state : string -> Maxrs.Dynamic.State.t
 (** Inverse of {!encode_state}; raises {!Malformed} on trailing bytes. *)
 

@@ -1,4 +1,4 @@
-(** Crash-safe session around {!Maxrs.Dynamic}.
+(** Crash-safe session around {!Maxrs.Dynamic} / {!Maxrs.Sharded}.
 
     Every applied insert/delete is journaled to a checksummed
     write-ahead log before the mutating call returns; full-state
@@ -7,12 +7,24 @@
     snapshot and replaying the WAL suffix, stopping cleanly at the
     first torn or corrupt record.
 
-    The recovery guarantee is {e bit-identical prefix continuation}:
-    after any crash, truncation, or single-record corruption, the
-    recovered structure is byte-for-byte equivalent (same cells, same
-    counters, same answer to the next query) to one that replayed the
-    surviving op prefix from scratch. Ops whose mutating call had not
-    returned at crash time may be lost; nothing else is. *)
+    Two on-disk layouts share this interface:
+
+    - {e solo} (default): one {!Maxrs.Dynamic.t}, one WAL file.
+    - {e sharded} ([~shards:k]): one {!Maxrs.Sharded.t} whose [k]
+      storage owners each journal to their own WAL beside a shard
+      manifest (see {!Shard_wal}). Recovery scans all shard logs in
+      parallel, merges them by global sequence number, replays the
+      longest contiguous prefix, and cross-checks the recovered state
+      fingerprint against the [Check] records stamped into every shard
+      log at each snapshot and clean close.
+
+    The recovery guarantee is {e bit-identical prefix continuation}
+    for both layouts: after any crash, truncation, or record
+    corruption (including damage confined to a subset of shard logs),
+    the recovered structure is byte-for-byte equivalent (same cells,
+    same counters, same answer to the next query) to one that replayed
+    the surviving op prefix from scratch. Ops whose mutating call had
+    not returned at crash time may be lost; nothing else is. *)
 
 type t
 
@@ -20,15 +32,22 @@ type recovery = {
   snapshot_seq : int option;  (** seq of the snapshot used, if any *)
   replayed : int;  (** op records replayed on top of it *)
   seq : int;  (** total ops live after recovery *)
-  truncated_bytes : int;  (** corrupt/torn suffix dropped from the log *)
+  truncated_bytes : int;  (** corrupt/torn suffix dropped from the log(s) *)
   corruption : string option;  (** why the log scan stopped early *)
   wal_rewritten : bool;
       (** the log was rewritten from a snapshot newer than its valid
           prefix, or its header was unrecoverable *)
 }
 
+exception Divergence of string
+(** Raised internally when replay disagrees with the log (handle or
+    epoch mismatch, wrong shard, state-fingerprint mismatch); surfaces
+    from {!open_} as an [Error]. *)
+
 val open_ :
   wal:string ->
+  ?shards:int ->
+  ?domains:int ->
   ?snapshot_every:int ->
   ?fsync:Wal.fsync_policy ->
   ?dim:int ->
@@ -41,32 +60,58 @@ val open_ :
     defaults to [Interval 64]. When the log exists, its recorded
     [dim]/[radius]/[cfg] win over the optional arguments (which default
     to [dim = 2], [radius = 1.], {!Maxrs.Config.default} and only seed
-    a fresh session). [Error] cases: the path holds a non-WAL file, or
-    the log is unrecoverable (replay divergence, or a rewritten log
-    whose covering snapshot was lost). *)
+    a fresh session).
+
+    [shards]: [Some k] creates a fresh {e sharded} session with [k]
+    storage shards. On an existing layout the disk wins: a shard
+    manifest at [wal] always reopens sharded (with its recorded shard
+    count, ignoring [shards]), a solo WAL always reopens solo — and
+    passing [shards] over an existing solo WAL is an [Error] rather
+    than a silent overwrite. A lost or corrupt manifest over surviving
+    shard logs is rebuilt from the shard log headers. [domains] bounds
+    the worker pool of a sharded session (and its parallel recovery
+    scan); defaults like {!Maxrs_parallel.Parallel.resolve}.
+
+    [Error] cases: the path holds a foreign file, the log is
+    unrecoverable (replay divergence, fingerprint mismatch, or a
+    rewritten log whose covering snapshot was lost), or [shards]
+    conflicts with the existing layout. *)
 
 val insert : t -> ?weight:float -> Maxrs_geom.Point.t -> Maxrs.Dynamic.handle
 val delete : t -> Maxrs.Dynamic.handle -> unit
 val best : t -> (Maxrs_geom.Point.t * float) option
 val size : t -> int
+
 val seq : t -> int
 (** Ops applied over the session's whole history (across restarts). *)
 
 val recovery : t -> recovery option
 (** [None] when {!open_} created a fresh log. *)
 
+val shards : t -> int
+(** Storage shard count: [1] for a solo session. *)
+
 val dynamic : t -> Maxrs.Dynamic.t
-(** The underlying structure. Mutating it directly still journals (the
-    hook is installed on it) but bypasses the snapshot cadence. *)
+(** The underlying structure of a {e solo} session. Mutating it
+    directly still journals (the hook is installed on it) but bypasses
+    the snapshot cadence. Raises [Invalid_argument] on a sharded
+    session — use {!state} for backend-independent access. *)
+
+val state : t -> Maxrs.Dynamic.State.t
+(** Canonical full state of either backend — solo and sharded sessions
+    holding the same balls return byte-identical encodings. *)
 
 val snapshot_now : t -> unit
-(** Flush the WAL, write a snapshot at the current seq, prune old ones
-    (keeping 2). *)
+(** Flush the WAL(s), write a snapshot at the current seq, prune old
+    ones (keeping 2). A sharded session additionally stamps the state
+    fingerprint ([Check] record) into every shard log. *)
 
 val flush : t -> unit
 (** fsync any unsynced WAL appends. *)
 
 val close : t -> unit
-(** Flush and close the WAL. Idempotent; further mutation raises. *)
+(** Flush and close the WAL(s); a sharded session writes a final
+    fingerprint anchor to every shard log and shuts its pool down.
+    Idempotent; further mutation raises. *)
 
 val wal_path : t -> string

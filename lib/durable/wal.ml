@@ -46,6 +46,9 @@ type record =
   | Insert of { handle : int; point : float array; weight : float }
   | Delete of int
   | Epoch of { epochs : int; n0 : int }
+  | Sinsert of { seq : int; handle : int; point : float array; weight : float }
+  | Sdelete of { seq : int; handle : int }
+  | Check of { seq : int; state_crc : int }
 
 type corruption =
   | Torn of { offset : int }
@@ -99,7 +102,21 @@ let encode_payload fr =
   | F_op (Epoch { epochs; n0 }) ->
       Codec.u8 b 3;
       Codec.int_ b epochs;
-      Codec.int_ b n0);
+      Codec.int_ b n0
+  | F_op (Sinsert { seq; handle; point; weight }) ->
+      Codec.u8 b 4;
+      Codec.int_ b seq;
+      Codec.int_ b handle;
+      Codec.float_array b point;
+      Codec.f64 b weight
+  | F_op (Sdelete { seq; handle }) ->
+      Codec.u8 b 5;
+      Codec.int_ b seq;
+      Codec.int_ b handle
+  | F_op (Check { seq; state_crc }) ->
+      Codec.u8 b 6;
+      Codec.int_ b seq;
+      Codec.int_ b state_crc);
   Buffer.contents b
 
 let decode_payload payload =
@@ -122,6 +139,20 @@ let decode_payload payload =
         let epochs = Codec.r_int r in
         let n0 = Codec.r_int r in
         F_op (Epoch { epochs; n0 })
+    | 4 ->
+        let seq = Codec.r_int r in
+        let handle = Codec.r_int r in
+        let point = Codec.r_float_array r "sinsert point" in
+        let weight = Codec.r_f64 r in
+        F_op (Sinsert { seq; handle; point; weight })
+    | 5 ->
+        let seq = Codec.r_int r in
+        let handle = Codec.r_int r in
+        F_op (Sdelete { seq; handle })
+    | 6 ->
+        let seq = Codec.r_int r in
+        let state_crc = Codec.r_int r in
+        F_op (Check { seq; state_crc })
     | t -> Codec.malformed "unknown record tag %d" t
   in
   if not (Codec.at_end r) then Codec.malformed "trailing bytes in record";

@@ -28,6 +28,15 @@ type record =
   | Epoch of { epochs : int; n0 : int }
       (** consistency marker fired by epoch rebuilds; replay verifies
           it instead of applying it *)
+  | Sinsert of { seq : int; handle : int; point : float array; weight : float }
+      (** sharded insert: carries its global sequence number explicitly,
+          because a per-shard log holds only a subsequence of the op
+          stream and recovery re-merges the shard logs by [seq] *)
+  | Sdelete of { seq : int; handle : int }  (** sharded delete *)
+  | Check of { seq : int; state_crc : int }
+      (** fingerprint cross-check: CRC-32 of the canonical encoded state
+          after op [seq]; written to {e every} shard log at snapshot and
+          close, verified during sharded recovery *)
 
 type corruption =
   | Torn of { offset : int }  (** incomplete final frame *)

@@ -60,6 +60,8 @@ type config = {
   wal : string option;
   fsync : Wal.fsync_policy;
   snapshot_every : int;
+  shards : int option;
+  domains : int option;
 }
 
 let default_config addr =
@@ -77,6 +79,8 @@ let default_config addr =
     wal = None;
     fsync = Wal.Interval 64;
     snapshot_every = 1000;
+    shards = None;
+    domains = None;
   }
 
 (* {1 Latency histogram}
@@ -640,8 +644,8 @@ let start cfg =
         | None -> Ok None
         | Some wal -> (
             match
-              Session.open_ ~wal ~snapshot_every:cfg.snapshot_every
-                ~fsync:cfg.fsync ()
+              Session.open_ ~wal ?shards:cfg.shards ?domains:cfg.domains
+                ~snapshot_every:cfg.snapshot_every ~fsync:cfg.fsync ()
             with
             | Ok s -> Ok (Some s)
             | Error m -> Error m)

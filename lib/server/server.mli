@@ -28,6 +28,11 @@ type config = {
   wal : string option;  (** back dynamic requests with this WAL *)
   fsync : Maxrs_durable.Wal.fsync_policy;
   snapshot_every : int;
+  shards : int option;
+      (** open the session sharded ([Some k] = [k] per-shard WALs with
+          parallel recovery); [None] opens solo — an existing sharded
+          layout at [wal] reopens sharded either way (the disk wins) *)
+  domains : int option;  (** worker-pool bound for a sharded session *)
 }
 
 val default_config : Netio.addr -> config

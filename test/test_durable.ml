@@ -18,6 +18,7 @@ module Dynamic = Maxrs.Dynamic
 module Crc32 = Maxrs_durable.Crc32
 module Codec = Maxrs_durable.Codec
 module Wal = Maxrs_durable.Wal
+module Shard_wal = Maxrs_durable.Shard_wal
 module Snapshot = Maxrs_durable.Snapshot
 module Session = Maxrs_durable.Session
 
@@ -100,7 +101,7 @@ let baseline ~cfg ~radius ops ~prefix =
   (Codec.encode_state (Dynamic.state dyn), Dynamic.best dyn)
 
 let session_fingerprint s =
-  (Codec.encode_state (Dynamic.state (Session.dynamic s)), Session.best s)
+  (Codec.encode_state (Session.state s), Session.best s)
 
 let check_fp what (exp_state, exp_best) (got_state, got_best) =
   Alcotest.(check bool) (what ^ ": state bit-identical") true
@@ -376,8 +377,9 @@ let test_truncation_matrix () =
           (fun i off ->
             if off <= cut then
               match records.(i) with
-              | Wal.Insert _ | Wal.Delete _ -> incr v
-              | Wal.Epoch _ -> ())
+              | Wal.Insert _ | Wal.Delete _ | Wal.Sinsert _ | Wal.Sdelete _ ->
+                  incr v
+              | Wal.Epoch _ | Wal.Check _ -> ())
           offsets;
         !v
       in
@@ -444,8 +446,9 @@ let storm ~cfg ~ops ~master ~trials ~seed =
       (fun i off ->
         if off <= byte then
           match records.(i) with
-          | Wal.Insert _ | Wal.Delete _ -> incr v
-          | Wal.Epoch _ -> ())
+          | Wal.Insert _ | Wal.Delete _ | Wal.Sinsert _ | Wal.Sdelete _ ->
+              incr v
+          | Wal.Epoch _ | Wal.Check _ -> ())
       offsets;
     !v
   in
@@ -536,6 +539,204 @@ let test_crash_storm_wal_only () =
       Session.close s;
       storm ~cfg ~ops ~master ~trials:(crash_trials () - (crash_trials () / 2))
         ~seed:2002)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded sessions: WAL-per-shard + manifest. The recovery contract
+   is the same bit-identical prefix continuation as the solo session,
+   now under damage confined to a SUBSET of the shard logs, and with
+   parallel (multi-domain) recovery required to agree bit-for-bit with
+   sequential (domains = 1) recovery of the same damage. *)
+
+let sharded_master ~cfg ~ops ~shards ~snapshot_every =
+  let master = fresh_wal_path () in
+  let s =
+    Result.get_ok
+      (Session.open_ ~wal:master ~shards ~snapshot_every ~fsync:Wal.Never ~cfg
+         ())
+  in
+  List.iter (apply_session s) ops;
+  Session.close s;
+  master
+
+let test_sharded_clean_restart () =
+  let cfg = test_cfg 0.45 93 in
+  let ops = gen_ops ~n:100 ~seed:93 ~extent:4. in
+  let master = sharded_master ~cfg ~ops ~shards:3 ~snapshot_every:40 in
+  Fun.protect
+    ~finally:(fun () -> cleanup master)
+    (fun () ->
+      (* the sharded session's state is bit-identical to a solo replay *)
+      let s = Result.get_ok (Session.open_ ~wal:master ~cfg ()) in
+      Alcotest.(check int) "shard count from manifest" 3 (Session.shards s);
+      Alcotest.(check int) "seq preserved" (List.length ops) (Session.seq s);
+      check_fp "sharded restart"
+        (baseline ~cfg ~radius:1. ops ~prefix:(List.length ops))
+        (session_fingerprint s);
+      (* a [~shards] argument over an existing layout is ignored: the
+         disk wins *)
+      Session.close s;
+      let s2 = Result.get_ok (Session.open_ ~wal:master ~shards:7 ~cfg ()) in
+      Alcotest.(check int) "disk shard count wins" 3 (Session.shards s2);
+      Session.close s2)
+
+let test_sharded_manifest_lost_or_corrupt () =
+  let cfg = test_cfg 0.45 94 in
+  let ops = gen_ops ~n:80 ~seed:94 ~extent:4. in
+  let master = sharded_master ~cfg ~ops ~shards:4 ~snapshot_every:30 in
+  Fun.protect
+    ~finally:(fun () -> cleanup master)
+    (fun () ->
+      let fp = baseline ~cfg ~radius:1. ops ~prefix:(List.length ops) in
+      (* lost manifest: rebuilt from the shard log headers *)
+      let manifest_data = read_file master in
+      Sys.remove master;
+      let s = Result.get_ok (Session.open_ ~wal:master ~cfg ()) in
+      Alcotest.(check int) "shards rediscovered" 4 (Session.shards s);
+      check_fp "manifest lost" fp (session_fingerprint s);
+      Session.close s;
+      Alcotest.(check bool)
+        "manifest rewritten" true
+        (match Shard_wal.read_manifest master with
+        | Shard_wal.Manifest m -> m.Shard_wal.shards = 4
+        | _ -> false);
+      (* corrupt manifest payload: same rebuild path *)
+      let b = Bytes.of_string manifest_data in
+      Bytes.set b 20 (Char.chr (Char.code (Bytes.get b 20) lxor 0x40));
+      write_file master (Bytes.to_string b);
+      let s = Result.get_ok (Session.open_ ~wal:master ~cfg ()) in
+      Alcotest.(check int) "shards after corrupt manifest" 4 (Session.shards s);
+      check_fp "manifest corrupt" fp (session_fingerprint s);
+      Session.close s)
+
+let test_sharded_refuses_layout_conflicts () =
+  let cfg = test_cfg 0.45 95 in
+  let wal = fresh_wal_path () in
+  Fun.protect
+    ~finally:(fun () -> cleanup wal)
+    (fun () ->
+      (* solo WAL at the path: [~shards] must not overwrite it *)
+      let s = Result.get_ok (Session.open_ ~wal ~cfg ()) in
+      ignore (Session.insert s [| 0.5; 0.5 |] : Dynamic.handle);
+      Session.close s;
+      (match Session.open_ ~wal ~shards:2 ~cfg () with
+      | Error _ -> ()
+      | Ok s ->
+          Session.close s;
+          Alcotest.fail "sharding over a solo WAL was accepted");
+      (* invalid shard count *)
+      match Session.open_ ~wal:(fresh_wal_path ()) ~shards:0 ~cfg () with
+      | Error _ -> ()
+      | Ok s ->
+          Session.close s;
+          Alcotest.fail "shards = 0 was accepted")
+
+(* Crash storm over the sharded layout: each trial damages a random
+   nonempty subset of the shard logs (truncation anywhere, a bit flip
+   anywhere — including the magic — or deleting the file outright),
+   then recovers twice from identical copies of the damage: once with
+   the default (parallel) scan and once with [~domains:1]. Both must
+   succeed, agree on the recovered seq, and be bit-identical to a solo
+   [Dynamic] replay of that op prefix. *)
+let storm_sharded ~cfg ~ops ~master ~shards ~trials ~seed =
+  let datas = Array.init shards (fun k -> read_file (Shard_wal.shard_path master k)) in
+  let manifest_data = read_file master in
+  let newest_snap =
+    match Snapshot.load_all ~wal:master with (s, _, _) :: _ -> s | [] -> 0
+  in
+  let total = List.length ops in
+  let fp_cache = Hashtbl.create 16 in
+  let baseline_at prefix =
+    match Hashtbl.find_opt fp_cache prefix with
+    | Some fp -> fp
+    | None ->
+        let fp = baseline ~cfg ~radius:1. ops ~prefix in
+        Hashtbl.add fp_cache prefix fp;
+        fp
+  in
+  let rng = Rng.create seed in
+  for trial = 1 to trials do
+    let wal = fresh_wal_path () and wal2 = fresh_wal_path () in
+    Fun.protect
+      ~finally:(fun () ->
+        cleanup wal;
+        cleanup wal2)
+      (fun () ->
+        let damaged = Array.init shards (fun _ -> Rng.bernoulli rng 0.5) in
+        if not (Array.exists Fun.id damaged) then
+          damaged.(Rng.int rng shards) <- true;
+        let desc = Buffer.create 32 in
+        Array.iteri
+          (fun k dmg ->
+            let data = datas.(k) in
+            let out =
+              if not dmg then Some data
+              else
+                let size = String.length data in
+                match Rng.int rng 3 with
+                | 0 ->
+                    let cut = Rng.int rng (size + 1) in
+                    Buffer.add_string desc (Printf.sprintf " s%d:cut@%d" k cut);
+                    Some (String.sub data 0 cut)
+                | 1 ->
+                    let off = Rng.int rng size in
+                    let bit = Rng.int rng 8 in
+                    let b = Bytes.of_string data in
+                    Bytes.set b off
+                      (Char.chr (Char.code (Bytes.get b off) lxor (1 lsl bit)));
+                    Buffer.add_string desc (Printf.sprintf " s%d:flip@%d" k off);
+                    Some (Bytes.to_string b)
+                | _ ->
+                    Buffer.add_string desc (Printf.sprintf " s%d:gone" k);
+                    None
+            in
+            Option.iter
+              (fun d ->
+                write_file (Shard_wal.shard_path wal k) d;
+                write_file (Shard_wal.shard_path wal2 k) d)
+              out)
+          damaged;
+        write_file wal manifest_data;
+        write_file wal2 manifest_data;
+        copy_snapshots ~from_wal:master ~to_wal:wal;
+        copy_snapshots ~from_wal:master ~to_wal:wal2;
+        let what = Buffer.contents desc in
+        match Session.open_ ~wal ~cfg () with
+        | Error msg -> Alcotest.failf "trial %d (%s): refused: %s" trial what msg
+        | Ok s ->
+            let got_seq = Session.seq s in
+            if got_seq < newest_snap || got_seq > total then
+              Alcotest.failf "trial %d (%s): seq %d outside [%d, %d]" trial
+                what got_seq newest_snap total;
+            check_fp
+              (Printf.sprintf "trial %d (%s)" trial what)
+              (baseline_at got_seq) (session_fingerprint s);
+            Session.close s;
+            (* sequential recovery of the identical damage must agree *)
+            (match Session.open_ ~wal:wal2 ~domains:1 ~cfg () with
+            | Error msg ->
+                Alcotest.failf "trial %d (%s): sequential refused: %s" trial
+                  what msg
+            | Ok s2 ->
+                Alcotest.(check int)
+                  (Printf.sprintf "trial %d (%s): parallel seq = sequential"
+                     trial what)
+                  got_seq (Session.seq s2);
+                check_fp
+                  (Printf.sprintf "trial %d (%s): sequential" trial what)
+                  (baseline_at got_seq) (session_fingerprint s2);
+                Session.close s2))
+  done
+
+let test_sharded_crash_storm () =
+  let cfg = test_cfg 0.45 96 in
+  let ops = gen_ops ~n:120 ~seed:96 ~extent:4. in
+  let master = sharded_master ~cfg ~ops ~shards:3 ~snapshot_every:35 in
+  Fun.protect
+    ~finally:(fun () -> cleanup master)
+    (fun () ->
+      storm_sharded ~cfg ~ops ~master ~shards:3
+        ~trials:(Int.max 8 (crash_trials () / 4))
+        ~seed:3003)
 
 (* ------------------------------------------------------------------ *)
 (* Wal.write_all under short writes: a non-blocking pipe (64 KiB
@@ -692,5 +893,16 @@ let () =
             test_crash_storm_with_snapshots;
           Alcotest.test_case "crash storm (WAL only)" `Slow
             test_crash_storm_wal_only;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "clean restart is bit-identical" `Quick
+            test_sharded_clean_restart;
+          Alcotest.test_case "manifest lost or corrupt" `Quick
+            test_sharded_manifest_lost_or_corrupt;
+          Alcotest.test_case "refuses layout conflicts" `Quick
+            test_sharded_refuses_layout_conflicts;
+          Alcotest.test_case "multi-shard crash storm" `Slow
+            test_sharded_crash_storm;
         ] );
     ]

@@ -964,6 +964,287 @@ let test_kill9_recovery_process () =
   Sys.remove log2
 
 (* ------------------------------------------------------------------ *)
+(* Sharded-session daemon under chaos: mixed mutation/query load
+   through the Net_faults proxy, then kill -9 mid-traffic. The test
+   keeps a local SOLO session mirroring exactly the ops the daemon
+   acked, so it can (a) bit-check every successful proxied query
+   against the solo structure mid-storm, and (b) after the kill,
+   verify the sharded parallel recovery is bit-identical to a solo
+   replay of the surviving op prefix.
+
+   A proxied mutation that errors is AMBIGUOUS (the request may have
+   been applied with its ack eaten by a fault). The resolution
+   protocol reconnects DIRECTLY to the daemon: a delete resend is
+   naturally idempotent-detectable (Deleted = hadn't landed, Invalid =
+   had), and an insert resend disambiguates via the returned handle
+   (handles are dense in insert order), deleting the duplicate it just
+   created when the original had landed. Every resolved op — including
+   such duplicate insert+delete pairs — goes into the mirror, so the
+   mirror always matches the daemon's journaled op sequence. Ops still
+   unresolved when the daemon dies form a [pending] suffix; the
+   recovered seq must land in [len op_log, len op_log + len pending]
+   and the recovered state must equal a replay of that exact prefix. *)
+
+type sop = SIns of float * float * float | SDel of int
+
+let apply_sop sess = function
+  | SIns (x, y, w) ->
+      ignore (Session.insert sess ~weight:w [| x; y |] : Dynamic.handle)
+  | SDel h -> Session.delete sess (Dynamic.handle_of_id h)
+
+(* Fingerprint of a fresh solo replay of the first [m] ops. *)
+let solo_replay_fingerprint ops ~m =
+  let wal = fresh_path ".wal" in
+  let s =
+    match Session.open_ ~wal ~snapshot_every:0 ~fsync:Wal.Never () with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  List.iteri (fun i op -> if i < m then apply_sop s op) ops;
+  let fp = (Codec.encode_state (Session.state s), Session.best s) in
+  Session.close s;
+  cleanup_wal wal;
+  fp
+
+let test_sharded_chaos_kill9_process () =
+  let wal = fresh_path ".wal" in
+  let sock = fresh_path ".sock" in
+  let pid, log =
+    spawn_daemon
+      [
+        "serve"; "--addr"; "unix:" ^ sock; "--wal"; wal; "--shards"; "3";
+        "--fsync"; "always";
+      ]
+  in
+  Alcotest.(check bool)
+    "daemon reports sharded session" true
+    (contains ~needle:"shards=3" (read_file log));
+  let daddr = Netio.Unix_sock sock in
+  let paddr = fresh_sock () in
+  let fcfg =
+    match Net_faults.of_env () with
+    | Some c -> { c with Net_faults.rate = Float.min c.Net_faults.rate 0.25 }
+    | None -> { Net_faults.seed = 21; rate = 0.1 }
+  in
+  let proxy =
+    match Net_faults.start ~listen:paddr ~upstream:daddr fcfg with
+    | Ok p -> p
+    | Error m -> Alcotest.fail ("proxy: " ^ m)
+  in
+  let mwal = fresh_path ".wal" in
+  let mirror =
+    match Session.open_ ~wal:mwal ~snapshot_every:0 ~fsync:Wal.Never () with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let op_log = ref [] (* newest first *) and pending = ref [] in
+  let nins = ref 0 and live = ref [] in
+  let commit op =
+    (match op with
+    | SIns _ ->
+        live := !nins :: !live;
+        incr nins
+    | SDel h -> live := List.filter (fun x -> x <> h) !live);
+    op_log := op :: !op_log;
+    apply_sop mirror op
+  in
+  let daemon_dead = ref false in
+  let direct_request req =
+    match
+      let c = Client.create ~recv_timeout:3. ~send_timeout:3. daddr in
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+          Client.request c req)
+    with
+    | r -> r
+    | exception _ -> Error (Client.Net "connect failed")
+  in
+  (* Resolve the pending ambiguous ops over direct connections. *)
+  let rec resolve () =
+    match !pending with
+    | [] -> ()
+    | SDel h :: rest -> (
+        match direct_request (Proto.Delete { handle = h }) with
+        | Ok (Proto.Deleted _) | Ok (Proto.Error_reply { code = Proto.Invalid; _ })
+          ->
+            (* Deleted: the proxied delete had NOT landed and this send
+               applied it; Invalid ("not live"): it HAD. One delete is
+               journaled either way. *)
+            commit (SDel h);
+            pending := rest;
+            resolve ()
+        | Ok _ | Error _ ->
+            (* a second delete of the same handle cannot land twice, so
+               the pending suffix stays a single op *)
+            daemon_dead := true)
+    | (SIns (x, y, w) as op) :: rest -> (
+        match direct_request (Proto.Insert { x; y; weight = w }) with
+        | Ok (Proto.Inserted { handle; _ }) ->
+            if handle = !nins then begin
+              (* the proxied insert had not landed; the resend is it *)
+              commit op;
+              pending := rest;
+              resolve ()
+            end
+            else begin
+              (* it had landed (the resend's handle skipped one slot):
+                 the daemon now holds a duplicate — journal the
+                 original, the duplicate, and delete the duplicate *)
+              commit op;
+              commit op;
+              pending := SDel handle :: rest;
+              resolve ()
+            end
+        | Ok _ | Error _ ->
+            (* the resend itself is now ambiguous too: the daemon may
+               hold zero, one or two copies — both are prefixes of
+               [op; op] *)
+            pending := op :: op :: rest;
+            daemon_dead := true)
+  in
+  let cl = ref None in
+  let proxied_client () =
+    match !cl with
+    | Some c -> Some c
+    | None -> (
+        match Client.create ~recv_timeout:3. ~send_timeout:3. paddr with
+        | c ->
+            cl := Some c;
+            Some c
+        | exception _ -> None)
+  in
+  let drop_client () =
+    (match !cl with Some c -> ( try Client.close c with _ -> ()) | None -> ());
+    cl := None
+  in
+  let queries_checked = ref 0 in
+  let rng = Rng.create 2024 in
+  let killer =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.3;
+        try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+      ()
+  in
+  let i = ref 0 in
+  while (not !daemon_dead) && !i < 4000 do
+    incr i;
+    match proxied_client () with
+    | None -> Thread.delay 0.01
+    | Some c ->
+        let r = Rng.float rng 1. in
+        if r < 0.2 && List.length !live > 2 then begin
+          let k = Rng.int rng (List.length !live) in
+          let h = List.nth !live k in
+          match Client.request c (Proto.Delete { handle = h }) with
+          | Ok (Proto.Deleted _) -> commit (SDel h)
+          | Ok _ | Error _ ->
+              drop_client ();
+              pending := [ SDel h ];
+              resolve ()
+        end
+        else if r < 0.35 then begin
+          match Client.request c Proto.Query with
+          | Ok (Proto.Best got) ->
+              let ok =
+                match (got, Session.best mirror) with
+                | Some (x, y, v), Some (p, w) ->
+                    bits x = bits p.(0) && bits y = bits p.(1)
+                    && bits v = bits w
+                | None, None -> true
+                | _ -> false
+              in
+              if not ok then
+                Alcotest.failf "proxied query %d diverged from solo mirror" !i;
+              incr queries_checked
+          | Ok _ | Error _ -> drop_client () (* queries mutate nothing *)
+        end
+        else begin
+          let op =
+            SIns
+              ( Rng.uniform rng (-3.) 3.,
+                Rng.uniform rng (-3.) 3.,
+                0.5 +. Rng.float rng 1. )
+          in
+          match
+            (op, Client.request c
+                   (match op with
+                   | SIns (x, y, w) -> Proto.Insert { x; y; weight = w }
+                   | SDel _ -> assert false))
+          with
+          | _, Ok (Proto.Inserted _) -> commit op
+          | _, (Ok _ | Error _) ->
+              drop_client ();
+              pending := [ op ];
+              resolve ()
+        end
+  done;
+  drop_client ();
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  Thread.join killer;
+  let status = wait_exit pid in
+  Alcotest.(check bool)
+    "killed hard" true
+    (status = Unix.WSIGNALED Sys.sigkill);
+  Thread.delay 0.1;
+  Alcotest.(check bool) "chaos injected faults" true
+    (Net_faults.injected_count proxy >= 1);
+  Net_faults.shutdown proxy;
+  Alcotest.(check bool) "at least one proxied query checked" true
+    (!queries_checked >= 1);
+  let mirror_fp = (Codec.encode_state (Session.state mirror), Session.best mirror) in
+  ignore mirror_fp;
+  Session.close mirror;
+  cleanup_wal mwal;
+  (* recovery: sharded parallel recovery of the damaged multi-WAL
+     layout must land on a seq covering every acked op and be
+     bit-identical to a solo replay of that prefix *)
+  let ops_all = List.rev !op_log @ !pending in
+  let acked = List.length !op_log in
+  let s =
+    match Session.open_ ~wal () with
+    | Ok s -> s
+    | Error e -> Alcotest.fail ("sharded recovery after kill -9: " ^ e)
+  in
+  Alcotest.(check int) "recovered sharded" 3 (Session.shards s);
+  let seq = Session.seq s in
+  let got_state = Codec.encode_state (Session.state s) in
+  let got_best = Session.best s in
+  Session.close s;
+  Alcotest.(check bool)
+    (Printf.sprintf "acked ops durable (seq=%d in [%d, %d])" seq acked
+       (List.length ops_all))
+    true
+    (seq >= acked && seq <= List.length ops_all);
+  let exp_state, exp_best = solo_replay_fingerprint ops_all ~m:seq in
+  Alcotest.(check bool)
+    "sharded recovery bit-identical to solo prefix replay" true
+    (String.equal exp_state got_state);
+  Alcotest.(check bool) "recovered best identical" true (exp_best = got_best);
+  (* a restarted daemon serves the recovered sharded session *)
+  let pid2, log2 =
+    spawn_daemon [ "serve"; "--addr"; "unix:" ^ sock; "--wal"; wal ]
+  in
+  Alcotest.(check bool)
+    "restart reopens sharded" true
+    (contains ~needle:"shards=3" (read_file log2));
+  let c = Client.create daddr in
+  let best = ok_or_fail "query after restart" (Client.query c) in
+  Client.close c;
+  Alcotest.(check bool)
+    "restarted daemon serves recovered best" true
+    (match (best, exp_best) with
+    | Some (x, y, v), Some (p, w) ->
+        bits x = bits p.(0) && bits y = bits p.(1) && bits v = bits w
+    | None, None -> true
+    | _ -> false);
+  Unix.kill pid2 Sys.sigterm;
+  let status2 = wait_exit pid2 in
+  Alcotest.(check bool) "restarted daemon drains" true (status2 = Unix.WEXITED 0);
+  cleanup_wal wal;
+  Sys.remove log;
+  Sys.remove log2
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   (* the hardening tests write into sockets the server has already
@@ -1029,5 +1310,7 @@ let () =
             test_sigterm_drain_process;
           Alcotest.test_case "kill -9 recovers bit-identically" `Quick
             test_kill9_recovery_process;
+          Alcotest.test_case "sharded session: chaos + kill -9" `Quick
+            test_sharded_chaos_kill9_process;
         ] );
     ]

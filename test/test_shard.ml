@@ -1,0 +1,295 @@
+(* Differential suite for the sharded dynamic store (PR 8 tentpole).
+
+   The contract under test: a [Sharded.t] and an unsharded [Dynamic.t]
+   fed the same operation sequence return bit-identical [best] answers
+   after every op and capture byte-equal [Codec.encode_state]
+   fingerprints — for every shard count, every domain count, and every
+   injected-fault schedule on the pool. *)
+
+module Point = Maxrs_geom.Point
+module Rng = Maxrs_geom.Rng
+module Config = Maxrs.Config
+module Dynamic = Maxrs.Dynamic
+module Sharded = Maxrs.Sharded
+module Parallel = Maxrs_parallel.Parallel
+module Codec = Maxrs_durable.Codec
+
+let test_cfg = Config.make ~epsilon:0.25 ~seed:7 ()
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic op scripts.
+
+   An op is insert / delete / query; deletes pick a victim by index
+   into the currently-live handle list, so a script replays the same
+   logical sequence on any structure. *)
+
+type op = Ins of float array * float | Del of int | Query
+
+let gen_ops ~seed ~n ~dim =
+  let rng = Rng.create seed in
+  let live = ref 0 in
+  List.init n (fun _ ->
+      let r = Rng.uniform rng 0. 1. in
+      if r < 0.55 || !live = 0 then begin
+        incr live;
+        Ins
+          ( Array.init dim (fun _ -> Rng.uniform rng 0. 3.),
+            Float.of_int (1 + Rng.int rng 4) )
+      end
+      else if r < 0.8 then begin
+        decr live;
+        Del (Rng.int rng (!live + 1))
+      end
+      else Query)
+
+(* Replay a script through any (insert, delete, best) triple, returning
+   the trace of query answers. [handles] carries the live-handle array
+   across split replays (capture/restore scenarios). *)
+let replay ?(handles = ref [||]) ~insert ~delete ~best ops =
+  let trace = ref [] in
+  List.iter
+    (fun op ->
+      match op with
+      | Ins (p, w) ->
+          let h = insert ~weight:w p in
+          handles := Array.append !handles [| h |]
+      | Del i ->
+          let i = i mod Array.length !handles in
+          delete !handles.(i);
+          handles :=
+            Array.append
+              (Array.sub !handles 0 i)
+              (Array.sub !handles (i + 1) (Array.length !handles - i - 1))
+      | Query -> trace := best () :: !trace)
+    ops;
+  List.rev !trace
+
+let run_dynamic ops =
+  let d = Dynamic.create ~cfg:test_cfg ~dim:2 () in
+  let trace =
+    replay
+      ~insert:(fun ~weight p -> Dynamic.insert d ~weight p)
+      ~delete:(Dynamic.delete d) ~best:(fun () -> Dynamic.best d) ops
+  in
+  (trace, Codec.encode_state (Dynamic.state d), Dynamic.epochs d)
+
+let run_sharded ?(shards = 4) ?(domains = 1) ops =
+  let s = Sharded.create ~cfg:test_cfg ~dim:2 ~shards ~domains () in
+  Fun.protect
+    ~finally:(fun () -> Sharded.close s)
+    (fun () ->
+      let trace =
+        replay
+          ~insert:(fun ~weight p -> Sharded.insert s ~weight p)
+          ~delete:(Sharded.delete s)
+          ~best:(fun () -> Sharded.best s)
+          ops
+      in
+      (trace, Codec.encode_state (Sharded.state s), Sharded.epochs s))
+
+(* Bit-identical comparison: floats via Int64 bits, points element-wise. *)
+let answer_eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some (p, d), Some (q, e) ->
+      Int64.equal (Int64.bits_of_float d) (Int64.bits_of_float e)
+      && Array.length p = Array.length q
+      && Array.for_all2
+           (fun x y ->
+             Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+           p q
+  | _ -> false
+
+let check_identical ~what (tr_ref, fp_ref, ep_ref) (tr, fp, ep) =
+  Alcotest.(check int) (what ^ ": trace length") (List.length tr_ref)
+    (List.length tr);
+  List.iteri
+    (fun i (a, b) ->
+      if not (answer_eq a b) then
+        Alcotest.failf "%s: query %d diverged from the unsharded reference"
+          what i)
+    (List.combine tr_ref tr);
+  Alcotest.(check int) (what ^ ": epochs") ep_ref ep;
+  if not (String.equal fp_ref fp) then
+    Alcotest.failf "%s: state fingerprint diverged" what
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests *)
+
+let shard_counts = [ 1; 2; 4; 8 ]
+
+let test_differential_shards () =
+  let ops = gen_ops ~seed:11 ~n:220 ~dim:2 in
+  let reference = run_dynamic ops in
+  List.iter
+    (fun shards ->
+      check_identical
+        ~what:(Printf.sprintf "shards=%d" shards)
+        reference
+        (run_sharded ~shards ops))
+    shard_counts
+
+let test_differential_domains () =
+  let ops = gen_ops ~seed:23 ~n:220 ~dim:2 in
+  let reference = run_dynamic ops in
+  List.iter
+    (fun domains ->
+      check_identical
+        ~what:(Printf.sprintf "domains=%d" domains)
+        reference
+        (run_sharded ~shards:8 ~domains ops))
+    [ 1; 2; 4 ]
+
+let test_differential_under_faults () =
+  (* Poisoned pool: deterministic injected faults on the shard chunks
+     exercise the retry/park recovery path; answers must not move. *)
+  let ops = gen_ops ~seed:31 ~n:150 ~dim:2 in
+  let reference = run_dynamic ops in
+  let saved = Parallel.Faults.current () in
+  Fun.protect
+    ~finally:(fun () ->
+      match saved with
+      | Some c -> Parallel.Faults.configure c
+      | None -> Parallel.Faults.disable ())
+    (fun () ->
+      Parallel.Faults.configure { Parallel.Faults.seed = 42; rate = 0.3 };
+      Parallel.Faults.reset_counters ();
+      check_identical ~what:"faulty pool" reference
+        (run_sharded ~shards:8 ~domains:4 ops);
+      Alcotest.(check bool)
+        "schedule actually injected faults" true
+        (Parallel.Faults.injected_count () > 0))
+
+let test_state_restore_roundtrip () =
+  (* Capture mid-script, restore at a different shard count, continue:
+     the continuation must match a reference that never stopped. *)
+  let ops = gen_ops ~seed:47 ~n:300 ~dim:2 in
+  let prefix = List.filteri (fun i _ -> i < 150) ops in
+  let suffix = List.filteri (fun i _ -> i >= 150) ops in
+  (* Reference runs the whole script in one life (one handle array). *)
+  let reference =
+    let d = Dynamic.create ~cfg:test_cfg ~dim:2 () in
+    let handles = ref [||] in
+    ignore
+      (replay ~handles
+         ~insert:(fun ~weight p -> Dynamic.insert d ~weight p)
+         ~delete:(Dynamic.delete d)
+         ~best:(fun () -> Dynamic.best d)
+         prefix);
+    let trace =
+      replay ~handles
+        ~insert:(fun ~weight p -> Dynamic.insert d ~weight p)
+        ~delete:(Dynamic.delete d)
+        ~best:(fun () -> Dynamic.best d)
+        suffix
+    in
+    (trace, Codec.encode_state (Dynamic.state d), Dynamic.epochs d)
+  in
+  (* Sharded runs the prefix at 2 shards, restores at 8, continues. *)
+  let s2 = Sharded.create ~cfg:test_cfg ~dim:2 ~shards:2 ~domains:2 () in
+  ignore
+    (replay
+       ~insert:(fun ~weight p -> Sharded.insert s2 ~weight p)
+       ~delete:(Sharded.delete s2)
+       ~best:(fun () -> Sharded.best s2)
+       prefix);
+  let st = Sharded.state s2 in
+  Sharded.close s2;
+  let s8 = Sharded.restore ~shards:8 ~domains:2 st in
+  Fun.protect
+    ~finally:(fun () -> Sharded.close s8)
+    (fun () ->
+      (* Replaying the suffix needs the prefix's handles: rebuild the
+         live-handle array from the restored state (sorted by handle,
+         which is insertion order — the same order replay maintains). *)
+      let handles =
+        ref (Array.of_list (List.map fst st.Dynamic.State.balls))
+      in
+      let trace =
+        replay ~handles
+          ~insert:(fun ~weight p -> Sharded.insert s8 ~weight p)
+          ~delete:(Sharded.delete s8)
+          ~best:(fun () -> Sharded.best s8)
+          suffix
+      in
+      check_identical ~what:"restore continuation" reference
+        (trace, Codec.encode_state (Sharded.state s8), Sharded.epochs s8))
+
+let test_storage_partition () =
+  (* Every live handle has exactly one storage owner, and owners are
+     stable across epochs (the spatial key does not depend on the
+     sample space). *)
+  let s = Sharded.create ~cfg:test_cfg ~dim:2 ~shards:4 ~domains:1 () in
+  Fun.protect
+    ~finally:(fun () -> Sharded.close s)
+    (fun () ->
+      let rng = Rng.create 3 in
+      let hs =
+        List.init 120 (fun _ ->
+            let p = [| Rng.uniform rng 0. 3.; Rng.uniform rng 0. 3. |] in
+            (Sharded.insert s p, p))
+      in
+      Alcotest.(check bool) "epochs crossed" true (Sharded.epochs s > 0);
+      let seen = Array.make 4 0 in
+      List.iter
+        (fun (h, _) ->
+          match Sharded.shard_of_handle s h with
+          | Some sh -> seen.(sh) <- seen.(sh) + 1
+          | None -> Alcotest.fail "live handle without an owner")
+        hs;
+      Alcotest.(check int) "owners cover all balls" 120
+        (Array.fold_left ( + ) 0 seen);
+      Alcotest.(check bool)
+        "spatial keys actually spread over shards" true
+        (Array.for_all (fun c -> c > 0) seen);
+      (* Deleting through the owner works and clears ownership. *)
+      let h0, _ = List.hd hs in
+      Sharded.delete s h0;
+      Alcotest.(check (option int)) "deleted handle unowned" None
+        (Sharded.shard_of_handle s h0);
+      Alcotest.check_raises "double delete" Not_found (fun () ->
+          Sharded.delete s h0))
+
+let test_closed_store_rejected () =
+  let s = Sharded.create ~cfg:test_cfg ~dim:2 ~shards:2 ~domains:1 () in
+  ignore (Sharded.insert s [| 0.; 0. |]);
+  Sharded.close s;
+  Sharded.close s;
+  Alcotest.check_raises "insert on closed store"
+    (Invalid_argument "Sharded.insert: closed store") (fun () ->
+      ignore (Sharded.insert s [| 1.; 1. |]))
+
+(* ------------------------------------------------------------------ *)
+(* Property: random scripts never diverge, any shard count. *)
+
+let prop_sharded_matches_dynamic =
+  QCheck.Test.make ~count:12 ~name:"sharded == dynamic on random scripts"
+    QCheck.(pair (int_bound 10_000) (int_bound 3))
+    (fun (seed, si) ->
+      let shards = List.nth shard_counts si in
+      let ops = gen_ops ~seed:(seed + 1) ~n:120 ~dim:2 in
+      let tr_ref, fp_ref, ep_ref = run_dynamic ops in
+      let tr, fp, ep = run_sharded ~shards ~domains:2 ops in
+      ep = ep_ref && String.equal fp fp_ref
+      && List.for_all2 answer_eq tr_ref tr)
+
+let () =
+  Alcotest.run "maxrs sharded"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "all shard counts" `Quick test_differential_shards;
+          Alcotest.test_case "all domain counts" `Quick
+            test_differential_domains;
+          Alcotest.test_case "poisoned pool" `Quick
+            test_differential_under_faults;
+          QCheck_alcotest.to_alcotest prop_sharded_matches_dynamic;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "state/restore roundtrip" `Quick
+            test_state_restore_roundtrip;
+          Alcotest.test_case "storage partition" `Quick test_storage_partition;
+          Alcotest.test_case "closed store" `Quick test_closed_store_rejected;
+        ] );
+    ]
