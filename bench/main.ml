@@ -42,12 +42,18 @@ let time f =
   let r = f () in
   (r, Sys.time () -. t0)
 
+(* Monotonic wall clock in seconds. Every wall-clock measurement in
+   this file goes through here: CLOCK_MONOTONIC is immune to NTP slews
+   and settimeofday jumps, which on shared CI can otherwise swing a
+   short interval by milliseconds — enough to corrupt a gate ratio. *)
+let mono_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
 (* Wall-clock timer: with a domain pool doing the work, CPU time
    ([Sys.time]) sums over domains and hides the speedup. *)
 let wtime f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = mono_s () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, mono_s () -. t0)
 
 let header title = Printf.printf "\n=== %s ===\n" title
 let row fmt = Printf.printf fmt
@@ -719,11 +725,11 @@ let e11 () =
     let tu = !tu and tc = !tc in
     let vreps = 200 in
     let tv =
-      let t0 = Unix.gettimeofday () in
+      let t0 = mono_s () in
       for _ = 1 to vreps do
         validate ()
       done;
-      (Unix.gettimeofday () -. t0) /. float_of_int vreps
+      (mono_s () -. t0) /. float_of_int vreps
     in
     let pct = tv /. tu *. 100. in
     row "%34s %12.4f %12.4f %12.6f %9.3f%%\n" name tu tc tv pct;
@@ -1385,9 +1391,9 @@ let e14 () =
     for _ = 1 to reps do
       Gc.full_major ();
       let a0 = Gc.minor_words () in
-      let t0 = Unix.gettimeofday () in
+      let t0 = mono_s () in
       let r = f () in
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = mono_s () -. t0 in
       let da = Gc.minor_words () -. a0 in
       last := Some r;
       if dt < !best_t then best_t := dt;
@@ -1657,9 +1663,9 @@ let e15 () =
         Unix.stdin fd fd
     in
     Unix.close fd;
-    let deadline = Unix.gettimeofday () +. 10. in
+    let deadline = mono_s () +. 10. in
     let rec wait_up () =
-      if Unix.gettimeofday () > deadline then begin
+      if mono_s () > deadline then begin
         (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
         Printf.eprintf "E15: daemon never came up:\n%s\n" (read_all log);
         exit 1
@@ -1700,11 +1706,11 @@ let e15 () =
     let timed reps f =
       (* one warmup, then the mean *)
       f ();
-      let t0 = Unix.gettimeofday () in
+      let t0 = mono_s () in
       for _ = 1 to reps do
         f ()
       done;
-      (Unix.gettimeofday () -. t0) /. float_of_int reps
+      (mono_s () -. t0) /. float_of_int reps
     in
     let t_solve =
       timed 10 (fun () -> ignore (Scli.solve_weighted c ~radius:1. pts))
@@ -1938,9 +1944,9 @@ let e16_recovery_row ~ops ~seed ~shards =
       |]
       Unix.stdin Unix.stdout Unix.stderr
   in
-  let deadline = Unix.gettimeofday () +. 30. in
+  let deadline = mono_s () +. 30. in
       while
-        (not (Sys.file_exists ready)) && Unix.gettimeofday () < deadline
+        (not (Sys.file_exists ready)) && mono_s () < deadline
       do
         Unix.sleepf 0.01
       done;
@@ -1960,14 +1966,14 @@ let e16_recovery_row ~ops ~seed ~shards =
       e16_copy_layout ~from_wal:wal ~to_wal:wal2;
       let rec_ms = Obs.counter "shard.recovery_ms" in
       let ms_before = Obs.value rec_ms in
-      let t0 = Unix.gettimeofday () in
+      let t0 = mono_s () in
       let s =
         Obs.with_enabled true (fun () ->
             match Dsession.open_ ~wal () with
             | Ok s -> s
             | Error e -> e16_fail "parallel recovery failed: %s" e)
       in
-      let t_par = Unix.gettimeofday () -. t0 in
+      let t_par = mono_s () -. t0 in
       let counter_ms = Obs.value rec_ms - ms_before in
       if Dsession.shards s <> shards then
         e16_fail "recovered %d shards, expected %d" (Dsession.shards s) shards;
@@ -1976,13 +1982,13 @@ let e16_recovery_row ~ops ~seed ~shards =
         e16_fail "recovered seq %d outside acked window [41, %d]" seq total;
       let fp_par = e16_session_fp s in
       Dsession.close s;
-      let t1 = Unix.gettimeofday () in
+      let t1 = mono_s () in
       let s2 =
         match Dsession.open_ ~wal:wal2 ~domains:1 () with
         | Ok s -> s
         | Error e -> e16_fail "sequential recovery failed: %s" e
       in
-      let t_seq = Unix.gettimeofday () -. t1 in
+      let t_seq = mono_s () -. t1 in
       if Dsession.seq s2 <> seq then
         e16_fail "sequential recovery reached seq %d, parallel reached %d"
           (Dsession.seq s2) seq;
@@ -2013,18 +2019,18 @@ let e16_scale_row ~ops k =
     | Ok s -> s
     | Error e -> e16_fail "open shards=%d: %s" k e
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = mono_s () in
   List.iter (e16_apply s) ops;
-  let t_apply = Unix.gettimeofday () -. t0 in
+  let t_apply = mono_s () -. t0 in
   let fp_live = e16_session_fp s in
   Dsession.close s;
-  let t1 = Unix.gettimeofday () in
+  let t1 = mono_s () in
   let s2 =
     match Dsession.open_ ~wal:wal ~domains:k () with
     | Ok s -> s
     | Error e -> e16_fail "reopen shards=%d: %s" k e
   in
-  let t_rec = Unix.gettimeofday () -. t1 in
+  let t_rec = mono_s () -. t1 in
   if Dsession.shards s2 <> k then
     e16_fail "reopen shards=%d came back with %d shards" k
       (Dsession.shards s2);
@@ -2142,6 +2148,270 @@ let e16 () =
   row "\nextended BENCH_parallel.json (e16 section)\n"
 
 (* ------------------------------------------------------------------ *)
+(* E17 — succinct RMSQ read tier: O(log n) indexed range-sum queries
+   against the O(n) reference sweep over the same prefix column. Three
+   question families: coordinate ranges (the serving path), element-
+   index ranges, and the compiled fixed-length Interval1d question.
+   Every answer is asserted bit-identical between index and sweep
+   before any throughput is reported — the index stores prefix-sum
+   indices, not accumulated sums, so equality is exact by construction
+   and a mismatch means a broken tree, not float noise. Results (build
+   time, bits-per-point, per-family qps and speedup) go to
+   BENCH_query.json.
+
+   MAXRS_E17_MAX_N caps n (CI smoke). MAXRS_E17_GATE=<file> hard-gates:
+   every family's speedup must clear the 50x tentpole target, and must
+   not regress more than 35% against the checked-in baseline rows
+   (matched on question + n; both sides of each ratio run in the same
+   process, so the ratio cancels machine speed — the coarse bound only
+   catches complexity-class regressions, not scheduler jitter). The
+   baseline is read before the fresh file overwrites it. *)
+
+module Qrmsq = Maxrs_query.Rmsq
+
+let e17 () =
+  header "E17 — RMSQ read tier: indexed queries vs reference sweep";
+  let n =
+    match Sys.getenv_opt "MAXRS_E17_MAX_N" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some v when v >= 100 -> Int.min v 100_000
+        | _ -> 100_000)
+    | None -> 100_000
+  in
+  let parse_row line =
+    match
+      Scanf.sscanf (String.trim line)
+        "{ \"question\": %S, \"n\": %d, \"queries\": %d, \"indexed_qps\": \
+         %f, \"sweep_qps\": %f, \"speedup\": %f"
+        (fun q n _ _ _ sp -> (q, n, sp))
+    with
+    | r -> Some r
+    | exception _ -> None
+  in
+  let gate =
+    match Sys.getenv_opt "MAXRS_E17_GATE" with
+    | None -> None
+    | Some path ->
+        let ic = open_in path in
+        let acc = ref [] in
+        (try
+           while true do
+             match parse_row (input_line ic) with
+             | Some r -> acc := r :: !acc
+             | None -> ()
+           done
+         with End_of_file -> close_in ic);
+        Some (path, !acc)
+  in
+  let rng = Rng.create (17 * n) in
+  (* Mixed-sign weights: all-positive weights would make every best
+     segment the full range and let a degenerate index look correct. *)
+  let pts =
+    Array.init n (fun _ ->
+        (Rng.uniform rng 0. 1000., Rng.uniform rng (-2.) 5.))
+  in
+  let lens = [| 5.; 25.; 100. |] in
+  let t0 = mono_s () in
+  let idx = Qrmsq.build ~lens pts in
+  let build_ms = 1e3 *. (mono_s () -. t0) in
+  let b = Interval1d.preprocess pts in
+  let bpp = Qrmsq.bits_per_point idx in
+  row "n=%d  build=%.1fms  index=%d bytes  %.1f bits/point\n" n build_ms
+    (Qrmsq.size_bytes idx) bpp;
+  let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  let seg_eq a b =
+    match (a, b) with
+    | None, None -> true
+    | Some s, Some r ->
+        s.Qrmsq.s_lo = r.Qrmsq.s_lo
+        && s.Qrmsq.s_hi = r.Qrmsq.s_hi
+        && feq s.Qrmsq.s_sum r.Qrmsq.s_sum
+    | _ -> false
+  in
+  let e17_fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "E17: %s\n" m;
+        exit 1)
+      fmt
+  in
+  (* Throughput of [f] over [q] queries: repeat whole passes until the
+     clock has accumulated enough to trust, then divide. [sink] defeats
+     any heroic dead-code elimination of the query results. *)
+  let sink = ref 0 in
+  let absorb = function
+    | None -> incr sink
+    | Some s -> sink := !sink + s.Qrmsq.s_lo - s.Qrmsq.s_hi
+  in
+  let qps ~min_s q f =
+    let passes = ref 0 and t0 = mono_s () in
+    let elapsed = ref 0. in
+    while !elapsed < min_s || !passes < 2 do
+      for i = 0 to q - 1 do
+        f i
+      done;
+      incr passes;
+      elapsed := mono_s () -. t0
+    done;
+    Float.of_int (!passes * q) /. !elapsed
+  in
+  let rows_acc = ref [] in
+  row "%-14s %8s %12s %12s %10s\n" "question" "queries" "indexed/s"
+    "sweep/s" "speedup";
+  let record ~question ~queries ~indexed_qps ~sweep_qps =
+    let speedup = indexed_qps /. sweep_qps in
+    row "%-14s %8d %12.0f %12.1f %9.1fx\n" question queries indexed_qps
+      sweep_qps speedup;
+    rows_acc := (question, n, queries, indexed_qps, sweep_qps, speedup)
+                :: !rows_acc
+  in
+  (* Family 1: coordinate ranges, the serving path — two binary
+     searches plus one tree walk vs scan_coords' single O(n) pass. *)
+  let nq = 512 in
+  let coord_qs =
+    Array.init nq (fun _ ->
+        let a = Rng.uniform rng 0. 1000. and b = Rng.uniform rng 0. 1000. in
+        (Float.min a b, Float.max a b))
+  in
+  Array.iter
+    (fun (lo, hi) ->
+      let i = Qrmsq.max_sum_in_coords idx ~lo ~hi in
+      let s = Qrmsq.scan_coords b ~lo ~hi in
+      if not (seg_eq i s) then
+        e17_fail "coords [%g, %g]: index and sweep answers differ" lo hi)
+    coord_qs;
+  let iq =
+    qps ~min_s:0.3 nq (fun i ->
+        let lo, hi = coord_qs.(i) in
+        absorb (Qrmsq.max_sum_in_coords idx ~lo ~hi))
+  and sq =
+    qps ~min_s:0.3 nq (fun i ->
+        let lo, hi = coord_qs.(i) in
+        absorb (Qrmsq.scan_coords b ~lo ~hi))
+  in
+  record ~question:"range_coords" ~queries:nq ~indexed_qps:iq ~sweep_qps:sq;
+  (* Family 2: element-index ranges — pure tree walk vs range_ref's
+     O(hi - lo) prefix scan, no binary searches on either side. *)
+  let idx_qs =
+    Array.init nq (fun _ ->
+        let a = Rng.int rng n and b = Rng.int rng n in
+        (Int.min a b, Int.max a b))
+  in
+  Array.iter
+    (fun (lo, hi) ->
+      let i = Qrmsq.max_sum_in_range idx ~lo ~hi in
+      let s = Qrmsq.range_ref idx ~lo ~hi in
+      if not (seg_eq i s) then
+        e17_fail "range [%d, %d]: index and sweep answers differ" lo hi)
+    idx_qs;
+  let iq =
+    qps ~min_s:0.3 nq (fun i ->
+        let lo, hi = idx_qs.(i) in
+        absorb (Qrmsq.max_sum_in_range idx ~lo ~hi))
+  and sq =
+    qps ~min_s:0.3 nq (fun i ->
+        let lo, hi = idx_qs.(i) in
+        absorb (Qrmsq.range_ref idx ~lo ~hi))
+  in
+  record ~question:"range_index" ~queries:nq ~indexed_qps:iq ~sweep_qps:sq;
+  (* Family 3: the compiled fixed-length Interval1d question — O(lens)
+     table lookup of the answer materialised at build time vs the O(n)
+     Interval1d sweep it materialised. *)
+  let nl = Array.length lens in
+  Array.iter
+    (fun len ->
+      match Qrmsq.interval idx ~len with
+      | None -> e17_fail "len %g was compiled but interval returned None" len
+      | Some p ->
+          let s = Interval1d.query b ~len in
+          if
+            not
+              (feq p.Interval1d.lo s.Interval1d.lo
+              && feq p.Interval1d.value s.Interval1d.value)
+          then e17_fail "len %g: compiled and sweep placements differ" len)
+    lens;
+  let absorb_p = function
+    | None -> incr sink
+    | Some p -> sink := !sink + int_of_float p.Interval1d.lo
+  in
+  let iq =
+    qps ~min_s:0.3 nl (fun i -> absorb_p (Qrmsq.interval idx ~len:lens.(i)))
+  and sq =
+    qps ~min_s:0.3 nl (fun i ->
+        absorb_p (Some (Interval1d.query b ~len:lens.(i))))
+  in
+  record ~question:"interval_len" ~queries:nl ~indexed_qps:iq ~sweep_qps:sq;
+  if !sink = min_int then row "%d\n" !sink;
+  row "bit-identity: all %d queries identical between index and sweep\n"
+    ((2 * nq) + nl);
+  let rows = List.rev !rows_acc in
+  (* JSON: one row object per line — the gate above and the CI job
+     re-parse rows line by line; keep the key order in sync with
+     [parse_row]. *)
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "{\n\
+    \  \"experiment\": \"E17\",\n\
+    \  \"n\": %d,\n\
+    \  \"build_ms\": %.3f,\n\
+    \  \"index_bytes\": %d,\n\
+    \  \"bits_per_point\": %.2f,\n\
+    \  \"rows\": [\n"
+    n build_ms (Qrmsq.size_bytes idx) bpp;
+  List.iteri
+    (fun i (q, n, c, iq, sq, sp) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf
+        "    { \"question\": %S, \"n\": %d, \"queries\": %d, \
+         \"indexed_qps\": %.1f, \"sweep_qps\": %.1f, \"speedup\": %.4f, \
+         \"bit_identical\": true }"
+        q n c iq sq sp)
+    rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_query.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  row "\nwrote BENCH_query.json\n";
+  match gate with
+  | None -> ()
+  | Some (path, baseline) ->
+      let matched = ref 0 and failures = ref [] in
+      (* The 50x tentpole target is stated at n = 100k; an O(n)/O(log n)
+         ratio shrinks roughly linearly with n, so a capped smoke run is
+         held to the proportionally scaled target instead (floored so a
+         tiny n still has to show a real separation). *)
+      let target_for n = Float.max 5. (50. *. Float.of_int n /. 1e5) in
+      List.iter
+        (fun (q, n, _, _, _, sp) ->
+          if sp < target_for n then
+            failures :=
+              Printf.sprintf "%s n=%d: speedup %.1fx below the %.0fx target"
+                q n sp (target_for n)
+              :: !failures;
+          match
+            List.find_opt (fun (bq, bn, _) -> bq = q && bn = n) baseline
+          with
+          | None -> ()
+          | Some (_, _, bsp) ->
+              incr matched;
+              if sp < bsp /. 1.35 then
+                failures :=
+                  Printf.sprintf
+                    "%s n=%d: speedup %.1fx regressed vs baseline %.1fx" q n
+                    sp bsp
+                  :: !failures)
+        rows;
+      if !failures = [] then
+        row "gate vs %s: OK (%d rows matched, all above 50x)\n" path !matched
+      else begin
+        List.iter
+          (fun f -> Printf.eprintf "E17 gate FAIL: %s\n" f)
+          (List.rev !failures);
+        exit 1
+      end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -2161,6 +2431,7 @@ let experiments =
     ("e14", e14);
     ("e15", e15);
     ("e16", e16);
+    ("e17", e17);
     ("ablation", ablation);
     ("micro", micro);
   ]

@@ -43,6 +43,9 @@ module Batched2d = Maxrs_sweep.Batched2d
 module Obs = Maxrs_obs.Obs
 module Session = Maxrs_durable.Session
 module Wal = Maxrs_durable.Wal
+module Rmsq = Maxrs_query.Rmsq
+module Index_builder = Maxrs_query.Index_builder
+module Qepoch = Maxrs_query.Epoch
 module Netio = Maxrs_server.Netio
 module Sproto = Maxrs_server.Proto
 module Sclient = Maxrs_server.Client
@@ -146,6 +149,10 @@ let () =
       "pool.recovered";
       "resilient.degraded";
       "resilient.partial";
+      "rmsq.builds";
+      "rmsq.queries";
+      "rmsq.hits";
+      "rmsq.fallbacks";
       "wal.records";
       "wal.bytes";
       "wal.fsyncs";
@@ -1142,6 +1149,196 @@ let convolution_cmd =
     Term.(const convolution $ n $ seed_arg $ via)
 
 (* ------------------------------------------------------------------ *)
+(* query: the RMSQ read tier over a durable session's WAL *)
+
+let query wal from_snapshot range len top verify stats =
+  with_stats stats @@ fun () ->
+  guarded (fun () ->
+      let lens = match len with Some l -> [| l |] | None -> [||] in
+      let t0 = Unix.gettimeofday () in
+      let compiled =
+        if from_snapshot then
+          (* strictly the newest decodable snapshot — no WAL replay *)
+          match Index_builder.of_snapshot ~lens ~wal () with
+          | Error msg ->
+              Printf.eprintf "maxrs: %s\n" msg;
+              None
+          | Ok e -> Some (e.Qepoch.built_seq, e.Qepoch.index)
+        else
+          (* full crash recovery (snapshot + WAL replay), then compile *)
+          match Session.open_ ~wal () with
+          | Error msg ->
+              Printf.eprintf "maxrs: cannot open session: %s\n" msg;
+              None
+          | Ok sess ->
+              let seq = Session.seq sess in
+              let st = Session.state sess in
+              Session.close sess;
+              Some (seq, Rmsq.of_state ~lens st)
+      in
+      match compiled with
+      | None -> exit_invalid_input
+      | Some (seq, t) ->
+          let build_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+          Printf.printf "index: n=%d seq=%d build=%.1fms bits/point=%.1f\n"
+            (Rmsq.n t) seq build_ms (Rmsq.bits_per_point t);
+          let print_seg what = function
+            | None -> Printf.printf "%s: empty\n" what
+            | Some s ->
+                Printf.printf "%s: elements [%d..%d] sum=%g (x in [%g, %g])\n"
+                  what s.Rmsq.s_lo s.Rmsq.s_hi s.Rmsq.s_sum
+                  (Rmsq.coord t s.Rmsq.s_lo)
+                  (Rmsq.coord t s.Rmsq.s_hi)
+          in
+          if top || (range = None && len = None) then
+            print_seg "top" (Rmsq.top_segment t);
+          (match range with
+          | None -> ()
+          | Some (lo, hi) ->
+              print_seg
+                (Printf.sprintf "range [%g, %g]" lo hi)
+                (Rmsq.max_sum_in_coords t ~lo ~hi));
+          (match len with
+          | None -> ()
+          | Some l -> (
+              match Rmsq.interval t ~len:l with
+              | Some p ->
+                  Printf.printf "interval len=%g: lo=%g value=%g (compiled)\n"
+                    l p.Interval1d.lo p.Interval1d.value
+              | None ->
+                  let p = Rmsq.interval_sweep t ~len:l in
+                  Printf.printf "interval len=%g: lo=%g value=%g (sweep)\n" l
+                    p.Interval1d.lo p.Interval1d.value));
+          if not verify then 0
+          else begin
+            (* Differential audit: indexed answers vs the index-free
+               reference on a deterministic family of overlapping
+               ranges (plus the compiled lengths vs the sweep), all
+               required bit-identical. *)
+            let n = Rmsq.n t in
+            let bits = Int64.bits_of_float in
+            let checked = ref 0 and failed = ref 0 in
+            let check_range ~lo ~hi =
+              incr checked;
+              let got = Rmsq.max_sum_in_range t ~lo ~hi in
+              let want = Rmsq.range_ref t ~lo ~hi in
+              let same =
+                match (got, want) with
+                | None, None -> true
+                | Some g, Some w ->
+                    g.Rmsq.s_lo = w.Rmsq.s_lo
+                    && g.Rmsq.s_hi = w.Rmsq.s_hi
+                    && bits g.Rmsq.s_sum = bits w.Rmsq.s_sum
+                | _ -> false
+              in
+              if not same then begin
+                incr failed;
+                Printf.eprintf "maxrs: verify FAILED on range [%d, %d]\n" lo hi
+              end
+            in
+            let step = Int.max 1 (n / 16) in
+            let i = ref 0 in
+            while !i < n do
+              let j = ref !i in
+              while !j < n do
+                check_range ~lo:!i ~hi:!j;
+                j := !j + step
+              done;
+              check_range ~lo:!i ~hi:(n - 1);
+              i := !i + step
+            done;
+            Array.iter
+              (fun l ->
+                incr checked;
+                match Rmsq.interval t ~len:l with
+                | None -> incr failed
+                | Some p ->
+                    let s = Rmsq.interval_sweep t ~len:l in
+                    if
+                      bits p.Interval1d.value <> bits s.Interval1d.value
+                      || bits p.Interval1d.lo <> bits s.Interval1d.lo
+                    then begin
+                      incr failed;
+                      Printf.eprintf "maxrs: verify FAILED on len=%g\n" l
+                    end)
+              (Rmsq.lens t);
+            if !failed = 0 then begin
+              Printf.printf "verify: OK (%d queries bit-identical)\n" !checked;
+              0
+            end
+            else begin
+              Printf.eprintf "maxrs: verify: %d/%d queries diverged\n" !failed
+                !checked;
+              1
+            end
+          end)
+
+let query_cmd =
+  let wal =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"FILE"
+          ~doc:
+            "WAL of the durable session to compile the index from (the \
+             session is recovered exactly as $(b,session) would, then \
+             compiled and closed).")
+  in
+  let from_snapshot =
+    Arg.(
+      value & flag
+      & info [ "from-snapshot" ]
+          ~doc:
+            "Compile strictly from the newest decodable snapshot sidecar \
+             (no WAL replay) — the builder's snapshot path.")
+  in
+  let range =
+    Arg.(
+      value
+      & opt (some (pair ~sep:':' float float)) None
+      & info [ "range" ] ~docv:"LO:HI"
+          ~doc:
+            "Answer the max-sum segment over points with coordinate in \
+             [LO, HI] (closed).")
+  in
+  let len =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "len" ] ~docv:"L"
+          ~doc:
+            "Also answer the fixed-length interval question for length \
+             $(docv) (compiled into the index at build time).")
+  in
+  let top =
+    Arg.(
+      value & flag
+      & info [ "top" ]
+          ~doc:
+            "Print the global top segment (default when no other question \
+             is asked).")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Audit the index: answer a deterministic family of overlapping \
+             ranges both through the index and through the index-free \
+             reference scan and require bit-identical results; nonzero exit \
+             on any divergence.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~exits:resilience_exits
+       ~doc:
+         "Compile the succinct RMSQ read-tier index from a durable \
+          session's WAL/snapshots and answer arbitrary-range max-sum \
+          queries in O(log n), bit-identical to the reference sweep.")
+    Term.(
+      const query $ wal $ from_snapshot $ range $ len $ top $ verify
+      $ stats_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "maximum range sum algorithms (PODS 2025 reproduction)" in
@@ -1166,5 +1363,6 @@ let () =
             batched_disks_cmd;
             dynamic_cmd;
             session_cmd;
+            query_cmd;
             depth_map_cmd;
           ]))

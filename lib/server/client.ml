@@ -112,7 +112,7 @@ let mutating = function
   | Proto.Insert _ | Proto.Delete _ -> true
   | Proto.Ping | Proto.Solve_weighted _ | Proto.Solve_colored _
   | Proto.Solve_static _ | Proto.Solve_interval _ | Proto.Query | Proto.Stats
-    ->
+  | Proto.Range_sum _ ->
       false
 
 (* Full-jitter exponential backoff, floored at the server's hint when
@@ -192,4 +192,10 @@ let stats t =
   match call t Proto.Stats with
   | Ok (Proto.Stats_reply s) -> Ok s
   | Ok _ -> unexpected "stats"
+  | Error _ as e -> e
+
+let range_sum t ~lo ~hi =
+  match call t (Proto.Range_sum { lo; hi }) with
+  | Ok (Proto.Range_best { seg; epoch; lag_ops }) -> Ok (seg, epoch, lag_ops)
+  | Ok _ -> unexpected "range_sum"
   | Error _ as e -> e

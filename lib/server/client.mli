@@ -63,3 +63,13 @@ val delete : t -> handle:int -> (int, error) result
 
 val query : t -> ((float * float * float) option, error) result
 val stats : t -> (Proto.server_stats, error) result
+
+val range_sum :
+  t ->
+  lo:float ->
+  hi:float ->
+  ((int * int * float) option * int * int, error) result
+(** [Ok (seg, epoch, lag_ops)] of a [Range_sum]: the max-sum segment
+    over session points with axis-0 coordinate in [[lo, hi]], which
+    epoch of the read-tier index served it ([0] = cold fallback scan),
+    and how many ops that index lagged the store by. *)

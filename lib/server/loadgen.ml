@@ -48,7 +48,7 @@ type outcome = Ok_reply | Rejected | Net_error | Invalid_reply
 let classify_reply = function
   | Proto.Solved (Maxrs_resilience.Outcome.Complete _)
   | Proto.Pong | Proto.Inserted _ | Proto.Deleted _ | Proto.Best _
-  | Proto.Stats_reply _ ->
+  | Proto.Stats_reply _ | Proto.Range_best _ ->
       (Ok_reply, false)
   | Proto.Solved _ -> (Ok_reply, true)
   | Proto.Error_reply { code = Proto.Overloaded; _ } -> (Rejected, false)

@@ -44,6 +44,9 @@ type request =
   | Delete of { handle : int }
   | Query
   | Stats
+  | Range_sum of { lo : float; hi : float }
+      (* max-sum segment of the session's points (axis-0 projection)
+         whose coordinates lie in [lo, hi]; infinite bounds legal *)
 
 type source = Exact | Approx_fallback | Best_so_far
 
@@ -90,6 +93,11 @@ type reply =
   | Best of (float * float * float) option  (** x, y, value *)
   | Stats_reply of server_stats
   | Error_reply of { code : err_code; retry_after_ms : int; msg : string }
+  | Range_best of {
+      seg : (int * int * float) option;  (* s_lo, s_hi, exact sum *)
+      epoch : int;  (* serving index epoch; 0 = fallback sweep *)
+      lag_ops : int;  (* ops the index lagged the store by; 0 on fallback *)
+    }
 
 (* {1 Small helpers} *)
 
@@ -222,7 +230,11 @@ let encode_request ~id req =
       Codec.u8 b 6;
       Codec.int_ b handle
   | Query -> Codec.u8 b 7
-  | Stats -> Codec.u8 b 8);
+  | Stats -> Codec.u8 b 8
+  | Range_sum { lo; hi } ->
+      Codec.u8 b 9;
+      Codec.f64 b lo;
+      Codec.f64 b hi);
   Buffer.contents b
 
 let r_request r =
@@ -264,6 +276,10 @@ let r_request r =
     | 6 -> Delete { handle = Codec.r_int r }
     | 7 -> Query
     | 8 -> Stats
+    | 9 ->
+        let lo = Codec.r_f64 r in
+        let hi = Codec.r_f64 r in
+        Range_sum { lo; hi }
     | t -> Codec.malformed "unknown request tag %d" t
   in
   if not (Codec.at_end r) then Codec.malformed "trailing bytes after request";
@@ -338,7 +354,17 @@ let encode_reply ~id reply =
       Codec.u8 b 6;
       Codec.u8 b (err_code_to_u8 code);
       Codec.int_ b retry_after_ms;
-      string_ b msg);
+      string_ b msg
+  | Range_best { seg; epoch; lag_ops } ->
+      Codec.u8 b 7;
+      Codec.opt
+        (fun b (l, h, s) ->
+          Codec.int_ b l;
+          Codec.int_ b h;
+          Codec.f64 b s)
+        b seg;
+      Codec.int_ b epoch;
+      Codec.int_ b lag_ops);
   Buffer.contents b
 
 let r_reply r =
@@ -409,6 +435,19 @@ let r_reply r =
         let retry_after_ms = Codec.r_int r in
         let msg = r_string r "error message" in
         Error_reply { code; retry_after_ms; msg }
+    | 7 ->
+        let seg =
+          Codec.r_opt
+            (fun r ->
+              let l = Codec.r_int r in
+              let h = Codec.r_int r in
+              let s = Codec.r_f64 r in
+              (l, h, s))
+            r
+        in
+        let epoch = Codec.r_int r in
+        let lag_ops = Codec.r_int r in
+        Range_best { seg; epoch; lag_ops }
     | t -> Codec.malformed "unknown reply tag %d" t
   in
   if not (Codec.at_end r) then Codec.malformed "trailing bytes after reply";

@@ -45,6 +45,12 @@ type request =
   | Delete of { handle : int }
   | Query  (** Best placement of the dynamic session. *)
   | Stats  (** Server health and latency quantiles. *)
+  | Range_sum of { lo : float; hi : float }
+      (** Max-sum segment of the session's point set (axis-0
+          projection) restricted to coordinates in [[lo, hi]]; served
+          by the epoch-swapped RMSQ index when warm, by the reference
+          scan when cold. Infinite bounds are legal ([-inf, inf] asks
+          for the global top segment). *)
 
 type source = Exact | Approx_fallback | Best_so_far
 
@@ -98,6 +104,15 @@ type reply =
   | Error_reply of { code : err_code; retry_after_ms : int; msg : string }
       (** [retry_after_ms > 0] only with [Overloaded]: the server's
           backpressure hint, honored by the client's backoff. *)
+  | Range_best of {
+      seg : (int * int * float) option;
+          (** (first element, last element, exact sum) in the sorted
+              axis-0 order, [None] when the range holds no points *)
+      epoch : int;  (** serving index epoch; [0] = fallback scan *)
+      lag_ops : int;
+          (** ops the serving index lagged the store by at answer
+              time — the staleness the client actually observed *)
+    }
 
 val encode_request : id:int -> request -> string
 val decode_request : string -> (int * request, string) result

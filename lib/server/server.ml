@@ -34,6 +34,9 @@ module Interval1d = Maxrs_sweep.Interval1d
 module Session = Maxrs_durable.Session
 module Wal = Maxrs_durable.Wal
 module Obs = Maxrs_obs.Obs
+module Rmsq = Maxrs_query.Rmsq
+module Epoch = Maxrs_query.Epoch
+module Index_builder = Maxrs_query.Index_builder
 
 (* Mirrored into Obs (no-ops unless stats recording is on); the
    authoritative copies are the server's own atomics, so the [Stats]
@@ -62,6 +65,8 @@ type config = {
   snapshot_every : int;
   shards : int option;
   domains : int option;
+  index : bool;
+  index_min_lag : int;
 }
 
 let default_config addr =
@@ -81,6 +86,8 @@ let default_config addr =
     snapshot_every = 1000;
     shards = None;
     domains = None;
+    index = true;
+    index_min_lag = 1;
   }
 
 (* {1 Latency histogram}
@@ -162,6 +169,8 @@ type t = {
   mutable accept_done : bool;
   session : Session.t option;
   session_m : Mutex.t;
+  epoch : Epoch.t;
+  mutable builder : Index_builder.t option;
   lat : Lat.t;
   started : float;
   (* service-time EWMA (ms), feeding the Retry-After hint *)
@@ -421,6 +430,66 @@ let execute t (req : Proto.request) : Proto.reply =
       | Ok best ->
           incr_a t.completed;
           Proto.Best best)
+  | Proto.Range_sum { lo; hi } -> (
+      if Float.is_nan lo || Float.is_nan hi then begin
+        incr_a t.invalid;
+        Proto.Error_reply
+          {
+            code = Proto.Invalid;
+            retry_after_ms = 0;
+            msg = "range bounds must not be NaN";
+          }
+      end
+      else
+        (* Hot path: one atomic load of the live epoch, then a lock-free
+           O(log n) query against the immutable index; the session lock
+           is only taken to read the current seq for the staleness
+           figure. Cold path (no epoch yet): capture the state under
+           the lock and answer with the index-free reference scan —
+           bit-identical, just O(n). *)
+        match Epoch.current t.epoch with
+        | Some e -> (
+            match session_op t (fun sess -> Ok (Session.seq sess)) with
+            | Error e ->
+                incr_a t.invalid;
+                Proto.Error_reply
+                  {
+                    code = Proto.Invalid;
+                    retry_after_ms = 0;
+                    msg = guard_msg e;
+                  }
+            | Ok now_seq ->
+                Epoch.hit ();
+                incr_a t.completed;
+                let seg =
+                  Rmsq.max_sum_in_coords e.Epoch.index ~lo ~hi
+                  |> Option.map (fun s ->
+                         (s.Rmsq.s_lo, s.Rmsq.s_hi, s.Rmsq.s_sum))
+                in
+                let lag_ops =
+                  Option.value ~default:0 (Epoch.lag t.epoch ~now_seq)
+                in
+                Proto.Range_best { seg; epoch = e.Epoch.epoch; lag_ops })
+        | None -> (
+            match session_op t (fun sess -> Ok (Session.state sess)) with
+            | Error e ->
+                incr_a t.invalid;
+                Proto.Error_reply
+                  {
+                    code = Proto.Invalid;
+                    retry_after_ms = 0;
+                    msg = guard_msg e;
+                  }
+            | Ok state ->
+                Epoch.fallback ();
+                incr_a t.completed;
+                let b = Interval1d.preprocess (Rmsq.project_state state) in
+                let seg =
+                  Rmsq.scan_coords b ~lo ~hi
+                  |> Option.map (fun s ->
+                         (s.Rmsq.s_lo, s.Rmsq.s_hi, s.Rmsq.s_sum))
+                in
+                Proto.Range_best { seg; epoch = 0; lag_ops = 0 }))
 
 let execute_safe t req =
   try execute t req
@@ -671,6 +740,8 @@ let start cfg =
               accept_done = false;
               session;
               session_m = Mutex.create ();
+              epoch = Epoch.create ();
+              builder = None;
               lat = Lat.create ();
               started = now ();
               ewma_ms = 10.;
@@ -686,6 +757,30 @@ let start cfg =
               threads = [];
             }
           in
+          (* Read tier: compile indexes on a background domain from
+             states captured under the session lock, swap them in
+             through the epoch cell. Writers never wait on a build. *)
+          (match session with
+          | Some sess when cfg.index ->
+              let locked f =
+                Mutex.lock t.session_m;
+                Fun.protect ~finally:(fun () -> Mutex.unlock t.session_m) f
+              in
+              let src =
+                {
+                  Index_builder.src_seq =
+                    (fun () -> locked (fun () -> Session.seq sess));
+                  src_capture =
+                    (fun () ->
+                      locked (fun () ->
+                          (Session.state sess, Session.seq sess)));
+                }
+              in
+              t.builder <-
+                Some
+                  (Index_builder.start ~min_lag:(Int.max 1 cfg.index_min_lag)
+                     src t.epoch)
+          | _ -> ());
           let workers =
             List.init (Int.max 1 cfg.workers) (fun _ ->
                 Thread.create (fun () -> worker_loop t) ())
@@ -712,6 +807,13 @@ let begin_drain t =
 let wait t =
   t.accept_done <- true;
   List.iter Thread.join t.threads;
+  (* the builder reads the session through its closures — stop it
+     before the session closes under it *)
+  (match t.builder with
+  | Some b ->
+      Index_builder.stop b;
+      t.builder <- None
+  | None -> ());
   (match t.session with
   | Some sess ->
       Mutex.lock t.session_m;

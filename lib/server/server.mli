@@ -33,6 +33,13 @@ type config = {
           parallel recovery); [None] opens solo — an existing sharded
           layout at [wal] reopens sharded either way (the disk wins) *)
   domains : int option;  (** worker-pool bound for a sharded session *)
+  index : bool;
+      (** compile RMSQ read-tier indexes on a background domain and
+          serve [Range_sum] from the live epoch (default [true]; only
+          meaningful with a session) *)
+  index_min_lag : int;
+      (** rebuild when the live index lags the store by at least this
+          many ops — the staleness bound (default 1, clamped >= 1) *)
 }
 
 val default_config : Netio.addr -> config

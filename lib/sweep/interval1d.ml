@@ -18,28 +18,33 @@ type placement = { lo : float; value : float }
    Sweep their endpoints left to right; at equal coordinates process
    starts before ends (both endpoints are inclusive). *)
 
-type batched = { points_sorted : (float * float) array; prefix : float array }
+type batched = { xs : Fvec.t; ws : Fvec.t; prefix : Fvec.t; n : int }
 
 (* Sort by (coordinate, input index) on unboxed columns — the stable
-   order, radix-sorted above [Kern.radix_threshold] — then permute the
-   pairs once. Replaces the comparator-closure [Array.sort] over boxed
-   pairs; the query sweep only ever folds whole groups of equal
-   coordinates, so the stable tie order is as good as the old
-   unspecified one. *)
+   order, radix-sorted above [Kern.radix_threshold] — then permute
+   straight into flat coordinate/weight columns. No boxed pair array
+   survives preprocessing: queries (and the RMSQ read tier, which
+   compiles these very columns into an index) run over [Fvec]s only.
+   The query sweep only ever folds whole groups of equal coordinates,
+   so the stable tie order is as good as the old unspecified one. *)
 let preprocess pts =
   let n = Array.length pts in
-  let xs = Fvec.create n in
+  let keys = Fvec.create n in
   let idx = Array.init n Fun.id in
   for i = 0 to n - 1 do
-    Fvec.unsafe_set xs i (fst (Array.unsafe_get pts i))
+    Fvec.unsafe_set keys i (fst (Array.unsafe_get pts i))
   done;
-  Kern.sort_fi xs idx n;
-  let sorted = Array.init n (fun i -> pts.(idx.(i))) in
-  let prefix = Array.make (n + 1) 0. in
+  Kern.sort_fi keys idx n;
+  let xs = Fvec.create n and ws = Fvec.create n in
+  let prefix = Fvec.create (n + 1) in
+  Fvec.unsafe_set prefix 0 0.;
   for i = 0 to n - 1 do
-    prefix.(i + 1) <- prefix.(i) +. snd sorted.(i)
+    let x, w = Array.unsafe_get pts (Array.unsafe_get idx i) in
+    Fvec.unsafe_set xs i x;
+    Fvec.unsafe_set ws i w;
+    Fvec.unsafe_set prefix (i + 1) (Fvec.unsafe_get prefix i +. w)
   done;
-  { points_sorted = sorted; prefix }
+  { xs; ws; prefix; n }
 
 (* Allocation-free core of [query] over sorted coordinate/weight
    columns. The two event streams are peeked with an [infinity] sentinel
@@ -99,22 +104,7 @@ let query_cols xs ws n ~len =
     { lo = !best_lo; value = !best }
   end
 
-(* One pass lifting the sorted pairs into unboxed columns; queries then
-   run allocation-free. [batched] shares one pair of columns across all
-   m queries (and all domains — the columns are read-only). *)
-let cols_of_sorted pts =
-  let n = Array.length pts in
-  let xs = Fvec.create n and ws = Fvec.create n in
-  for i = 0 to n - 1 do
-    let x, w = Array.unsafe_get pts i in
-    Fvec.unsafe_set xs i x;
-    Fvec.unsafe_set ws i w
-  done;
-  (xs, ws, n)
-
-let query b ~len =
-  let xs, ws, n = cols_of_sorted b.points_sorted in
-  query_cols xs ws n ~len
+let query b ~len = query_cols b.xs b.ws b.n ~len
 
 let max_sum ~len pts = query (preprocess pts) ~len
 
@@ -160,18 +150,17 @@ let max_sum_checked ~len pts =
 
 let batched ?domains ~lens pts =
   let b = preprocess pts in
-  let xs, ws, nq = cols_of_sorted b.points_sorted in
   let m = Array.length lens in
   let n = Array.length pts in
   (* Each query costs O(n); below ~16k total work the queries are
      cheaper than spawning domains. *)
   let domains = if m < 2 || m * n < 16384 then 1 else Parallel.resolve domains in
-  if domains = 1 then Array.map (fun len -> query_cols xs ws nq ~len) lens
+  if domains = 1 then Array.map (fun len -> query b ~len) lens
   else
     (* The m queries are independent and only read the preprocessed
        columns; slot i always holds query i's answer. *)
     Parallel.with_pool ~domains (fun pool ->
-        Parallel.map pool ~n:m (fun i -> query_cols xs ws nq ~len:lens.(i)))
+        Parallel.map pool ~n:m (fun i -> query b ~len:lens.(i)))
 
 let batched_checked ?domains ~lens pts =
   let open Guard in

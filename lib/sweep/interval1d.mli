@@ -27,12 +27,19 @@ val max_sum_brute : len:float -> (float * float) array -> placement
     points and the points shifted by [-len]). *)
 
 type batched = {
-  points_sorted : (float * float) array;
-  prefix : float array;
+  xs : Maxrs_geom.Fvec.t;  (** coordinates, ascending *)
+  ws : Maxrs_geom.Fvec.t;  (** weights, in [xs] order *)
+  prefix : Maxrs_geom.Fvec.t;
+      (** prefix weight sums: [prefix.{0} = 0],
+          [prefix.{i+1} = prefix.{i} +. ws.{i}] — the array the RMSQ
+          read tier ({!Maxrs_query.Rmsq}) compiles its index from *)
+  n : int;
 }
+(** Flat unboxed columns shared read-only by every query (and every
+    domain): no boxed pairs survive preprocessing. *)
 
 val preprocess : (float * float) array -> batched
-(** Sort once; O(n log n). *)
+(** Sort once into flat columns; O(n log n). *)
 
 val query : batched -> len:float -> placement
 (** O(n) per length, via a merge of the two implicitly-sorted event lists. *)

@@ -321,6 +321,80 @@ let test_session_ops () =
       | _ -> Alcotest.fail "double delete accepted");
       Client.close c)
 
+(* The read tier over the wire: [Range_sum] answers from the
+   epoch-swapped RMSQ index once the background builder catches up
+   (epoch > 0, lag 0), from the bit-identical fallback scan before
+   that (epoch = 0); either way the segment is exact. *)
+let test_range_sum () =
+  let wal = fresh_path ".wal" in
+  with_server
+    ~tune:(fun c -> { c with Server.wal = Some wal })
+    (fun _t addr ->
+      let c = Client.create addr in
+      ignore (ok_or_fail "ins" (Client.insert c ~x:0. ~y:0. ~weight:2.));
+      ignore (ok_or_fail "ins" (Client.insert c ~x:0.5 ~y:0. ~weight:3.));
+      ignore (ok_or_fail "ins" (Client.insert c ~x:9. ~y:9. ~weight:1.));
+      (* an early read may serve a stale epoch — that's the model — but
+         the answer must be exact for SOME prefix of the insert order *)
+      (match
+         ok_or_fail "range" (Client.range_sum c ~lo:neg_infinity ~hi:infinity)
+       with
+      | None, _, _ -> ()
+      | Some (0, 0, s), _, _ when bits s = bits 2. -> ()
+      | Some (0, 1, s), _, _ when bits s = bits 5. -> ()
+      | Some (0, 2, s), _, _ when bits s = bits 6. -> ()
+      | Some _, _, _ -> Alcotest.fail "answer matches no insert prefix");
+      let check_full (seg, _epoch, _lag) =
+        match seg with
+        | Some (0, 2, s) when bits s = bits 6. -> ()
+        | _ -> Alcotest.fail "wrong full-range segment"
+      in
+      (* the builder must converge: epoch > 0 and lag 0 *)
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec warm () =
+        match
+          ok_or_fail "range" (Client.range_sum c ~lo:neg_infinity ~hi:infinity)
+        with
+        | (_, epoch, 0) as r when epoch > 0 ->
+            check_full r;
+            true
+        | _ when Unix.gettimeofday () < deadline ->
+            Unix.sleepf 0.01;
+            warm ()
+        | _ -> false
+      in
+      Alcotest.(check bool) "index epoch serves with lag 0" true (warm ());
+      (* coordinate sub-range: x in [0, 1] covers weights 2 and 3 *)
+      (match ok_or_fail "subrange" (Client.range_sum c ~lo:0. ~hi:1.) with
+      | Some (0, 1, s), epoch, _ when epoch > 0 ->
+          Alcotest.(check bool) "subrange sum bits" true (bits s = bits 5.)
+      | _ -> Alcotest.fail "wrong subrange answer");
+      (* empty coordinate range *)
+      (match ok_or_fail "empty" (Client.range_sum c ~lo:100. ~hi:200.) with
+      | None, _, _ -> ()
+      | Some _, _, _ -> Alcotest.fail "empty range answered a segment");
+      (* NaN bounds are invalid, not a crash *)
+      (match Client.range_sum c ~lo:nan ~hi:1. with
+      | Error (Client.Server { code = Proto.Invalid; _ }) -> ()
+      | _ -> Alcotest.fail "NaN bound accepted");
+      Client.close c)
+
+(* With the index disabled every read takes the fallback scan —
+   epoch stays 0 and answers are still exact. *)
+let test_range_sum_no_index () =
+  let wal = fresh_path ".wal" in
+  with_server
+    ~tune:(fun c -> { c with Server.wal = Some wal; index = false })
+    (fun _t addr ->
+      let c = Client.create addr in
+      ignore (ok_or_fail "ins" (Client.insert c ~x:1. ~y:0. ~weight:4.));
+      ignore (ok_or_fail "ins" (Client.insert c ~x:2. ~y:0. ~weight:7.));
+      (match ok_or_fail "range" (Client.range_sum c ~lo:0. ~hi:3.) with
+      | Some (0, 1, s), 0, 0 ->
+          Alcotest.(check bool) "fallback sum bits" true (bits s = bits 11.)
+      | _ -> Alcotest.fail "fallback answer wrong or epoch nonzero");
+      Client.close c)
+
 let test_no_session_is_invalid () =
   with_server (fun _t addr ->
       let c = Client.create addr in
@@ -1265,6 +1339,10 @@ let () =
           Alcotest.test_case "tiny deadline degrades, marked on the wire"
             `Quick test_deadline_degrades;
           Alcotest.test_case "durable session ops" `Quick test_session_ops;
+          Alcotest.test_case "range-sum reads from the RMSQ tier" `Quick
+            test_range_sum;
+          Alcotest.test_case "range-sum fallback with index off" `Quick
+            test_range_sum_no_index;
           Alcotest.test_case "no session means Invalid" `Quick
             test_no_session_is_invalid;
         ] );
